@@ -1,0 +1,265 @@
+// Package repro's top-level benchmarks regenerate the paper's
+// evaluation items as Go benchmarks: one bench per table and figure.
+// Custom metrics report the *modelled* quantities the paper plots —
+// virtual milliseconds (vms), transactions per modelled second (vtx/s),
+// abort percentages — while the standard ns/op column is merely host
+// effort.
+//
+// Run all of them with:
+//
+//	go test -bench=. -benchmem
+//
+// Sub-benchmark names encode the paper item, allocator, and the varied
+// parameter (block size, thread count, application).
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	_ "repro/internal/alloc/glibc"
+	_ "repro/internal/alloc/hoard"
+	_ "repro/internal/alloc/tbb"
+	_ "repro/internal/alloc/tcmalloc"
+	_ "repro/internal/stamp/bayes"
+	_ "repro/internal/stamp/genome"
+	_ "repro/internal/stamp/intruder"
+	_ "repro/internal/stamp/kmeans"
+	_ "repro/internal/stamp/labyrinth"
+	_ "repro/internal/stamp/ssca2"
+	_ "repro/internal/stamp/vacation"
+	_ "repro/internal/stamp/yada"
+
+	"repro/internal/intset"
+	"repro/internal/stamp"
+	"repro/internal/threadtest"
+)
+
+var allocators = []string{"glibc", "hoard", "tbb", "tcmalloc"}
+
+// BenchmarkFig1 reproduces the motivation figure: Intruder and Yada at
+// 8 threads under Glibc and Hoard.
+func BenchmarkFig1(b *testing.B) {
+	for _, app := range []string{"intruder", "yada"} {
+		for _, name := range []string{"glibc", "hoard"} {
+			b.Run(fmt.Sprintf("%s/%s", app, name), func(b *testing.B) {
+				var vms float64
+				for i := 0; i < b.N; i++ {
+					res, err := stamp.Run(stamp.Config{App: app, Allocator: name, Threads: 8})
+					if err != nil {
+						b.Fatal(err)
+					}
+					vms = res.Seconds * 1e3
+				}
+				b.ReportMetric(vms, "vms")
+			})
+		}
+	}
+}
+
+// BenchmarkFig2 measures the false sharing TCMalloc's handout induces:
+// two threads ping-ponging writes on their first 16-byte blocks.
+func BenchmarkFig2(b *testing.B) {
+	for _, name := range []string{"tcmalloc", "hoard"} {
+		b.Run(name, func(b *testing.B) {
+			var fs float64
+			for i := 0; i < b.N; i++ {
+				res, err := threadtest.Run(threadtest.Config{
+					Allocator: name, Threads: 2, BlockSize: 16, OpsPerThread: 2000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fs = float64(res.FalseShare)
+			}
+			b.ReportMetric(fs, "false-sharing-misses")
+		})
+	}
+}
+
+// BenchmarkFig3 is the threadtest block-size sweep.
+func BenchmarkFig3(b *testing.B) {
+	for _, name := range allocators {
+		for _, size := range []uint64{16, 256, 8192} {
+			b.Run(fmt.Sprintf("%s/size=%d", name, size), func(b *testing.B) {
+				var thr float64
+				for i := 0; i < b.N; i++ {
+					res, err := threadtest.Run(threadtest.Config{
+						Allocator: name, Threads: 8, BlockSize: size, OpsPerThread: 2000,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					thr = res.Throughput / 1e6
+				}
+				b.ReportMetric(thr, "Mop/vs")
+			})
+		}
+	}
+}
+
+func intsetBench(b *testing.B, kind intset.Kind, name string, threads int, shift uint) {
+	b.Helper()
+	var thr, abort float64
+	for i := 0; i < b.N; i++ {
+		res, err := intset.Run(intset.Config{
+			Kind:         kind,
+			Allocator:    name,
+			Threads:      threads,
+			InitialSize:  768,
+			KeyRange:     1536,
+			UpdatePct:    60,
+			OpsPerThread: 120,
+			Shift:        shift,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		thr = res.Throughput
+		abort = res.Tx.AbortRate() * 100
+	}
+	b.ReportMetric(thr, "vtx/s")
+	b.ReportMetric(abort, "abort%")
+}
+
+// BenchmarkFig4 covers Figure 4 and Table 3: the three structures under
+// the write-dominated workload.
+func BenchmarkFig4(b *testing.B) {
+	for _, kind := range intset.Kinds() {
+		for _, name := range allocators {
+			for _, threads := range []int{1, 8} {
+				b.Run(fmt.Sprintf("%s/%s/p=%d", kind, name, threads), func(b *testing.B) {
+					intsetBench(b, kind, name, threads, 0)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTab4 is the linked-list abort/L1 characterization point (2
+// threads, where the allocator separation is cleanest).
+func BenchmarkTab4(b *testing.B) {
+	for _, name := range allocators {
+		b.Run(name, func(b *testing.B) {
+			var abort, l1 float64
+			for i := 0; i < b.N; i++ {
+				res, err := intset.Run(intset.Config{
+					Kind:         intset.LinkedList,
+					Allocator:    name,
+					Threads:      2,
+					InitialSize:  1024,
+					KeyRange:     2048,
+					UpdatePct:    60,
+					OpsPerThread: 200,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				abort = res.Tx.AbortRate() * 100
+				l1 = res.L1Miss * 100
+			}
+			b.ReportMetric(abort, "abort%")
+			b.ReportMetric(l1, "L1miss%")
+		})
+	}
+}
+
+// BenchmarkFig6 compares shift 4 against shift 5 on the linked list.
+func BenchmarkFig6(b *testing.B) {
+	for _, name := range allocators {
+		for _, shift := range []uint{4, 5} {
+			b.Run(fmt.Sprintf("%s/shift=%d", name, shift), func(b *testing.B) {
+				intsetBench(b, intset.LinkedList, name, 8, shift)
+			})
+		}
+	}
+}
+
+// BenchmarkTab5 runs the instrumented sequential characterization.
+func BenchmarkTab5(b *testing.B) {
+	for _, app := range stamp.Names() {
+		b.Run(app, func(b *testing.B) {
+			var txAllocs float64
+			for i := 0; i < b.N; i++ {
+				res, err := stamp.Run(stamp.Config{App: app, Allocator: "tbb", Threads: 1, Profile: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				txAllocs = float64(res.Profile.Mallocs[stamp.RegionTx])
+			}
+			b.ReportMetric(txAllocs, "tx-allocs")
+		})
+	}
+}
+
+// BenchmarkFig7 covers Figure 7 and Table 6: STAMP execution time per
+// allocator.
+func BenchmarkFig7(b *testing.B) {
+	for _, app := range []string{"bayes", "genome", "intruder", "labyrinth", "vacation", "yada"} {
+		for _, name := range allocators {
+			b.Run(fmt.Sprintf("%s/%s/p=8", app, name), func(b *testing.B) {
+				var vms, abort float64
+				for i := 0; i < b.N; i++ {
+					res, err := stamp.Run(stamp.Config{App: app, Allocator: name, Threads: 8})
+					if err != nil {
+						b.Fatal(err)
+					}
+					vms = res.Seconds * 1e3
+					abort = res.Tx.AbortRate() * 100
+				}
+				b.ReportMetric(vms, "vms")
+				b.ReportMetric(abort, "abort%")
+			})
+		}
+	}
+}
+
+// BenchmarkFig8 measures the Genome and Yada scaling endpoints used for
+// the speedup curves.
+func BenchmarkFig8(b *testing.B) {
+	for _, app := range []string{"genome", "yada"} {
+		for _, name := range allocators {
+			for _, threads := range []int{1, 8} {
+				b.Run(fmt.Sprintf("%s/%s/p=%d", app, name, threads), func(b *testing.B) {
+					var vms float64
+					for i := 0; i < b.N; i++ {
+						res, err := stamp.Run(stamp.Config{App: app, Allocator: name, Threads: threads})
+						if err != nil {
+							b.Fatal(err)
+						}
+						vms = res.Seconds * 1e3
+					}
+					b.ReportMetric(vms, "vms")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTab7 compares runs with the STM-level transactional object
+// cache on and off.
+func BenchmarkTab7(b *testing.B) {
+	for _, app := range []string{"genome", "intruder", "vacation", "yada"} {
+		for _, name := range allocators {
+			for _, cached := range []bool{false, true} {
+				label := "off"
+				if cached {
+					label = "on"
+				}
+				b.Run(fmt.Sprintf("%s/%s/cache=%s", app, name, label), func(b *testing.B) {
+					var vms float64
+					for i := 0; i < b.N; i++ {
+						res, err := stamp.Run(stamp.Config{
+							App: app, Allocator: name, Threads: 8, CacheTx: cached,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						vms = res.Seconds * 1e3
+					}
+					b.ReportMetric(vms, "vms")
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Command calibrate runs every allocator-sensitive STAMP application at
+// reference scale with 8 threads and prints real time, virtual time and
+// abort statistics. It is the tuning loop used while matching the
+// paper's shapes; see EXPERIMENTS.md.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	_ "repro/internal/alloc/glibc"
+	_ "repro/internal/alloc/hoard"
+	_ "repro/internal/alloc/tbb"
+	_ "repro/internal/alloc/tcmalloc"
+	"repro/internal/stamp"
+	_ "repro/internal/stamp/bayes"
+	_ "repro/internal/stamp/genome"
+	_ "repro/internal/stamp/intruder"
+	_ "repro/internal/stamp/kmeans"
+	_ "repro/internal/stamp/labyrinth"
+	_ "repro/internal/stamp/ssca2"
+	_ "repro/internal/stamp/vacation"
+	_ "repro/internal/stamp/yada"
+)
+
+func main() {
+	for _, app := range []string{"genome", "intruder", "vacation", "yada", "labyrinth", "bayes"} {
+		for _, alloc := range []string{"glibc", "hoard", "tbb", "tcmalloc"} {
+			start := time.Now()
+			res, err := stamp.Run(stamp.Config{App: app, Allocator: alloc, Threads: 8, Scale: stamp.Ref})
+			if err != nil {
+				fmt.Println(app, alloc, "ERR", err)
+				continue
+			}
+			fmt.Printf("%-10s %-9s real=%8v vtime=%7.2fms aborts=%6d rate=%.3f txallocs=%d\n",
+				app, alloc, time.Since(start).Round(time.Millisecond), res.Seconds*1e3,
+				res.Tx.Aborts, res.Tx.AbortRate(), res.Tx.AllocsInTx)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Command tmintset runs the paper's synthetic benchmark (§5): threads
+// updating or searching a transactional set held in a sorted linked
+// list, a hash set or a red-black tree, under a chosen allocator — with
+// an optional hybrid-TM mode for the hash set.
+//
+// Usage:
+//
+//	tmintset -kind linkedlist -alloc glibc -threads 8 -updates 60
+//	tmintset -kind hashset -alloc tcmalloc -threads 8 -hytm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	_ "repro/internal/alloc/glibc"
+	_ "repro/internal/alloc/hoard"
+	_ "repro/internal/alloc/tbb"
+	_ "repro/internal/alloc/tcmalloc"
+
+	"repro/internal/intset"
+	"repro/internal/stm"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "linkedlist", "structure: linkedlist, hashset, rbtree")
+		name    = flag.String("alloc", "glibc", "allocator: glibc hoard tbb tcmalloc")
+		threads = flag.Int("threads", 8, "logical threads (1..8)")
+		updates = flag.Int("updates", 60, "update percentage (0, 20, 60)")
+		initial = flag.Int("initial", 0, "initial set size (0 = paper default 4096)")
+		keys    = flag.Int("range", 0, "key range (0 = 2x initial)")
+		ops     = flag.Int("ops", 0, "operations per thread (0 = default)")
+		shift   = flag.Uint("shift", 0, "ORT shift amount (0 = default 5)")
+		design  = flag.String("design", "etl-wb", "STM design: etl-wb, etl-wt, ctl")
+		cacheTx = flag.Bool("cachetx", false, "STM-level tx-object caching (paper §6.2)")
+		hytm    = flag.Bool("hytm", false, "run under the hybrid HTM (hashset only)")
+		seed    = flag.Uint64("seed", 0, "workload seed")
+	)
+	flag.Parse()
+
+	var d stm.Design
+	switch *design {
+	case "etl-wb":
+		d = stm.ETLWriteBack
+	case "etl-wt":
+		d = stm.ETLWriteThrough
+	case "ctl":
+		d = stm.CTL
+	default:
+		fmt.Fprintf(os.Stderr, "unknown design %q\n", *design)
+		os.Exit(2)
+	}
+	cfg := intset.Config{
+		Kind:         intset.Kind(*kind),
+		Allocator:    *name,
+		Threads:      *threads,
+		InitialSize:  *initial,
+		KeyRange:     *keys,
+		UpdatePct:    *updates,
+		OpsPerThread: *ops,
+		Shift:        *shift,
+		Design:       d,
+		CacheTx:      *cacheTx,
+		Seed:         *seed,
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	if *hytm {
+		res, err := intset.RunHyTM(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(tw, "mode\thybrid TM (HTM + lock-elision fallback)\n")
+		fmt.Fprintf(tw, "throughput\t%.0f tx per modelled second\n", res.Throughput)
+		fmt.Fprintf(tw, "time\t%.4f ms for %d ops\n", res.Seconds*1e3, res.Ops)
+		st := res.HTM
+		fmt.Fprintf(tw, "HTM\t%d commits, %d aborts (conflict %d, capacity %d, lock %d, alloc %d, timer %d), %d fallbacks\n",
+			st.HTMCommits, st.HTMAborts, st.ByReason[0], st.ByReason[1], st.ByReason[2], st.ByReason[3], st.ByReason[4], st.Fallbacks)
+		fmt.Fprintf(tw, "allocator\t%d mallocs, %d frees, %d lock acquisitions (%d contended)\n",
+			res.Alloc.Mallocs, res.Alloc.Frees, res.Alloc.LockAcquires, res.Alloc.LockContended)
+		tw.Flush()
+		return
+	}
+	res, err := intset.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(tw, "mode\tSTM %s, shift %d\n", d, res.Config.Shift)
+	fmt.Fprintf(tw, "throughput\t%.0f tx per modelled second\n", res.Throughput)
+	fmt.Fprintf(tw, "time\t%.4f ms for %d ops\n", res.Seconds*1e3, res.Ops)
+	fmt.Fprintf(tw, "transactions\t%d commits, %d aborts (%.1f%%), %d false aborts\n",
+		res.Tx.Commits, res.Tx.Aborts, res.Tx.AbortRate()*100, res.Tx.FalseAborts)
+	fmt.Fprintf(tw, "cache\t%.2f%% L1D miss, %d false-sharing misses\n",
+		res.L1Miss*100, res.CacheTotal.FalseShare)
+	fmt.Fprintf(tw, "allocator\t%d mallocs, %d frees, %d lock acquisitions (%d contended)\n",
+		res.AllocStats.Mallocs, res.AllocStats.Frees, res.AllocStats.LockAcquires, res.AllocStats.LockContended)
+	tw.Flush()
+}

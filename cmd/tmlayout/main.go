@@ -1,0 +1,185 @@
+// Command tmlayout analyses how each allocator's block placement
+// interacts with the STM's ownership-record table and the cache — the
+// paper's §5 analysis as a standalone tool.
+//
+// For a given block size and thread count it allocates a batch of
+// blocks per thread and reports, per allocator:
+//
+//   - how many blocks share an ORT stripe with another block
+//     (intra-thread and cross-thread separately);
+//   - how many blocks alias to an already-used ORT entry from a
+//     *different* stripe (the Glibc 64 MiB-arena effect);
+//   - how many blocks share a 64-byte cache line with a block of
+//     another thread (false-sharing exposure);
+//   - the resulting collision histogram over the ORT.
+//
+// Usage:
+//
+//	tmlayout [-size 16] [-threads 8] [-blocks 512] [-shift 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	_ "repro/internal/alloc/glibc"
+	_ "repro/internal/alloc/hoard"
+	_ "repro/internal/alloc/tbb"
+	_ "repro/internal/alloc/tcmalloc"
+
+	"repro/internal/alloc"
+	"repro/internal/mem"
+	"repro/internal/stm"
+	"repro/internal/vtime"
+)
+
+func main() {
+	var (
+		size    = flag.Uint64("size", 16, "block size in bytes")
+		threads = flag.Int("threads", 8, "allocating threads")
+		blocks  = flag.Int("blocks", 512, "blocks per thread")
+		shift   = flag.Uint("shift", 5, "ORT shift amount")
+		mode    = flag.String("mode", "parallel", "parallel (contended, via the virtual-time engine) or solo")
+	)
+	flag.Parse()
+
+	fmt.Printf("layout analysis: %d threads x %d blocks of %d bytes, ORT shift %d, %s mode\n\n",
+		*threads, *blocks, *size, *shift, *mode)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "allocator\tstripe-shared\tcross-thread stripes\taliased entries\tcross-thread lines\tmax/stripe")
+	for _, name := range alloc.Names() {
+		r, err := analyze(name, *size, *threads, *blocks, *shift, *mode == "parallel")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		total := *threads * *blocks
+		fmt.Fprintf(tw, "%s\t%d/%d\t%d\t%d\t%d\t%d\n",
+			name, r.stripeShared, total, r.crossThreadStripes, r.aliased, r.crossThreadLines, r.maxPerStripe)
+	}
+	tw.Flush()
+	fmt.Println(`
+stripe-shared:        stripe slots where a stripe is touched by more than one block
+cross-thread stripes: stripes holding blocks of two different threads (false conflicts)
+aliased entries:      ORT entries hit by blocks >1 stripe apart (e.g. 64MB arena aliasing)
+cross-thread lines:   64-byte cache lines holding blocks of two threads (false sharing)
+max/stripe:           worst-case blocks mapped to one versioned lock`)
+}
+
+type report struct {
+	stripeShared       int
+	crossThreadStripes int
+	aliased            int
+	crossThreadLines   int
+	maxPerStripe       int
+}
+
+func analyze(name string, size uint64, threads, blocks int, shift uint, parallel bool) (report, error) {
+	space := mem.NewSpace()
+	a, err := alloc.New(name, space, threads)
+	if err != nil {
+		return report{}, err
+	}
+	st := stm.New(space, stm.Config{Shift: shift})
+
+	type blk struct {
+		addr mem.Addr
+		tid  int
+	}
+	var all []blk
+	if parallel {
+		// Threads allocate concurrently under the virtual-time engine:
+		// Glibc's arena trylock contention creates per-thread arenas,
+		// exposing the 64 MiB aliasing of the paper's §5.2.
+		e := vtime.NewEngine(space, threads, vtime.Config{})
+		perThread := make([][]mem.Addr, threads)
+		e.Run(func(th *vtime.Thread) {
+			for i := 0; i < blocks; i++ {
+				perThread[th.ID()] = append(perThread[th.ID()], a.Malloc(th, size))
+				th.Tick(40) // space the requests out, as real work would
+			}
+		})
+		for t, addrs := range perThread {
+			for _, ad := range addrs {
+				all = append(all, blk{addr: ad, tid: t})
+			}
+		}
+	} else {
+		// Interleaved round-robin allocation on one uncontended thread
+		// sequence (Glibc keeps everyone on the main arena).
+		ths := make([]*vtime.Thread, threads)
+		for t := range ths {
+			ths[t] = vtime.Solo(space, t, nil)
+		}
+		for i := 0; i < blocks; i++ {
+			for t := 0; t < threads; t++ {
+				all = append(all, blk{addr: a.Malloc(ths[t], size), tid: t})
+			}
+		}
+	}
+
+	// ORT stripe statistics. Key stripes by the address range they
+	// represent (addr >> shift) to separate sharing from aliasing.
+	type stripeInfo struct {
+		count int
+		tids  map[int]bool
+	}
+	stripes := map[uint64]*stripeInfo{} // addr>>shift -> info
+	entries := map[uint64]map[uint64]bool{}
+	stripeSz := uint64(1) << shift
+	for _, b := range all {
+		// A block covers every stripe its bytes touch; a 48-byte block
+		// with shift 5 spans two stripes (the paper's rbtree case).
+		first := uint64(b.addr) >> shift
+		last := (uint64(b.addr) + size - 1) >> shift
+		for sk := first; sk <= last; sk++ {
+			si := stripes[sk]
+			if si == nil {
+				si = &stripeInfo{tids: map[int]bool{}}
+				stripes[sk] = si
+			}
+			si.count++
+			si.tids[b.tid] = true
+			e := st.OrtIndex(mem.Addr(sk * stripeSz))
+			if entries[e] == nil {
+				entries[e] = map[uint64]bool{}
+			}
+			entries[e][sk] = true
+		}
+	}
+	var r report
+	for _, si := range stripes {
+		if si.count > 1 {
+			r.stripeShared += si.count
+		}
+		if len(si.tids) > 1 {
+			r.crossThreadStripes++
+		}
+		if si.count > r.maxPerStripe {
+			r.maxPerStripe = si.count
+		}
+	}
+	for _, sks := range entries {
+		if len(sks) > 1 {
+			r.aliased++
+		}
+	}
+	// Cache line sharing across threads.
+	lines := map[uint64]map[int]bool{}
+	for _, b := range all {
+		for lk := uint64(b.addr) >> 6; lk <= (uint64(b.addr)+size-1)>>6; lk++ {
+			if lines[lk] == nil {
+				lines[lk] = map[int]bool{}
+			}
+			lines[lk][b.tid] = true
+		}
+	}
+	for _, tids := range lines {
+		if len(tids) > 1 {
+			r.crossThreadLines++
+		}
+	}
+	return r, nil
+}

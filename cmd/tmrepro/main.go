@@ -1,0 +1,104 @@
+// Command tmrepro regenerates the tables and figures of "Performance
+// Implications of Dynamic Memory Allocators on Transactional Memory
+// Systems" (PPoPP 2015) on this repository's simulated substrate.
+//
+// Usage:
+//
+//	tmrepro -list
+//	tmrepro -run fig1,tab4
+//	tmrepro -run all -full -reps 5 -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments and exit")
+		run   = flag.String("run", "", "comma-separated experiment ids, or 'all'")
+		full  = flag.Bool("full", false, "paper-scale parameters (slow)")
+		reps  = flag.Int("reps", 0, "repetitions per configuration (0 = per-experiment default)")
+		seed  = flag.Uint64("seed", 0, "base seed (0 = default)")
+		out   = flag.String("out", "", "directory to also write per-experiment .txt files into")
+		chart = flag.Bool("chart", true, "render figures' series as ASCII charts")
+		md    = flag.Bool("md", false, "emit GitHub-flavoured markdown instead of plain tables")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, id := range harness.IDs() {
+			e, _ := harness.Get(id)
+			fmt.Printf("  %-6s %s\n", id, e.Paper)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nuse -run <ids|all>")
+		}
+		return
+	}
+
+	var ids []string
+	if *run == "all" {
+		ids = harness.IDs()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	opts := harness.Options{Full: *full, Reps: *reps, Seed: *seed}
+
+	failed := 0
+	for _, id := range ids {
+		e, ok := harness.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (see -list)\n", id)
+			failed++
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", id, e.Paper)
+		start := time.Now()
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+
+		writers := []io.Writer{os.Stdout}
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*out, id+".txt"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			writers = append(writers, f)
+			defer f.Close()
+		}
+		mw := io.MultiWriter(writers...)
+		if *md {
+			harness.PrintMarkdown(mw, res)
+		} else {
+			harness.Print(mw, res)
+			if *chart && len(res.Series) > 0 {
+				harness.Chart(mw, res, 64, 14)
+			}
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

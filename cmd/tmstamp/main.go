@@ -1,0 +1,112 @@
+// Command tmstamp runs a single STAMP application on the simulated
+// transactional-memory stack, like the original suite's per-application
+// binaries.
+//
+// Usage:
+//
+//	tmstamp -app yada -alloc glibc -threads 8 [-scale ref] [-cachetx]
+//	        [-shift 5] [-profile] [-seed 1]
+//
+// It prints the modelled execution time, transaction statistics,
+// allocator activity, cache behaviour and (with -profile) the Table
+// 5-style allocation characterization.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	_ "repro/internal/alloc/glibc"
+	_ "repro/internal/alloc/hoard"
+	_ "repro/internal/alloc/tbb"
+	_ "repro/internal/alloc/tcmalloc"
+	_ "repro/internal/stamp/bayes"
+	_ "repro/internal/stamp/genome"
+	_ "repro/internal/stamp/intruder"
+	_ "repro/internal/stamp/kmeans"
+	_ "repro/internal/stamp/labyrinth"
+	_ "repro/internal/stamp/ssca2"
+	_ "repro/internal/stamp/vacation"
+	_ "repro/internal/stamp/yada"
+
+	"repro/internal/stamp"
+	"repro/internal/vtime"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "", "application (required); one of: bayes genome intruder kmeans labyrinth ssca2 vacation yada")
+		alloc   = flag.String("alloc", "glibc", "allocator: glibc hoard tbb tcmalloc")
+		threads = flag.Int("threads", 1, "logical threads (1..8)")
+		scale   = flag.String("scale", "quick", "workload scale: quick or ref")
+		variant = flag.String("variant", "high", "contention variant for kmeans/vacation: high or low")
+		shift   = flag.Uint("shift", 0, "ORT shift amount (0 = default 5)")
+		cacheTx = flag.Bool("cachetx", false, "enable the STM-level tx-object cache (paper §6.2)")
+		profile = flag.Bool("profile", false, "print the Table 5 allocation profile")
+		seed    = flag.Uint64("seed", 0, "workload seed (0 = default)")
+	)
+	flag.Parse()
+	if *app == "" {
+		flag.Usage()
+		fmt.Fprintln(os.Stderr, "\navailable apps:", stamp.Names())
+		os.Exit(2)
+	}
+	sc := stamp.Quick
+	if *scale == "ref" || *scale == "full" {
+		sc = stamp.Ref
+	}
+	va := stamp.HighContention
+	if *variant == "low" {
+		va = stamp.LowContention
+	}
+	res, err := stamp.Run(stamp.Config{
+		App:       *app,
+		Allocator: *alloc,
+		Threads:   *threads,
+		Scale:     sc,
+		Variant:   va,
+		Shift:     *shift,
+		CacheTx:   *cacheTx,
+		Profile:   *profile,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s / %s / %d thread(s) / %s scale — validation OK\n\n", *app, *alloc, *threads, *scale)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "execution time\t%.4f ms (modelled, parallel phase)\n", res.Seconds*1e3)
+	fmt.Fprintf(tw, "init time\t%.4f ms\n", vtime.Seconds(res.InitCycles)*1e3)
+	fmt.Fprintf(tw, "transactions\t%d commits, %d aborts (%.1f%%), %d false aborts\n",
+		res.Tx.Commits, res.Tx.Aborts, res.Tx.AbortRate()*100, res.Tx.FalseAborts)
+	fmt.Fprintf(tw, "abort reasons\tlocked=%d version=%d validation=%d explicit=%d\n",
+		res.Tx.ByReason[0], res.Tx.ByReason[1], res.Tx.ByReason[2], res.Tx.ByReason[3])
+	fmt.Fprintf(tw, "tx sets\tmax read %d, max write %d, worst retries %d\n",
+		res.Tx.MaxReadSet, res.Tx.MaxWriteSet, res.Tx.MaxRetries)
+	fmt.Fprintf(tw, "tx memory\t%d mallocs, %d frees inside transactions\n",
+		res.Tx.AllocsInTx, res.Tx.FreesInTx)
+	fmt.Fprintf(tw, "allocator\t%d mallocs, %d frees, %d lock acquisitions (%d contended), %d remote frees, %d OS maps\n",
+		res.Alloc.Mallocs, res.Alloc.Frees, res.Alloc.LockAcquires, res.Alloc.LockContended,
+		res.Alloc.RemoteFrees, res.Alloc.OSMaps)
+	fmt.Fprintf(tw, "cache\t%.2f%% L1D miss, %d coherence misses, %d false-sharing misses\n",
+		res.L1Miss*100, res.Cache.CohMisses, res.Cache.FalseShare)
+	tw.Flush()
+
+	if res.Profile != nil {
+		fmt.Println("\nallocation profile (Table 5 style):")
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "region\t<=16\t<=32\t<=48\t<=64\t<=96\t<=128\t<=256\t>256\t#mallocs\t#frees\tbytes")
+		for _, reg := range []stamp.Region{stamp.RegionSeq, stamp.RegionPar, stamp.RegionTx} {
+			fmt.Fprintf(tw, "%s", reg)
+			for b := 0; b < 8; b++ {
+				fmt.Fprintf(tw, "\t%d", res.Profile.Counts[reg][b])
+			}
+			fmt.Fprintf(tw, "\t%d\t%d\t%d\n", res.Profile.Mallocs[reg], res.Profile.Frees[reg], res.Profile.Bytes[reg])
+		}
+		tw.Flush()
+	}
+}

@@ -1,0 +1,64 @@
+// Shift tuning: sweep the STM's lock-mapping shift amount over the
+// sorted-linked-list benchmark and watch the optimum move with the
+// allocator — the paper's §5.4/Figure 6 finding that the best shift
+// value depends on which allocator is loaded.
+//
+// Run with:
+//
+//	go run ./examples/shift-tuning
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	_ "repro/internal/alloc/glibc"
+	_ "repro/internal/alloc/hoard"
+	_ "repro/internal/alloc/tbb"
+	_ "repro/internal/alloc/tcmalloc"
+
+	"repro/internal/intset"
+)
+
+func main() {
+	shifts := []uint{3, 4, 5, 6}
+	fmt.Println("sorted linked list, 8 threads, 60% updates — throughput (tx/s) per ORT shift")
+	fmt.Println()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "allocator")
+	for _, s := range shifts {
+		fmt.Fprintf(tw, "\tshift %d", s)
+	}
+	fmt.Fprintln(tw, "\tbest")
+	for _, name := range []string{"glibc", "hoard", "tbb", "tcmalloc"} {
+		fmt.Fprint(tw, name)
+		bestShift, bestThr := uint(0), 0.0
+		for _, s := range shifts {
+			res, err := intset.Run(intset.Config{
+				Kind:         intset.LinkedList,
+				Allocator:    name,
+				Threads:      8,
+				InitialSize:  768,
+				KeyRange:     1536,
+				UpdatePct:    60,
+				OpsPerThread: 120,
+				Shift:        s,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(tw, "\t%.0f", res.Throughput)
+			if res.Throughput > bestThr {
+				bestThr, bestShift = res.Throughput, s
+			}
+		}
+		fmt.Fprintf(tw, "\t%d\n", bestShift)
+	}
+	tw.Flush()
+	fmt.Println("\nthe paper's point: with 16-byte nodes (hoard/tbb/tcmalloc) a smaller shift")
+	fmt.Println("separates neighbouring nodes into distinct stripes and can win; with glibc's")
+	fmt.Println("32-byte chunks shift 5 is already conflict-free, so smaller shifts only add")
+	fmt.Println("ORT cache pressure.")
+}

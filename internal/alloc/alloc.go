@@ -1,0 +1,277 @@
+// Package alloc defines the dynamic memory allocator interface over the
+// simulated address space and shared building blocks (size classes,
+// intrusive free lists, contention-counting locks, per-thread stats).
+//
+// Four allocator models live in subpackages — glibc (ptmalloc), hoard,
+// tbb (TBBMalloc) and tcmalloc — each reproducing the placement and
+// synchronization behaviour its original is known for, which is what the
+// paper's study couples to the STM's lock-mapping function.
+//
+// All allocator entry points take a *vtime.Thread: the calling logical
+// thread. Every word the allocator touches (boundary tags, free-list
+// links) is priced through the thread's cache model, and every lock is a
+// virtual-time lock, so allocator code-path length and contention show
+// up in the experiment clocks exactly as the paper measured them.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/vtime"
+)
+
+// Allocator is the malloc/free interface every allocator model
+// implements. The thread handle identifies the logical thread (its ID
+// keys per-thread arenas/heaps/caches, as the C originals key theirs by
+// OS thread) and is charged the virtual-time cost of the operation.
+type Allocator interface {
+	// Name returns the allocator's short name ("glibc", "hoard", ...).
+	Name() string
+	// Malloc returns the simulated address of a block of at least size
+	// bytes. Size zero is allowed and returns a minimum-size block,
+	// mirroring malloc(0).
+	Malloc(th *vtime.Thread, size uint64) mem.Addr
+	// Free releases the block at addr, which must have been returned by
+	// Malloc on this allocator.
+	Free(th *vtime.Thread, addr mem.Addr)
+	// BlockSize returns the usable size of the block at addr (the size
+	// class it was served from).
+	BlockSize(th *vtime.Thread, addr mem.Addr) uint64
+	// Stats returns aggregate counters across all threads.
+	Stats() Stats
+	// Describe returns the allocator's Table 1 self-description.
+	Describe() Description
+}
+
+// Factory constructs an allocator over a space for a maximum number of
+// logical threads.
+type Factory func(space *mem.Space, threads int) Allocator
+
+// Description mirrors one row of the paper's Table 1.
+type Description struct {
+	Name        string
+	Metadata    string // where block metadata lives
+	MinSize     uint64 // minimum allocated block, bytes
+	FastPath    string // block sizes with a synchronization-free fast path
+	Granularity string // chunk size acquired from the global store / OS
+	Sync        string // synchronization strategy summary
+}
+
+// Stats aggregates allocator activity. All counters are totals since
+// construction.
+type Stats struct {
+	Mallocs        uint64
+	Frees          uint64
+	BytesRequested uint64 // sum of requested sizes
+	BytesAllocated uint64 // sum of block (size-class) sizes handed out
+	LockAcquires   uint64 // lock acquisitions on any allocator lock
+	LockContended  uint64 // acquisitions that found the lock held
+	RemoteFrees    uint64 // frees routed to another thread's heap/superblock
+	SlowRefills    uint64 // fast-path misses that went to a shared store
+	OSMaps         uint64 // regions requested from the simulated OS
+	LiveBytes      int64  // block bytes currently allocated (gauge)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.Mallocs += o.Mallocs
+	s.Frees += o.Frees
+	s.BytesRequested += o.BytesRequested
+	s.BytesAllocated += o.BytesAllocated
+	s.LockAcquires += o.LockAcquires
+	s.LockContended += o.LockContended
+	s.RemoteFrees += o.RemoteFrees
+	s.SlowRefills += o.SlowRefills
+	s.OSMaps += o.OSMaps
+	s.LiveBytes += o.LiveBytes
+}
+
+// ThreadStats is the per-thread counter block implementations keep in
+// their per-thread state.
+type ThreadStats struct {
+	Stats
+}
+
+// CountingMutex is a virtual-time mutex that records acquisitions and
+// contention into a ThreadStats block chosen per call. All allocator
+// locks use it so that the lock-contention effects the paper profiles
+// (Hoard on Intruder, Glibc arenas on Yada) are observable.
+type CountingMutex struct {
+	l vtime.Lock
+}
+
+// Lock acquires the mutex, counting the acquisition and whether it was
+// contended into st (which may be nil).
+func (m *CountingMutex) Lock(th *vtime.Thread, st *ThreadStats) {
+	if m.l.TryLock(th) {
+		if st != nil {
+			st.LockAcquires++
+		}
+		return
+	}
+	if st != nil {
+		st.LockAcquires++
+		st.LockContended++
+	}
+	m.l.Lock(th)
+}
+
+// TryLock attempts the lock without waiting, counting the acquisition
+// on success.
+func (m *CountingMutex) TryLock(th *vtime.Thread, st *ThreadStats) bool {
+	if m.l.TryLock(th) {
+		if st != nil {
+			st.LockAcquires++
+		}
+		return true
+	}
+	return false
+}
+
+// Unlock releases the mutex.
+func (m *CountingMutex) Unlock(th *vtime.Thread) { m.l.Unlock(th) }
+
+// FreeList is an intrusive LIFO free list whose links live in the first
+// word of each free block in simulated memory, as in the C allocators —
+// so walking it has the cache behaviour of the real thing. Callers hold
+// the owning lock or own the list.
+type FreeList struct {
+	head mem.Addr
+	n    int
+}
+
+// Push prepends block a.
+func (f *FreeList) Push(th *vtime.Thread, a mem.Addr) {
+	th.Store(a, uint64(f.head))
+	f.head = a
+	f.n++
+}
+
+// Pop removes and returns the most recently pushed block, or 0 if empty.
+func (f *FreeList) Pop(th *vtime.Thread) mem.Addr {
+	if f.head == 0 {
+		return 0
+	}
+	a := f.head
+	f.head = mem.Addr(th.Load(a))
+	f.n--
+	return a
+}
+
+// Len returns the number of blocks on the list.
+func (f *FreeList) Len() int { return f.n }
+
+// Empty reports whether the list has no blocks.
+func (f *FreeList) Empty() bool { return f.head == 0 }
+
+// TakeAll removes the whole chain from f and returns its head and
+// length; the links remain threaded through simulated memory.
+func (f *FreeList) TakeAll() (head mem.Addr, n int) {
+	head, n = f.head, f.n
+	f.head, f.n = 0, 0
+	return head, n
+}
+
+// PushChain prepends a chain of n blocks whose head is head and whose
+// links are already threaded through simulated memory. tail must be the
+// chain's last block.
+func (f *FreeList) PushChain(th *vtime.Thread, head, tail mem.Addr, n int) {
+	if n == 0 {
+		return
+	}
+	th.Store(tail, uint64(f.head))
+	f.head = head
+	f.n += n
+}
+
+// SizeClasses maps request sizes to a fixed ordered set of block sizes.
+type SizeClasses struct {
+	sizes []uint64
+}
+
+// NewSizeClasses builds a class table from an ordered list of block
+// sizes.
+func NewSizeClasses(sizes []uint64) *SizeClasses {
+	out := make([]uint64, len(sizes))
+	copy(out, sizes)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return &SizeClasses{sizes: out}
+}
+
+// Index returns the index of the smallest class holding size, or -1 if
+// size exceeds the largest class.
+func (c *SizeClasses) Index(size uint64) int {
+	i := sort.Search(len(c.sizes), func(i int) bool { return c.sizes[i] >= size })
+	if i == len(c.sizes) {
+		return -1
+	}
+	return i
+}
+
+// Size returns the block size of class i.
+func (c *SizeClasses) Size(i int) uint64 { return c.sizes[i] }
+
+// Count returns the number of classes.
+func (c *SizeClasses) Count() int { return len(c.sizes) }
+
+// Max returns the largest class size.
+func (c *SizeClasses) Max() uint64 { return c.sizes[len(c.sizes)-1] }
+
+// Registry maps allocator names to factories.
+var registry = map[string]Factory{}
+
+// Register installs a factory under name; allocator subpackages call it
+// from init.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("alloc: duplicate allocator %q", name))
+	}
+	registry[name] = f
+}
+
+// New constructs the named allocator.
+func New(name string, space *mem.Space, threads int) (Allocator, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("alloc: unknown allocator %q (known: %v)", name, Names())
+	}
+	return f(space, threads), nil
+}
+
+// MustNew is New but panics on an unknown name.
+func MustNew(name string, space *mem.Space, threads int) Allocator {
+	a, err := New(name, space, threads)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Names returns registered allocator names in the paper's order when all
+// four are present, else sorted.
+func Names() []string {
+	order := []string{"glibc", "hoard", "tbb", "tcmalloc"}
+	var out []string
+	for _, n := range order {
+		if _, ok := registry[n]; ok {
+			out = append(out, n)
+		}
+	}
+	var rest []string
+	for n := range registry {
+		found := false
+		for _, o := range out {
+			if o == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			rest = append(rest, n)
+		}
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}

@@ -1,0 +1,126 @@
+package alloc
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/vtime"
+)
+
+func TestFreeListLIFO(t *testing.T) {
+	space := mem.NewSpace()
+	base := space.MustMap(mem.PageSize, 0)
+	th := vtime.Solo(space, 0, nil)
+	var f FreeList
+	if !f.Empty() || f.Len() != 0 || f.Pop(th) != 0 {
+		t.Fatal("fresh list not empty")
+	}
+	f.Push(th, base)
+	f.Push(th, base+64)
+	f.Push(th, base+128)
+	if f.Len() != 3 || f.Empty() {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	if f.Pop(th) != base+128 || f.Pop(th) != base+64 || f.Pop(th) != base {
+		t.Fatal("not LIFO")
+	}
+	if f.Pop(th) != 0 {
+		t.Fatal("pop past end")
+	}
+}
+
+func TestFreeListTakeAllAndPushChain(t *testing.T) {
+	space := mem.NewSpace()
+	base := space.MustMap(mem.PageSize, 0)
+	th := vtime.Solo(space, 0, nil)
+	var f FreeList
+	for i := 0; i < 4; i++ {
+		f.Push(th, base+mem.Addr(i*32))
+	}
+	head, n := f.TakeAll()
+	if n != 4 || head != base+96 || !f.Empty() {
+		t.Fatalf("TakeAll = %#x, %d", uint64(head), n)
+	}
+	// Re-attach the chain: tail is the first pushed block.
+	var g FreeList
+	g.Push(th, base+1024)
+	g.PushChain(th, head, base, 4)
+	if g.Len() != 5 {
+		t.Fatalf("after PushChain: Len = %d", g.Len())
+	}
+	want := []mem.Addr{base + 96, base + 64, base + 32, base, base + 1024}
+	for i, w := range want {
+		if got := g.Pop(th); got != w {
+			t.Fatalf("pop %d = %#x, want %#x", i, uint64(got), uint64(w))
+		}
+	}
+	g.PushChain(th, 0, 0, 0) // n == 0 must be a no-op
+	if g.Len() != 0 {
+		t.Error("empty PushChain changed the list")
+	}
+}
+
+func TestSizeClasses(t *testing.T) {
+	c := NewSizeClasses([]uint64{64, 16, 32}) // unsorted input
+	if c.Count() != 3 || c.Max() != 64 {
+		t.Fatalf("Count/Max = %d/%d", c.Count(), c.Max())
+	}
+	cases := map[uint64]int{1: 0, 16: 0, 17: 1, 32: 1, 33: 2, 64: 2}
+	for size, want := range cases {
+		if got := c.Index(size); got != want {
+			t.Errorf("Index(%d) = %d, want %d", size, got, want)
+		}
+	}
+	if c.Index(65) != -1 {
+		t.Error("oversize request got a class")
+	}
+	if c.Size(1) != 32 {
+		t.Errorf("Size(1) = %d", c.Size(1))
+	}
+}
+
+func TestCountingMutex(t *testing.T) {
+	space := mem.NewSpace()
+	a := vtime.Solo(space, 0, nil)
+	b := vtime.Solo(space, 1, nil)
+	var m CountingMutex
+	var st ThreadStats
+	m.Lock(a, &st)
+	if st.LockAcquires != 1 || st.LockContended != 0 {
+		t.Fatalf("after first lock: %+v", st.Stats)
+	}
+	if m.TryLock(b, &st) {
+		t.Fatal("TryLock on held mutex succeeded")
+	}
+	m.Unlock(a)
+	if !m.TryLock(b, &st) {
+		t.Fatal("TryLock after unlock failed")
+	}
+	if st.LockAcquires != 2 {
+		t.Errorf("acquires = %d, want 2", st.LockAcquires)
+	}
+	m.Unlock(b)
+	m.Lock(a, nil) // nil stats must be tolerated
+	m.Unlock(a)
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Mallocs: 1, Frees: 2, LockAcquires: 3, LiveBytes: 10}
+	b := Stats{Mallocs: 10, Frees: 20, LockAcquires: 30, LiveBytes: -4}
+	a.Add(b)
+	if a.Mallocs != 11 || a.Frees != 22 || a.LockAcquires != 33 || a.LiveBytes != 6 {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if _, err := New("definitely-not-registered", mem.NewSpace(), 1); err == nil {
+		t.Error("unknown allocator accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew on unknown name did not panic")
+		}
+	}()
+	MustNew("definitely-not-registered", mem.NewSpace(), 1)
+}

@@ -1,0 +1,364 @@
+// Package alloctest provides a conformance suite run against every
+// allocator model: correctness of block disjointness, data integrity,
+// reuse, remote frees, and concurrent (virtual-time) stress. Allocator-
+// specific layout properties are asserted in each allocator's own test
+// package.
+package alloctest
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alloc"
+	"repro/internal/mem"
+	"repro/internal/vtime"
+)
+
+// Factory builds the allocator under test over a fresh space.
+type Factory func(space *mem.Space, threads int) alloc.Allocator
+
+// Run executes the conformance suite.
+func Run(t *testing.T, f Factory) {
+	t.Run("DataIntegrity", func(t *testing.T) { testDataIntegrity(t, f) })
+	t.Run("Disjoint", func(t *testing.T) { testDisjoint(t, f) })
+	t.Run("BlockSize", func(t *testing.T) { testBlockSize(t, f) })
+	t.Run("MallocZero", func(t *testing.T) { testMallocZero(t, f) })
+	t.Run("Reuse", func(t *testing.T) { testReuse(t, f) })
+	t.Run("Large", func(t *testing.T) { testLarge(t, f) })
+	t.Run("RemoteFree", func(t *testing.T) { testRemoteFree(t, f) })
+	t.Run("FreeNil", func(t *testing.T) { testFreeNil(t, f) })
+	t.Run("Stats", func(t *testing.T) { testStats(t, f) })
+	t.Run("VirtualTimeCharged", func(t *testing.T) { testVirtualTimeCharged(t, f) })
+	t.Run("ConcurrentStress", func(t *testing.T) { testConcurrentStress(t, f) })
+}
+
+func solo(space *mem.Space) *vtime.Thread { return vtime.Solo(space, 0, nil) }
+
+func testDataIntegrity(t *testing.T, f Factory) {
+	space := mem.NewSpace()
+	a := f(space, 1)
+	th := solo(space)
+	const n = 500
+	addrs := make([]mem.Addr, n)
+	for i := range addrs {
+		addrs[i] = a.Malloc(th, 64)
+		for w := 0; w < 8; w++ {
+			space.Store(addrs[i]+mem.Addr(w*8), uint64(i)<<16|uint64(w))
+		}
+	}
+	for i, addr := range addrs {
+		for w := 0; w < 8; w++ {
+			if got := space.Load(addr + mem.Addr(w*8)); got != uint64(i)<<16|uint64(w) {
+				t.Fatalf("block %d word %d corrupted: %#x", i, w, got)
+			}
+		}
+	}
+}
+
+func testDisjoint(t *testing.T, f Factory) {
+	space := mem.NewSpace()
+	a := f(space, 1)
+	th := solo(space)
+	sizes := []uint64{8, 16, 24, 48, 64, 100, 256, 1000, 4096}
+	type blk struct {
+		addr mem.Addr
+		size uint64
+	}
+	var blocks []blk
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		sz := sizes[rng.Intn(len(sizes))]
+		addr := a.Malloc(th, sz)
+		if addr%8 != 0 {
+			t.Fatalf("Malloc(%d) = %#x: not 8-byte aligned", sz, uint64(addr))
+		}
+		blocks = append(blocks, blk{addr, sz})
+	}
+	for i := range blocks {
+		for j := i + 1; j < len(blocks); j++ {
+			b1, b2 := blocks[i], blocks[j]
+			if b1.addr < b2.addr+mem.Addr(b2.size) && b2.addr < b1.addr+mem.Addr(b1.size) {
+				t.Fatalf("blocks overlap: [%#x,+%d) and [%#x,+%d)",
+					uint64(b1.addr), b1.size, uint64(b2.addr), b2.size)
+			}
+		}
+	}
+}
+
+func testBlockSize(t *testing.T, f Factory) {
+	space := mem.NewSpace()
+	a := f(space, 1)
+	th := solo(space)
+	for _, sz := range []uint64{1, 8, 16, 17, 48, 63, 64, 100, 255, 256, 1024, 5000} {
+		addr := a.Malloc(th, sz)
+		if got := a.BlockSize(th, addr); got < sz {
+			t.Errorf("BlockSize(Malloc(%d)) = %d, want >= %d", sz, got, sz)
+		}
+	}
+}
+
+func testMallocZero(t *testing.T, f Factory) {
+	space := mem.NewSpace()
+	a := f(space, 1)
+	th := solo(space)
+	x := a.Malloc(th, 0)
+	y := a.Malloc(th, 0)
+	if x == 0 || y == 0 || x == y {
+		t.Errorf("Malloc(0) twice = %#x, %#x; want distinct non-zero", uint64(x), uint64(y))
+	}
+	a.Free(th, x)
+	a.Free(th, y)
+}
+
+func testReuse(t *testing.T, f Factory) {
+	space := mem.NewSpace()
+	a := f(space, 1)
+	th := solo(space)
+	before := space.Stats()
+	for i := 0; i < 100000; i++ {
+		addr := a.Malloc(th, 16)
+		space.Store(addr, uint64(i))
+		a.Free(th, addr)
+	}
+	after := space.Stats()
+	grown := after.ReservedBytes - before.ReservedBytes
+	if grown > 80<<20 {
+		t.Errorf("100k malloc/free(16) grew footprint by %d bytes: free blocks not reused", grown)
+	}
+}
+
+func testLarge(t *testing.T, f Factory) {
+	space := mem.NewSpace()
+	a := f(space, 1)
+	th := solo(space)
+	for _, sz := range []uint64{300 << 10, 1 << 20, 5 << 20} {
+		addr := a.Malloc(th, sz)
+		space.Store(addr, 1)
+		space.Store(addr+mem.Addr(sz)-8, 2)
+		if a.BlockSize(th, addr) < sz {
+			t.Errorf("large BlockSize(%d) = %d", sz, a.BlockSize(th, addr))
+		}
+		a.Free(th, addr)
+	}
+	if st := space.Stats(); st.ReservedBytes > 256<<20 {
+		t.Errorf("large blocks not returned to OS: %d bytes still reserved", st.ReservedBytes)
+	}
+}
+
+func testRemoteFree(t *testing.T, f Factory) {
+	space := mem.NewSpace()
+	a := f(space, 2)
+	e := vtime.NewEngine(space, 2, vtime.Config{})
+	const n = 2000
+	addrs := make([]mem.Addr, 0, n)
+	// Phase 1: thread 0 allocates, thread 1 idles.
+	e.Run(func(th *vtime.Thread) {
+		if th.ID() != 0 {
+			return
+		}
+		for i := 0; i < n; i++ {
+			addr := a.Malloc(th, 16)
+			th.Store(addr, uint64(i))
+			addrs = append(addrs, addr)
+		}
+	})
+	// Phase 2: thread 1 frees everything remotely.
+	e.Run(func(th *vtime.Thread) {
+		if th.ID() != 1 {
+			return
+		}
+		for _, addr := range addrs {
+			a.Free(th, addr)
+		}
+	})
+	// Phase 3: thread 0 must be able to keep allocating.
+	e.Run(func(th *vtime.Thread) {
+		if th.ID() != 0 {
+			return
+		}
+		for i := 0; i < n; i++ {
+			addr := a.Malloc(th, 16)
+			th.Store(addr, uint64(i))
+		}
+	})
+}
+
+func testFreeNil(t *testing.T, f Factory) {
+	space := mem.NewSpace()
+	a := f(space, 1)
+	a.Free(solo(space), 0) // must be a no-op, like free(NULL)
+}
+
+func testStats(t *testing.T, f Factory) {
+	space := mem.NewSpace()
+	a := f(space, 1)
+	th := solo(space)
+	addr := a.Malloc(th, 40)
+	a.Free(th, addr)
+	st := a.Stats()
+	if st.Mallocs != 1 || st.Frees != 1 {
+		t.Errorf("stats = %+v, want 1 malloc / 1 free", st)
+	}
+	if st.BytesRequested != 40 {
+		t.Errorf("BytesRequested = %d, want 40", st.BytesRequested)
+	}
+	if st.BytesAllocated < 40 {
+		t.Errorf("BytesAllocated = %d, want >= 40", st.BytesAllocated)
+	}
+}
+
+func testVirtualTimeCharged(t *testing.T, f Factory) {
+	space := mem.NewSpace()
+	a := f(space, 1)
+	th := solo(space)
+	before := th.Clock()
+	a.Free(th, a.Malloc(th, 16))
+	if th.Clock() == before {
+		t.Error("malloc/free advanced no virtual time")
+	}
+}
+
+func testConcurrentStress(t *testing.T, f Factory) {
+	space := mem.NewSpace()
+	const threads = 8
+	a := f(space, threads)
+	e := vtime.NewEngine(space, threads, vtime.Config{})
+	sizes := []uint64{8, 16, 16, 16, 48, 64, 128, 256, 1024, 9000}
+	e.Run(func(th *vtime.Thread) {
+		tid := th.ID()
+		rng := rand.New(rand.NewSource(int64(tid)))
+		live := make([]mem.Addr, 0, 128)
+		for i := 0; i < 3000; i++ {
+			if len(live) > 0 && rng.Intn(2) == 0 {
+				k := rng.Intn(len(live))
+				addr := live[k]
+				if got := th.Load(addr); got>>32 != uint64(tid) {
+					t.Errorf("tid %d: block %#x corrupted: owner tag %#x", tid, uint64(addr), got>>32)
+					return
+				}
+				a.Free(th, addr)
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+			} else {
+				addr := a.Malloc(th, sizes[rng.Intn(len(sizes))])
+				th.Store(addr, uint64(tid)<<32|uint64(i))
+				live = append(live, addr)
+			}
+		}
+		for _, addr := range live {
+			a.Free(th, addr)
+		}
+	})
+	st := a.Stats()
+	if st.Mallocs != st.Frees {
+		t.Errorf("mallocs %d != frees %d after balanced stress", st.Mallocs, st.Frees)
+	}
+}
+
+// RunProperty adds testing/quick-style randomized trace checks: for
+// arbitrary seeds, a random malloc/free trace must preserve block
+// disjointness among live blocks and the contents of every live block.
+func RunProperty(t *testing.T, f Factory) {
+	check := func(seed uint64) bool {
+		space := mem.NewSpace()
+		const threads = 4
+		a := f(space, threads)
+		e := vtime.NewEngine(space, threads, vtime.Config{})
+		type blk struct {
+			addr mem.Addr
+			size uint64
+			tag  uint64
+		}
+		live := make([][]blk, threads)
+		ok := true
+		e.Run(func(th *vtime.Thread) {
+			tid := th.ID()
+			rng := rand.New(rand.NewSource(int64(seed) + int64(tid)))
+			sizes := []uint64{8, 16, 24, 48, 64, 200, 1024, 10000}
+			for i := 0; i < 800 && ok; i++ {
+				if len(live[tid]) > 0 && rng.Intn(3) == 0 {
+					k := rng.Intn(len(live[tid]))
+					b := live[tid][k]
+					// The first word must still hold our tag.
+					if th.Load(b.addr) != b.tag {
+						ok = false
+						return
+					}
+					a.Free(th, b.addr)
+					live[tid][k] = live[tid][len(live[tid])-1]
+					live[tid] = live[tid][:len(live[tid])-1]
+				} else {
+					size := sizes[rng.Intn(len(sizes))]
+					addr := a.Malloc(th, size)
+					if got := a.BlockSize(th, addr); got < size {
+						ok = false
+						return
+					}
+					tag := uint64(tid)<<56 | uint64(i)<<8 | 1
+					th.Store(addr, tag)
+					// Also tag the last word; must not clobber word 0.
+					if size >= 16 {
+						th.Store(addr+mem.Addr(size-8), ^tag)
+						if th.Load(addr) != tag {
+							ok = false
+							return
+						}
+					}
+					live[tid] = append(live[tid], blk{addr, size, tag})
+				}
+			}
+		})
+		if !ok {
+			return false
+		}
+		// Cross-thread disjointness of all still-live blocks.
+		type iv struct{ lo, hi uint64 }
+		var ivs []iv
+		for tid := range live {
+			for _, b := range live[tid] {
+				ivs = append(ivs, iv{uint64(b.addr), uint64(b.addr) + b.size})
+			}
+		}
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].lo < ivs[i-1].hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+// RunFootprint checks the LiveBytes gauge: zero after balanced
+// traffic, positive while blocks are live.
+func RunFootprint(t *testing.T, f Factory) {
+	space := mem.NewSpace()
+	a := f(space, 1)
+	th := vtime.Solo(space, 0, nil)
+	var addrs []mem.Addr
+	for i := 0; i < 200; i++ {
+		addrs = append(addrs, a.Malloc(th, 64))
+	}
+	if live := a.Stats().LiveBytes; live < 200*64 {
+		t.Errorf("LiveBytes = %d with 200x64B live, want >= %d", live, 200*64)
+	}
+	for _, ad := range addrs {
+		a.Free(th, ad)
+	}
+	if live := a.Stats().LiveBytes; live != 0 {
+		t.Errorf("LiveBytes = %d after freeing everything, want 0", live)
+	}
+	big := a.Malloc(th, 1<<20)
+	if live := a.Stats().LiveBytes; live < 1<<20 {
+		t.Errorf("LiveBytes = %d with 1MB live", live)
+	}
+	a.Free(th, big)
+	if live := a.Stats().LiveBytes; live != 0 {
+		t.Errorf("LiveBytes = %d after freeing the large block, want 0", live)
+	}
+}

@@ -1,0 +1,385 @@
+// Package tbb implements the Intel TBBMalloc (scalable_allocator) model:
+// strictly thread-private heaps with per-size-class 16 KiB superblocks
+// carved from 1 MiB OS chunks, a private free list per superblock that
+// needs no synchronization, a spinlock-protected public free list that
+// receives frees from other threads, and a global heap that recycles
+// empty superblocks. Requests approaching 8 KiB bypass the heaps and go
+// to the OS directly.
+//
+// Behaviour the study depends on:
+//
+//   - blocks carry no per-block tag and classes are fine-grained
+//     (including an exact 48-byte class for the red-black tree node);
+//   - 16-byte blocks sit 16 bytes apart (Fig. 5b stripe sharing);
+//   - superblocks are 16 KiB-aligned, avoiding Glibc-style ORT aliasing;
+//   - the fast path (private free list / superblock bump) performs no
+//     synchronization at all, which is where TBB's flat threadtest curve
+//     up to ~8 KiB comes from, with the cliff above LargeMax where every
+//     operation becomes an OS call.
+package tbb
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/mem"
+	"repro/internal/vtime"
+)
+
+// Model constants; see the package comment.
+const (
+	// SuperblockSize and SuperblockAlign model TBB's 16 KiB slabs.
+	SuperblockSize  = 16 << 10
+	SuperblockAlign = 16 << 10
+	sbMask          = mem.Addr(SuperblockAlign - 1)
+
+	// ChunkSize is the unit requested from the OS and split into
+	// superblocks.
+	ChunkSize = 1 << 20
+
+	// headerReserve models the in-band superblock header.
+	headerReserve = 64
+
+	// MinBlock is the smallest class; LargeMax is the largest request
+	// served from superblocks ("slightly less than 8KB" in the paper).
+	MinBlock = 8
+	LargeMax = 8064
+)
+
+// classes returns TBB's fine-grained size-class table: step 8 to 64,
+// step 16 to 128, step 32 to 256, then ~1.25x geometric growth.
+func classes() []uint64 {
+	var out []uint64
+	for sz := uint64(8); sz <= 64; sz += 8 {
+		out = append(out, sz)
+	}
+	for sz := uint64(80); sz <= 128; sz += 16 {
+		out = append(out, sz)
+	}
+	for sz := uint64(160); sz <= 256; sz += 32 {
+		out = append(out, sz)
+	}
+	sz := uint64(256)
+	for sz < LargeMax {
+		sz = mem.AlignUp(sz+sz/4, 64)
+		if sz > LargeMax {
+			sz = LargeMax
+		}
+		out = append(out, sz)
+	}
+	return out
+}
+
+type superblock struct {
+	base     mem.Addr
+	class    int
+	blockSz  uint64
+	bump     mem.Addr
+	private  alloc.FreeList // owner-only, no synchronization
+	used     int
+	capacity int
+	owner    int // owning tid; -1 when on the global heap
+
+	publicLock alloc.CountingMutex
+	public     alloc.FreeList // receives remote frees
+	publicTail mem.Addr       // last block of the public chain
+}
+
+type heap struct {
+	// bins[class] holds this thread's superblocks of that class; the
+	// active one (last) is tried first. Thread-private: no lock.
+	bins [][]*superblock
+}
+
+// TBB is the TBBMalloc model.
+type TBB struct {
+	space   *mem.Space
+	classes *alloc.SizeClasses
+	heaps   []*heap
+	stats   []alloc.ThreadStats
+
+	sbMap map[mem.Addr]*superblock
+
+	globalLock alloc.CountingMutex
+	spare      []*superblock // empty superblocks awaiting reuse
+
+	chunkLock alloc.CountingMutex
+	chunkCur  mem.Addr
+	chunkEnd  mem.Addr
+
+	big map[mem.Addr]uint64
+}
+
+// New constructs a TBB allocator for up to threads logical threads.
+func New(space *mem.Space, threads int) *TBB {
+	sc := alloc.NewSizeClasses(classes())
+	t := &TBB{
+		space:   space,
+		classes: sc,
+		heaps:   make([]*heap, threads),
+		stats:   make([]alloc.ThreadStats, threads),
+		sbMap:   make(map[mem.Addr]*superblock),
+		big:     make(map[mem.Addr]uint64),
+	}
+	for i := range t.heaps {
+		t.heaps[i] = &heap{bins: make([][]*superblock, sc.Count())}
+	}
+	return t
+}
+
+func init() {
+	alloc.Register("tbb", func(space *mem.Space, threads int) alloc.Allocator {
+		return New(space, threads)
+	})
+}
+
+// Name implements alloc.Allocator.
+func (t *TBB) Name() string { return "tbb" }
+
+// Malloc implements alloc.Allocator.
+func (t *TBB) Malloc(th *vtime.Thread, size uint64) mem.Addr {
+	tid := th.ID()
+	st := &t.stats[tid]
+	st.Mallocs++
+	st.BytesRequested += size
+	th.Tick(th.Cost().AllocOp)
+	if size > LargeMax {
+		return t.mapBig(th, st, size)
+	}
+	ci := t.classes.Index(max64(size, MinBlock))
+	st.BytesAllocated += t.classes.Size(ci)
+	st.LiveBytes += int64(t.classes.Size(ci))
+
+	hp := t.heaps[tid]
+	// Fast path over this thread's superblocks: private list, then
+	// fresh carve, newest superblock first.
+	for i := len(hp.bins[ci]) - 1; i >= 0; i-- {
+		if a := t.takePrivate(th, hp.bins[ci][i]); a != 0 {
+			return a
+		}
+	}
+	// Next: steal the public free lists (synchronized, one lock per
+	// superblock).
+	for i := len(hp.bins[ci]) - 1; i >= 0; i-- {
+		sb := hp.bins[ci][i]
+		if t.drainPublic(th, st, sb) {
+			if a := t.takePrivate(th, sb); a != 0 {
+				return a
+			}
+		}
+	}
+	// Slow path: a new superblock from the global heap or a 1 MiB chunk.
+	st.SlowRefills++
+	sb := t.newSuperblock(th, st, ci)
+	hp.bins[ci] = append(hp.bins[ci], sb)
+	a := t.takePrivate(th, sb)
+	if a == 0 {
+		panic("tbb: fresh superblock has no block")
+	}
+	return a
+}
+
+// takePrivate pops from the private list or carves a fresh block.
+// Owner-only; no synchronization.
+func (t *TBB) takePrivate(th *vtime.Thread, sb *superblock) mem.Addr {
+	if a := sb.private.Pop(th); a != 0 {
+		sb.used++
+		return a
+	}
+	if sb.bump+mem.Addr(sb.blockSz) <= sb.base+SuperblockSize {
+		a := sb.bump
+		sb.bump += mem.Addr(sb.blockSz)
+		sb.used++
+		return a
+	}
+	return 0
+}
+
+// drainPublic moves the whole public chain into the private list under
+// the superblock's spinlock, reporting whether anything moved.
+func (t *TBB) drainPublic(th *vtime.Thread, st *alloc.ThreadStats, sb *superblock) bool {
+	if sb.public.Empty() {
+		return false
+	}
+	sb.publicLock.Lock(th, st)
+	head, n := sb.public.TakeAll()
+	tail := sb.publicTail
+	sb.publicTail = 0
+	sb.publicLock.Unlock(th)
+	if n == 0 {
+		return false
+	}
+	sb.private.PushChain(th, head, tail, n)
+	return true
+}
+
+// newSuperblock obtains an empty superblock from the global heap or
+// carves one from the current 1 MiB chunk.
+func (t *TBB) newSuperblock(th *vtime.Thread, st *alloc.ThreadStats, ci int) *superblock {
+	t.globalLock.Lock(th, st)
+	if n := len(t.spare); n > 0 {
+		sb := t.spare[n-1]
+		t.spare = t.spare[:n-1]
+		t.globalLock.Unlock(th)
+		t.assign(sb, th.ID(), ci)
+		return sb
+	}
+	t.globalLock.Unlock(th)
+
+	t.chunkLock.Lock(th, st)
+	if t.chunkCur+SuperblockSize > t.chunkEnd {
+		base := t.space.MustMap(ChunkSize, SuperblockAlign)
+		st.OSMaps++
+		th.Tick(th.Cost().OSMap)
+		t.chunkCur, t.chunkEnd = base, base+ChunkSize
+	}
+	base := t.chunkCur
+	t.chunkCur += SuperblockSize
+	t.chunkLock.Unlock(th)
+
+	sb := &superblock{base: base}
+	t.assign(sb, th.ID(), ci)
+	t.sbMap[base] = sb
+	return sb
+}
+
+func (t *TBB) assign(sb *superblock, tid, ci int) {
+	sb.class = ci
+	sb.blockSz = t.classes.Size(ci)
+	sb.bump = sb.base + headerReserve
+	sb.private = alloc.FreeList{}
+	sb.capacity = int((SuperblockSize - headerReserve) / sb.blockSz)
+	sb.used = 0
+	sb.owner = tid
+}
+
+// Free implements alloc.Allocator. A block freed by its owning thread
+// goes to the private list without synchronization; a block freed by
+// another thread goes to the owning superblock's public list under its
+// spinlock.
+func (t *TBB) Free(th *vtime.Thread, addr mem.Addr) {
+	if addr == 0 {
+		return
+	}
+	tid := th.ID()
+	st := &t.stats[tid]
+	st.Frees++
+	th.Tick(th.Cost().AllocOp)
+
+	if sz, ok := t.big[addr]; ok {
+		st.LiveBytes -= int64(sz)
+		t.freeBig(th, addr, sz)
+		return
+	}
+	sb := t.superblockOf(addr)
+	if sb == nil {
+		panic(fmt.Sprintf("tbb: free of unknown address %#x", uint64(addr)))
+	}
+	st.LiveBytes -= int64(sb.blockSz)
+	if sb.owner == tid {
+		sb.private.Push(th, addr)
+		sb.used--
+		if sb.used == 0 {
+			t.retire(th, st, sb)
+		}
+		return
+	}
+	st.RemoteFrees++
+	sb.publicLock.Lock(th, st)
+	if sb.public.Empty() {
+		sb.publicTail = addr
+	}
+	sb.public.Push(th, addr)
+	sb.publicLock.Unlock(th)
+	sb.used--
+}
+
+// retire returns a fully empty superblock from the owner's heap to the
+// global heap. Only the owner calls it, from its own free path.
+func (t *TBB) retire(th *vtime.Thread, st *alloc.ThreadStats, sb *superblock) {
+	hp := t.heaps[sb.owner]
+	bin := hp.bins[sb.class]
+	// Keep the last superblock of a class resident to avoid thrashing.
+	if len(bin) <= 1 {
+		return
+	}
+	found := false
+	for i, s := range bin {
+		if s == sb {
+			hp.bins[sb.class] = append(bin[:i], bin[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return
+	}
+	t.drainPublic(th, st, sb)
+	sb.private = alloc.FreeList{}
+	sb.owner = -1
+	t.globalLock.Lock(th, st)
+	t.spare = append(t.spare, sb)
+	t.globalLock.Unlock(th)
+}
+
+func (t *TBB) superblockOf(addr mem.Addr) *superblock {
+	return t.sbMap[addr&^sbMask]
+}
+
+func (t *TBB) mapBig(th *vtime.Thread, st *alloc.ThreadStats, size uint64) mem.Addr {
+	region := mem.AlignUp(size, mem.PageSize)
+	base := t.space.MustMap(region, mem.PageSize)
+	st.OSMaps++
+	th.Tick(th.Cost().OSMap)
+	st.BytesAllocated += region
+	st.LiveBytes += int64(region)
+	t.big[base] = region
+	return base
+}
+
+func (t *TBB) freeBig(th *vtime.Thread, addr mem.Addr, _ uint64) {
+	delete(t.big, addr)
+	th.Tick(th.Cost().OSMap)
+	if err := t.space.Unmap(addr); err != nil {
+		panic(err)
+	}
+}
+
+// BlockSize implements alloc.Allocator.
+func (t *TBB) BlockSize(_ *vtime.Thread, addr mem.Addr) uint64 {
+	if sz, ok := t.big[addr]; ok {
+		return sz
+	}
+	if sb := t.superblockOf(addr); sb != nil {
+		return sb.blockSz
+	}
+	panic(fmt.Sprintf("tbb: BlockSize of unknown address %#x", uint64(addr)))
+}
+
+// Stats implements alloc.Allocator.
+func (t *TBB) Stats() alloc.Stats {
+	var out alloc.Stats
+	for i := range t.stats {
+		out.Add(t.stats[i].Stats)
+	}
+	return out
+}
+
+// Describe implements alloc.Allocator.
+func (t *TBB) Describe() alloc.Description {
+	return alloc.Description{
+		Name:        "TBBMalloc",
+		Metadata:    "Per size class",
+		MinSize:     8,
+		FastPath:    "< 8KB",
+		Granularity: "16KB per size class",
+		Sync:        "The public free lists of a private heap are each protected by a distinct spinlock. Each free list in the global heap is also protected by a separate spinlock. Accessing the private free lists is synchronization-free.",
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

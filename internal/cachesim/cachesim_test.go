@@ -1,0 +1,147 @@
+package cachesim
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+const base = mem.Addr(1) << 28 // mirrors the simulated space's start
+
+func TestColdMissThenHit(t *testing.T) {
+	h := New(8)
+	if r := h.Access(0, base, false); r.Level != MemoryHit {
+		t.Errorf("first access level = %v, want MemoryHit", r.Level)
+	}
+	if r := h.Access(0, base, false); r.Level != L1Hit {
+		t.Errorf("second access level = %v, want L1Hit", r.Level)
+	}
+	if r := h.Access(0, base+56, false); r.Level != L1Hit {
+		t.Errorf("same-line access level = %v, want L1Hit", r.Level)
+	}
+	if r := h.Access(0, base+64, false); r.Level == L1Hit {
+		t.Error("next-line access hit in L1 without being fetched")
+	}
+}
+
+func TestL2SharedWithinSocket(t *testing.T) {
+	h := New(8)
+	h.Access(0, base, false) // core 0 (socket 0) fetches
+	// Core 1 shares socket 0's L2: its miss should hit in L2.
+	if r := h.Access(1, base, false); r.Level != L2Hit {
+		t.Errorf("same-socket access = %v, want L2Hit", r.Level)
+	}
+	// Core 4 (socket 1) has a cold L2.
+	if r := h.Access(4, base+4096, false); r.Level != MemoryHit {
+		t.Errorf("cold other-socket access = %v, want MemoryHit", r.Level)
+	}
+}
+
+func TestInvalidationOnWrite(t *testing.T) {
+	h := New(2)
+	h.Access(0, base, false)
+	h.Access(1, base, false)
+	// Core 1 writes: core 0's copy must be invalidated.
+	h.Access(1, base, true)
+	if h.Stats(1).InvalsSent != 1 {
+		t.Errorf("InvalsSent = %d, want 1", h.Stats(1).InvalsSent)
+	}
+	r := h.Access(0, base, false)
+	if r.Level == L1Hit {
+		t.Error("core 0 still hits L1 after remote write")
+	}
+	if !r.Coherence {
+		t.Error("re-read after invalidation not classified as coherence miss")
+	}
+	if h.Stats(0).CohMisses != 1 {
+		t.Errorf("CohMisses = %d, want 1", h.Stats(0).CohMisses)
+	}
+}
+
+func TestFalseSharingClassification(t *testing.T) {
+	h := New(2)
+	// Core 0 reads word 0; core 1 writes word 4 of the same line.
+	h.Access(0, base, false)
+	h.Access(1, base+32, true)
+	if r := h.Access(0, base, false); !r.Coherence {
+		t.Fatal("expected coherence miss")
+	}
+	if h.Stats(0).FalseShare != 1 {
+		t.Errorf("FalseShare = %d, want 1 (remote write touched a different word)", h.Stats(0).FalseShare)
+	}
+
+	// True sharing: same word written remotely — no false-share count.
+	h2 := New(2)
+	h2.Access(0, base, false)
+	h2.Access(1, base, true)
+	h2.Access(0, base, false)
+	if h2.Stats(0).FalseShare != 0 {
+		t.Errorf("true sharing misclassified as false sharing")
+	}
+	if h2.Stats(0).CohMisses != 1 {
+		t.Errorf("true-sharing CohMisses = %d, want 1", h2.Stats(0).CohMisses)
+	}
+}
+
+func TestL1Eviction(t *testing.T) {
+	h := New(1)
+	// Fill one L1 set: lines mapping to set 0 are 64 sets * 64 bytes =
+	// 4096 bytes apart. 8 ways + 1 evicts the LRU.
+	for i := 0; i < l1Ways+1; i++ {
+		h.Access(0, base+mem.Addr(i*l1Sets*LineSize), false)
+	}
+	// The first line must have been evicted from L1 (but still hits L2).
+	r := h.Access(0, base, false)
+	if r.Level != L2Hit {
+		t.Errorf("evicted line access = %v, want L2Hit", r.Level)
+	}
+	// The second line was recently used less than... verify the set only
+	// holds l1Ways lines: total misses = 9 cold + 1 eviction re-fetch.
+	if got := h.Stats(0).L1Misses; got != uint64(l1Ways+2) {
+		t.Errorf("L1Misses = %d, want %d", got, l1Ways+2)
+	}
+}
+
+func TestWorkingSetFitsAfterWarmup(t *testing.T) {
+	h := New(1)
+	// 16 KiB working set fits L1: second sweep should be all hits.
+	for pass := 0; pass < 2; pass++ {
+		for off := mem.Addr(0); off < 16<<10; off += 64 {
+			h.Access(0, base+off, false)
+		}
+	}
+	st := h.Stats(0)
+	if st.L1Misses != 256 { // only the cold pass misses
+		t.Errorf("L1Misses = %d, want 256", st.L1Misses)
+	}
+	if got := st.L1MissRatio(); got != 0.5 {
+		t.Errorf("miss ratio = %v, want 0.5", got)
+	}
+}
+
+func TestGlibcVsDenseLayoutLocality(t *testing.T) {
+	// The paper's Genome observation: 16-byte nodes placed 32 bytes
+	// apart (glibc) touch twice as many lines as densely packed ones.
+	sparse := New(1)
+	for i := 0; i < 4096; i++ {
+		sparse.Access(0, base+mem.Addr(i*32), false)
+	}
+	dense := New(1)
+	for i := 0; i < 4096; i++ {
+		dense.Access(0, base+mem.Addr(i*16), false)
+	}
+	if sparse.Stats(0).L1Misses <= dense.Stats(0).L1Misses {
+		t.Errorf("sparse layout misses (%d) not worse than dense (%d)",
+			sparse.Stats(0).L1Misses, dense.Stats(0).L1Misses)
+	}
+}
+
+func TestTotalStats(t *testing.T) {
+	h := New(4)
+	h.Access(0, base, false)
+	h.Access(3, base+4096, true)
+	tot := h.TotalStats()
+	if tot.Accesses != 2 || tot.L1Misses != 2 {
+		t.Errorf("TotalStats = %+v", tot)
+	}
+}

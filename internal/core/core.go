@@ -1,0 +1,164 @@
+// Package core assembles the repository's subsystems into one
+// ready-to-use transactional memory system with a pluggable dynamic
+// memory allocator — the configuration under study in Baldassin, Borin
+// and Araujo, "Performance Implications of Dynamic Memory Allocators on
+// Transactional Memory Systems" (PPoPP 2015).
+//
+// A System owns a simulated address space, a virtual-time multicore
+// engine with a cache model, one of the four allocator models (glibc,
+// hoard, tbb, tcmalloc) and a TinySTM-style word-based STM whose
+// ownership-record table is addressed with the paper's shift/modulo
+// mapping. Swapping the allocator — the paper's LD_PRELOAD experiment —
+// is changing one string in the Options.
+//
+//	sys, _ := core.NewSystem(core.Options{Allocator: "tcmalloc", Threads: 8})
+//	counter := sys.Space.MustMap(4096, 0)
+//	sys.Run(func(th *vtime.Thread) {
+//	    for i := 0; i < 1000; i++ {
+//	        sys.Atomic(th, func(tx *stm.Tx) {
+//	            tx.Store(counter, tx.Load(counter)+1)
+//	        })
+//	    }
+//	})
+//	fmt.Println(sys.Space.Load(counter), sys.Report().Tx.Aborts)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/cachesim"
+	"repro/internal/mem"
+	"repro/internal/stm"
+	"repro/internal/vtime"
+)
+
+// Options configures a System. The zero value of each field selects the
+// paper's setup.
+type Options struct {
+	// Allocator is one of alloc.Names(): "glibc", "hoard", "tbb",
+	// "tcmalloc". Default "glibc" (the Linux system allocator).
+	Allocator string
+	// Threads is the number of logical threads (default 1, max 8 to
+	// match the modelled machine).
+	Threads int
+	// Shift is the ORT mapping shift amount (default 5: 32-byte
+	// stripes, the paper's TinySTM default).
+	Shift uint
+	// OrtBits is log2 of the ORT size (default 20).
+	OrtBits uint
+	// Design selects the STM algorithm variant (default the paper's
+	// encounter-time-locking write-back).
+	Design stm.Design
+	// CacheTxObjects enables the STM-level transactional object cache
+	// studied in the paper's §6.2.
+	CacheTxObjects bool
+	// DisableCacheModel turns off the cache hierarchy (all accesses
+	// cost an L1 hit); timing fidelity drops, speed rises.
+	DisableCacheModel bool
+	// Quantum overrides the engine's scheduling quantum in cycles.
+	Quantum uint64
+}
+
+// System is one assembled transactional-memory machine.
+type System struct {
+	Space     *mem.Space
+	Engine    *vtime.Engine
+	Cache     *cachesim.Hierarchy // nil when DisableCacheModel
+	Allocator alloc.Allocator
+	STM       *stm.STM
+	Threads   int
+}
+
+// Report bundles the statistics of a run.
+type Report struct {
+	Cycles  uint64  // largest thread clock (virtual execution time)
+	Seconds float64 // Cycles at the modelled 2 GHz
+	Tx      stm.TxStats
+	Alloc   alloc.Stats
+	Cache   cachesim.CoreStats
+}
+
+// NewSystem builds a System.
+func NewSystem(opts Options) (*System, error) {
+	if opts.Allocator == "" {
+		opts.Allocator = "glibc"
+	}
+	if opts.Threads == 0 {
+		opts.Threads = 1
+	}
+	if opts.Threads < 0 || opts.Threads > cachesim.DefaultCores {
+		return nil, fmt.Errorf("core: threads must be 1..%d, got %d", cachesim.DefaultCores, opts.Threads)
+	}
+	space := mem.NewSpace()
+	allocator, err := alloc.New(opts.Allocator, space, opts.Threads)
+	if err != nil {
+		return nil, err
+	}
+	var cache *cachesim.Hierarchy
+	if !opts.DisableCacheModel {
+		cache = cachesim.New(cachesim.DefaultCores)
+	}
+	engine := vtime.NewEngine(space, opts.Threads, vtime.Config{Cache: cache, Quantum: opts.Quantum})
+	st := stm.New(space, stm.Config{
+		Shift:          opts.Shift,
+		OrtBits:        opts.OrtBits,
+		Design:         opts.Design,
+		Allocator:      allocator,
+		CacheTxObjects: opts.CacheTxObjects,
+	})
+	return &System{
+		Space:     space,
+		Engine:    engine,
+		Cache:     cache,
+		Allocator: allocator,
+		STM:       st,
+		Threads:   opts.Threads,
+	}, nil
+}
+
+// MustNewSystem is NewSystem panicking on error (examples, tests).
+func MustNewSystem(opts Options) *System {
+	s, err := NewSystem(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Run executes fn on every logical thread under virtual-time
+// scheduling and returns the per-thread finish clocks.
+func (s *System) Run(fn func(th *vtime.Thread)) []uint64 {
+	return s.Engine.Run(fn)
+}
+
+// Seq runs fn on thread 0 only (a sequential phase).
+func (s *System) Seq(fn func(th *vtime.Thread)) {
+	s.Engine.Run(func(th *vtime.Thread) {
+		if th.ID() == 0 {
+			fn(th)
+		}
+	})
+}
+
+// Atomic executes fn transactionally on th with SUICIDE retry.
+func (s *System) Atomic(th *vtime.Thread, fn func(tx *stm.Tx)) {
+	s.STM.Atomic(th, fn)
+}
+
+// Report collects the current statistics.
+func (s *System) Report() Report {
+	r := Report{
+		Cycles:  s.Engine.MaxClock(),
+		Seconds: vtime.Seconds(s.Engine.MaxClock()),
+		Tx:      s.STM.Stats(),
+		Alloc:   s.Allocator.Stats(),
+	}
+	if s.Cache != nil {
+		r.Cache = s.Cache.TotalStats()
+	}
+	return r
+}
+
+// ResetClocks zeroes the engine clocks (to time a phase in isolation).
+func (s *System) ResetClocks() { s.Engine.ResetClocks() }

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	_ "repro/internal/alloc/glibc"
+	_ "repro/internal/alloc/hoard"
+	_ "repro/internal/alloc/tbb"
+	_ "repro/internal/alloc/tcmalloc"
+
+	"repro/internal/mem"
+	"repro/internal/stm"
+	"repro/internal/vtime"
+)
+
+func TestQuickstartCounter(t *testing.T) {
+	for _, name := range []string{"glibc", "hoard", "tbb", "tcmalloc"} {
+		sys := MustNewSystem(Options{Allocator: name, Threads: 4})
+		counter := sys.Space.MustMap(4096, 0)
+		sys.Run(func(th *vtime.Thread) {
+			for i := 0; i < 100; i++ {
+				sys.Atomic(th, func(tx *stm.Tx) {
+					tx.Store(counter, tx.Load(counter)+1)
+				})
+			}
+		})
+		if got := sys.Space.Load(counter); got != 400 {
+			t.Errorf("%s: counter = %d, want 400", name, got)
+		}
+		r := sys.Report()
+		if r.Cycles == 0 || r.Tx.Commits != 400 {
+			t.Errorf("%s: report %+v", name, r)
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := NewSystem(Options{Allocator: "bogus"}); err == nil {
+		t.Error("unknown allocator accepted")
+	}
+	if _, err := NewSystem(Options{Threads: 99}); err == nil {
+		t.Error("99 threads accepted")
+	}
+	if sys, err := NewSystem(Options{}); err != nil || sys.Allocator.Name() != "glibc" {
+		t.Errorf("defaults broken: %v", err)
+	}
+}
+
+func TestDisableCacheModel(t *testing.T) {
+	sys := MustNewSystem(Options{Allocator: "tbb", Threads: 2, DisableCacheModel: true})
+	if sys.Cache != nil {
+		t.Fatal("cache model present despite DisableCacheModel")
+	}
+	a := sys.Space.MustMap(4096, 0)
+	sys.Run(func(th *vtime.Thread) {
+		sys.Atomic(th, func(tx *stm.Tx) { tx.Store(a, tx.Load(a)+1) })
+	})
+	if sys.Space.Load(a) != 2 {
+		t.Error("system unusable without cache model")
+	}
+}
+
+func TestTransactionalMallocThroughSystem(t *testing.T) {
+	sys := MustNewSystem(Options{Allocator: "tcmalloc", Threads: 2})
+	head := sys.Space.MustMap(4096, 0)
+	sys.Run(func(th *vtime.Thread) {
+		for i := 0; i < 50; i++ {
+			sys.Atomic(th, func(tx *stm.Tx) {
+				n := tx.Malloc(16)
+				tx.Store(n, uint64(th.ID())<<32|uint64(i))
+				tx.Store(n+8, tx.Load(head))
+				tx.Store(head, uint64(n))
+			})
+		}
+	})
+	// Walk the list.
+	count := 0
+	for cur := mem.Addr(sys.Space.Load(head)); cur != 0; cur = mem.Addr(sys.Space.Load(cur + 8)) {
+		count++
+	}
+	if count != 100 {
+		t.Errorf("list has %d nodes, want 100", count)
+	}
+	if st := sys.Allocator.Stats(); st.Mallocs < 100 {
+		t.Errorf("allocator saw %d mallocs", st.Mallocs)
+	}
+}

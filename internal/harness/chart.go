@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Chart renders a Result's series as a simple ASCII line chart, giving
+// the regenerated figures an actual figure. All series share one plot;
+// each gets a distinct marker.
+func Chart(w io.Writer, r *Result, width, height int) {
+	if len(r.Series) == 0 {
+		return
+	}
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range r.Series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+	// A little headroom.
+	pad := (maxY - minY) * 0.05
+	minY -= pad
+	maxY += pad
+
+	markers := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, m byte) {
+		cx := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		cy := int(math.Round((y - minY) / (maxY - minY) * float64(height-1)))
+		row := height - 1 - cy
+		if row >= 0 && row < height && cx >= 0 && cx < width {
+			if grid[row][cx] != ' ' && grid[row][cx] != m {
+				grid[row][cx] = '?' // overlapping series
+			} else {
+				grid[row][cx] = m
+			}
+		}
+	}
+	for si, s := range r.Series {
+		m := markers[si%len(markers)]
+		// Connect points with linear interpolation for a line-ish look.
+		for i := 1; i < len(s.X); i++ {
+			steps := width / max(1, len(s.X)-1)
+			for k := 0; k <= steps; k++ {
+				f := float64(k) / float64(max(1, steps))
+				plot(s.X[i-1]+(s.X[i]-s.X[i-1])*f, s.Y[i-1]+(s.Y[i]-s.Y[i-1])*f, m)
+			}
+		}
+		for i := range s.X {
+			plot(s.X[i], s.Y[i], m)
+		}
+	}
+
+	fmt.Fprintf(w, "%s\n", r.Title)
+	for i, row := range grid {
+		label := "        "
+		if i == 0 {
+			label = fmt.Sprintf("%8.3g", maxY)
+		} else if i == height-1 {
+			label = fmt.Sprintf("%8.3g", minY)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s  %-8.3g%s%8.3g\n", strings.Repeat(" ", 8), minX,
+		strings.Repeat(" ", max(0, width-16)), maxX)
+	for si, s := range r.Series {
+		fmt.Fprintf(w, "  %c %s\n", markers[si%len(markers)], s.Label)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PrintMarkdown renders a result as GitHub-flavoured markdown, for
+// pasting into EXPERIMENTS.md-style documents.
+func PrintMarkdown(w io.Writer, r *Result) {
+	fmt.Fprintf(w, "## %s — %s\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		if t.Title != "" {
+			fmt.Fprintf(w, "\n**%s**\n", t.Title)
+		}
+		fmt.Fprintf(w, "\n| %s |\n", strings.Join(t.Columns, " | "))
+		fmt.Fprintf(w, "|%s\n", strings.Repeat("---|", len(t.Columns)))
+		for _, row := range t.Rows {
+			fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+		}
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "\n**series %s**\n\n| x | y |\n|---|---|\n", s.Label)
+		for i := range s.X {
+			if len(s.Err) == len(s.X) && s.Err[i] != 0 {
+				fmt.Fprintf(w, "| %g | %.4g ± %.2g |\n", s.X[i], s.Y[i], s.Err[i])
+			} else {
+				fmt.Fprintf(w, "| %g | %.4g |\n", s.X[i], s.Y[i])
+			}
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "\n> %s\n", n)
+	}
+	fmt.Fprintln(w)
+}

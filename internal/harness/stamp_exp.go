@@ -1,0 +1,296 @@
+package harness
+
+import (
+	"fmt"
+
+	_ "repro/internal/stamp/bayes"
+	_ "repro/internal/stamp/genome"
+	_ "repro/internal/stamp/intruder"
+	_ "repro/internal/stamp/kmeans"
+	_ "repro/internal/stamp/labyrinth"
+	_ "repro/internal/stamp/ssca2"
+	_ "repro/internal/stamp/vacation"
+	_ "repro/internal/stamp/yada"
+
+	"repro/internal/sim"
+	"repro/internal/stamp"
+)
+
+// figApps are the six applications of Figure 7 (Kmeans and SSCA2 are
+// dropped there, as in the paper, for being allocator-insensitive).
+func figApps() []string {
+	return []string{"bayes", "genome", "intruder", "labyrinth", "vacation", "yada"}
+}
+
+func stampThreads() []int { return []int{1, 2, 4, 8} }
+
+func stampScale(full bool) stamp.Scale {
+	if full {
+		return stamp.Ref
+	}
+	return stamp.Quick
+}
+
+// runStamp executes reps repetitions and summarizes the parallel-phase
+// execution time in modelled milliseconds.
+func runStamp(cfg stamp.Config, reps int, seed uint64) (sim.Summary, stamp.Result, error) {
+	var times []float64
+	var last stamp.Result
+	for r := 0; r < reps; r++ {
+		cfg.Seed = seed + uint64(r)*104729
+		res, err := stamp.Run(cfg)
+		if err != nil {
+			return sim.Summary{}, last, err
+		}
+		times = append(times, res.Seconds*1e3)
+		last = res
+	}
+	return sim.Summarize(times), last, nil
+}
+
+// fig1: the motivation figure — Intruder and Yada at 8 threads with
+// Glibc vs Hoard.
+func init() {
+	Register(&Experiment{
+		ID:    "fig1",
+		Paper: "Figure 1: influence of allocators on Intruder and Yada (8 cores, Glibc vs Hoard)",
+		Run: func(opts Options) (*Result, error) {
+			reps := opts.reps(2, 5)
+			t := Table{Columns: []string{"Application", "Glibc (ms)", "Hoard (ms)", "Winner"}}
+			for _, app := range []string{"intruder", "yada"} {
+				var means [2]float64
+				row := []string{app}
+				for i, aname := range []string{"glibc", "hoard"} {
+					s, _, err := runStamp(stamp.Config{
+						App: app, Allocator: aname, Threads: 8, Scale: stampScale(opts.Full),
+					}, reps, opts.seed())
+					if err != nil {
+						return nil, err
+					}
+					means[i] = s.Mean
+					row = append(row, fmt.Sprintf("%.3g ± %.2g", s.Mean, s.CI95))
+				}
+				winner := "Glibc"
+				if means[1] < means[0] {
+					winner = "Hoard"
+				}
+				row = append(row, winner)
+				t.Rows = append(t.Rows, row)
+			}
+			return &Result{
+				ID:     "fig1",
+				Title:  "Motivation: the best-performing allocator changes between applications",
+				Tables: []Table{t},
+				Notes:  []string{"paper: Glibc wins Intruder, Hoard wins Yada (both at 8 cores)"},
+			}, nil
+		},
+	})
+}
+
+// tab5: the allocation characterization, from instrumented sequential
+// runs (as in the paper).
+func init() {
+	Register(&Experiment{
+		ID:    "tab5",
+		Paper: "Table 5: characterization of memory allocations of the STAMP benchmark",
+		Run: func(opts Options) (*Result, error) {
+			res := &Result{ID: "tab5", Title: "Allocation profile per app, region and size class (sequential run)"}
+			t := Table{Columns: []string{"App", "Region", "<=16", "<=32", "<=48", "<=64", "<=96", "<=128", "<=256", ">256", "#mallocs", "#frees", "bytes"}}
+			for _, app := range stamp.Names() {
+				out, err := stamp.Run(stamp.Config{
+					App: app, Allocator: "tbb", Threads: 1, Scale: stampScale(opts.Full),
+					Profile: true, Seed: opts.seed(),
+				})
+				if err != nil {
+					return nil, err
+				}
+				p := out.Profile
+				for _, reg := range []stamp.Region{stamp.RegionSeq, stamp.RegionPar, stamp.RegionTx} {
+					row := []string{app, reg.String()}
+					for b := 0; b < 8; b++ {
+						row = append(row, fmt.Sprintf("%d", p.Counts[reg][b]))
+					}
+					row = append(row,
+						fmt.Sprintf("%d", p.Mallocs[reg]),
+						fmt.Sprintf("%d", p.Frees[reg]),
+						fmt.Sprintf("%d", p.Bytes[reg]))
+					t.Rows = append(t.Rows, row)
+				}
+			}
+			res.Tables = []Table{t}
+			res.Notes = []string{
+				"expected shapes: kmeans & ssca2 allocate only in seq; genome's tx allocs all <=16B;",
+				"intruder allocates in tx and frees in par (privatization); yada heaviest tx churn.",
+			}
+			return res, nil
+		},
+	})
+}
+
+// fig7 + tab6: STAMP execution times per allocator and the best/worst
+// summary.
+func init() {
+	Register(&Experiment{
+		ID:    "fig7",
+		Paper: "Figure 7: execution time with different allocators for the STAMP applications",
+		Run:   func(opts Options) (*Result, error) { return runFig7Tab6(opts, "fig7") },
+	})
+	Register(&Experiment{
+		ID:    "tab6",
+		Paper: "Table 6: best and worst allocators for each STAMP application",
+		Run:   func(opts Options) (*Result, error) { return runFig7Tab6(opts, "tab6") },
+	})
+}
+
+func runFig7Tab6(opts Options, id string) (*Result, error) {
+	reps := opts.reps(2, 5)
+	res := &Result{ID: id, Title: "STAMP execution time (modelled ms)"}
+	best := Table{
+		Title:   "Best and worst allocators (Table 6)",
+		Columns: []string{"Application", "Best", "Worst", "Perf. Diff.", "Threads"},
+	}
+	for _, app := range figApps() {
+		t := Table{Title: app, Columns: []string{"Threads"}}
+		for _, a := range Allocators() {
+			t.Columns = append(t.Columns, DisplayName(a))
+		}
+		series := make([]Series, len(Allocators()))
+		// Track each allocator's best (minimum) time and where.
+		bestTime := make([]float64, len(Allocators()))
+		bestThreads := make([]int, len(Allocators()))
+		for ai, a := range Allocators() {
+			series[ai].Label = fmt.Sprintf("%s/%s", app, DisplayName(a))
+		}
+		for _, n := range stampThreads() {
+			row := []string{fmt.Sprintf("%d", n)}
+			for ai, aname := range Allocators() {
+				s, _, err := runStamp(stamp.Config{
+					App: app, Allocator: aname, Threads: n, Scale: stampScale(opts.Full),
+				}, reps, opts.seed())
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.3g", s.Mean))
+				series[ai].X = append(series[ai].X, float64(n))
+				series[ai].Y = append(series[ai].Y, s.Mean)
+				series[ai].Err = append(series[ai].Err, s.CI95)
+				if bestTime[ai] == 0 || s.Mean < bestTime[ai] {
+					bestTime[ai] = s.Mean
+					bestThreads[ai] = n
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		res.Tables = append(res.Tables, t)
+		res.Series = append(res.Series, series...)
+
+		b, w := bestWorst(bestTime, true)
+		best.Rows = append(best.Rows, []string{
+			app,
+			DisplayName(Allocators()[b]),
+			DisplayName(Allocators()[w]),
+			fmt.Sprintf("%.1f%%", pctDiff(bestTime[b], bestTime[w])),
+			fmt.Sprintf("%d", bestThreads[b]),
+		})
+	}
+	res.Tables = append(res.Tables, best)
+	return res, nil
+}
+
+// fig8: speedup curves for Genome and Yada.
+func init() {
+	Register(&Experiment{
+		ID:    "fig8",
+		Paper: "Figure 8: speedup curves for Genome and Yada with different allocators",
+		Run: func(opts Options) (*Result, error) {
+			reps := opts.reps(2, 5)
+			res := &Result{ID: "fig8", Title: "Speedup over each allocator's own 1-thread run"}
+			for _, app := range []string{"genome", "yada"} {
+				t := Table{Title: app, Columns: []string{"Threads"}}
+				for _, a := range Allocators() {
+					t.Columns = append(t.Columns, DisplayName(a))
+				}
+				base := make([]float64, len(Allocators()))
+				var rows [][]string
+				series := make([]Series, len(Allocators()))
+				for ai, a := range Allocators() {
+					series[ai].Label = fmt.Sprintf("%s/%s", app, DisplayName(a))
+				}
+				for _, n := range stampThreads() {
+					row := []string{fmt.Sprintf("%d", n)}
+					for ai, aname := range Allocators() {
+						s, _, err := runStamp(stamp.Config{
+							App: app, Allocator: aname, Threads: n, Scale: stampScale(opts.Full),
+						}, reps, opts.seed())
+						if err != nil {
+							return nil, err
+						}
+						if n == 1 {
+							base[ai] = s.Mean
+						}
+						sp := base[ai] / s.Mean
+						row = append(row, fmt.Sprintf("%.2f", sp))
+						series[ai].X = append(series[ai].X, float64(n))
+						series[ai].Y = append(series[ai].Y, sp)
+					}
+					rows = append(rows, row)
+				}
+				t.Rows = rows
+				res.Tables = append(res.Tables, t)
+				res.Series = append(res.Series, series...)
+			}
+			res.Notes = []string{
+				"paper: Genome's Glibc speedup looks best only because its 1-thread run is slow;",
+				"Yada does not scale under Glibc while it does under the others.",
+			}
+			return res, nil
+		},
+	})
+}
+
+// tab7: gains from the STM-level transactional-object caching
+// optimization.
+func init() {
+	Register(&Experiment{
+		ID:    "tab7",
+		Paper: "Table 7: performance gains with tx-object caching optimizations (8 threads)",
+		Run: func(opts Options) (*Result, error) {
+			reps := opts.reps(2, 5)
+			apps := []string{"genome", "intruder", "vacation", "yada"}
+			t := Table{Columns: []string{"App"}}
+			for _, a := range Allocators() {
+				t.Columns = append(t.Columns, DisplayName(a))
+			}
+			for _, app := range apps {
+				row := []string{app}
+				for _, aname := range Allocators() {
+					off, _, err := runStamp(stamp.Config{
+						App: app, Allocator: aname, Threads: 8, Scale: stampScale(opts.Full),
+					}, reps, opts.seed())
+					if err != nil {
+						return nil, err
+					}
+					on, _, err := runStamp(stamp.Config{
+						App: app, Allocator: aname, Threads: 8, Scale: stampScale(opts.Full),
+						CacheTx: true,
+					}, reps, opts.seed())
+					if err != nil {
+						return nil, err
+					}
+					gain := (off.Mean - on.Mean) / off.Mean * 100
+					row = append(row, fmt.Sprintf("%+.2f%%", gain))
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			return &Result{
+				ID:     "tab7",
+				Title:  "Gain from caching transactional objects at the STM level",
+				Tables: []Table{t},
+				Notes: []string{
+					"expected shape: largest gains where the allocator lacks thread-private caching",
+					"(Glibc) and the app churns tx memory (Yada); ~neutral for TBB/TCMalloc.",
+				},
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,40 @@
+package htm_test
+
+import (
+	"fmt"
+
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/vtime"
+)
+
+// A hybrid transaction runs in hardware when it can and under the
+// fallback lock when it cannot — here, because it wants to call the
+// memory allocator, which best-effort HTM cannot roll back.
+func Example() {
+	space := mem.NewSpace()
+	h := htm.New(space)
+	counter := space.MustMap(4096, 0)
+	th := vtime.Solo(space, 0, nil)
+
+	// A plain data transaction commits in hardware.
+	h.Atomic(th, func(c *htm.Ctx) {
+		c.Store(counter, c.Load(counter)+1)
+	})
+
+	// A region that needs an "unfriendly" operation escapes to the
+	// fallback lock.
+	h.Atomic(th, func(c *htm.Ctx) {
+		c.AllocEscape() // aborts hardware attempts
+		c.Store(counter, c.Load(counter)+1)
+	})
+
+	st := h.Stats()
+	fmt.Println("counter:", space.Load(counter))
+	fmt.Println("hardware commits:", st.HTMCommits)
+	fmt.Println("fallbacks:", st.Fallbacks)
+	// Output:
+	// counter: 2
+	// hardware commits: 1
+	// fallbacks: 1
+}

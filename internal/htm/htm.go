@@ -1,0 +1,377 @@
+// Package htm models a best-effort hardware transactional memory with a
+// lock-elision fallback (a HyTM), the paper's stated future-work
+// direction ("recent hybrid approaches based on best-effort hardware
+// transactional memory").
+//
+// Hardware transactions differ from the STM in exactly the ways that
+// re-weight the allocator's influence:
+//
+//   - conflicts are detected at **cache-line granularity** (64 bytes),
+//     not at the STM's 32-byte ORT stripes — so two 16-byte blocks that
+//     share a line conflict even when they would have separate versioned
+//     locks, and an allocator's false-sharing behaviour becomes a
+//     transactional-abort behaviour;
+//   - capacity is bounded by the L1: a transaction whose write set
+//     overflows any L1 set (8 ways) or whose read set exceeds the
+//     tracking bound aborts and can never succeed in hardware;
+//   - "system events" abort transactions: here, running too long
+//     (timer) or calling into the memory allocator (which real
+//     best-effort HTM programs avoid inside transactions).
+//
+// After MaxAttempts hardware attempts, execution falls back to a global
+// fallback lock, which every hardware transaction subscribes to — the
+// standard lock-elision hybrid.
+package htm
+
+import (
+	"fmt"
+
+	"repro/internal/cachesim"
+	"repro/internal/mem"
+	"repro/internal/vtime"
+)
+
+// Capacity and policy bounds (approximating a Haswell-class RTM over
+// the modelled 32 KiB / 8-way L1).
+const (
+	l1Sets  = 64
+	l1Ways  = 8
+	MaxRead = 4096 // read-set tracking bound, in cache lines
+
+	// DefaultMaxAttempts is how many times a transaction is tried in
+	// hardware before taking the fallback lock.
+	DefaultMaxAttempts = 3
+
+	// DefaultTimerCycles aborts transactions that run longer than this
+	// (the model's scheduling-interrupt horizon).
+	DefaultTimerCycles = 200_000
+)
+
+// AbortReason classifies hardware aborts.
+type AbortReason int
+
+// Hardware abort reasons.
+const (
+	AbortConflict AbortReason = iota // another transaction touched our line
+	AbortCapacity                    // write set overflowed an L1 set / read bound
+	AbortLock                        // fallback lock observed taken
+	AbortAlloc                       // allocator call inside a hardware transaction
+	AbortTimer                       // transaction ran past the interrupt horizon
+	AbortExplicit
+	abortReasonCount
+)
+
+func (r AbortReason) String() string {
+	switch r {
+	case AbortConflict:
+		return "conflict"
+	case AbortCapacity:
+		return "capacity"
+	case AbortLock:
+		return "lock"
+	case AbortAlloc:
+		return "alloc"
+	case AbortTimer:
+		return "timer"
+	case AbortExplicit:
+		return "explicit"
+	}
+	return fmt.Sprintf("reason(%d)", int(r))
+}
+
+// Stats counts hybrid execution outcomes.
+type Stats struct {
+	HTMCommits uint64
+	HTMAborts  uint64
+	ByReason   [abortReasonCount]uint64
+	Fallbacks  uint64 // regions that ended up under the fallback lock
+}
+
+// lineState tracks which active hardware transactions read/wrote a
+// cache line.
+type lineState struct {
+	readers uint32 // bitmask of thread ids
+	writer  int8   // thread id + 1; 0 = none
+}
+
+// HyTM is one hybrid transactional memory instance.
+type HyTM struct {
+	space *mem.Space
+
+	MaxAttempts int
+	TimerCycles uint64
+
+	lock     vtime.Lock // the fallback lock
+	fallback uint64     // generation: bumped when the fallback lock is taken
+
+	lines map[uint64]*lineState
+	txs   map[int]*Ctx
+	stats Stats
+}
+
+// New builds a HyTM over the space.
+func New(space *mem.Space) *HyTM {
+	return &HyTM{
+		space:       space,
+		MaxAttempts: DefaultMaxAttempts,
+		TimerCycles: DefaultTimerCycles,
+		lines:       make(map[uint64]*lineState),
+		txs:         make(map[int]*Ctx),
+	}
+}
+
+// Stats returns the accumulated counters.
+func (h *HyTM) Stats() Stats { return h.stats }
+
+type htmAbort struct{ reason AbortReason }
+
+// Ctx is the execution context a transactional region runs under: a
+// speculative hardware context, or the fallback lock (Hardware()
+// reports which). It is reused per thread.
+type Ctx struct {
+	h  *HyTM
+	th *vtime.Thread
+
+	hardware bool
+	gen      uint64
+	start    uint64
+
+	wbuf       map[mem.Addr]uint64
+	readLines  map[uint64]struct{}
+	writeLines map[uint64]struct{}
+	setLoad    [l1Sets]uint8 // write lines per L1 set (capacity model)
+}
+
+// Thread returns the executing thread.
+func (c *Ctx) Thread() *vtime.Thread { return c.th }
+
+// Hardware reports whether this execution is a speculative hardware
+// attempt (false under the fallback lock).
+func (c *Ctx) Hardware() bool { return c.hardware }
+
+func line(a mem.Addr) uint64 { return uint64(a) >> cachesim.LineShift }
+
+func (c *Ctx) abort(reason AbortReason) {
+	c.h.stats.HTMAborts++
+	c.h.stats.ByReason[reason]++
+	c.rollback()
+	panic(htmAbort{reason})
+}
+
+func (c *Ctx) rollback() {
+	tid := uint32(1) << uint(c.th.ID())
+	for l := range c.readLines {
+		if ls := c.h.lines[l]; ls != nil {
+			ls.readers &^= tid
+		}
+	}
+	for l := range c.writeLines {
+		if ls := c.h.lines[l]; ls != nil && ls.writer == int8(c.th.ID())+1 {
+			ls.writer = 0
+		}
+	}
+	// Discarding the write buffer is free in hardware; charge only the
+	// pipeline-flush style penalty.
+	c.th.Tick(c.th.Cost().TxBase)
+}
+
+func (c *Ctx) checkEnvironment() {
+	if !c.hardware {
+		return
+	}
+	// Lock subscription: the fallback lock word is effectively in every
+	// hardware transaction's read set, so a fallback acquisition (now or
+	// since we began) aborts us.
+	if c.h.lock.Locked() || c.h.fallback != c.gen {
+		c.abort(AbortLock)
+	}
+	if c.th.Clock()-c.start > c.h.TimerCycles {
+		c.abort(AbortTimer)
+	}
+}
+
+// Load reads a word transactionally.
+func (c *Ctx) Load(a mem.Addr) uint64 {
+	if !c.hardware {
+		return c.th.Load(a)
+	}
+	c.checkEnvironment()
+	if v, ok := c.wbuf[a]; ok {
+		return v
+	}
+	l := line(a)
+	ls := c.h.lines[l]
+	if ls == nil {
+		ls = &lineState{}
+		c.h.lines[l] = ls
+	}
+	if ls.writer != 0 && ls.writer != int8(c.th.ID())+1 {
+		c.abort(AbortConflict)
+	}
+	if _, seen := c.readLines[l]; !seen {
+		if len(c.readLines) >= MaxRead {
+			c.abort(AbortCapacity)
+		}
+		c.readLines[l] = struct{}{}
+		ls.readers |= 1 << uint(c.th.ID())
+	}
+	return c.th.Load(a)
+}
+
+// Store writes a word transactionally (buffered until commit).
+func (c *Ctx) Store(a mem.Addr, v uint64) {
+	if !c.hardware {
+		c.th.Store(a, v)
+		return
+	}
+	c.checkEnvironment()
+	l := line(a)
+	ls := c.h.lines[l]
+	if ls == nil {
+		ls = &lineState{}
+		c.h.lines[l] = ls
+	}
+	me := int8(c.th.ID()) + 1
+	if ls.writer != 0 && ls.writer != me {
+		c.abort(AbortConflict)
+	}
+	if ls.readers&^(1<<uint(c.th.ID())) != 0 {
+		// Another transaction has the line in its read set: in hardware
+		// our ownership request invalidates it; model requester-loses.
+		c.abort(AbortConflict)
+	}
+	if _, seen := c.writeLines[l]; !seen {
+		set := l % l1Sets
+		if c.setLoad[set] >= l1Ways {
+			c.abort(AbortCapacity)
+		}
+		c.setLoad[set]++
+		c.writeLines[l] = struct{}{}
+		ls.writer = me
+	}
+	c.wbuf[a] = v
+	c.th.Tick(c.th.Cost().TxAccess)
+}
+
+// AllocEscape marks an operation hardware transactions cannot perform
+// (allocator calls, syscalls); it aborts the hardware attempt so the
+// region retries under the fallback lock, where the caller may perform
+// it directly.
+func (c *Ctx) AllocEscape() {
+	if c.hardware {
+		c.abort(AbortAlloc)
+	}
+}
+
+// Restart aborts the current attempt explicitly.
+func (c *Ctx) Restart() {
+	if c.hardware {
+		c.abort(AbortExplicit)
+	}
+	panic(htmAbort{AbortExplicit})
+}
+
+func (c *Ctx) commit() {
+	tid := uint32(1) << uint(c.th.ID())
+	// A hardware commit is atomic: write the buffer through the raw
+	// space (no scheduling points), then charge the cost in one tick.
+	// Concurrent hardware transactions are fenced off by the lineState
+	// ownership marks, which are only cleared below; the fallback path
+	// is fenced by the lock subscription.
+	for a, v := range c.wbuf {
+		c.th.Space().Store(a, v)
+	}
+	c.th.Tick(uint64(len(c.wbuf)) * c.th.Cost().L1Hit)
+	for l := range c.readLines {
+		if ls := c.h.lines[l]; ls != nil {
+			ls.readers &^= tid
+		}
+	}
+	for l := range c.writeLines {
+		if ls := c.h.lines[l]; ls != nil && ls.writer == int8(c.th.ID())+1 {
+			ls.writer = 0
+		}
+	}
+	c.h.stats.HTMCommits++
+	c.th.Tick(c.th.Cost().TxBase)
+}
+
+func (c *Ctx) reset(hardware bool) {
+	c.hardware = hardware
+	c.gen = c.h.fallback
+	c.start = c.th.Clock()
+	clear(c.wbuf)
+	clear(c.readLines)
+	clear(c.writeLines)
+	c.setLoad = [l1Sets]uint8{}
+}
+
+// Atomic runs fn as a hybrid transaction on th: up to MaxAttempts
+// speculative hardware tries, then the fallback lock. fn must be a pure
+// retryable closure, as with the STM.
+func (h *HyTM) Atomic(th *vtime.Thread, fn func(c *Ctx)) {
+	c := h.txs[th.ID()]
+	if c == nil {
+		c = &Ctx{
+			h:          h,
+			th:         th,
+			wbuf:       make(map[mem.Addr]uint64),
+			readLines:  make(map[uint64]struct{}),
+			writeLines: make(map[uint64]struct{}),
+		}
+		h.txs[th.ID()] = c
+	}
+	for attempt := 0; attempt < h.MaxAttempts; attempt++ {
+		// Lock elision: wait for a held fallback lock to be released
+		// before attempting in hardware.
+		for h.lock.Locked() {
+			th.Tick(th.Cost().SpinRetry)
+		}
+		c.reset(true)
+		th.Tick(th.Cost().TxBase)
+		if h.try(c, fn) {
+			return
+		}
+	}
+	// Fallback: serialize under the global lock.
+	h.stats.Fallbacks++
+	h.lock.Lock(th)
+	h.fallback++
+	c.reset(false)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				h.lock.Unlock(th)
+				if _, ok := r.(htmAbort); ok {
+					// Explicit restart under the lock: retry the whole
+					// hybrid protocol.
+					h.Atomic(th, fn)
+					return
+				}
+				panic(r)
+			}
+		}()
+		fn(c)
+		h.lock.Unlock(th)
+	}()
+}
+
+// try runs one hardware attempt, reporting whether it committed.
+func (h *HyTM) try(c *Ctx, fn func(c *Ctx)) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isAbort := r.(htmAbort); isAbort {
+				ok = false
+				return
+			}
+			c.rollback()
+			panic(r)
+		}
+	}()
+	fn(c)
+	// Final environment check, then commit atomically (the engine's
+	// serialization stands in for the hardware's atomic commit).
+	c.checkEnvironment()
+	c.commit()
+	return true
+}

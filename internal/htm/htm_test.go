@@ -1,0 +1,219 @@
+package htm
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/vtime"
+)
+
+func world(threads int) (*mem.Space, *vtime.Engine, *HyTM) {
+	space := mem.NewSpace()
+	e := vtime.NewEngine(space, threads, vtime.Config{})
+	return space, e, New(space)
+}
+
+func TestCounterCorrect(t *testing.T) {
+	space, e, h := world(8)
+	counter := space.MustMap(4096, 0)
+	e.Run(func(th *vtime.Thread) {
+		for i := 0; i < 300; i++ {
+			h.Atomic(th, func(c *Ctx) {
+				c.Store(counter, c.Load(counter)+1)
+			})
+		}
+	})
+	if got := space.Load(counter); got != 2400 {
+		t.Errorf("counter = %d, want 2400", got)
+	}
+	st := h.Stats()
+	if st.HTMCommits == 0 {
+		t.Error("no hardware commits at all")
+	}
+	if st.HTMAborts == 0 {
+		t.Error("no hardware aborts under 8-thread contention")
+	}
+}
+
+func TestReadsOwnWrites(t *testing.T) {
+	space, _, h := world(1)
+	a := space.MustMap(4096, 0)
+	th := vtime.Solo(space, 0, nil)
+	h.Atomic(th, func(c *Ctx) {
+		c.Store(a, 5)
+		if c.Load(a) != 5 {
+			t.Error("write buffer not consulted")
+		}
+		c.Store(a, 6)
+	})
+	if space.Load(a) != 6 {
+		t.Error("commit lost")
+	}
+}
+
+func TestAbortDiscardsWrites(t *testing.T) {
+	space, _, h := world(1)
+	a := space.MustMap(4096, 0)
+	space.Store(a, 7)
+	th := vtime.Solo(space, 0, nil)
+	tries := 0
+	h.Atomic(th, func(c *Ctx) {
+		tries++
+		c.Store(a, 99)
+		if tries == 1 && c.Hardware() {
+			// Mid-transaction hardware abort: memory must stay clean.
+			if space.Load(a) != 7 {
+				t.Error("speculative store leaked to memory")
+			}
+			c.Restart()
+		}
+	})
+	if space.Load(a) != 99 {
+		t.Errorf("final = %d, want 99", space.Load(a))
+	}
+}
+
+func TestCapacityAbortFallsBack(t *testing.T) {
+	space, _, h := world(1)
+	// Writing more than l1Ways lines that map to one L1 set can never
+	// succeed in hardware: the region must complete via the fallback.
+	base := space.MustMap(1<<20, 0)
+	th := vtime.Solo(space, 0, nil)
+	h.Atomic(th, func(c *Ctx) {
+		for i := 0; i < l1Ways+2; i++ {
+			// Same set: lines 64 sets * 64 bytes = 4096 bytes apart.
+			c.Store(base+mem.Addr(i*l1Sets*64), uint64(i))
+		}
+	})
+	st := h.Stats()
+	if st.ByReason[AbortCapacity] == 0 {
+		t.Error("no capacity abort recorded")
+	}
+	if st.Fallbacks == 0 {
+		t.Error("capacity-bound region did not fall back")
+	}
+	for i := 0; i < l1Ways+2; i++ {
+		if space.Load(base+mem.Addr(i*l1Sets*64)) != uint64(i) {
+			t.Errorf("write %d lost", i)
+		}
+	}
+}
+
+func TestAllocEscapeFallsBack(t *testing.T) {
+	space, _, h := world(1)
+	th := vtime.Solo(space, 0, nil)
+	hardwareTries, lockRuns := 0, 0
+	h.Atomic(th, func(c *Ctx) {
+		if c.Hardware() {
+			hardwareTries++
+		} else {
+			lockRuns++
+		}
+		c.AllocEscape() // "this region needs malloc"
+	})
+	if hardwareTries != h.MaxAttempts {
+		t.Errorf("hardware tries = %d, want %d", hardwareTries, h.MaxAttempts)
+	}
+	if lockRuns != 1 {
+		t.Errorf("lock runs = %d, want 1", lockRuns)
+	}
+	if st := h.Stats(); st.ByReason[AbortAlloc] != uint64(h.MaxAttempts) {
+		t.Errorf("alloc aborts = %d", st.ByReason[AbortAlloc])
+	}
+}
+
+func TestTimerAbortsLongTransactions(t *testing.T) {
+	space, _, h := world(1)
+	h.TimerCycles = 1000
+	a := space.MustMap(4096, 0)
+	th := vtime.Solo(space, 0, nil)
+	h.Atomic(th, func(c *Ctx) {
+		if c.Hardware() {
+			th.Work(5000) // longer than the interrupt horizon
+		}
+		c.Store(a, 1)
+		c.Load(a)
+	})
+	if st := h.Stats(); st.ByReason[AbortTimer] == 0 {
+		t.Error("no timer abort for an over-long transaction")
+	}
+	if space.Load(a) != 1 {
+		t.Error("fallback did not complete the region")
+	}
+}
+
+// Cache-line granularity: two counters on the SAME line conflict even
+// though they are different words; on separate lines they do not.
+func TestLineGranularityConflicts(t *testing.T) {
+	run := func(stride int) Stats {
+		space, e, h := world(2)
+		base := space.MustMap(4096, 0)
+		e.Run(func(th *vtime.Thread) {
+			addr := base + mem.Addr(th.ID()*stride)
+			for i := 0; i < 200; i++ {
+				h.Atomic(th, func(c *Ctx) {
+					c.Store(addr, c.Load(addr)+1)
+				})
+				th.Work(30)
+			}
+		})
+		return h.Stats()
+	}
+	shared := run(8)    // same 64-byte line
+	separate := run(64) // different lines
+	if shared.ByReason[AbortConflict] == 0 {
+		t.Error("no conflicts on a shared line")
+	}
+	if separate.ByReason[AbortConflict] != 0 {
+		t.Errorf("%d conflicts on separate lines, want 0", separate.ByReason[AbortConflict])
+	}
+}
+
+// A fallback execution aborts concurrent hardware transactions (lock
+// subscription) and the final state is consistent.
+func TestFallbackLockSubscription(t *testing.T) {
+	space, e, h := world(4)
+	h.MaxAttempts = 1 // force frequent fallbacks
+	counter := space.MustMap(4096, 0)
+	e.Run(func(th *vtime.Thread) {
+		for i := 0; i < 200; i++ {
+			h.Atomic(th, func(c *Ctx) {
+				c.Store(counter, c.Load(counter)+1)
+			})
+		}
+	})
+	if got := space.Load(counter); got != 800 {
+		t.Errorf("counter = %d, want 800", got)
+	}
+	if st := h.Stats(); st.Fallbacks == 0 {
+		t.Error("expected fallbacks with MaxAttempts=1 under contention")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() (uint64, uint64) {
+		space, e, h := world(4)
+		counter := space.MustMap(4096, 0)
+		e.Run(func(th *vtime.Thread) {
+			for i := 0; i < 150; i++ {
+				h.Atomic(th, func(c *Ctx) {
+					c.Store(counter, c.Load(counter)+1)
+				})
+			}
+		})
+		return h.Stats().HTMAborts, e.MaxClock()
+	}
+	a1, c1 := run()
+	a2, c2 := run()
+	if a1 != a2 || c1 != c2 {
+		t.Errorf("nondeterministic: %d/%d aborts, %d/%d cycles", a1, a2, c1, c2)
+	}
+}
+
+func TestAbortReasonStrings(t *testing.T) {
+	for r := AbortConflict; r < abortReasonCount; r++ {
+		if r.String() == "" {
+			t.Errorf("reason %d unnamed", r)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package intset
+
+import (
+	"testing"
+
+	_ "repro/internal/alloc/glibc"
+	_ "repro/internal/alloc/hoard"
+	_ "repro/internal/alloc/tbb"
+	_ "repro/internal/alloc/tcmalloc"
+)
+
+func TestHyTMAllAllocatorsRun(t *testing.T) {
+	for _, name := range []string{"glibc", "hoard", "tbb", "tcmalloc"} {
+		cfg := small(HashSet, name, 4)
+		res, err := RunHyTM(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Throughput <= 0 || res.HTM.HTMCommits == 0 {
+			t.Errorf("%s: degenerate result %+v", name, res.HTM)
+		}
+		// Allocator must balance: every duplicate/removed node is freed.
+		if res.Alloc.LiveBytes < 0 {
+			t.Errorf("%s: negative live bytes %d", name, res.Alloc.LiveBytes)
+		}
+	}
+}
+
+func TestHyTMDeterministic(t *testing.T) {
+	cfg := small(HashSet, "tcmalloc", 4)
+	a, err := RunHyTM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunHyTM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.HTM.HTMAborts != b.HTM.HTMAborts {
+		t.Errorf("nondeterministic: cycles %d/%d aborts %d/%d",
+			a.Cycles, b.Cycles, a.HTM.HTMAborts, b.HTM.HTMAborts)
+	}
+}
+
+func TestHyTMRejectsOtherKinds(t *testing.T) {
+	if _, err := RunHyTM(small(LinkedList, "tbb", 2)); err == nil {
+		t.Error("linked list accepted by RunHyTM")
+	}
+}

@@ -1,0 +1,210 @@
+// Package intset implements the paper's synthetic benchmark (§5): a
+// configurable number of threads updating (inserting or deleting) or
+// searching a transactional integer set held in one of three data
+// structures — a sorted linked list, a hash set or a red-black tree.
+//
+// Insertions and deletions take turns so the set size stays nearly
+// constant: "the next element to be removed is the last one inserted".
+// Before the threads are spawned the main thread allocates all the
+// initial nodes and inserts them, exactly as the paper describes — the
+// initial layout the allocator chooses for those nodes is what drives
+// the linked-list results.
+package intset
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/cachesim"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stm"
+	"repro/internal/txstruct"
+	"repro/internal/vtime"
+)
+
+// Kind selects the data structure under test.
+type Kind string
+
+// The three §5 structures.
+const (
+	LinkedList Kind = "linkedlist"
+	HashSet    Kind = "hashset"
+	RBTree     Kind = "rbtree"
+)
+
+// Kinds lists the structures in the paper's order.
+func Kinds() []Kind { return []Kind{LinkedList, HashSet, RBTree} }
+
+// Set is the common transactional set interface the three structures
+// expose.
+type Set interface {
+	Insert(tx *stm.Tx, key int64) bool
+	Remove(tx *stm.Tx, key int64) bool
+	Contains(tx *stm.Tx, key int64) bool
+	Len(tx *stm.Tx) int
+}
+
+type rbAdapter struct{ t *txstruct.RBTree }
+
+func (a rbAdapter) Insert(tx *stm.Tx, k int64) bool   { return a.t.Insert(tx, k, uint64(k)) }
+func (a rbAdapter) Remove(tx *stm.Tx, k int64) bool   { return a.t.Remove(tx, k) }
+func (a rbAdapter) Contains(tx *stm.Tx, k int64) bool { return a.t.Contains(tx, k) }
+func (a rbAdapter) Len(tx *stm.Tx) int                { return a.t.Len(tx) }
+
+// Config parameterizes one benchmark run. Zero fields take the paper's
+// defaults (scaled by callers for quick runs).
+type Config struct {
+	Kind         Kind
+	Allocator    string // "glibc", "hoard", "tbb", "tcmalloc"
+	Threads      int
+	InitialSize  int        // paper: 4096
+	KeyRange     int        // paper: 8192
+	UpdatePct    int        // 0, 20 or 60 (write-dominated)
+	OpsPerThread int        // operations each thread performs
+	Shift        uint       // ORT shift amount (paper default 5)
+	Design       stm.Design // STM algorithm variant (ablations)
+	CacheTx      bool       // §6.2 STM-level object caching
+	Seed         uint64
+	HashBuckets  uint64 // hash set only; paper: 128K
+}
+
+func (c *Config) fill() {
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+	if c.InitialSize == 0 {
+		c.InitialSize = 4096
+	}
+	if c.KeyRange == 0 {
+		c.KeyRange = 2 * c.InitialSize
+	}
+	if c.OpsPerThread == 0 {
+		c.OpsPerThread = 1000
+	}
+	if c.Shift == 0 {
+		c.Shift = stm.DefaultShift
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5eed
+	}
+	if c.HashBuckets == 0 {
+		c.HashBuckets = 128 << 10
+	}
+	if c.Allocator == "" {
+		c.Allocator = "glibc"
+	}
+}
+
+// Result reports one run's measurements.
+type Result struct {
+	Config     Config
+	Cycles     uint64  // virtual execution time of the parallel phase
+	Seconds    float64 // Cycles at the model frequency
+	Ops        uint64
+	Throughput float64 // ops per modelled second
+	Tx         stm.TxStats
+	L1Miss     float64 // L1D miss ratio over the parallel phase
+	CacheTotal cachesim.CoreStats
+	AllocStats alloc.Stats
+}
+
+// Run executes the benchmark described by cfg and returns its result.
+func Run(cfg Config) (Result, error) {
+	cfg.fill()
+	space := mem.NewSpace()
+	allocator, err := alloc.New(cfg.Allocator, space, cfg.Threads)
+	if err != nil {
+		return Result{}, err
+	}
+	cache := cachesim.New(cachesim.DefaultCores)
+	engine := vtime.NewEngine(space, cfg.Threads, vtime.Config{Cache: cache})
+	st := stm.New(space, stm.Config{
+		Shift:          cfg.Shift,
+		Design:         cfg.Design,
+		Allocator:      allocator,
+		CacheTxObjects: cfg.CacheTx,
+	})
+
+	var set Set
+	rng := sim.NewRand(cfg.Seed)
+
+	// Initialization: the main thread (thread 0) allocates and inserts
+	// every initial node.
+	engine.Run(func(th *vtime.Thread) {
+		if th.ID() != 0 {
+			return
+		}
+		st.Atomic(th, func(tx *stm.Tx) {
+			switch cfg.Kind {
+			case LinkedList:
+				set = txstruct.NewList(tx)
+			case HashSet:
+				set = txstruct.NewHashSet(tx, cfg.HashBuckets)
+			case RBTree:
+				set = rbAdapter{txstruct.NewRBTree(tx)}
+			default:
+				panic(fmt.Sprintf("intset: unknown kind %q", cfg.Kind))
+			}
+		})
+		for inserted := 0; inserted < cfg.InitialSize; {
+			k := int64(rng.Intn(cfg.KeyRange))
+			ok := false
+			st.Atomic(th, func(tx *stm.Tx) { ok = set.Insert(tx, k) })
+			if ok {
+				inserted++
+			}
+		}
+	})
+
+	// The measurement covers only the parallel phase.
+	engine.ResetClocks()
+	missBase := cache.TotalStats()
+	txBase := st.Stats()
+
+	engine.Run(func(th *vtime.Thread) {
+		r := sim.NewRand(cfg.Seed*1000003 + uint64(th.ID()) + 1)
+		lastInserted := int64(-1)
+		for i := 0; i < cfg.OpsPerThread; i++ {
+			k := int64(r.Intn(cfg.KeyRange))
+			update := r.Intn(100) < cfg.UpdatePct
+			switch {
+			case !update:
+				st.Atomic(th, func(tx *stm.Tx) { set.Contains(tx, k) })
+			case lastInserted < 0:
+				st.Atomic(th, func(tx *stm.Tx) { set.Insert(tx, k) })
+				lastInserted = k
+			default:
+				k := lastInserted
+				st.Atomic(th, func(tx *stm.Tx) { set.Remove(tx, k) })
+				lastInserted = -1
+			}
+		}
+	})
+
+	cycles := engine.MaxClock()
+	total := cache.TotalStats()
+	phase := cachesim.CoreStats{
+		Accesses: total.Accesses - missBase.Accesses,
+		L1Misses: total.L1Misses - missBase.L1Misses,
+		L2Misses: total.L2Misses - missBase.L2Misses,
+		CohMisses: total.CohMisses -
+			missBase.CohMisses,
+		FalseShare: total.FalseShare - missBase.FalseShare,
+		InvalsSent: total.InvalsSent - missBase.InvalsSent,
+	}
+	ops := uint64(cfg.Threads) * uint64(cfg.OpsPerThread)
+	secs := vtime.Seconds(cycles)
+	res := Result{
+		Config:     cfg,
+		Cycles:     cycles,
+		Seconds:    secs,
+		Ops:        ops,
+		Throughput: float64(ops) / secs,
+		Tx:         st.Stats().Sub(txBase),
+		L1Miss:     phase.L1MissRatio(),
+		CacheTotal: phase,
+		AllocStats: allocator.Stats(),
+	}
+	return res, nil
+}

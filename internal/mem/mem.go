@@ -1,0 +1,320 @@
+// Package mem implements a simulated 64-bit address space.
+//
+// The package stands in for the process address space and the operating
+// system's memory-mapping facility of the original study: allocators
+// obtain aligned regions from a Space (the mmap analogue) and carve them
+// into blocks, and the STM reads and writes 8-byte words at simulated
+// addresses. Because every 64 KiB simulated page is backed by one
+// contiguous Go array, adjacency of simulated addresses is adjacency in
+// host memory, so cache locality and cache-line false sharing induced by
+// an allocator's placement decisions manifest physically as well as in
+// the trace-driven cache model.
+//
+// Word loads and stores use atomic operations, making concurrent access
+// to the same word well defined (the STM provides the actual isolation
+// discipline on top).
+package mem
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Addr is a byte address in the simulated address space.
+type Addr uint64
+
+// Word and page geometry. Pages are 64 KiB: large enough that a cache
+// line (64 B) never spans two backing arrays, small enough that lazily
+// backing sparse regions stays cheap.
+const (
+	WordSize  = 8
+	PageShift = 16
+	PageSize  = 1 << PageShift
+	PageWords = PageSize / WordSize
+	pageMask  = PageSize - 1
+)
+
+// Address-space geometry: a two-level radix table over page numbers.
+// Supports addresses up to 2^(16+11+11) = 2^38 (256 GiB), far beyond any
+// workload in this repository.
+const (
+	l1Bits    = 11
+	l2Bits    = 11
+	l1Size    = 1 << l1Bits
+	l2Size    = 1 << l2Bits
+	l2Mask    = l2Size - 1
+	MaxAddr   = Addr(1) << (PageShift + l1Bits + l2Bits)
+	startBase = Addr(1) << 28 // regions are handed out from 256 MiB up
+)
+
+// Fault describes an access to an address outside any mapped region.
+// Faults indicate a bug in an allocator or application and are raised as
+// panics, mirroring a segmentation fault.
+type Fault struct {
+	Addr  Addr
+	Write bool
+}
+
+func (f Fault) Error() string {
+	kind := "load"
+	if f.Write {
+		kind = "store"
+	}
+	return fmt.Sprintf("mem: fault: %s at unmapped address %#x", kind, uint64(f.Addr))
+}
+
+type page struct {
+	words [PageWords]uint64
+}
+
+type l2table struct {
+	pages [l2Size]atomic.Pointer[page]
+}
+
+// Region describes one mapped region of the address space.
+type Region struct {
+	Base Addr
+	Size uint64
+}
+
+// End returns the first address past the region.
+func (r Region) End() Addr { return r.Base + Addr(r.Size) }
+
+// Contains reports whether a lies inside the region.
+func (r Region) Contains(a Addr) bool { return a >= r.Base && a < r.End() }
+
+// Stats reports address-space usage counters.
+type Stats struct {
+	MapCalls       uint64 // number of Map invocations (the "mmap count")
+	UnmapCalls     uint64
+	ReservedBytes  uint64 // currently mapped (reserved) bytes
+	CommittedBytes uint64 // bytes with physical (Go-slice) backing
+	PeakReserved   uint64
+}
+
+// Space is a simulated address space. The zero value is not usable; call
+// NewSpace.
+type Space struct {
+	l1 [l1Size]atomic.Pointer[l2table]
+
+	mu      sync.Mutex // guards region list mutation and next
+	next    Addr
+	regions atomic.Pointer[[]Region] // sorted by Base, copy-on-write
+
+	mapCalls   atomic.Uint64
+	unmapCalls atomic.Uint64
+	reserved   atomic.Uint64
+	committed  atomic.Uint64
+	peak       atomic.Uint64
+}
+
+// NewSpace returns an empty address space.
+func NewSpace() *Space {
+	s := &Space{next: startBase}
+	empty := make([]Region, 0)
+	s.regions.Store(&empty)
+	return s
+}
+
+// Map reserves a region of size bytes whose base address is a multiple
+// of align (align must be a power of two, or zero for page alignment).
+// The region is zero-filled and backed lazily on first store. Map is the
+// simulator's mmap.
+func (s *Space) Map(size, align uint64) (Addr, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("mem: Map: zero size")
+	}
+	if align == 0 {
+		align = PageSize
+	}
+	if align&(align-1) != 0 {
+		return 0, fmt.Errorf("mem: Map: alignment %d is not a power of two", align)
+	}
+	if align < PageSize {
+		align = PageSize
+	}
+	size = (size + pageMask) &^ uint64(pageMask)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	base := (s.next + Addr(align-1)) &^ Addr(align-1)
+	// Leave one unmapped guard page after every region so that linear
+	// overruns fault instead of silently corrupting a neighbour.
+	next := base + Addr(size) + PageSize
+	if next >= MaxAddr {
+		return 0, fmt.Errorf("mem: Map: address space exhausted (%d bytes requested)", size)
+	}
+	s.next = next
+
+	old := *s.regions.Load()
+	regions := make([]Region, len(old)+1)
+	copy(regions, old)
+	regions[len(old)] = Region{Base: base, Size: size}
+	sort.Slice(regions, func(i, j int) bool { return regions[i].Base < regions[j].Base })
+	s.regions.Store(&regions)
+
+	s.mapCalls.Add(1)
+	r := s.reserved.Add(size)
+	for {
+		p := s.peak.Load()
+		if r <= p || s.peak.CompareAndSwap(p, r) {
+			break
+		}
+	}
+	return base, nil
+}
+
+// MustMap is Map but panics on failure; allocator internals use it since
+// exhaustion of the 256 GiB simulated space indicates a harness bug.
+func (s *Space) MustMap(size, align uint64) Addr {
+	a, err := s.Map(size, align)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Unmap releases the region with the given base address (as returned by
+// Map) and drops its backing pages. Accessing the region afterwards
+// faults.
+func (s *Space) Unmap(base Addr) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	old := *s.regions.Load()
+	idx := -1
+	for i, r := range old {
+		if r.Base == base {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("mem: Unmap: %#x is not a mapped region base", uint64(base))
+	}
+	r := old[idx]
+	regions := make([]Region, 0, len(old)-1)
+	regions = append(regions, old[:idx]...)
+	regions = append(regions, old[idx+1:]...)
+	s.regions.Store(&regions)
+
+	// Drop backing pages.
+	for a := r.Base; a < r.End(); a += PageSize {
+		pn := uint64(a) >> PageShift
+		if t := s.l1[pn>>l2Bits].Load(); t != nil {
+			if t.pages[pn&l2Mask].Swap(nil) != nil {
+				s.committed.Add(^uint64(PageSize - 1))
+			}
+		}
+	}
+	s.unmapCalls.Add(1)
+	s.reserved.Add(^uint64(r.Size - 1))
+	return nil
+}
+
+// RegionOf returns the mapped region containing a, if any.
+func (s *Space) RegionOf(a Addr) (Region, bool) {
+	regions := *s.regions.Load()
+	i := sort.Search(len(regions), func(i int) bool { return regions[i].End() > a })
+	if i < len(regions) && regions[i].Contains(a) {
+		return regions[i], true
+	}
+	return Region{}, false
+}
+
+// Regions returns a snapshot of all mapped regions sorted by base.
+func (s *Space) Regions() []Region {
+	regions := *s.regions.Load()
+	out := make([]Region, len(regions))
+	copy(out, regions)
+	return out
+}
+
+func (s *Space) pageFor(a Addr) *page {
+	pn := uint64(a) >> PageShift
+	t := s.l1[(pn>>l2Bits)&(l1Size-1)].Load()
+	if t == nil {
+		return nil
+	}
+	return t.pages[pn&l2Mask].Load()
+}
+
+// ensurePage returns the backing page for a, creating it if a lies in a
+// mapped region, or nil otherwise.
+func (s *Space) ensurePage(a Addr) *page {
+	if p := s.pageFor(a); p != nil {
+		return p
+	}
+	if _, ok := s.RegionOf(a); !ok {
+		return nil
+	}
+	pn := uint64(a) >> PageShift
+	l1i := (pn >> l2Bits) & (l1Size - 1)
+	s.mu.Lock()
+	t := s.l1[l1i].Load()
+	if t == nil {
+		t = new(l2table)
+		s.l1[l1i].Store(t)
+	}
+	p := t.pages[pn&l2Mask].Load()
+	if p == nil {
+		p = new(page)
+		t.pages[pn&l2Mask].Store(p)
+		s.committed.Add(PageSize)
+	}
+	s.mu.Unlock()
+	return p
+}
+
+// Load returns the 8-byte word at address a. The three low bits of a are
+// ignored (word accesses are word-aligned). Loading from a mapped but
+// never-written page reads zero without committing backing storage.
+func (s *Space) Load(a Addr) uint64 {
+	p := s.pageFor(a)
+	if p == nil {
+		if _, ok := s.RegionOf(a); ok {
+			return 0
+		}
+		panic(Fault{Addr: a})
+	}
+	return atomic.LoadUint64(&p.words[(uint64(a)&pageMask)>>3])
+}
+
+// Store writes the 8-byte word v at address a.
+func (s *Space) Store(a Addr, v uint64) {
+	p := s.ensurePage(a)
+	if p == nil {
+		panic(Fault{Addr: a, Write: true})
+	}
+	atomic.StoreUint64(&p.words[(uint64(a)&pageMask)>>3], v)
+}
+
+// CompareAndSwap atomically replaces the word at a with new if it equals
+// old, reporting whether the swap happened.
+func (s *Space) CompareAndSwap(a Addr, old, new uint64) bool {
+	p := s.ensurePage(a)
+	if p == nil {
+		panic(Fault{Addr: a, Write: true})
+	}
+	return atomic.CompareAndSwapUint64(&p.words[(uint64(a)&pageMask)>>3], old, new)
+}
+
+// Stats returns current usage counters.
+func (s *Space) Stats() Stats {
+	return Stats{
+		MapCalls:       s.mapCalls.Load(),
+		UnmapCalls:     s.unmapCalls.Load(),
+		ReservedBytes:  s.reserved.Load(),
+		CommittedBytes: s.committed.Load(),
+		PeakReserved:   s.peak.Load(),
+	}
+}
+
+// AlignUp rounds v up to the next multiple of align (a power of two).
+func AlignUp(v, align uint64) uint64 { return (v + align - 1) &^ (align - 1) }
+
+// AlignAddr rounds a up to the next multiple of align (a power of two).
+func AlignAddr(a Addr, align uint64) Addr { return (a + Addr(align-1)) &^ Addr(align-1) }

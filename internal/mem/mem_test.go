@@ -1,0 +1,209 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapAlignment(t *testing.T) {
+	s := NewSpace()
+	for _, align := range []uint64{0, PageSize, 1 << 20, 1 << 26} {
+		base, err := s.Map(PageSize, align)
+		if err != nil {
+			t.Fatalf("Map(align=%d): %v", align, err)
+		}
+		a := align
+		if a == 0 {
+			a = PageSize
+		}
+		if uint64(base)%a != 0 {
+			t.Errorf("Map(align=%d) = %#x, not aligned", align, uint64(base))
+		}
+	}
+}
+
+func TestMapRejectsBadArgs(t *testing.T) {
+	s := NewSpace()
+	if _, err := s.Map(0, 0); err == nil {
+		t.Error("Map(0, 0) succeeded, want error")
+	}
+	if _, err := s.Map(16, 3); err == nil {
+		t.Error("Map with non-power-of-two alignment succeeded, want error")
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	s := NewSpace()
+	base := s.MustMap(4*PageSize, 0)
+	for i := Addr(0); i < 4*PageSize; i += 8 {
+		s.Store(base+i, uint64(i)*2654435761)
+	}
+	for i := Addr(0); i < 4*PageSize; i += 8 {
+		if got, want := s.Load(base+i), uint64(i)*2654435761; got != want {
+			t.Fatalf("Load(%#x) = %d, want %d", uint64(base+i), got, want)
+		}
+	}
+}
+
+func TestLoadOfUnwrittenMappedMemoryIsZero(t *testing.T) {
+	s := NewSpace()
+	base := s.MustMap(PageSize, 0)
+	if got := s.Load(base + 128); got != 0 {
+		t.Errorf("Load of never-written word = %d, want 0", got)
+	}
+	if st := s.Stats(); st.CommittedBytes != 0 {
+		t.Errorf("zero-page load committed %d bytes, want 0", st.CommittedBytes)
+	}
+}
+
+func TestFaults(t *testing.T) {
+	s := NewSpace()
+	base := s.MustMap(PageSize, 0)
+
+	mustFault := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r == nil {
+				t.Errorf("%s: no fault raised", name)
+			} else if _, ok := r.(Fault); !ok {
+				t.Errorf("%s: panic %v is not a Fault", name, r)
+			}
+		}()
+		f()
+	}
+	mustFault("load below region", func() { s.Load(base - 8) })
+	mustFault("store past region (guard page)", func() { s.Store(base+PageSize, 1) })
+	mustFault("load at 0", func() { s.Load(0) })
+}
+
+func TestUnmap(t *testing.T) {
+	s := NewSpace()
+	base := s.MustMap(2*PageSize, 0)
+	s.Store(base, 42)
+	if err := s.Unmap(base); err != nil {
+		t.Fatalf("Unmap: %v", err)
+	}
+	if err := s.Unmap(base); err == nil {
+		t.Error("second Unmap succeeded, want error")
+	}
+	func() {
+		defer func() { recover() }()
+		s.Load(base)
+		t.Error("load after Unmap did not fault")
+	}()
+	if st := s.Stats(); st.ReservedBytes != 0 || st.CommittedBytes != 0 {
+		t.Errorf("after Unmap: reserved=%d committed=%d, want 0/0", st.ReservedBytes, st.CommittedBytes)
+	}
+}
+
+func TestRegionOf(t *testing.T) {
+	s := NewSpace()
+	a := s.MustMap(PageSize, 0)
+	b := s.MustMap(PageSize, 0)
+	if r, ok := s.RegionOf(a + 100); !ok || r.Base != a {
+		t.Errorf("RegionOf(a+100) = %+v, %v; want base %#x", r, ok, uint64(a))
+	}
+	if r, ok := s.RegionOf(b); !ok || r.Base != b {
+		t.Errorf("RegionOf(b) = %+v, %v; want base %#x", r, ok, uint64(b))
+	}
+	// Guard page between the regions is unmapped.
+	if _, ok := s.RegionOf(a + PageSize); ok {
+		t.Error("guard page reported as mapped")
+	}
+}
+
+func TestGuardGapBetweenRegions(t *testing.T) {
+	s := NewSpace()
+	a := s.MustMap(PageSize, 0)
+	b := s.MustMap(PageSize, 0)
+	if b < a+2*PageSize {
+		t.Errorf("regions not separated by a guard page: a=%#x b=%#x", uint64(a), uint64(b))
+	}
+}
+
+func TestConcurrentDisjointAccess(t *testing.T) {
+	s := NewSpace()
+	const threads = 8
+	const words = 1 << 12
+	base := s.MustMap(threads*words*8, 0)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			start := base + Addr(tid*words*8)
+			for i := 0; i < words; i++ {
+				s.Store(start+Addr(i*8), uint64(tid)<<32|uint64(i))
+			}
+			for i := 0; i < words; i++ {
+				if got := s.Load(start + Addr(i*8)); got != uint64(tid)<<32|uint64(i) {
+					t.Errorf("tid %d word %d: got %#x", tid, i, got)
+					return
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	s := NewSpace()
+	base := s.MustMap(PageSize, 0)
+	s.Store(base, 10)
+	if !s.CompareAndSwap(base, 10, 20) {
+		t.Error("CAS(10->20) failed")
+	}
+	if s.CompareAndSwap(base, 10, 30) {
+		t.Error("CAS with stale old value succeeded")
+	}
+	if got := s.Load(base); got != 20 {
+		t.Errorf("after CAS: %d, want 20", got)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	s := NewSpace()
+	base := s.MustMap(PageSize, 0)
+	check := func(off Addr, p []byte) bool {
+		off = off % (PageSize / 2)
+		s.WriteBytes(base+off, p)
+		got := s.ReadBytes(base+off, len(p))
+		if len(got) != len(p) {
+			return false
+		}
+		for i := range p {
+			if got[i] != p[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignHelpers(t *testing.T) {
+	if AlignUp(0, 16) != 0 || AlignUp(1, 16) != 16 || AlignUp(16, 16) != 16 || AlignUp(17, 16) != 32 {
+		t.Error("AlignUp wrong")
+	}
+	if AlignAddr(Addr(100), 64) != 128 {
+		t.Error("AlignAddr wrong")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := NewSpace()
+	base := s.MustMap(4*PageSize, 0)
+	st := s.Stats()
+	if st.MapCalls != 1 || st.ReservedBytes != 4*PageSize {
+		t.Errorf("after Map: %+v", st)
+	}
+	s.Store(base, 1)                // commits page 0
+	s.Store(base+3*PageSize+8, 1)   // commits page 3
+	s.Store(base+3*PageSize+128, 1) // same page, no new commit
+	if st := s.Stats(); st.CommittedBytes != 2*PageSize {
+		t.Errorf("committed = %d, want %d", st.CommittedBytes, 2*PageSize)
+	}
+}

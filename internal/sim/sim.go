@@ -1,0 +1,108 @@
+// Package sim provides deterministic pseudo-random number generation
+// and the summary statistics (mean, 95% confidence interval) the
+// paper's figures report.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rand is a small, fast, deterministic xorshift64* generator. Each
+// logical thread gets its own instance so runs are reproducible and
+// thread-count independent.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded from seed (any value; zero is
+// remapped).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("sim: Intn(%d)", n))
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// tTable holds two-sided 95% critical values of Student's t for df
+// 1..30; beyond that the normal approximation 1.96 is used.
+var tTable = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// Summary holds the mean and the half-width of a 95% confidence
+// interval over a sample.
+type Summary struct {
+	N    int
+	Mean float64
+	CI95 float64 // half-width; the interval is Mean +/- CI95
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(n)
+	if n == 1 {
+		return Summary{N: 1, Mean: mean}
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	t := 1.96
+	if df := n - 1; df <= len(tTable) {
+		t = tTable[df-1]
+	}
+	return Summary{N: n, Mean: mean, CI95: t * sd / math.Sqrt(float64(n))}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g", s.Mean, s.CI95)
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRandZeroSeedUsable(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed produced a stuck generator")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := NewRand(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(17)
+			if v < 0 || v >= 17 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnRoughlyUniform(t *testing.T) {
+	r := NewRand(7)
+	const buckets, n = 8, 80000
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	for b, c := range counts {
+		if math.Abs(float64(c)-n/buckets) > n/buckets*0.1 {
+			t.Errorf("bucket %d: %d of %d, too skewed", b, c, n)
+		}
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := NewRand(3)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(s.Mean-5) > 1e-9 {
+		t.Errorf("mean = %v, want 5", s.Mean)
+	}
+	if s.CI95 <= 0 {
+		t.Error("CI95 must be positive for a varied sample")
+	}
+	if one := Summarize([]float64{3}); one.Mean != 3 || one.CI95 != 0 {
+		t.Errorf("single sample: %+v", one)
+	}
+	if zero := Summarize(nil); zero.N != 0 {
+		t.Errorf("empty sample: %+v", zero)
+	}
+}
+
+func TestSummarizeConstantSample(t *testing.T) {
+	s := Summarize([]float64{5, 5, 5, 5})
+	if s.Mean != 5 || s.CI95 != 0 {
+		t.Errorf("constant sample: %+v", s)
+	}
+}

@@ -1,0 +1,37 @@
+package bayes_test
+
+import (
+	"testing"
+
+	"repro/internal/stamp"
+	_ "repro/internal/stamp/bayes"
+	"repro/internal/stamp/stamptest"
+)
+
+func TestBayes(t *testing.T)              { stamptest.Check(t, "bayes", true) }
+func TestBayesDeterministic(t *testing.T) { stamptest.CheckDeterministic(t, "bayes") }
+
+// Table 5 shape: bayes performs only a handful of (32-byte) allocations
+// inside transactions.
+func TestBayesTinyTxAllocation(t *testing.T) {
+	res, err := stamp.Run(stamp.Config{App: "bayes", Allocator: "glibc", Threads: 1, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile
+	if p.Mallocs[stamp.RegionTx] == 0 {
+		t.Fatal("no tx allocations (task records missing)")
+	}
+	if p.Mallocs[stamp.RegionTx] > 1000 {
+		t.Errorf("tx allocations = %d; bayes should allocate only task records", p.Mallocs[stamp.RegionTx])
+	}
+}
+
+// The learner must recover most of the hidden chain v[i-1] -> v[i].
+func TestBayesLearnsChain(t *testing.T) {
+	res, err := stamp.Run(stamp.Config{App: "bayes", Allocator: "tbb", Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+}

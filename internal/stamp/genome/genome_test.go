@@ -1,0 +1,32 @@
+package genome_test
+
+import (
+	"testing"
+
+	"repro/internal/stamp"
+	_ "repro/internal/stamp/genome"
+	"repro/internal/stamp/stamptest"
+)
+
+func TestGenome(t *testing.T)              { stamptest.Check(t, "genome", true) }
+func TestGenomeDeterministic(t *testing.T) { stamptest.CheckDeterministic(t, "genome") }
+
+// Table 5 shape (sequential instrumentation, as in the paper): genome's
+// transactional allocations are all 16-byte chain nodes, and nothing is
+// freed inside transactions.
+func TestGenomeTxAllocationsAre16Bytes(t *testing.T) {
+	res, err := stamp.Run(stamp.Config{App: "genome", Allocator: "tbb", Threads: 1, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile
+	if p.Mallocs[stamp.RegionTx] == 0 {
+		t.Fatal("no transactional allocations recorded")
+	}
+	if p.Counts[stamp.RegionTx][0] != p.Mallocs[stamp.RegionTx] {
+		t.Errorf("tx allocations not all <=16B: %v", p.Counts[stamp.RegionTx])
+	}
+	if p.Frees[stamp.RegionTx] != 0 {
+		t.Errorf("genome freed %d blocks in tx, want 0", p.Frees[stamp.RegionTx])
+	}
+}

@@ -1,0 +1,34 @@
+package intruder_test
+
+import (
+	"testing"
+
+	"repro/internal/stamp"
+	_ "repro/internal/stamp/intruder"
+	"repro/internal/stamp/stamptest"
+)
+
+func TestIntruder(t *testing.T)              { stamptest.Check(t, "intruder", true) }
+func TestIntruderDeterministic(t *testing.T) { stamptest.CheckDeterministic(t, "intruder") }
+
+// Table 5 shape: intruder allocates inside transactions and frees in
+// the parallel region (privatization).
+func TestIntruderPrivatizationPattern(t *testing.T) {
+	res, err := stamp.Run(stamp.Config{App: "intruder", Allocator: "hoard", Threads: 1, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile
+	if p.Mallocs[stamp.RegionTx] == 0 {
+		t.Fatal("no tx allocations")
+	}
+	if p.Frees[stamp.RegionPar] == 0 {
+		t.Error("no frees in the parallel region; privatization pattern missing")
+	}
+	// The flow-map tree nodes are freed transactionally (as in the C
+	// version), but the bulk of the reassembly memory must be released
+	// in the parallel region.
+	if p.Frees[stamp.RegionPar] <= p.Frees[stamp.RegionTx] {
+		t.Errorf("par frees %d not dominant over tx frees %d", p.Frees[stamp.RegionPar], p.Frees[stamp.RegionTx])
+	}
+}

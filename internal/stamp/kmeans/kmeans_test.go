@@ -1,0 +1,27 @@
+package kmeans_test
+
+import (
+	"testing"
+
+	"repro/internal/stamp"
+	_ "repro/internal/stamp/kmeans"
+	"repro/internal/stamp/stamptest"
+)
+
+func TestKMeans(t *testing.T)              { stamptest.Check(t, "kmeans", true) }
+func TestKMeansDeterministic(t *testing.T) { stamptest.CheckDeterministic(t, "kmeans") }
+
+// kmeans must not allocate inside transactions (Table 5).
+func TestKMeansNoTxAllocation(t *testing.T) {
+	res, err := stamp.Run(stamp.Config{App: "kmeans", Allocator: "tbb", Threads: 4, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile
+	if p.Mallocs[stamp.RegionTx] != 0 || p.Mallocs[stamp.RegionPar] != 0 {
+		t.Errorf("kmeans allocated outside seq: %+v", p.Mallocs)
+	}
+	if p.Mallocs[stamp.RegionSeq] == 0 {
+		t.Error("no seq allocations recorded")
+	}
+}

@@ -1,0 +1,31 @@
+package labyrinth_test
+
+import (
+	"testing"
+
+	"repro/internal/stamp"
+	_ "repro/internal/stamp/labyrinth"
+	"repro/internal/stamp/stamptest"
+)
+
+func TestLabyrinth(t *testing.T)              { stamptest.Check(t, "labyrinth", true) }
+func TestLabyrinthDeterministic(t *testing.T) { stamptest.CheckDeterministic(t, "labyrinth") }
+
+// Table 5 shape: labyrinth's allocation traffic is in the parallel
+// region (grid copies), with essentially nothing inside transactions.
+func TestLabyrinthParRegionAllocation(t *testing.T) {
+	res, err := stamp.Run(stamp.Config{App: "labyrinth", Allocator: "tcmalloc", Threads: 2, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile
+	if p.Mallocs[stamp.RegionPar] == 0 {
+		t.Fatal("no parallel-region allocations (grid copies missing)")
+	}
+	if p.Mallocs[stamp.RegionTx] > p.Mallocs[stamp.RegionPar] {
+		t.Errorf("tx allocations (%d) exceed par (%d)", p.Mallocs[stamp.RegionTx], p.Mallocs[stamp.RegionPar])
+	}
+	if p.Bytes[stamp.RegionPar] < 16*1024 {
+		t.Errorf("par bytes %d suspiciously small for grid copies", p.Bytes[stamp.RegionPar])
+	}
+}

@@ -1,0 +1,114 @@
+package stamp
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/mem"
+	"repro/internal/stm"
+	"repro/internal/vtime"
+)
+
+// Region classifies where an allocation was issued, as in the paper's
+// Table 5: the sequential phase, the parallel region outside any
+// transaction, or inside a transaction.
+type Region int
+
+// Allocation regions.
+const (
+	RegionSeq Region = iota
+	RegionPar
+	RegionTx
+	regionCount
+)
+
+func (r Region) String() string {
+	switch r {
+	case RegionSeq:
+		return "seq"
+	case RegionPar:
+		return "par"
+	case RegionTx:
+		return "tx"
+	}
+	return "?"
+}
+
+// SizeClassBuckets are Table 5's size-class columns; the last bucket is
+// "> 256".
+var SizeClassBuckets = []uint64{16, 32, 48, 64, 96, 128, 256}
+
+// Profile is the Table 5 characterization: allocation counts per size
+// class and region, plus totals.
+type Profile struct {
+	Counts  [regionCount][8]uint64 // [region][bucket]; bucket 7 = >256
+	Mallocs [regionCount]uint64
+	Frees   [regionCount]uint64
+	Bytes   [regionCount]uint64 // total requested bytes
+}
+
+// Bucket maps a request size to its Table 5 column.
+func Bucket(size uint64) int {
+	for i, b := range SizeClassBuckets {
+		if size <= b {
+			return i
+		}
+	}
+	return len(SizeClassBuckets)
+}
+
+// TotalMallocs sums mallocs over regions.
+func (p *Profile) TotalMallocs() uint64 {
+	return p.Mallocs[RegionSeq] + p.Mallocs[RegionPar] + p.Mallocs[RegionTx]
+}
+
+// TotalFrees sums frees over regions.
+func (p *Profile) TotalFrees() uint64 {
+	return p.Frees[RegionSeq] + p.Frees[RegionPar] + p.Frees[RegionTx]
+}
+
+// TotalBytes sums requested bytes over regions.
+func (p *Profile) TotalBytes() uint64 {
+	return p.Bytes[RegionSeq] + p.Bytes[RegionPar] + p.Bytes[RegionTx]
+}
+
+// profAlloc wraps the system allocator and attributes each operation to
+// a region. The engine serializes execution, so plain counters suffice.
+type profAlloc struct {
+	alloc.Allocator
+	stm      *stm.STM
+	parallel bool
+	p        Profile
+}
+
+func newProfAlloc(base alloc.Allocator) *profAlloc {
+	return &profAlloc{Allocator: base}
+}
+
+func (pa *profAlloc) region(th *vtime.Thread) Region {
+	if !pa.parallel {
+		return RegionSeq
+	}
+	if pa.stm != nil && pa.stm.InTx(th.ID()) {
+		return RegionTx
+	}
+	return RegionPar
+}
+
+// Malloc implements alloc.Allocator.
+func (pa *profAlloc) Malloc(th *vtime.Thread, size uint64) mem.Addr {
+	r := pa.region(th)
+	pa.p.Mallocs[r]++
+	pa.p.Bytes[r] += size
+	pa.p.Counts[r][Bucket(size)]++
+	return pa.Allocator.Malloc(th, size)
+}
+
+// Free implements alloc.Allocator.
+func (pa *profAlloc) Free(th *vtime.Thread, addr mem.Addr) {
+	pa.p.Frees[pa.region(th)]++
+	pa.Allocator.Free(th, addr)
+}
+
+func (pa *profAlloc) profile() *Profile {
+	p := pa.p
+	return &p
+}

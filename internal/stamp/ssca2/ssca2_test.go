@@ -1,0 +1,24 @@
+package ssca2_test
+
+import (
+	"testing"
+
+	"repro/internal/stamp"
+	_ "repro/internal/stamp/ssca2"
+	"repro/internal/stamp/stamptest"
+)
+
+func TestSSCA2(t *testing.T)              { stamptest.Check(t, "ssca2", true) }
+func TestSSCA2Deterministic(t *testing.T) { stamptest.CheckDeterministic(t, "ssca2") }
+
+// ssca2 allocates only during initialization (Table 5).
+func TestSSCA2InitOnlyAllocation(t *testing.T) {
+	res, err := stamp.Run(stamp.Config{App: "ssca2", Allocator: "hoard", Threads: 4, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile
+	if p.Mallocs[stamp.RegionTx] != 0 {
+		t.Errorf("ssca2 allocated in tx: %+v", p.Mallocs)
+	}
+}

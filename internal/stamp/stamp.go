@@ -1,0 +1,263 @@
+// Package stamp hosts Go ports of the STAMP benchmark suite (Minh et
+// al., IISWC 2008) running over the repository's STM, allocator models
+// and virtual-time machine. Each application keeps the transactional
+// structure of the original — what it allocates and frees inside
+// transactions versus in the parallel region, the shape of its read and
+// write sets, and its phase structure — which is what the paper's
+// evaluation (§6) exercises.
+//
+// Applications register themselves by name; the harness runs them via
+// Run with a chosen allocator, thread count and scale.
+package stamp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/cachesim"
+	"repro/internal/mem"
+	"repro/internal/stm"
+	"repro/internal/vtime"
+)
+
+// Scale selects a workload size. Quick keeps unit tests fast; Ref
+// approximates the paper's "large data set" shapes scaled to this
+// simulator.
+type Scale int
+
+// Workload scales.
+const (
+	Quick Scale = iota
+	Ref
+)
+
+// Variant selects between an application's recommended configurations
+// where STAMP defines two (kmeans and vacation); the paper evaluates
+// the high-contention one.
+type Variant int
+
+// Application variants.
+const (
+	HighContention Variant = iota // the paper's choice (default)
+	LowContention
+)
+
+// Config parameterizes one application run.
+type Config struct {
+	App       string
+	Allocator string
+	Threads   int
+	Scale     Scale
+	Variant   Variant
+	Shift     uint
+	CacheTx   bool
+	Seed      uint64
+	Profile   bool // collect the Table 5 allocation profile
+}
+
+// Result reports one run.
+type Result struct {
+	Config     Config
+	InitCycles uint64 // sequential-phase virtual time
+	Cycles     uint64 // parallel-phase virtual time (the reported time)
+	Seconds    float64
+	Tx         stm.TxStats
+	Alloc      alloc.Stats
+	Cache      cachesim.CoreStats
+	L1Miss     float64
+	Profile    *Profile
+}
+
+// World is the environment an application runs in.
+type World struct {
+	Space     *mem.Space
+	Engine    *vtime.Engine
+	STM       *stm.STM
+	Allocator alloc.Allocator // profiling wrapper when Profile is set
+	Threads   int
+	Scale     Scale
+	Variant   Variant
+	Seed      uint64
+	prof      *profAlloc
+}
+
+// Calloc allocates a zero-filled block, as the C applications do via
+// calloc: allocators hand out recycled blocks with free-list links in
+// their first words, so counters and tables must be cleared explicitly.
+func (w *World) Calloc(th *vtime.Thread, size uint64) mem.Addr {
+	a := w.Allocator.Malloc(th, size)
+	for off := uint64(0); off < size; off += 8 {
+		th.Store(a+mem.Addr(off), 0)
+	}
+	return a
+}
+
+// Seq runs fn on thread 0 with the others parked (the sequential
+// phase).
+func (w *World) Seq(fn func(th *vtime.Thread)) {
+	w.Engine.Run(func(th *vtime.Thread) {
+		if th.ID() == 0 {
+			fn(th)
+		}
+	})
+}
+
+// Par runs fn on every thread (the parallel phase).
+func (w *World) Par(fn func(th *vtime.Thread)) {
+	w.Engine.Run(fn)
+}
+
+// Atomic is shorthand for the world's STM.
+func (w *World) Atomic(th *vtime.Thread, fn func(tx *stm.Tx)) {
+	w.STM.Atomic(th, fn)
+}
+
+// App is one STAMP application.
+type App interface {
+	Name() string
+	// Setup performs the sequential initialization phase.
+	Setup(w *World)
+	// Parallel runs the transactional parallel phase; it is invoked
+	// once per thread, inside the engine.
+	Parallel(w *World, th *vtime.Thread)
+	// Validate checks the final state and returns an error on any
+	// inconsistency (run after the parallel phase, single-threaded).
+	Validate(w *World) error
+}
+
+// Factory builds a fresh App instance.
+type Factory func() App
+
+var registry = map[string]Factory{}
+
+// Register installs an application factory.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("stamp: duplicate app %q", name))
+	}
+	registry[name] = f
+}
+
+// Names returns registered application names in the paper's order.
+func Names() []string {
+	order := []string{"bayes", "genome", "intruder", "kmeans", "labyrinth", "ssca2", "vacation", "yada"}
+	var out []string
+	for _, n := range order {
+		if _, ok := registry[n]; ok {
+			out = append(out, n)
+		}
+	}
+	var rest []string
+	for n := range registry {
+		seen := false
+		for _, o := range out {
+			if o == n {
+				seen = true
+			}
+		}
+		if !seen {
+			rest = append(rest, n)
+		}
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}
+
+// New instantiates the named application.
+func New(name string) (App, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("stamp: unknown app %q (known: %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Run executes one full application run: setup (sequential), parallel
+// phase (timed), validation.
+func Run(cfg Config) (Result, error) {
+	app, err := New(cfg.App)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.Threads == 0 {
+		cfg.Threads = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x57a3b
+	}
+	space := mem.NewSpace()
+	base, err := alloc.New(cfg.Allocator, space, cfg.Threads)
+	if err != nil {
+		return Result{}, err
+	}
+	cache := cachesim.New(cachesim.DefaultCores)
+	engine := vtime.NewEngine(space, cfg.Threads, vtime.Config{Cache: cache})
+
+	w := &World{
+		Space:     space,
+		Engine:    engine,
+		Threads:   cfg.Threads,
+		Scale:     cfg.Scale,
+		Variant:   cfg.Variant,
+		Seed:      cfg.Seed,
+		Allocator: base,
+	}
+	if cfg.Profile {
+		w.prof = newProfAlloc(base)
+		w.Allocator = w.prof
+	}
+	w.STM = stm.New(space, stm.Config{
+		Shift:          cfg.Shift,
+		Allocator:      w.Allocator,
+		CacheTxObjects: cfg.CacheTx,
+	})
+	if w.prof != nil {
+		w.prof.stm = w.STM
+	}
+
+	app.Setup(w)
+	initCycles := engine.MaxClock()
+
+	// Timed parallel phase.
+	engine.ResetClocks()
+	txBase := w.STM.Stats()
+	cacheBase := cache.TotalStats()
+	if w.prof != nil {
+		w.prof.parallel = true
+	}
+	engine.Run(func(th *vtime.Thread) { app.Parallel(w, th) })
+	if w.prof != nil {
+		w.prof.parallel = false
+	}
+	cycles := engine.MaxClock()
+	txAfter := w.STM.Stats()
+
+	if err := app.Validate(w); err != nil {
+		return Result{}, fmt.Errorf("stamp: %s validation failed: %w", cfg.App, err)
+	}
+
+	total := cache.TotalStats()
+	phase := cachesim.CoreStats{
+		Accesses:   total.Accesses - cacheBase.Accesses,
+		L1Misses:   total.L1Misses - cacheBase.L1Misses,
+		L2Misses:   total.L2Misses - cacheBase.L2Misses,
+		CohMisses:  total.CohMisses - cacheBase.CohMisses,
+		FalseShare: total.FalseShare - cacheBase.FalseShare,
+		InvalsSent: total.InvalsSent - cacheBase.InvalsSent,
+	}
+	res := Result{
+		Config:     cfg,
+		InitCycles: initCycles,
+		Cycles:     cycles,
+		Seconds:    vtime.Seconds(cycles),
+		Tx:         txAfter.Sub(txBase),
+		Alloc:      base.Stats(),
+		Cache:      phase,
+		L1Miss:     phase.L1MissRatio(),
+	}
+	if w.prof != nil {
+		res.Profile = w.prof.profile()
+	}
+	return res, nil
+}

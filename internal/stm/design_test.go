@@ -1,0 +1,233 @@
+package stm
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/mem"
+	"repro/internal/vtime"
+)
+
+var designs = []Design{ETLWriteBack, ETLWriteThrough, CTL}
+
+// Every design must pass the same correctness matrix.
+
+func TestDesignsCounterCorrect(t *testing.T) {
+	for _, d := range designs {
+		t.Run(d.String(), func(t *testing.T) {
+			space, e := newWorld(8)
+			s := New(space, Config{Design: d})
+			counter := space.MustMap(mem.PageSize, 0)
+			e.Run(func(th *vtime.Thread) {
+				for i := 0; i < 300; i++ {
+					s.Atomic(th, func(tx *Tx) {
+						tx.Store(counter, tx.Load(counter)+1)
+					})
+				}
+			})
+			if got := space.Load(counter); got != 2400 {
+				t.Errorf("counter = %d, want 2400", got)
+			}
+			if s.Stats().Aborts == 0 {
+				t.Error("no aborts under contention")
+			}
+		})
+	}
+}
+
+func TestDesignsMoneyConservation(t *testing.T) {
+	for _, d := range designs {
+		t.Run(d.String(), func(t *testing.T) {
+			space, e := newWorld(6)
+			s := New(space, Config{Design: d})
+			const accounts = 32
+			base := space.MustMap(mem.PageSize, 0)
+			for i := 0; i < accounts; i++ {
+				space.Store(base+mem.Addr(i*8), 1000)
+			}
+			e.Run(func(th *vtime.Thread) {
+				rng := uint64(th.ID())*999331 + 7
+				for i := 0; i < 250; i++ {
+					rng = rng*6364136223846793005 + 1442695040888963407
+					from := mem.Addr((rng>>33)%accounts) * 8
+					to := mem.Addr((rng>>17)%accounts) * 8
+					if from == to {
+						continue
+					}
+					s.Atomic(th, func(tx *Tx) {
+						a := tx.Load(base + from)
+						b := tx.Load(base + to)
+						if a >= 10 {
+							tx.Store(base+from, a-10)
+							tx.Store(base+to, b+10)
+						}
+					})
+				}
+			})
+			var total uint64
+			for i := 0; i < accounts; i++ {
+				total += space.Load(base + mem.Addr(i*8))
+			}
+			if total != accounts*1000 {
+				t.Errorf("total = %d, want %d", total, accounts*1000)
+			}
+		})
+	}
+}
+
+func TestDesignsReadOwnWrites(t *testing.T) {
+	for _, d := range designs {
+		t.Run(d.String(), func(t *testing.T) {
+			space, _ := newWorld(1)
+			s := New(space, Config{Design: d})
+			a := space.MustMap(mem.PageSize, 0)
+			th := vtime.Solo(space, 0, nil)
+			s.Atomic(th, func(tx *Tx) {
+				tx.Store(a, 1)
+				tx.Store(a+8, tx.Load(a)+1)
+				tx.Store(a, tx.Load(a+8)+1)
+				if got := tx.Load(a); got != 3 {
+					t.Errorf("chained read-own-write = %d, want 3", got)
+				}
+			})
+			if space.Load(a) != 3 || space.Load(a+8) != 2 {
+				t.Errorf("committed %d/%d, want 3/2", space.Load(a), space.Load(a+8))
+			}
+		})
+	}
+}
+
+func TestDesignsAbortRestoresMemory(t *testing.T) {
+	for _, d := range designs {
+		t.Run(d.String(), func(t *testing.T) {
+			space, _ := newWorld(1)
+			s := New(space, Config{Design: d})
+			a := space.MustMap(mem.PageSize, 0)
+			space.Store(a, 7)
+			space.Store(a+8, 8)
+			th := vtime.Solo(space, 0, nil)
+			tries := 0
+			s.Atomic(th, func(tx *Tx) {
+				tries++
+				tx.Store(a, 100)
+				tx.Store(a+8, 200)
+				tx.Store(a, 101) // second write to the same word
+				if tries == 1 {
+					// The write-through design has dirty memory here;
+					// aborting must restore both words.
+					tx.Restart()
+				}
+			})
+			if space.Load(a) != 101 || space.Load(a+8) != 200 {
+				t.Errorf("final = %d/%d, want 101/200", space.Load(a), space.Load(a+8))
+			}
+		})
+	}
+}
+
+func TestDesignsTxAllocUndo(t *testing.T) {
+	for _, d := range designs {
+		t.Run(d.String(), func(t *testing.T) {
+			space, _ := newWorld(1)
+			al := alloc.MustNew("tbb", space, 1)
+			s := New(space, Config{Design: d, Allocator: al})
+			th := vtime.Solo(space, 0, nil)
+			tries := 0
+			s.Atomic(th, func(tx *Tx) {
+				tries++
+				n := tx.Malloc(16)
+				tx.Store(n, 1)
+				if tries == 1 {
+					tx.Restart()
+				}
+			})
+			st := al.Stats()
+			if st.Mallocs != 2 || st.Frees != 1 {
+				t.Errorf("allocator: %d mallocs / %d frees, want 2/1", st.Mallocs, st.Frees)
+			}
+		})
+	}
+}
+
+func TestDesignsDeterministic(t *testing.T) {
+	for _, d := range designs {
+		t.Run(d.String(), func(t *testing.T) {
+			run := func() (uint64, uint64) {
+				space, e := newWorld(4)
+				s := New(space, Config{Design: d})
+				base := space.MustMap(mem.PageSize, 0)
+				e.Run(func(th *vtime.Thread) {
+					for i := 0; i < 150; i++ {
+						s.Atomic(th, func(tx *Tx) {
+							tx.Store(base, tx.Load(base)+1)
+						})
+					}
+				})
+				return s.Stats().Aborts, e.MaxClock()
+			}
+			a1, c1 := run()
+			a2, c2 := run()
+			if a1 != a2 || c1 != c2 {
+				t.Errorf("nondeterministic: %d/%d aborts, %d/%d cycles", a1, a2, c1, c2)
+			}
+		})
+	}
+}
+
+// Write-through writes in place under its stripe lock: memory shows the
+// new value mid-transaction.
+func TestWriteThroughInPlace(t *testing.T) {
+	space, _ := newWorld(1)
+	s := New(space, Config{Design: ETLWriteThrough})
+	a := space.MustMap(mem.PageSize, 0)
+	space.Store(a, 7)
+	th := vtime.Solo(space, 0, nil)
+	s.Atomic(th, func(tx *Tx) {
+		tx.Store(a, 99)
+		if got := space.Load(a); got != 99 {
+			t.Errorf("mid-tx memory = %d, want 99 (in-place)", got)
+		}
+	})
+}
+
+// CTL holds no stripe locks while the transaction body runs: a
+// concurrent read-only transaction over the same stripe commits without
+// aborting even while a writer transaction is open.
+func TestCTLNoEncounterLocks(t *testing.T) {
+	space, _ := newWorld(1)
+	s := New(space, Config{Design: CTL})
+	a := space.MustMap(mem.PageSize, 0)
+	th := vtime.Solo(space, 0, nil)
+	s.Atomic(th, func(tx *Tx) {
+		tx.Store(a, 5)
+		// The ORT entry must still be unlocked here.
+		w := space.Load(s.ortAddr(s.OrtIndex(a)))
+		if isLocked(w) {
+			t.Error("CTL locked the stripe before commit")
+		}
+	})
+	if w := space.Load(s.ortAddr(s.OrtIndex(a))); isLocked(w) {
+		t.Error("stripe still locked after commit")
+	}
+	if space.Load(a) != 5 {
+		t.Error("CTL commit lost the write")
+	}
+}
+
+// ETL (either flavour) locks at encounter time.
+func TestETLEncounterLocks(t *testing.T) {
+	for _, d := range []Design{ETLWriteBack, ETLWriteThrough} {
+		t.Run(d.String(), func(t *testing.T) {
+			space, _ := newWorld(1)
+			s := New(space, Config{Design: d})
+			a := space.MustMap(mem.PageSize, 0)
+			th := vtime.Solo(space, 0, nil)
+			s.Atomic(th, func(tx *Tx) {
+				tx.Store(a, 5)
+				if w := space.Load(s.ortAddr(s.OrtIndex(a))); !isLocked(w) {
+					t.Error("ETL stripe not locked at encounter time")
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,723 @@
+// Package stm implements a blocking, word-based software transactional
+// memory in the mould of TinySTM 1.0.4's default configuration:
+// encounter-time locking (ETL), write-back, a global version clock with
+// snapshot extension, and the SUICIDE contention-management strategy
+// (the transaction that detects the conflict aborts itself and restarts
+// immediately).
+//
+// Conflicts are tracked through an ownership-record table (ORT) of
+// versioned locks. A memory address maps to an entry by discarding its
+// Shift low bits and taking the rest modulo the table size:
+//
+//	entry = (addr >> Shift) % 2^OrtBits
+//
+// With the default Shift of 5, every 32 consecutive bytes share one
+// versioned lock, and — the paper's central observation — the
+// *allocator's* placement decisions determine which objects share a
+// stripe or alias to the same entry. Both the ORT and the global clock
+// live in simulated memory, so their cache behaviour (shift-amount
+// footprint, clock-line ping-pong) is priced by the machine model like
+// any other access.
+//
+// The versioned-lock word format follows TinySTM: bit 0 is the lock
+// bit; an unlocked word carries a version in the upper bits, a locked
+// word carries the owner's thread id.
+package stm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/mem"
+	"repro/internal/vtime"
+)
+
+// Defaults matching the paper's TinySTM configuration (§4).
+const (
+	DefaultOrtBits = 20
+	DefaultShift   = 5
+)
+
+// Design selects the STM algorithm variant. The paper studies the
+// TinySTM default (encounter-time locking with write-back); the other
+// two are TinySTM's WRITE_THROUGH build and a TL2-style commit-time
+// locking scheme, provided for the paper's future-work question of
+// whether the allocator effects carry over to other STM classes.
+type Design int
+
+// STM designs.
+const (
+	// ETLWriteBack: encounter-time locking, values buffered until
+	// commit (TinySTM default; the paper's configuration).
+	ETLWriteBack Design = iota
+	// ETLWriteThrough: encounter-time locking, in-place writes with an
+	// undo log replayed on abort.
+	ETLWriteThrough
+	// CTL: commit-time locking; writes buffer without locking and all
+	// stripes are acquired at commit (TL2-style).
+	CTL
+)
+
+func (d Design) String() string {
+	switch d {
+	case ETLWriteBack:
+		return "etl-wb"
+	case ETLWriteThrough:
+		return "etl-wt"
+	case CTL:
+		return "ctl"
+	}
+	return "design?"
+}
+
+// Config parameterizes an STM instance.
+type Config struct {
+	OrtBits uint   // log2 of the ORT entry count (default 20)
+	Shift   uint   // low address bits discarded by the lock map (default 5)
+	Design  Design // algorithm variant (default ETLWriteBack)
+	// Allocator serves transactional Malloc/Free; may be nil if the
+	// workload never allocates inside transactions.
+	Allocator alloc.Allocator
+	// CacheTxObjects enables the §6.2 optimization: objects allocated
+	// by an aborted transaction and objects freed by a committed one
+	// are kept in a thread-local cache and reused by later
+	// transactional allocations, instead of going back to the system
+	// allocator.
+	CacheTxObjects bool
+}
+
+// AbortReason classifies why a transaction aborted.
+type AbortReason int
+
+// Abort reasons.
+const (
+	AbortLockedByOther AbortReason = iota // stripe locked by another tx
+	AbortVersionAhead                     // stripe version newer than snapshot, extension failed
+	AbortValidation                       // read-set validation failed at commit
+	AbortExplicit                         // user-requested restart
+	abortReasonCount
+)
+
+func (r AbortReason) String() string {
+	switch r {
+	case AbortLockedByOther:
+		return "locked-by-other"
+	case AbortVersionAhead:
+		return "version-ahead"
+	case AbortValidation:
+		return "validation"
+	case AbortExplicit:
+		return "explicit"
+	}
+	return fmt.Sprintf("reason(%d)", int(r))
+}
+
+// TxStats counts per-thread transaction outcomes.
+type TxStats struct {
+	Starts      uint64
+	Commits     uint64
+	Aborts      uint64
+	ByReason    [abortReasonCount]uint64
+	FalseAborts uint64 // aborts where the conflicting access was to a
+	// different address that merely shares (or aliases to) the ORT entry
+	MaxRetries   uint64 // worst retry count of any single transaction
+	MaxReadSet   uint64 // largest read set of any committed transaction
+	MaxWriteSet  uint64 // largest write set of any committed transaction
+	LoadsTotal   uint64
+	StoresTotal  uint64
+	AllocsInTx   uint64
+	FreesInTx    uint64
+	CacheHits    uint64 // tx-object cache hits (CacheTxObjects)
+	CacheReturns uint64 // objects parked in the cache
+}
+
+// Sub returns s minus o field-wise (MaxRetries is kept from s), for
+// isolating one measurement phase's statistics.
+func (s TxStats) Sub(o TxStats) TxStats {
+	out := s
+	out.Starts -= o.Starts
+	out.Commits -= o.Commits
+	out.Aborts -= o.Aborts
+	for i := range out.ByReason {
+		out.ByReason[i] -= o.ByReason[i]
+	}
+	out.FalseAborts -= o.FalseAborts
+	out.LoadsTotal -= o.LoadsTotal
+	out.StoresTotal -= o.StoresTotal
+	out.AllocsInTx -= o.AllocsInTx
+	out.FreesInTx -= o.FreesInTx
+	out.CacheHits -= o.CacheHits
+	out.CacheReturns -= o.CacheReturns
+	return out
+}
+
+// AbortRate returns aborts / starts.
+func (s TxStats) AbortRate() float64 {
+	if s.Starts == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(s.Starts)
+}
+
+// STM is one transactional-memory instance over an address space.
+type STM struct {
+	space   *mem.Space
+	ortBase mem.Addr
+	ortSize uint64
+	shift   uint
+	clockA  mem.Addr // global version clock, in simulated memory
+
+	allocator alloc.Allocator
+	cacheTx   bool
+	design    Design
+
+	// lockAddrs[i] records which address acquired ORT entry i, for
+	// false-conflict classification (diagnostic only).
+	lockAddrs []mem.Addr
+
+	txs map[int]*Tx
+}
+
+// New builds an STM over space.
+func New(space *mem.Space, cfg Config) *STM {
+	bits := cfg.OrtBits
+	if bits == 0 {
+		bits = DefaultOrtBits
+	}
+	shift := cfg.Shift
+	if shift == 0 {
+		shift = DefaultShift
+	}
+	size := uint64(1) << bits
+	// One region holds the clock word (its own cache line) and the ORT.
+	base := space.MustMap(mem.PageSize+size*8, mem.PageSize)
+	s := &STM{
+		space:     space,
+		ortBase:   base + mem.PageSize,
+		ortSize:   size,
+		shift:     shift,
+		clockA:    base,
+		allocator: cfg.Allocator,
+		cacheTx:   cfg.CacheTxObjects,
+		design:    cfg.Design,
+		lockAddrs: make([]mem.Addr, size),
+		txs:       make(map[int]*Tx),
+	}
+	return s
+}
+
+// OrtIndex returns the ORT entry index for an address — the paper's
+// mapping function: shift right, then modulo the table size.
+func (s *STM) OrtIndex(a mem.Addr) uint64 {
+	return (uint64(a) >> s.shift) % s.ortSize
+}
+
+// ortAddr returns the simulated address of ORT entry i.
+func (s *STM) ortAddr(i uint64) mem.Addr { return s.ortBase + mem.Addr(i*8) }
+
+// Shift returns the configured shift amount.
+func (s *STM) Shift() uint { return s.shift }
+
+// Allocator returns the system allocator serving transactional
+// allocations (may be nil).
+func (s *STM) Allocator() alloc.Allocator { return s.allocator }
+
+// Design returns the configured STM variant.
+func (s *STM) Design() Design { return s.design }
+
+const lockBit = uint64(1)
+
+func isLocked(word uint64) bool   { return word&lockBit != 0 }
+func ownerOf(word uint64) int     { return int(word >> 1) }
+func lockWord(tid int) uint64     { return uint64(tid)<<1 | lockBit }
+func versionOf(word uint64) int64 { return int64(word >> 1) }
+func versionWord(v int64) uint64  { return uint64(v) << 1 }
+
+// TxFor returns (creating on first use) the reusable transaction
+// descriptor for a thread.
+func (s *STM) TxFor(th *vtime.Thread) *Tx {
+	if tx, ok := s.txs[th.ID()]; ok {
+		if tx.th != th {
+			tx.th = th
+		}
+		return tx
+	}
+	tx := &Tx{
+		stm:       s,
+		th:        th,
+		writeIdx:  make(map[mem.Addr]int, 64),
+		lockedSet: make(map[uint64]int, 32),
+		cache:     make(map[uint64][]mem.Addr),
+	}
+	s.txs[th.ID()] = tx
+	return tx
+}
+
+// Stats sums transaction statistics across all threads.
+func (s *STM) Stats() TxStats {
+	var out TxStats
+	for _, tx := range s.txs {
+		addStats(&out, &tx.stats)
+	}
+	return out
+}
+
+// InTx reports whether the thread's transaction descriptor is active
+// (used by region-attribution instrumentation).
+func (s *STM) InTx(tid int) bool {
+	tx, ok := s.txs[tid]
+	return ok && tx.active
+}
+
+// ThreadStats returns the statistics of one thread's transactions.
+func (s *STM) ThreadStats(tid int) TxStats {
+	if tx, ok := s.txs[tid]; ok {
+		return tx.stats
+	}
+	return TxStats{}
+}
+
+func addStats(dst, src *TxStats) {
+	dst.Starts += src.Starts
+	dst.Commits += src.Commits
+	dst.Aborts += src.Aborts
+	for i := range dst.ByReason {
+		dst.ByReason[i] += src.ByReason[i]
+	}
+	dst.FalseAborts += src.FalseAborts
+	if src.MaxRetries > dst.MaxRetries {
+		dst.MaxRetries = src.MaxRetries
+	}
+	if src.MaxReadSet > dst.MaxReadSet {
+		dst.MaxReadSet = src.MaxReadSet
+	}
+	if src.MaxWriteSet > dst.MaxWriteSet {
+		dst.MaxWriteSet = src.MaxWriteSet
+	}
+	dst.LoadsTotal += src.LoadsTotal
+	dst.StoresTotal += src.StoresTotal
+	dst.AllocsInTx += src.AllocsInTx
+	dst.FreesInTx += src.FreesInTx
+	dst.CacheHits += src.CacheHits
+	dst.CacheReturns += src.CacheReturns
+}
+
+// Atomic runs fn as a transaction on th, retrying on abort (SUICIDE
+// contention management: immediate restart). fn must be a pure function
+// of transactional state: any side effects outside tx operations may be
+// repeated.
+func (s *STM) Atomic(th *vtime.Thread, fn func(tx *Tx)) {
+	tx := s.TxFor(th)
+	if tx.active {
+		panic("stm: nested Atomic on the same thread")
+	}
+	retries := uint64(0)
+	for {
+		tx.begin()
+		if tx.tryRun(fn) {
+			return
+		}
+		retries++
+		if retries > tx.stats.MaxRetries {
+			tx.stats.MaxRetries = retries
+		}
+	}
+}
+
+type abortSignal struct{ reason AbortReason }
+
+// tryRun executes fn inside the active transaction, converting abort
+// panics into a false return.
+func (tx *Tx) tryRun(fn func(tx *Tx)) (committed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); ok {
+				committed = false
+				return
+			}
+			// Foreign panic: clean up the transaction, then propagate.
+			tx.rollback(AbortExplicit)
+			panic(r)
+		}
+	}()
+	fn(tx)
+	return tx.commit()
+}
+
+type writeEntry struct {
+	addr  mem.Addr
+	value uint64
+}
+
+type readEntry struct {
+	idx     uint64
+	version uint64 // the raw (unlocked) word observed
+}
+
+type allocRec struct {
+	addr mem.Addr
+	size uint64
+}
+
+type lockRec struct {
+	idx  uint64
+	prev uint64 // pre-lock ORT word, restored on abort
+}
+
+// Tx is a per-thread transaction descriptor, reused across transactions
+// (as TinySTM reuses its descriptor).
+type Tx struct {
+	stm    *STM
+	th     *vtime.Thread
+	active bool
+
+	snapshot  int64
+	readSet   []readEntry
+	writeSet  []writeEntry
+	writeIdx  map[mem.Addr]int
+	locked    []lockRec      // stripes this tx holds, in acquisition order
+	lockedSet map[uint64]int // ORT idx -> index into locked
+
+	undo []writeEntry // write-through: first-write old values
+
+	allocs []allocRec // blocks malloc'd by this tx (undone on abort)
+	frees  []allocRec // frees deferred to commit
+
+	cache map[uint64][]mem.Addr // request size -> cached blocks (§6.2)
+
+	stats TxStats
+}
+
+// Thread returns the executing thread.
+func (tx *Tx) Thread() *vtime.Thread { return tx.th }
+
+func (tx *Tx) begin() {
+	tx.active = true
+	tx.snapshot = versionOf(tx.th.Load(tx.stm.clockA))
+	tx.readSet = tx.readSet[:0]
+	tx.writeSet = tx.writeSet[:0]
+	clear(tx.writeIdx)
+	tx.locked = tx.locked[:0]
+	clear(tx.lockedSet)
+	tx.undo = tx.undo[:0]
+	tx.allocs = tx.allocs[:0]
+	tx.frees = tx.frees[:0]
+	tx.stats.Starts++
+	tx.th.Tick(tx.th.Cost().TxBase)
+}
+
+// abort rolls the transaction back and unwinds fn via panic.
+func (tx *Tx) abort(reason AbortReason, falseConflict bool) {
+	if falseConflict {
+		tx.stats.FalseAborts++
+	}
+	tx.rollback(reason)
+	panic(abortSignal{reason})
+}
+
+// rollback releases locks, undoes transactional allocations and drops
+// deferred frees. Under write-through, memory is restored from the undo
+// log before the locks go.
+func (tx *Tx) rollback(reason AbortReason) {
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		tx.th.Store(tx.undo[i].addr, tx.undo[i].value)
+	}
+	for _, l := range tx.locked {
+		tx.th.Store(tx.stm.ortAddr(l.idx), l.prev)
+	}
+	// Undo transactional allocations: the §6.2 optimization parks them
+	// in the thread-local cache instead of calling the system free.
+	for _, rec := range tx.allocs {
+		if tx.stm.cacheTx {
+			tx.cache[rec.size] = append(tx.cache[rec.size], rec.addr)
+			tx.stats.CacheReturns++
+			tx.th.Tick(tx.th.Cost().AllocOp)
+		} else {
+			tx.stm.allocator.Free(tx.th, rec.addr)
+		}
+	}
+	tx.active = false
+	tx.stats.Aborts++
+	tx.stats.ByReason[reason]++
+	tx.th.Tick(tx.th.Cost().TxBase)
+}
+
+// Restart aborts the transaction and retries it (explicit user abort).
+func (tx *Tx) Restart() {
+	tx.abort(AbortExplicit, false)
+}
+
+// validate re-checks every read-set entry against the current ORT.
+func (tx *Tx) validate() bool {
+	for _, r := range tx.readSet {
+		w := tx.th.Load(tx.stm.ortAddr(r.idx))
+		if isLocked(w) {
+			if ownerOf(w) != tx.th.ID() {
+				return false
+			}
+			continue // we hold it
+		}
+		if w != r.version {
+			return false
+		}
+	}
+	return true
+}
+
+// extend tries to advance the snapshot to the current clock after
+// validating the read set (TinySTM's timestamp extension).
+func (tx *Tx) extend() bool {
+	now := versionOf(tx.th.Load(tx.stm.clockA))
+	if !tx.validate() {
+		return false
+	}
+	tx.snapshot = now
+	return true
+}
+
+// Load performs a transactional read of the word at a.
+func (tx *Tx) Load(a mem.Addr) uint64 {
+	tx.stats.LoadsTotal++
+	tx.th.Tick(tx.th.Cost().TxAccess)
+	if tx.stm.design != ETLWriteThrough {
+		if i, ok := tx.writeIdx[a]; ok {
+			return tx.writeSet[i].value
+		}
+	}
+	s := tx.stm
+	idx := s.OrtIndex(a)
+	ortA := s.ortAddr(idx)
+	for {
+		w := tx.th.Load(ortA)
+		if isLocked(w) {
+			if ownerOf(w) == tx.th.ID() {
+				// We hold the stripe: under write-back memory is clean
+				// for other addresses; under write-through it holds our
+				// own current values. Either way, read memory.
+				return tx.th.Load(a)
+			}
+			tx.abort(AbortLockedByOther, s.lockAddrs[idx] != a)
+		}
+		if versionOf(w) > tx.snapshot {
+			if !tx.extend() {
+				tx.abort(AbortVersionAhead, s.lockAddrs[idx] != a)
+			}
+		}
+		v := tx.th.Load(a)
+		// Re-check: the stripe must not have changed while reading.
+		if w2 := tx.th.Load(ortA); w2 != w {
+			continue
+		}
+		tx.readSet = append(tx.readSet, readEntry{idx: idx, version: w})
+		return v
+	}
+}
+
+// Store performs a transactional write of v to the word at a. Under the
+// ETL designs the stripe lock is acquired now; write-back buffers the
+// value while write-through logs the old value and writes in place. CTL
+// only buffers — locks are taken at commit.
+func (tx *Tx) Store(a mem.Addr, v uint64) {
+	tx.stats.StoresTotal++
+	tx.th.Tick(tx.th.Cost().TxAccess)
+	switch tx.stm.design {
+	case ETLWriteThrough:
+		idx := tx.stm.OrtIndex(a)
+		if _, mine := tx.lockedSet[idx]; !mine {
+			tx.acquire(idx, a)
+		}
+		if _, logged := tx.writeIdx[a]; !logged {
+			tx.writeIdx[a] = len(tx.undo)
+			tx.undo = append(tx.undo, writeEntry{addr: a, value: tx.th.Load(a)})
+		}
+		tx.th.Store(a, v)
+		return
+	case CTL:
+		if i, ok := tx.writeIdx[a]; ok {
+			tx.writeSet[i].value = v
+			return
+		}
+		tx.writeIdx[a] = len(tx.writeSet)
+		tx.writeSet = append(tx.writeSet, writeEntry{addr: a, value: v})
+		return
+	}
+	// ETL write-back (the paper's configuration).
+	if i, ok := tx.writeIdx[a]; ok {
+		tx.writeSet[i].value = v
+		return
+	}
+	idx := tx.stm.OrtIndex(a)
+	if _, mine := tx.lockedSet[idx]; !mine {
+		tx.acquire(idx, a)
+	}
+	tx.writeIdx[a] = len(tx.writeSet)
+	tx.writeSet = append(tx.writeSet, writeEntry{addr: a, value: v})
+}
+
+// acquire locks ORT entry idx for this transaction (ETL encounter-time
+// or CTL commit-time), aborting on conflict.
+func (tx *Tx) acquire(idx uint64, a mem.Addr) {
+	s := tx.stm
+	ortA := s.ortAddr(idx)
+	for {
+		w := tx.th.Load(ortA)
+		if isLocked(w) {
+			if ownerOf(w) == tx.th.ID() {
+				panic("stm: ORT entry locked by this thread but not in its lock map")
+			}
+			tx.abort(AbortLockedByOther, s.lockAddrs[idx] != a)
+		}
+		if versionOf(w) > tx.snapshot {
+			if !tx.extend() {
+				tx.abort(AbortVersionAhead, s.lockAddrs[idx] != a)
+			}
+		}
+		if tx.th.CAS(ortA, w, lockWord(tx.th.ID())) {
+			tx.lockedSet[idx] = len(tx.locked)
+			tx.locked = append(tx.locked, lockRec{idx: idx, prev: w})
+			s.lockAddrs[idx] = a
+			break
+		}
+	}
+}
+
+// commit attempts to finish the transaction; false means it aborted.
+func (tx *Tx) commit() bool {
+	s := tx.stm
+	if len(tx.writeSet) == 0 && len(tx.locked) == 0 {
+		// Read-only: the snapshot is consistent by construction.
+		tx.finishCommit()
+		return true
+	}
+	if s.design == CTL {
+		// Commit-time locking: acquire every written stripe now, in
+		// index order for determinism. acquire aborts via panic on
+		// conflict; convert that to a rollback return.
+		if !tx.ctlAcquireAll() {
+			return false
+		}
+	}
+	// Fetch-and-increment the global clock (CAS loop: another thread
+	// may slip in between the load and the swap across a yield).
+	var next int64
+	for {
+		cur := versionOf(tx.th.Load(s.clockA))
+		next = cur + 1
+		if tx.th.CAS(s.clockA, versionWord(cur), versionWord(next)) {
+			break
+		}
+	}
+	if next > tx.snapshot+1 {
+		if !tx.validate() {
+			tx.rollback(AbortValidation)
+			return false
+		}
+	}
+	// Write back buffered values (write-through already wrote them),
+	// then release locks with the new version.
+	for _, w := range tx.writeSet {
+		tx.th.Store(w.addr, w.value)
+	}
+	release := versionWord(next)
+	for _, l := range tx.locked {
+		tx.th.Store(s.ortAddr(l.idx), release)
+	}
+	tx.finishCommit()
+	return true
+}
+
+// ctlAcquireAll locks every stripe the write set touches, in index
+// order for determinism, returning false (after rollback) on conflict.
+func (tx *Tx) ctlAcquireAll() (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isAbort := r.(abortSignal); isAbort {
+				ok = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	idxs := make([]uint64, 0, len(tx.writeSet))
+	seen := make(map[uint64]struct{}, len(tx.writeSet))
+	addrFor := make(map[uint64]mem.Addr, len(tx.writeSet))
+	for _, w := range tx.writeSet {
+		idx := tx.stm.OrtIndex(w.addr)
+		if _, dup := seen[idx]; !dup {
+			seen[idx] = struct{}{}
+			idxs = append(idxs, idx)
+			addrFor[idx] = w.addr
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, idx := range idxs {
+		tx.acquire(idx, addrFor[idx])
+	}
+	return true
+}
+
+func (tx *Tx) finishCommit() {
+	if n := uint64(len(tx.readSet)); n > tx.stats.MaxReadSet {
+		tx.stats.MaxReadSet = n
+	}
+	ws := uint64(len(tx.writeSet))
+	if tx.stm.design == ETLWriteThrough {
+		ws = uint64(len(tx.undo))
+	}
+	if ws > tx.stats.MaxWriteSet {
+		tx.stats.MaxWriteSet = ws
+	}
+	// Deferred frees execute now; the §6.2 optimization parks them in
+	// the thread-local cache instead.
+	for _, rec := range tx.frees {
+		if tx.stm.cacheTx {
+			tx.cache[rec.size] = append(tx.cache[rec.size], rec.addr)
+			tx.stats.CacheReturns++
+			tx.th.Tick(tx.th.Cost().AllocOp)
+		} else {
+			tx.stm.allocator.Free(tx.th, rec.addr)
+		}
+	}
+	tx.active = false
+	tx.stats.Commits++
+	tx.th.Tick(tx.th.Cost().TxBase)
+}
+
+// Malloc allocates inside the transaction; the block is reclaimed if
+// the transaction aborts. With CacheTxObjects the request is first
+// served from the thread-local object cache.
+func (tx *Tx) Malloc(size uint64) mem.Addr {
+	tx.stats.AllocsInTx++
+	var a mem.Addr
+	if tx.stm.cacheTx {
+		if lst := tx.cache[size]; len(lst) > 0 {
+			a = lst[len(lst)-1]
+			tx.cache[size] = lst[:len(lst)-1]
+			tx.stats.CacheHits++
+			tx.th.Tick(tx.th.Cost().AllocOp)
+		}
+	}
+	if a == 0 {
+		a = tx.stm.allocator.Malloc(tx.th, size)
+	}
+	tx.allocs = append(tx.allocs, allocRec{addr: a, size: size})
+	return a
+}
+
+// Free defers the release of the block at a (of the given request size)
+// to commit time, and transactionally locks the block's words so that
+// concurrent readers of the dying object conflict with this
+// transaction, as TinySTM's stm_free does.
+func (tx *Tx) Free(a mem.Addr, size uint64) {
+	tx.stats.FreesInTx++
+	for off := uint64(0); off < size; off += 8 {
+		tx.Store(a+mem.Addr(off), 0)
+	}
+	tx.frees = append(tx.frees, allocRec{addr: a, size: size})
+}
+
+// ClockValue returns the current global version clock (diagnostics).
+func (s *STM) ClockValue(th *vtime.Thread) int64 {
+	return versionOf(th.Load(s.clockA))
+}

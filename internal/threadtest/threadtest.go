@@ -1,0 +1,82 @@
+// Package threadtest implements the Hoard threadtest microbenchmark the
+// paper uses for Figure 3: a configurable number of threads that do
+// nothing but allocate a block and free it again immediately, measuring
+// allocator throughput as a function of block size. No STM is involved;
+// this isolates the allocators' fast paths, synchronization and
+// false-sharing behaviour.
+package threadtest
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/cachesim"
+	"repro/internal/mem"
+	"repro/internal/vtime"
+)
+
+// Config parameterizes one threadtest run.
+type Config struct {
+	Allocator    string
+	Threads      int    // paper: 8
+	BlockSize    uint64 // paper sweeps 16 .. 8192
+	OpsPerThread int    // malloc/free pairs per thread
+	TouchWords   int    // words written into each block (threadtest touches its blocks)
+}
+
+// Result reports throughput and supporting counters.
+type Result struct {
+	Config     Config
+	Cycles     uint64
+	Throughput float64 // malloc/free pairs per modelled second
+	Alloc      alloc.Stats
+	FalseShare uint64 // false-sharing coherence misses observed
+}
+
+// Run executes the microbenchmark.
+func Run(cfg Config) (Result, error) {
+	if cfg.Threads == 0 {
+		cfg.Threads = 8
+	}
+	if cfg.OpsPerThread == 0 {
+		cfg.OpsPerThread = 2000
+	}
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = 16
+	}
+	if cfg.TouchWords == 0 {
+		cfg.TouchWords = 1
+	}
+	space := mem.NewSpace()
+	allocator, err := alloc.New(cfg.Allocator, space, cfg.Threads)
+	if err != nil {
+		return Result{}, err
+	}
+	cache := cachesim.New(cachesim.DefaultCores)
+	engine := vtime.NewEngine(space, cfg.Threads, vtime.Config{Cache: cache})
+
+	touch := cfg.TouchWords
+	if uint64(touch*8) > cfg.BlockSize {
+		touch = int(cfg.BlockSize / 8)
+		if touch == 0 {
+			touch = 1
+		}
+	}
+	engine.Run(func(th *vtime.Thread) {
+		for i := 0; i < cfg.OpsPerThread; i++ {
+			a := allocator.Malloc(th, cfg.BlockSize)
+			for w := 0; w < touch; w++ {
+				th.Store(a+mem.Addr(w*8), uint64(i))
+			}
+			allocator.Free(th, a)
+		}
+	})
+
+	cycles := engine.MaxClock()
+	ops := uint64(cfg.Threads) * uint64(cfg.OpsPerThread)
+	return Result{
+		Config:     cfg,
+		Cycles:     cycles,
+		Throughput: float64(ops) / vtime.Seconds(cycles),
+		Alloc:      allocator.Stats(),
+		FalseShare: cache.TotalStats().FalseShare,
+	}, nil
+}

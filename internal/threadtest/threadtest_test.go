@@ -1,0 +1,116 @@
+package threadtest
+
+import (
+	"testing"
+
+	_ "repro/internal/alloc/glibc"
+	_ "repro/internal/alloc/hoard"
+	_ "repro/internal/alloc/tbb"
+	_ "repro/internal/alloc/tcmalloc"
+)
+
+func run(t *testing.T, name string, size uint64) Result {
+	t.Helper()
+	res, err := Run(Config{Allocator: name, Threads: 8, BlockSize: size, OpsPerThread: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("%s/%d: zero throughput", name, size)
+	}
+	return res
+}
+
+func TestAllAllocatorsAllSizes(t *testing.T) {
+	for _, name := range []string{"glibc", "hoard", "tbb", "tcmalloc"} {
+		for _, size := range []uint64{16, 64, 256, 2048, 8192} {
+			res := run(t, name, size)
+			if res.Alloc.Mallocs != res.Alloc.Frees || res.Alloc.Mallocs != 4000 {
+				t.Errorf("%s/%d: mallocs %d frees %d", name, size, res.Alloc.Mallocs, res.Alloc.Frees)
+			}
+		}
+	}
+}
+
+// Paper Fig. 3 shape: TCMalloc performs poorly at 16 bytes relative to
+// its own larger sizes because its incremental central-cache handout
+// interleaves adjacent blocks across threads (false sharing).
+func TestTCMallocFalseSharingAt16(t *testing.T) {
+	at16 := run(t, "tcmalloc", 16)
+	at256 := run(t, "tcmalloc", 256)
+	if at16.FalseShare == 0 {
+		t.Error("tcmalloc at 16B produced no false-sharing misses")
+	}
+	hoard16 := run(t, "hoard", 16)
+	if at16.FalseShare <= hoard16.FalseShare {
+		t.Errorf("tcmalloc false sharing (%d) not worse than hoard (%d) at 16B",
+			at16.FalseShare, hoard16.FalseShare)
+	}
+	_ = at256
+}
+
+// Paper Fig. 3 shape: Hoard's throughput drops past its 256-byte local
+// cache bound, approaching Glibc's lock-per-op level.
+func TestHoardDropsPast256(t *testing.T) {
+	small := run(t, "hoard", 256)
+	big := run(t, "hoard", 512)
+	if big.Throughput >= small.Throughput {
+		t.Errorf("hoard at 512B (%.0f op/s) not slower than at 256B (%.0f op/s)",
+			big.Throughput, small.Throughput)
+	}
+	if small.Alloc.LockAcquires >= big.Alloc.LockAcquires {
+		t.Errorf("hoard lock acquisitions at 256B (%d) not fewer than at 512B (%d)",
+			small.Alloc.LockAcquires, big.Alloc.LockAcquires)
+	}
+}
+
+// Paper Fig. 3 shape: TBB stays flat until ~8KB, then falls off a cliff
+// when requests go straight to the OS.
+func TestTBBCliffAt8K(t *testing.T) {
+	under := run(t, "tbb", 4096)
+	over := run(t, "tbb", 8192)
+	if over.Throughput > under.Throughput/4 {
+		t.Errorf("tbb at 8192B (%.0f op/s) should collapse vs 4096B (%.0f op/s)",
+			over.Throughput, under.Throughput)
+	}
+}
+
+// Glibc locks an arena on every operation: it must record at least one
+// lock acquisition per malloc+free.
+func TestGlibcAlwaysLocks(t *testing.T) {
+	res := run(t, "glibc", 64)
+	if res.Alloc.LockAcquires < res.Alloc.Mallocs+res.Alloc.Frees {
+		t.Errorf("glibc lock acquisitions %d < ops %d",
+			res.Alloc.LockAcquires, res.Alloc.Mallocs+res.Alloc.Frees)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := run(t, "tcmalloc", 16)
+	b := run(t, "tcmalloc", 16)
+	if a.Cycles != b.Cycles {
+		t.Errorf("nondeterministic: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}
+
+func TestDefaultsAndTouchClamping(t *testing.T) {
+	// Zero-valued config fields take defaults; TouchWords is clamped to
+	// the block size.
+	res, err := Run(Config{Allocator: "tbb", TouchWords: 100, BlockSize: 16, OpsPerThread: 10, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alloc.Mallocs != 20 {
+		t.Errorf("mallocs = %d, want 20", res.Alloc.Mallocs)
+	}
+	if _, err := Run(Config{Allocator: "nosuch"}); err == nil {
+		t.Error("unknown allocator accepted")
+	}
+	def, err := Run(Config{Allocator: "glibc", OpsPerThread: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Config.Threads != 8 || def.Config.BlockSize != 16 {
+		t.Errorf("defaults not applied: %+v", def.Config)
+	}
+}

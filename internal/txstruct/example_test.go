@@ -1,0 +1,90 @@
+package txstruct_test
+
+import (
+	"fmt"
+
+	_ "repro/internal/alloc/tcmalloc"
+
+	"repro/internal/alloc"
+	"repro/internal/mem"
+	"repro/internal/stm"
+	"repro/internal/txstruct"
+	"repro/internal/vtime"
+)
+
+// Transactional containers live in simulated memory and are operated on
+// inside transactions; their nodes come from the pluggable system
+// allocator.
+func ExampleRBTree() {
+	space := mem.NewSpace()
+	a := alloc.MustNew("tcmalloc", space, 1)
+	s := stm.New(space, stm.Config{Allocator: a})
+	th := vtime.Solo(space, 0, nil)
+
+	var tree *txstruct.RBTree
+	s.Atomic(th, func(tx *stm.Tx) {
+		tree = txstruct.NewRBTree(tx)
+		for _, k := range []int64{30, 10, 20} {
+			tree.Insert(tx, k, uint64(k*100))
+		}
+	})
+	s.Atomic(th, func(tx *stm.Tx) {
+		v, ok := tree.Get(tx, 20)
+		fmt.Println("get(20):", v, ok)
+		fmt.Println("keys:", tree.Keys(tx))
+		tree.Remove(tx, 10)
+		fmt.Println("after remove:", tree.Keys(tx))
+	})
+	// Output:
+	// get(20): 2000 true
+	// keys: [10 20 30]
+	// after remove: [20 30]
+}
+
+func ExampleQueue() {
+	space := mem.NewSpace()
+	a := alloc.MustNew("tcmalloc", space, 1)
+	s := stm.New(space, stm.Config{Allocator: a})
+	th := vtime.Solo(space, 0, nil)
+
+	var q *txstruct.Queue
+	s.Atomic(th, func(tx *stm.Tx) {
+		q = txstruct.NewQueue(tx, 2)
+		q.Push(tx, 10)
+		q.Push(tx, 20)
+		q.Push(tx, 30) // grows past the initial capacity
+	})
+	s.Atomic(th, func(tx *stm.Tx) {
+		for {
+			v, ok := q.Pop(tx)
+			if !ok {
+				break
+			}
+			fmt.Println(v)
+		}
+	})
+	// Output:
+	// 10
+	// 20
+	// 30
+}
+
+func ExampleList() {
+	space := mem.NewSpace()
+	a := alloc.MustNew("tcmalloc", space, 1)
+	s := stm.New(space, stm.Config{Allocator: a})
+	th := vtime.Solo(space, 0, nil)
+
+	var l *txstruct.List
+	s.Atomic(th, func(tx *stm.Tx) {
+		l = txstruct.NewList(tx)
+		l.Insert(tx, 7)
+		l.Insert(tx, 3)
+		l.Insert(tx, 5)
+		fmt.Println("sorted:", l.Keys(tx))
+		fmt.Println("dup insert:", l.Insert(tx, 5))
+	})
+	// Output:
+	// sorted: [3 5 7]
+	// dup insert: false
+}

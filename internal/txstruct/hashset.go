@@ -1,0 +1,107 @@
+package txstruct
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+// HashSet is a separate-chaining hash set of int64 keys. The bucket
+// array is one large allocation (the paper's synthetic hash set uses
+// 128K buckets for a 4K set, making collisions rare); chain nodes are
+// the same 16-byte {value, next} records as the linked list.
+type HashSet struct {
+	buckets mem.Addr
+	nb      uint64
+}
+
+// NewHashSet builds a set with nb buckets (a power of two) inside a
+// transaction. The bucket array is allocated from the system allocator.
+func NewHashSet(tx *stm.Tx, nb uint64) *HashSet {
+	if nb == 0 || nb&(nb-1) != 0 {
+		panic("txstruct: bucket count must be a power of two")
+	}
+	b := tx.Malloc(nb * 8)
+	// Bucket words start zeroed (fresh mappings are zero-filled); for
+	// recycled memory, clear them.
+	for i := uint64(0); i < nb; i++ {
+		tx.Store(b+mem.Addr(i*8), 0)
+	}
+	return &HashSet{buckets: b, nb: nb}
+}
+
+// hash mixes the key (splitmix-style finalizer).
+func (h *HashSet) hash(key int64) uint64 {
+	x := uint64(key)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x & (h.nb - 1)
+}
+
+func (h *HashSet) bucket(key int64) mem.Addr {
+	return h.buckets + mem.Addr(h.hash(key)*8)
+}
+
+// Contains reports whether key is in the set.
+func (h *HashSet) Contains(tx *stm.Tx, key int64) bool {
+	cur := mem.Addr(tx.Load(h.bucket(key)))
+	for cur != 0 {
+		if int64(tx.Load(cur+lnValue)) == key {
+			return true
+		}
+		cur = mem.Addr(tx.Load(cur + lnNext))
+	}
+	return false
+}
+
+// Insert adds key, reporting false if it was already present.
+func (h *HashSet) Insert(tx *stm.Tx, key int64) bool {
+	b := h.bucket(key)
+	head := mem.Addr(tx.Load(b))
+	for cur := head; cur != 0; cur = mem.Addr(tx.Load(cur + lnNext)) {
+		if int64(tx.Load(cur+lnValue)) == key {
+			return false
+		}
+	}
+	n := tx.Malloc(ListNodeSize)
+	tx.Store(n+lnValue, uint64(key))
+	tx.Store(n+lnNext, uint64(head))
+	tx.Store(b, uint64(n))
+	return true
+}
+
+// Remove deletes key, reporting false if it was absent.
+func (h *HashSet) Remove(tx *stm.Tx, key int64) bool {
+	b := h.bucket(key)
+	prev := mem.Addr(0)
+	cur := mem.Addr(tx.Load(b))
+	for cur != 0 {
+		next := mem.Addr(tx.Load(cur + lnNext))
+		if int64(tx.Load(cur+lnValue)) == key {
+			if prev == 0 {
+				tx.Store(b, uint64(next))
+			} else {
+				tx.Store(prev+lnNext, uint64(next))
+			}
+			tx.Free(cur, ListNodeSize)
+			return true
+		}
+		prev, cur = cur, next
+	}
+	return false
+}
+
+// Len counts all elements (reads every bucket; validation only).
+func (h *HashSet) Len(tx *stm.Tx) int {
+	n := 0
+	for i := uint64(0); i < h.nb; i++ {
+		cur := mem.Addr(tx.Load(h.buckets + mem.Addr(i*8)))
+		for cur != 0 {
+			n++
+			cur = mem.Addr(tx.Load(cur + lnNext))
+		}
+	}
+	return n
+}

@@ -1,0 +1,136 @@
+package txstruct
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+// Heap is a transactional binary min-heap of 64-bit keys (carrying a
+// 64-bit payload each), modelled on STAMP's heap.c — the container the
+// original yada uses to prioritize work. The element array lives in
+// simulated memory and doubles on overflow.
+type Heap struct {
+	hdr mem.Addr // header: capacity, size, dataPtr
+}
+
+const (
+	hCap  = 0
+	hSize = 8
+	hData = 16
+	// HeapHeaderSize is the heap header allocation.
+	HeapHeaderSize = 24
+)
+
+// NewHeap builds an empty heap with the given initial capacity inside a
+// transaction.
+func NewHeap(tx *stm.Tx, capacity uint64) *Heap {
+	if capacity == 0 {
+		capacity = 8
+	}
+	h := tx.Malloc(HeapHeaderSize)
+	d := tx.Malloc(capacity * 16)
+	tx.Store(h+hCap, capacity)
+	tx.Store(h+hSize, 0)
+	tx.Store(h+hData, uint64(d))
+	return &Heap{hdr: h}
+}
+
+// Len returns the element count.
+func (h *Heap) Len(tx *stm.Tx) int { return int(tx.Load(h.hdr + hSize)) }
+
+func (h *Heap) slot(data mem.Addr, i uint64) mem.Addr { return data + mem.Addr(i*16) }
+
+// Push inserts (key, value).
+func (h *Heap) Push(tx *stm.Tx, key int64, value uint64) {
+	capa := tx.Load(h.hdr + hCap)
+	size := tx.Load(h.hdr + hSize)
+	data := mem.Addr(tx.Load(h.hdr + hData))
+	if size == capa {
+		newCap := capa * 2
+		nd := tx.Malloc(newCap * 16)
+		for i := uint64(0); i < size; i++ {
+			tx.Store(h.slot(nd, i), tx.Load(h.slot(data, i)))
+			tx.Store(h.slot(nd, i)+8, tx.Load(h.slot(data, i)+8))
+		}
+		tx.Free(data, capa*16)
+		data = nd
+		capa = newCap
+		tx.Store(h.hdr+hCap, capa)
+		tx.Store(h.hdr+hData, uint64(data))
+	}
+	// Sift up.
+	i := size
+	tx.Store(h.slot(data, i), uint64(key))
+	tx.Store(h.slot(data, i)+8, value)
+	for i > 0 {
+		parent := (i - 1) / 2
+		pk := int64(tx.Load(h.slot(data, parent)))
+		ck := int64(tx.Load(h.slot(data, i)))
+		if pk <= ck {
+			break
+		}
+		h.swap(tx, data, parent, i)
+		i = parent
+	}
+	tx.Store(h.hdr+hSize, size+1)
+}
+
+func (h *Heap) swap(tx *stm.Tx, data mem.Addr, a, b uint64) {
+	ak, av := tx.Load(h.slot(data, a)), tx.Load(h.slot(data, a)+8)
+	bk, bv := tx.Load(h.slot(data, b)), tx.Load(h.slot(data, b)+8)
+	tx.Store(h.slot(data, a), bk)
+	tx.Store(h.slot(data, a)+8, bv)
+	tx.Store(h.slot(data, b), ak)
+	tx.Store(h.slot(data, b)+8, av)
+}
+
+// Pop removes and returns the minimum (key, value); ok is false when
+// empty.
+func (h *Heap) Pop(tx *stm.Tx) (key int64, value uint64, ok bool) {
+	size := tx.Load(h.hdr + hSize)
+	if size == 0 {
+		return 0, 0, false
+	}
+	data := mem.Addr(tx.Load(h.hdr + hData))
+	key = int64(tx.Load(h.slot(data, 0)))
+	value = tx.Load(h.slot(data, 0) + 8)
+	size--
+	tx.Store(h.hdr+hSize, size)
+	if size == 0 {
+		return key, value, true
+	}
+	// Move the last element to the root and sift down.
+	tx.Store(h.slot(data, 0), tx.Load(h.slot(data, size)))
+	tx.Store(h.slot(data, 0)+8, tx.Load(h.slot(data, size)+8))
+	i := uint64(0)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		sk := int64(tx.Load(h.slot(data, smallest)))
+		if l < size {
+			if lk := int64(tx.Load(h.slot(data, l))); lk < sk {
+				smallest, sk = l, lk
+			}
+		}
+		if r < size {
+			if rk := int64(tx.Load(h.slot(data, r))); rk < sk {
+				smallest = r
+			}
+		}
+		if smallest == i {
+			break
+		}
+		h.swap(tx, data, i, smallest)
+		i = smallest
+	}
+	return key, value, true
+}
+
+// Peek returns the minimum without removing it.
+func (h *Heap) Peek(tx *stm.Tx) (key int64, value uint64, ok bool) {
+	if tx.Load(h.hdr+hSize) == 0 {
+		return 0, 0, false
+	}
+	data := mem.Addr(tx.Load(h.hdr + hData))
+	return int64(tx.Load(h.slot(data, 0))), tx.Load(h.slot(data, 0) + 8), true
+}

@@ -1,0 +1,184 @@
+package txstruct
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/stm"
+	"repro/internal/vtime"
+)
+
+func TestHeapOrdering(t *testing.T) {
+	w := newSoloWorld(t)
+	var h *Heap
+	w.atomic(func(tx *stm.Tx) { h = NewHeap(tx, 4) })
+	keys := []int64{9, 3, 7, 1, 8, 2, 6, 4, 5, 0}
+	w.atomic(func(tx *stm.Tx) {
+		for _, k := range keys {
+			h.Push(tx, k, uint64(k*10))
+		}
+		if h.Len(tx) != len(keys) {
+			t.Fatalf("Len = %d", h.Len(tx))
+		}
+		if k, v, ok := h.Peek(tx); !ok || k != 0 || v != 0 {
+			t.Fatalf("Peek = %d,%d,%v", k, v, ok)
+		}
+		for want := int64(0); want < 10; want++ {
+			k, v, ok := h.Pop(tx)
+			if !ok || k != want || v != uint64(want*10) {
+				t.Fatalf("Pop = %d,%d,%v; want %d", k, v, ok, want)
+			}
+		}
+		if _, _, ok := h.Pop(tx); ok {
+			t.Fatal("Pop on empty heap succeeded")
+		}
+	})
+}
+
+// Property: heap pops come out sorted for any input sequence.
+func TestHeapMatchesSort(t *testing.T) {
+	check := func(seed uint64) bool {
+		w := newSoloWorld(t)
+		var h *Heap
+		w.atomic(func(tx *stm.Tx) { h = NewHeap(tx, 2) })
+		rng := sim.NewRand(seed)
+		n := 50 + rng.Intn(100)
+		var want []int64
+		w.atomic(func(tx *stm.Tx) {
+			for i := 0; i < n; i++ {
+				k := int64(rng.Intn(1000))
+				want = append(want, k)
+				h.Push(tx, k, uint64(i))
+			}
+		})
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		ok := true
+		w.atomic(func(tx *stm.Tx) {
+			for _, wk := range want {
+				k, _, got := h.Pop(tx)
+				if !got || k != wk {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Concurrent pushes and pops keep the heap's invariant and deliver
+// every element exactly once.
+func TestHeapConcurrent(t *testing.T) {
+	w := newSoloWorld(t)
+	s := w.s
+	e := vtime.NewEngine(w.space, 4, vtime.Config{})
+	var h *Heap
+	init := vtime.Solo(w.space, 0, nil)
+	s.Atomic(init, func(tx *stm.Tx) { h = NewHeap(tx, 8) })
+	const per = 100
+	got := map[uint64]int{}
+	e.Run(func(th *vtime.Thread) {
+		if th.ID() < 2 {
+			for i := 0; i < per; i++ {
+				v := uint64(th.ID())<<32 | uint64(i)
+				s.Atomic(th, func(tx *stm.Tx) { h.Push(tx, int64(i), v) })
+			}
+			return
+		}
+		misses := 0
+		for misses < 200 {
+			var v uint64
+			var ok bool
+			s.Atomic(th, func(tx *stm.Tx) { _, v, ok = h.Pop(tx) })
+			if ok {
+				got[v]++
+				misses = 0
+			} else {
+				misses++
+				th.Work(50)
+			}
+		}
+	})
+	for {
+		var v uint64
+		var ok bool
+		s.Atomic(init, func(tx *stm.Tx) { _, v, ok = h.Pop(tx) })
+		if !ok {
+			break
+		}
+		got[v]++
+	}
+	if len(got) != 2*per {
+		t.Errorf("delivered %d distinct items, want %d", len(got), 2*per)
+	}
+	for v, n := range got {
+		if n != 1 {
+			t.Errorf("item %#x delivered %d times", v, n)
+		}
+	}
+}
+
+func TestVectorBasics(t *testing.T) {
+	w := newSoloWorld(t)
+	var v *Vector
+	w.atomic(func(tx *stm.Tx) { v = NewVector(tx, 2) })
+	w.atomic(func(tx *stm.Tx) {
+		for i := uint64(0); i < 50; i++ {
+			v.Append(tx, i*3)
+		}
+		if v.Len(tx) != 50 {
+			t.Fatalf("Len = %d", v.Len(tx))
+		}
+		if v.At(tx, 10) != 30 {
+			t.Fatalf("At(10) = %d", v.At(tx, 10))
+		}
+		v.Set(tx, 10, 999)
+		if v.At(tx, 10) != 999 {
+			t.Fatal("Set lost")
+		}
+		if x, ok := v.PopBack(tx); !ok || x != 49*3 {
+			t.Fatalf("PopBack = %d,%v", x, ok)
+		}
+		if v.Len(tx) != 49 {
+			t.Fatalf("Len after pop = %d", v.Len(tx))
+		}
+	})
+}
+
+func TestVectorOutOfRangePanics(t *testing.T) {
+	w := newSoloWorld(t)
+	var v *Vector
+	w.atomic(func(tx *stm.Tx) { v = NewVector(tx, 2) })
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range At did not panic")
+		}
+	}()
+	w.atomic(func(tx *stm.Tx) { v.At(tx, 0) })
+}
+
+func TestVectorAbortRetrySafe(t *testing.T) {
+	w := newSoloWorld(t)
+	var v *Vector
+	w.atomic(func(tx *stm.Tx) { v = NewVector(tx, 2) })
+	tries := 0
+	w.s.Atomic(w.th, func(tx *stm.Tx) {
+		tries++
+		for i := uint64(0); i < 10; i++ {
+			v.Append(tx, i)
+		}
+		if tries == 1 {
+			tx.Restart()
+		}
+	})
+	w.atomic(func(tx *stm.Tx) {
+		if v.Len(tx) != 10 {
+			t.Errorf("Len = %d after abort+retry, want 10", v.Len(tx))
+		}
+	})
+}

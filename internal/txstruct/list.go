@@ -1,0 +1,104 @@
+// Package txstruct provides transactional data structures laid out in
+// simulated memory and accessed through the STM: a sorted linked-list
+// set, a hash set, a red-black tree and a growable queue. They are the
+// §5 microbenchmark structures and the containers the STAMP ports are
+// built from.
+//
+// All operations take the calling transaction; structure nodes are
+// allocated with tx.Malloc and released with tx.Free, so the system
+// allocator's placement decisions shape the structures' interaction
+// with the STM exactly as in the paper.
+package txstruct
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+// ListNodeSize is the size of a list node: value and next pointer —
+// the paper's 16-byte linked-list node.
+const ListNodeSize = 16
+
+const (
+	lnValue = 0
+	lnNext  = 8
+)
+
+// List is a sorted singly-linked list set of int64 keys with a head
+// sentinel, as used by the paper's linked-list microbenchmark.
+type List struct {
+	head mem.Addr // sentinel node
+}
+
+// NewList builds an empty list inside a transaction.
+func NewList(tx *stm.Tx) *List {
+	head := tx.Malloc(ListNodeSize)
+	sentinel := int64(-1) << 62
+	tx.Store(head+lnValue, uint64(sentinel))
+	tx.Store(head+lnNext, 0)
+	return &List{head: head}
+}
+
+// find returns (prev, cur) where cur is the first node with value >=
+// key (cur may be 0).
+func (l *List) find(tx *stm.Tx, key int64) (prev, cur mem.Addr) {
+	prev = l.head
+	cur = mem.Addr(tx.Load(prev + lnNext))
+	for cur != 0 {
+		v := int64(tx.Load(cur + lnValue))
+		if v >= key {
+			return prev, cur
+		}
+		prev, cur = cur, mem.Addr(tx.Load(cur+lnNext))
+	}
+	return prev, 0
+}
+
+// Contains reports whether key is in the set.
+func (l *List) Contains(tx *stm.Tx, key int64) bool {
+	_, cur := l.find(tx, key)
+	return cur != 0 && int64(tx.Load(cur+lnValue)) == key
+}
+
+// Insert adds key, reporting false if it was already present.
+func (l *List) Insert(tx *stm.Tx, key int64) bool {
+	prev, cur := l.find(tx, key)
+	if cur != 0 && int64(tx.Load(cur+lnValue)) == key {
+		return false
+	}
+	n := tx.Malloc(ListNodeSize)
+	tx.Store(n+lnValue, uint64(key))
+	tx.Store(n+lnNext, uint64(cur))
+	tx.Store(prev+lnNext, uint64(n))
+	return true
+}
+
+// Remove deletes key, reporting false if it was absent. The node is
+// freed transactionally (deferred to commit).
+func (l *List) Remove(tx *stm.Tx, key int64) bool {
+	prev, cur := l.find(tx, key)
+	if cur == 0 || int64(tx.Load(cur+lnValue)) != key {
+		return false
+	}
+	tx.Store(prev+lnNext, tx.Load(cur+lnNext))
+	tx.Free(cur, ListNodeSize)
+	return true
+}
+
+// Len counts the elements (transactionally reads the whole list).
+func (l *List) Len(tx *stm.Tx) int {
+	n := 0
+	for cur := mem.Addr(tx.Load(l.head + lnNext)); cur != 0; cur = mem.Addr(tx.Load(cur + lnNext)) {
+		n++
+	}
+	return n
+}
+
+// Keys returns the elements in order (for validation).
+func (l *List) Keys(tx *stm.Tx) []int64 {
+	var out []int64
+	for cur := mem.Addr(tx.Load(l.head + lnNext)); cur != 0; cur = mem.Addr(tx.Load(cur + lnNext)) {
+		out = append(out, int64(tx.Load(cur+lnValue)))
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package txstruct
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+// Queue is a growable transactional FIFO of 64-bit words, modelled on
+// STAMP's queue.c (a circular buffer that doubles on overflow).
+type Queue struct {
+	hdr mem.Addr // header block: capacity, size, head, dataPtr
+}
+
+const (
+	qCap  = 0
+	qSize = 8
+	qHead = 16
+	qData = 24
+	// QueueHeaderSize is the queue header allocation.
+	QueueHeaderSize = 32
+)
+
+// NewQueue builds a queue with the given initial capacity inside a
+// transaction.
+func NewQueue(tx *stm.Tx, capacity uint64) *Queue {
+	if capacity == 0 {
+		capacity = 8
+	}
+	h := tx.Malloc(QueueHeaderSize)
+	d := tx.Malloc(capacity * 8)
+	tx.Store(h+qCap, capacity)
+	tx.Store(h+qSize, 0)
+	tx.Store(h+qHead, 0)
+	tx.Store(h+qData, uint64(d))
+	return &Queue{hdr: h}
+}
+
+// Len returns the number of queued items.
+func (q *Queue) Len(tx *stm.Tx) int { return int(tx.Load(q.hdr + qSize)) }
+
+// Push appends v, doubling the buffer when full (old buffer is freed
+// transactionally, as STAMP's queue does).
+func (q *Queue) Push(tx *stm.Tx, v uint64) {
+	capa := tx.Load(q.hdr + qCap)
+	size := tx.Load(q.hdr + qSize)
+	head := tx.Load(q.hdr + qHead)
+	data := mem.Addr(tx.Load(q.hdr + qData))
+	if size == capa {
+		newCap := capa * 2
+		nd := tx.Malloc(newCap * 8)
+		for i := uint64(0); i < size; i++ {
+			tx.Store(nd+mem.Addr(i*8), tx.Load(data+mem.Addr(((head+i)%capa)*8)))
+		}
+		tx.Free(data, capa*8)
+		data = nd
+		head = 0
+		capa = newCap
+		tx.Store(q.hdr+qCap, capa)
+		tx.Store(q.hdr+qHead, 0)
+		tx.Store(q.hdr+qData, uint64(data))
+	}
+	tx.Store(data+mem.Addr(((head+size)%capa)*8), v)
+	tx.Store(q.hdr+qSize, size+1)
+}
+
+// Pop removes and returns the oldest item; ok is false when empty.
+func (q *Queue) Pop(tx *stm.Tx) (v uint64, ok bool) {
+	size := tx.Load(q.hdr + qSize)
+	if size == 0 {
+		return 0, false
+	}
+	capa := tx.Load(q.hdr + qCap)
+	head := tx.Load(q.hdr + qHead)
+	data := mem.Addr(tx.Load(q.hdr + qData))
+	v = tx.Load(data + mem.Addr(head*8))
+	tx.Store(q.hdr+qHead, (head+1)%capa)
+	tx.Store(q.hdr+qSize, size-1)
+	return v, true
+}

@@ -1,0 +1,92 @@
+package txstruct
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stm"
+)
+
+// Vector is a transactional growable array of 64-bit words, modelled on
+// STAMP's vector.c. The backing array lives in simulated memory and
+// doubles on overflow.
+type Vector struct {
+	hdr mem.Addr // header: capacity, size, dataPtr
+}
+
+const (
+	vCap  = 0
+	vSize = 8
+	vData = 16
+	// VectorHeaderSize is the vector header allocation.
+	VectorHeaderSize = 24
+)
+
+// NewVector builds an empty vector with the given initial capacity
+// inside a transaction.
+func NewVector(tx *stm.Tx, capacity uint64) *Vector {
+	if capacity == 0 {
+		capacity = 8
+	}
+	h := tx.Malloc(VectorHeaderSize)
+	d := tx.Malloc(capacity * 8)
+	tx.Store(h+vCap, capacity)
+	tx.Store(h+vSize, 0)
+	tx.Store(h+vData, uint64(d))
+	return &Vector{hdr: h}
+}
+
+// Len returns the element count.
+func (v *Vector) Len(tx *stm.Tx) int { return int(tx.Load(v.hdr + vSize)) }
+
+// Append adds x at the end, growing the backing array as needed.
+func (v *Vector) Append(tx *stm.Tx, x uint64) {
+	capa := tx.Load(v.hdr + vCap)
+	size := tx.Load(v.hdr + vSize)
+	data := mem.Addr(tx.Load(v.hdr + vData))
+	if size == capa {
+		newCap := capa * 2
+		nd := tx.Malloc(newCap * 8)
+		for i := uint64(0); i < size; i++ {
+			tx.Store(nd+mem.Addr(i*8), tx.Load(data+mem.Addr(i*8)))
+		}
+		tx.Free(data, capa*8)
+		data = nd
+		capa = newCap
+		tx.Store(v.hdr+vCap, capa)
+		tx.Store(v.hdr+vData, uint64(data))
+	}
+	tx.Store(data+mem.Addr(size*8), x)
+	tx.Store(v.hdr+vSize, size+1)
+}
+
+// At returns element i; it panics on out-of-range indices (a caller
+// bug, matching Go slice semantics).
+func (v *Vector) At(tx *stm.Tx, i int) uint64 {
+	size := int(tx.Load(v.hdr + vSize))
+	if i < 0 || i >= size {
+		panic("txstruct: vector index out of range")
+	}
+	data := mem.Addr(tx.Load(v.hdr + vData))
+	return tx.Load(data + mem.Addr(i*8))
+}
+
+// Set stores x at index i.
+func (v *Vector) Set(tx *stm.Tx, i int, x uint64) {
+	size := int(tx.Load(v.hdr + vSize))
+	if i < 0 || i >= size {
+		panic("txstruct: vector index out of range")
+	}
+	data := mem.Addr(tx.Load(v.hdr + vData))
+	tx.Store(data+mem.Addr(i*8), x)
+}
+
+// PopBack removes and returns the last element; ok is false when empty.
+func (v *Vector) PopBack(tx *stm.Tx) (x uint64, ok bool) {
+	size := tx.Load(v.hdr + vSize)
+	if size == 0 {
+		return 0, false
+	}
+	data := mem.Addr(tx.Load(v.hdr + vData))
+	x = tx.Load(data + mem.Addr((size-1)*8))
+	tx.Store(v.hdr+vSize, size-1)
+	return x, true
+}

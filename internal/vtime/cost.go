@@ -1,0 +1,59 @@
+package vtime
+
+import "repro/internal/cachesim"
+
+// CostModel assigns cycle latencies to the events the engine prices.
+// Values approximate the paper's 2 GHz Xeon E5405 (Table 2): a 3-cycle
+// L1D, a ~15 ns shared L2 and ~80 ns DRAM, with cross-socket transfers
+// between the two.
+type CostModel struct {
+	L1Hit     uint64 // L1D load-to-use
+	L2Hit     uint64 // own-socket L2
+	RemoteL2  uint64 // serviced by the other socket
+	Memory    uint64 // main memory
+	Inval     uint64 // extra cost on a write that invalidates sharers
+	LockOp    uint64 // one atomic RMW beyond the line access (CAS/xchg)
+	SpinRetry uint64 // pause + re-check in a spin loop
+	TxBase    uint64 // fixed transaction begin+commit bookkeeping
+	TxAccess  uint64 // per-access STM instrumentation overhead
+	AllocOp   uint64 // fixed non-memory work in malloc/free
+	OSMap     uint64 // an mmap-style call into the simulated OS
+	Work      uint64 // one abstract unit of application compute
+}
+
+// Frequency is the modelled clock rate used to convert cycles to
+// seconds (the paper machine's 2.00 GHz).
+const Frequency = 2.0e9
+
+// DefaultCost is the cost model used by all experiments.
+var DefaultCost = CostModel{
+	L1Hit:     3,
+	L2Hit:     30,
+	RemoteL2:  90,
+	Memory:    160,
+	Inval:     40,
+	LockOp:    15,
+	SpinRetry: 30,
+	TxBase:    60,
+	TxAccess:  8,
+	AllocOp:   30,
+	OSMap:     4000,
+	Work:      1,
+}
+
+// accessCost prices a classified cache access.
+func (c *CostModel) accessCost(lvl cachesim.Level, write bool) uint64 {
+	switch lvl {
+	case cachesim.L1Hit:
+		return c.L1Hit
+	case cachesim.L2Hit:
+		return c.L2Hit
+	case cachesim.RemoteL2Hit:
+		return c.RemoteL2
+	default:
+		return c.Memory
+	}
+}
+
+// Seconds converts virtual cycles to modelled seconds.
+func Seconds(cycles uint64) float64 { return float64(cycles) / Frequency }

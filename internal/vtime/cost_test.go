@@ -1,0 +1,141 @@
+package vtime
+
+import (
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/mem"
+)
+
+func TestAccessCostOrdering(t *testing.T) {
+	c := DefaultCost
+	if !(c.L1Hit < c.L2Hit && c.L2Hit < c.RemoteL2 && c.RemoteL2 < c.Memory) {
+		t.Errorf("latency ordering broken: %+v", c)
+	}
+	if c.accessCost(cachesim.L1Hit, false) != c.L1Hit {
+		t.Error("L1 cost mismatch")
+	}
+	if c.accessCost(cachesim.MemoryHit, true) != c.Memory {
+		t.Error("memory cost mismatch")
+	}
+}
+
+func TestSecondsConversion(t *testing.T) {
+	if got := Seconds(2_000_000_000); got != 1.0 {
+		t.Errorf("2G cycles = %v s, want 1.0 (2 GHz)", got)
+	}
+}
+
+func TestInvalChargedToWriter(t *testing.T) {
+	space := mem.NewSpace()
+	base := space.MustMap(mem.PageSize, 0)
+	cache := cachesim.New(2)
+	a := Solo(space, 0, cache)
+	b := Solo(space, 1, cache)
+	// Both cores cache the line.
+	a.Load(base)
+	b.Load(base)
+	before := b.Clock()
+	b.Store(base, 1) // invalidates a's copy
+	cost := b.Clock() - before
+	if cost < DefaultCost.Inval {
+		t.Errorf("invalidating store cost %d < Inval %d", cost, DefaultCost.Inval)
+	}
+}
+
+func TestFalseSharingCostsShowUpInTime(t *testing.T) {
+	// Two threads ping-ponging writes on one line must accumulate more
+	// virtual time than on separate lines.
+	run := func(stride mem.Addr) uint64 {
+		space := mem.NewSpace()
+		base := space.MustMap(mem.PageSize, 0)
+		e := NewEngine(space, 2, Config{Cache: cachesim.New(2)})
+		e.Run(func(th *Thread) {
+			addr := base + mem.Addr(th.ID())*stride
+			for i := 0; i < 500; i++ {
+				th.Store(addr, uint64(i))
+			}
+		})
+		return e.MaxClock()
+	}
+	shared := run(8)    // same cache line, different words
+	separate := run(64) // different lines
+	if shared <= separate {
+		t.Errorf("false-sharing run (%d cycles) not slower than padded run (%d)", shared, separate)
+	}
+}
+
+func TestBarrierReusableAcrossPhases(t *testing.T) {
+	space := mem.NewSpace()
+	e := NewEngine(space, 3, Config{})
+	b := NewBarrier(3)
+	order := make([]int, 0, 9)
+	e.Run(func(th *Thread) {
+		for phase := 0; phase < 3; phase++ {
+			th.Tick(uint64(100 * (th.ID() + 1)))
+			b.Wait(th)
+			order = append(order, phase)
+		}
+	})
+	// All phase-0 records must precede all phase-2 records.
+	last0, first2 := -1, len(order)
+	for i, p := range order {
+		if p == 0 {
+			last0 = i
+		}
+		if p == 2 && i < first2 {
+			first2 = i
+		}
+	}
+	if last0 > first2 {
+		t.Errorf("phases interleaved across barrier: %v", order)
+	}
+}
+
+func TestQuantumControlsSwitchGranularity(t *testing.T) {
+	switches := func(quantum uint64) int {
+		space := mem.NewSpace()
+		e := NewEngine(space, 2, Config{Quantum: quantum})
+		var order []int
+		e.Run(func(th *Thread) {
+			for i := 0; i < 200; i++ {
+				order = append(order, th.ID())
+				th.Tick(10)
+			}
+		})
+		n := 0
+		for i := 1; i < len(order); i++ {
+			if order[i] != order[i-1] {
+				n++
+			}
+		}
+		return n
+	}
+	fine, coarse := switches(50), switches(1000)
+	if fine <= coarse {
+		t.Errorf("smaller quantum (%d switches) not finer than larger (%d)", fine, coarse)
+	}
+}
+
+func TestTryLockSemantics(t *testing.T) {
+	space := mem.NewSpace()
+	a := Solo(space, 0, nil)
+	b := Solo(space, 1, nil)
+	var lk Lock
+	if !lk.TryLock(a) {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if lk.TryLock(b) {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	if !lk.Held(a) || lk.Held(b) {
+		t.Error("Held wrong")
+	}
+	lk.Unlock(a)
+	if !lk.TryLock(b) {
+		t.Error("TryLock after unlock failed")
+	}
+	if lk.Acquires != 2 || lk.Contended != 0 {
+		t.Errorf("counters: %d acquires %d contended", lk.Acquires, lk.Contended)
+	}
+}

@@ -1,0 +1,86 @@
+package vtime
+
+// Lock is a virtual-time spinlock. Because the engine serializes real
+// execution, the lock needs no host atomics: its state changes are
+// data-race-free by construction, while *virtual* contention is real —
+// a thread that finds the lock held spins, advancing its clock, until
+// the scheduler lets the holder run far enough to release it.
+//
+// Acquire/contention counters live in the lock so allocators can report
+// the synchronization behaviour the paper profiles.
+type Lock struct {
+	holder    int32 // thread id + 1; 0 = free
+	Acquires  uint64
+	Contended uint64
+}
+
+// TryLock attempts acquisition without waiting, charging one atomic-op
+// cost either way.
+func (l *Lock) TryLock(t *Thread) bool {
+	t.Tick(t.cost.LockOp)
+	if l.holder != 0 {
+		return false
+	}
+	l.holder = int32(t.id) + 1
+	l.Acquires++
+	return true
+}
+
+// Lock acquires, spinning in virtual time while held elsewhere.
+func (l *Lock) Lock(t *Thread) {
+	if l.TryLock(t) {
+		return
+	}
+	l.Contended++
+	for {
+		t.Tick(t.cost.SpinRetry)
+		if l.holder == 0 {
+			l.holder = int32(t.id) + 1
+			l.Acquires++
+			return
+		}
+	}
+}
+
+// Unlock releases the lock; unlocking a lock the thread does not hold
+// panics (it indicates an allocator bug).
+func (l *Lock) Unlock(t *Thread) {
+	if l.holder != int32(t.id)+1 {
+		panic("vtime: unlock of lock not held by this thread")
+	}
+	l.holder = 0
+	t.Tick(t.cost.LockOp)
+}
+
+// Held reports whether the calling thread holds the lock.
+func (l *Lock) Held(t *Thread) bool { return l.holder == int32(t.id)+1 }
+
+// Locked reports whether any thread holds the lock (safe under the
+// engine's serialized execution).
+func (l *Lock) Locked() bool { return l.holder != 0 }
+
+// Barrier synchronizes all threads of a parallel region at a point, in
+// virtual time: a thread arriving early spins until the last arrives,
+// so the region's phases overlap exactly as on real hardware.
+type Barrier struct {
+	n       int
+	arrived int
+	gen     uint64
+}
+
+// NewBarrier returns a barrier for n threads.
+func NewBarrier(n int) *Barrier { return &Barrier{n: n} }
+
+// Wait blocks (in virtual time) until all n threads have called Wait.
+func (b *Barrier) Wait(t *Thread) {
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		return
+	}
+	for b.gen == gen {
+		t.Tick(t.cost.SpinRetry)
+	}
+}

@@ -1,0 +1,294 @@
+// Package vtime is a deterministic virtual-time execution engine for
+// simulating a small multicore machine on any host.
+//
+// Logical threads run as goroutines, but the engine's scheduler admits
+// exactly one at a time — always the thread with the smallest virtual
+// clock — for a bounded quantum of cycles. Every simulated memory
+// access a thread performs advances its clock by the latency the cache
+// model assigns (L1/L2/memory/coherence), locks are acquired by spinning
+// in virtual time, and "execution time" of a parallel region is the
+// largest clock when the last thread finishes.
+//
+// Because at most one thread executes at any real instant and the
+// scheduling order is a pure function of the virtual clocks, runs are
+// deterministic and free of data races by construction, while the
+// *virtual* interleaving is as dense as on a real multicore: two
+// transactions whose virtual intervals overlap conflict exactly as they
+// would on separate cores.
+package vtime
+
+import (
+	"fmt"
+	"os"
+	"runtime/debug"
+
+	"repro/internal/cachesim"
+	"repro/internal/mem"
+)
+
+// DefaultQuantum bounds how far (in cycles) a running thread may
+// advance past the second-least-advanced thread before yielding. It is
+// the engine's interleaving granularity. Prime, and combined with a
+// deterministic jitter, so that periodic workloads cannot phase-lock
+// their scheduling points to one program position.
+const DefaultQuantum = 199
+
+const farFuture = ^uint64(0) >> 1
+
+// Engine coordinates a set of logical threads over one address space
+// and one cache hierarchy.
+type Engine struct {
+	Space   *mem.Space
+	Cache   *cachesim.Hierarchy // may be nil: flat memory costs
+	Cost    *CostModel
+	Quantum uint64
+
+	threads []*Thread
+	rng     uint64 // deterministic deadline jitter state
+}
+
+// Config carries optional Engine settings.
+type Config struct {
+	Cache   *cachesim.Hierarchy
+	Cost    *CostModel
+	Quantum uint64
+}
+
+// NewEngine builds an engine over space for n logical threads.
+func NewEngine(space *mem.Space, n int, cfg Config) *Engine {
+	e := &Engine{
+		rng:     0x9e3779b97f4a7c15,
+		Space:   space,
+		Cache:   cfg.Cache,
+		Cost:    cfg.Cost,
+		Quantum: cfg.Quantum,
+	}
+	if e.Cost == nil {
+		c := DefaultCost
+		e.Cost = &c
+	}
+	if e.Quantum == 0 {
+		e.Quantum = DefaultQuantum
+	}
+	e.threads = make([]*Thread, n)
+	for i := range e.threads {
+		e.threads[i] = &Thread{
+			id:     i,
+			engine: e,
+			space:  space,
+			cache:  e.Cache,
+			cost:   e.Cost,
+			resume: make(chan uint64),
+			pause:  make(chan threadEvent),
+		}
+	}
+	return e
+}
+
+// Threads returns the engine's threads (index == thread id).
+func (e *Engine) Threads() []*Thread { return e.threads }
+
+type threadEvent struct {
+	done  bool
+	panic any
+}
+
+// Run executes fn(thread) on every thread under virtual-time scheduling
+// and returns the per-thread finish clocks. It panics (after all
+// threads stop) with the first panic raised inside a thread.
+//
+// The threads' clocks persist across Run calls, so consecutive parallel
+// regions accumulate time; use ResetClocks between independent
+// experiments.
+func (e *Engine) Run(fn func(t *Thread)) []uint64 {
+	n := len(e.threads)
+	for _, t := range e.threads {
+		t.done = false
+		go func(t *Thread) {
+			defer func() {
+				ev := threadEvent{done: true}
+				if r := recover(); r != nil {
+					ev.panic = r
+					// The panic value is re-raised from Run's caller
+					// context, which loses this goroutine's stack;
+					// surface it here for debuggability.
+					fmt.Fprintf(os.Stderr, "vtime: thread %d panicked: %v\n%s\n", t.id, r, debug.Stack())
+				}
+				t.pause <- ev
+			}()
+			t.deadline = <-t.resume
+			fn(t)
+		}(t)
+	}
+
+	var firstPanic any
+	running := n
+	for running > 0 {
+		// Pick the min-clock runnable thread; ties break by id for
+		// determinism.
+		var cur *Thread
+		for _, t := range e.threads {
+			if t.done {
+				continue
+			}
+			if cur == nil || t.clock < cur.clock {
+				cur = t
+			}
+		}
+		// Deadline: second-smallest clock plus a quantum.
+		deadline := uint64(farFuture)
+		for _, t := range e.threads {
+			if t == cur || t.done {
+				continue
+			}
+			if t.clock+e.Quantum < deadline {
+				deadline = t.clock + e.Quantum
+			}
+		}
+		if deadline == farFuture {
+			deadline = cur.clock + 1<<32 // lone thread: rare check-ins
+		} else {
+			// Deterministic jitter breaks resonance between the quantum
+			// and periodic workloads (which would otherwise always yield
+			// at the same instruction).
+			e.rng = e.rng*6364136223846793005 + 1442695040888963407
+			deadline += (e.rng >> 33) % (e.Quantum/2 + 1)
+		}
+		cur.resume <- deadline
+		ev := <-cur.pause
+		if ev.done {
+			cur.done = true
+			running--
+			if ev.panic != nil && firstPanic == nil {
+				firstPanic = ev.panic
+			}
+		}
+	}
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
+	out := make([]uint64, n)
+	for i, t := range e.threads {
+		out[i] = t.clock
+	}
+	return out
+}
+
+// MaxClock returns the largest thread clock — the parallel region's
+// virtual execution time.
+func (e *Engine) MaxClock() uint64 {
+	var m uint64
+	for _, t := range e.threads {
+		if t.clock > m {
+			m = t.clock
+		}
+	}
+	return m
+}
+
+// ResetClocks zeroes all thread clocks (between experiments).
+func (e *Engine) ResetClocks() {
+	for _, t := range e.threads {
+		t.clock = 0
+	}
+}
+
+// Thread is one logical thread of the simulated machine. All simulated
+// memory accesses and waits must go through its methods so that virtual
+// time advances; code running on a Thread must not block on host
+// synchronization (the engine runs one thread at a time).
+type Thread struct {
+	id     int
+	engine *Engine // nil for a solo thread
+	space  *mem.Space
+	cache  *cachesim.Hierarchy
+	cost   *CostModel
+
+	clock    uint64
+	deadline uint64
+
+	resume chan uint64
+	pause  chan threadEvent
+	done   bool
+}
+
+// Solo returns a detached thread with the given id: it accumulates
+// virtual time but never yields. Use it for single-threaded phases and
+// unit tests.
+func Solo(space *mem.Space, id int, cache *cachesim.Hierarchy) *Thread {
+	c := DefaultCost
+	return &Thread{id: id, space: space, cache: cache, cost: &c, deadline: farFuture}
+}
+
+// ID returns the thread id (its core number).
+func (t *Thread) ID() int { return t.id }
+
+// Clock returns the thread's virtual clock in cycles.
+func (t *Thread) Clock() uint64 { return t.clock }
+
+// Space returns the underlying address space.
+func (t *Thread) Space() *mem.Space { return t.space }
+
+// Tick advances the thread's virtual clock, yielding to the scheduler
+// if the quantum deadline passed.
+func (t *Thread) Tick(cycles uint64) {
+	t.clock += cycles
+	if t.clock >= t.deadline && t.engine != nil {
+		t.pause <- threadEvent{}
+		t.deadline = <-t.resume
+	}
+}
+
+// Yield forces a scheduling point without advancing time.
+func (t *Thread) Yield() {
+	if t.engine != nil && t.clock >= t.deadline {
+		t.pause <- threadEvent{}
+		t.deadline = <-t.resume
+	}
+}
+
+// access classifies and prices one memory access.
+func (t *Thread) access(a mem.Addr, write bool) {
+	var c uint64
+	if t.cache != nil {
+		res := t.cache.Access(t.id, a, write)
+		c = t.cost.accessCost(res.Level, write)
+		if res.Invalidated {
+			// Ownership upgrade: the write had to invalidate sharers.
+			c += t.cost.Inval
+		}
+	} else {
+		c = t.cost.L1Hit
+	}
+	t.Tick(c)
+}
+
+// Load reads the word at a, charging its latency.
+func (t *Thread) Load(a mem.Addr) uint64 {
+	t.access(a, false)
+	return t.space.Load(a)
+}
+
+// Store writes the word at a, charging its latency.
+func (t *Thread) Store(a mem.Addr, v uint64) {
+	t.access(a, true)
+	t.space.Store(a, v)
+}
+
+// CAS performs a compare-and-swap at a, charging a locked-RMW latency.
+func (t *Thread) CAS(a mem.Addr, old, new uint64) bool {
+	t.access(a, true)
+	t.Tick(t.cost.LockOp)
+	return t.space.CompareAndSwap(a, old, new)
+}
+
+// Work charges n abstract compute units.
+func (t *Thread) Work(n uint64) { t.Tick(n * t.cost.Work) }
+
+// Cost exposes the engine's cost model.
+func (t *Thread) Cost() *CostModel { return t.cost }
+
+// String implements fmt.Stringer for diagnostics.
+func (t *Thread) String() string {
+	return fmt.Sprintf("thread %d @ %d cycles", t.id, t.clock)
+}
