@@ -15,7 +15,7 @@
 //
 // Usage:
 //
-//	tmlayout [-size 16] [-threads 8] [-blocks 512] [-shift 5]
+//	tmlayout [-size 16] [-threads 8] [-blocks 512] [-shift 5] [-json]
 package main
 
 import (
@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/stm"
 	"repro/internal/vtime"
 )
@@ -42,13 +43,16 @@ func main() {
 		blocks  = flag.Int("blocks", 512, "blocks per thread")
 		shift   = flag.Uint("shift", 5, "ORT shift amount")
 		mode    = flag.String("mode", "parallel", "parallel (contended, via the virtual-time engine) or solo")
+		jsonOut = flag.Bool("json", false, "emit the analysis as a machine-readable run record on stdout")
 	)
 	flag.Parse()
 
-	fmt.Printf("layout analysis: %d threads x %d blocks of %d bytes, ORT shift %d, %s mode\n\n",
-		*threads, *blocks, *size, *shift, *mode)
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "allocator\tstripe-shared\tcross-thread stripes\taliased entries\tcross-thread lines\tmax/stripe")
+	table := obs.Table{
+		Title: fmt.Sprintf("%d threads x %d blocks of %d bytes, ORT shift %d, %s mode",
+			*threads, *blocks, *size, *shift, *mode),
+		Columns: []string{"allocator", "stripe-shared", "blocks", "cross-thread stripes",
+			"aliased entries", "cross-thread lines", "max/stripe"},
+	}
 	for _, name := range alloc.Names() {
 		r, err := analyze(name, *size, *threads, *blocks, *shift, *mode == "parallel")
 		if err != nil {
@@ -56,8 +60,44 @@ func main() {
 			os.Exit(1)
 		}
 		total := *threads * *blocks
-		fmt.Fprintf(tw, "%s\t%d/%d\t%d\t%d\t%d\t%d\n",
-			name, r.stripeShared, total, r.crossThreadStripes, r.aliased, r.crossThreadLines, r.maxPerStripe)
+		table.Rows = append(table.Rows, []string{
+			name,
+			fmt.Sprintf("%d", r.stripeShared),
+			fmt.Sprintf("%d", total),
+			fmt.Sprintf("%d", r.crossThreadStripes),
+			fmt.Sprintf("%d", r.aliased),
+			fmt.Sprintf("%d", r.crossThreadLines),
+			fmt.Sprintf("%d", r.maxPerStripe),
+		})
+	}
+
+	if *jsonOut {
+		record := &obs.RunRecord{
+			Schema:     obs.RunRecordSchema,
+			Experiment: "layout",
+			Title:      "Allocator block placement vs ORT stripes and cache lines",
+			Config: obs.RunConfig{Extra: map[string]string{
+				"size":    fmt.Sprintf("%d", *size),
+				"threads": fmt.Sprintf("%d", *threads),
+				"blocks":  fmt.Sprintf("%d", *blocks),
+				"shift":   fmt.Sprintf("%d", *shift),
+				"mode":    *mode,
+			}},
+			Tables: []obs.Table{table},
+		}
+		if err := record.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("layout analysis: %s\n\n", table.Title)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "allocator\tstripe-shared\tcross-thread stripes\taliased entries\tcross-thread lines\tmax/stripe")
+	for _, row := range table.Rows {
+		fmt.Fprintf(tw, "%s\t%s/%s\t%s\t%s\t%s\t%s\n",
+			row[0], row[1], row[2], row[3], row[4], row[5], row[6])
 	}
 	tw.Flush()
 	fmt.Println(`

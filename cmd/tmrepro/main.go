@@ -7,6 +7,7 @@
 //	tmrepro -list
 //	tmrepro -run fig1,tab4
 //	tmrepro -run all -full -reps 5 -out results/
+//	tmrepro -run fig4 -quick -trace out.json -metrics out.prom -json out/run.json
 package main
 
 import (
@@ -19,20 +20,28 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list available experiments and exit")
-		run   = flag.String("run", "", "comma-separated experiment ids, or 'all'")
-		full  = flag.Bool("full", false, "paper-scale parameters (slow)")
-		reps  = flag.Int("reps", 0, "repetitions per configuration (0 = per-experiment default)")
-		seed  = flag.Uint64("seed", 0, "base seed (0 = default)")
-		out   = flag.String("out", "", "directory to also write per-experiment .txt files into")
-		chart = flag.Bool("chart", true, "render figures' series as ASCII charts")
-		md    = flag.Bool("md", false, "emit GitHub-flavoured markdown instead of plain tables")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		run     = flag.String("run", "", "comma-separated experiment ids, or 'all'")
+		full    = flag.Bool("full", false, "paper-scale parameters (slow)")
+		quick   = flag.Bool("quick", false, "quick-scale parameters (the default; overrides -full)")
+		reps    = flag.Int("reps", 0, "repetitions per configuration (0 = per-experiment default)")
+		seed    = flag.Uint64("seed", 0, "base seed (0 = default)")
+		out     = flag.String("out", "", "directory to also write per-experiment .txt and BENCH_<id>.json files into")
+		chart   = flag.Bool("chart", true, "render figures' series as ASCII charts")
+		md      = flag.Bool("md", false, "emit GitHub-flavoured markdown instead of plain tables")
+		trace   = flag.String("trace", "", "write the event trace here: Chrome trace-event JSON (Perfetto-loadable), or JSON Lines if the path ends in .jsonl")
+		metrics = flag.String("metrics", "", "write a Prometheus text-format metrics snapshot here")
+		jsonOut = flag.String("json", "", "write machine-readable run records (JSON) here")
 	)
 	flag.Parse()
+	if *quick {
+		*full = false
+	}
 
 	if *list || *run == "" {
 		fmt.Println("experiments:")
@@ -55,7 +64,11 @@ func main() {
 		}
 	}
 	opts := harness.Options{Full: *full, Reps: *reps, Seed: *seed}
+	if *trace != "" || *metrics != "" || *jsonOut != "" {
+		opts.Obs = obs.New(obs.Config{})
+	}
 
+	var records []*obs.RunRecord
 	failed := 0
 	for _, id := range ids {
 		e, ok := harness.Get(id)
@@ -97,8 +110,61 @@ func main() {
 				harness.Chart(mw, res, 64, 14)
 			}
 		}
+
+		if opts.Obs != nil || *out != "" {
+			rec := harness.RunRecordFor(res, opts)
+			records = append(records, rec)
+			if *out != "" {
+				if err := writeTo(filepath.Join(*out, "BENCH_"+id+".json"), rec.WriteJSON); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+
+	if *jsonOut != "" {
+		err := writeTo(*jsonOut, func(w io.Writer) error { return obs.WriteRunRecords(w, records) })
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *metrics != "" {
+		if err := writeTo(*metrics, opts.Obs.WritePrometheus); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *trace != "" {
+		write := opts.Obs.WriteChromeTrace
+		if strings.HasSuffix(*trace, ".jsonl") {
+			write = opts.Obs.WriteJSONL
+		}
+		if err := writeTo(*trace, write); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeTo creates path (and its directory) and streams fn into it.
+func writeTo(path string, fn func(io.Writer) error) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

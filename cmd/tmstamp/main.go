@@ -15,7 +15,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"strings"
 	"text/tabwriter"
 
 	_ "repro/internal/alloc/glibc"
@@ -31,6 +34,7 @@ import (
 	_ "repro/internal/stamp/vacation"
 	_ "repro/internal/stamp/yada"
 
+	"repro/internal/obs"
 	"repro/internal/stamp"
 	"repro/internal/vtime"
 )
@@ -46,6 +50,9 @@ func main() {
 		cacheTx = flag.Bool("cachetx", false, "enable the STM-level tx-object cache (paper §6.2)")
 		profile = flag.Bool("profile", false, "print the Table 5 allocation profile")
 		seed    = flag.Uint64("seed", 0, "workload seed (0 = default)")
+		trace   = flag.String("trace", "", "write the event trace here: Chrome trace-event JSON, or JSON Lines if the path ends in .jsonl")
+		metrics = flag.String("metrics", "", "write a Prometheus text-format metrics snapshot here")
+		jsonOut = flag.String("json", "", "write a machine-readable run record (JSON) here")
 	)
 	flag.Parse()
 	if *app == "" {
@@ -61,6 +68,10 @@ func main() {
 	if *variant == "low" {
 		va = stamp.LowContention
 	}
+	var rec *obs.Recorder
+	if *trace != "" || *metrics != "" || *jsonOut != "" {
+		rec = obs.New(obs.Config{})
+	}
 	res, err := stamp.Run(stamp.Config{
 		App:       *app,
 		Allocator: *alloc,
@@ -71,6 +82,7 @@ func main() {
 		CacheTx:   *cacheTx,
 		Profile:   *profile,
 		Seed:      *seed,
+		Obs:       rec,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -109,4 +121,74 @@ func main() {
 		}
 		tw.Flush()
 	}
+
+	if *jsonOut != "" {
+		record := &obs.RunRecord{
+			Schema:     obs.RunRecordSchema,
+			Experiment: "stamp/" + *app,
+			Title:      fmt.Sprintf("%s on %s, %d thread(s), %s scale", *app, *alloc, *threads, *scale),
+			Config: obs.RunConfig{
+				Seed: *seed,
+				Extra: map[string]string{
+					"app":     *app,
+					"alloc":   *alloc,
+					"threads": fmt.Sprintf("%d", *threads),
+					"scale":   *scale,
+					"variant": *variant,
+					"cachetx": fmt.Sprintf("%v", *cacheTx),
+				},
+			},
+			Tables: []obs.Table{{
+				Title:   "Summary",
+				Columns: []string{"Metric", "Value"},
+				Rows: [][]string{
+					{"execution time (ms)", fmt.Sprintf("%.4f", res.Seconds*1e3)},
+					{"init time (ms)", fmt.Sprintf("%.4f", vtime.Seconds(res.InitCycles)*1e3)},
+					{"commits", fmt.Sprintf("%d", res.Tx.Commits)},
+					{"aborts", fmt.Sprintf("%d", res.Tx.Aborts)},
+					{"false aborts", fmt.Sprintf("%d", res.Tx.FalseAborts)},
+					{"L1 miss", fmt.Sprintf("%.4f", res.L1Miss)},
+				},
+			}},
+		}
+		record.Attach(rec)
+		if err := writeTo(*jsonOut, record.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *metrics != "" {
+		if err := writeTo(*metrics, rec.WritePrometheus); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *trace != "" {
+		write := rec.WriteChromeTrace
+		if strings.HasSuffix(*trace, ".jsonl") {
+			write = rec.WriteJSONL
+		}
+		if err := writeTo(*trace, write); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTo creates path (and its directory) and streams fn into it.
+func writeTo(path string, fn func(io.Writer) error) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/vtime"
 )
 
@@ -89,9 +90,30 @@ func (s *Stats) Add(o Stats) {
 }
 
 // ThreadStats is the per-thread counter block implementations keep in
-// their per-thread state.
+// their per-thread state. Rec, when non-nil, is the observability sink
+// for this thread's allocator events (set via SetObserver on the
+// allocator); keeping it here lets shared helpers like CountingMutex
+// emit events without changing their signatures.
 type ThreadStats struct {
 	Stats
+	Rec *obs.Recorder
+}
+
+// Observable is implemented by allocators that can stream events
+// (alloc/free latency, lock waits, superblock/central transfers) into
+// an obs.Recorder. All four models implement it.
+type Observable interface {
+	SetObserver(r *obs.Recorder)
+}
+
+// Observe attaches r to a if the allocator supports observation.
+func Observe(a Allocator, r *obs.Recorder) {
+	if r == nil {
+		return
+	}
+	if o, ok := a.(Observable); ok {
+		o.SetObserver(r)
+	}
 }
 
 // CountingMutex is a virtual-time mutex that records acquisitions and
@@ -103,7 +125,8 @@ type CountingMutex struct {
 }
 
 // Lock acquires the mutex, counting the acquisition and whether it was
-// contended into st (which may be nil).
+// contended into st (which may be nil). Contended waits are reported to
+// st.Rec with their virtual-cycle duration.
 func (m *CountingMutex) Lock(th *vtime.Thread, st *ThreadStats) {
 	if m.l.TryLock(th) {
 		if st != nil {
@@ -114,6 +137,12 @@ func (m *CountingMutex) Lock(th *vtime.Thread, st *ThreadStats) {
 	if st != nil {
 		st.LockAcquires++
 		st.LockContended++
+		if st.Rec != nil {
+			start := th.Clock()
+			m.l.Lock(th)
+			st.Rec.LockWait(th.ID(), start, th.Clock())
+			return
+		}
 	}
 	m.l.Lock(th)
 }

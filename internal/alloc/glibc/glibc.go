@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/vtime"
 )
 
@@ -103,6 +104,13 @@ func init() {
 // Name implements alloc.Allocator.
 func (g *Glibc) Name() string { return "glibc" }
 
+// SetObserver implements alloc.Observable.
+func (g *Glibc) SetObserver(r *obs.Recorder) {
+	for i := range g.stats {
+		g.stats[i].Rec = r
+	}
+}
+
 func (g *Glibc) newArena(st *alloc.ThreadStats) *arena {
 	base := g.space.MustMap(ArenaSize, ArenaAlign)
 	if st != nil {
@@ -156,6 +164,7 @@ func (g *Glibc) lockArena(th *vtime.Thread, st *alloc.ThreadStats) *arena {
 	}
 	fresh := g.newArena(st)
 	th.Tick(th.Cost().OSMap)
+	st.Rec.Transfer("glibc:new-arena", th.ID(), th.Clock(), uint64(fresh.index))
 	fresh.lock.Lock(th, st)
 	g.attached[tid] = fresh
 	return fresh
@@ -164,6 +173,16 @@ func (g *Glibc) lockArena(th *vtime.Thread, st *alloc.ThreadStats) *arena {
 // Malloc implements alloc.Allocator.
 func (g *Glibc) Malloc(th *vtime.Thread, size uint64) mem.Addr {
 	st := &g.stats[th.ID()]
+	if st.Rec == nil {
+		return g.malloc(th, st, size)
+	}
+	start := th.Clock()
+	a := g.malloc(th, st, size)
+	st.Rec.Alloc("glibc", th.ID(), start, th.Clock(), size, uint64(a))
+	return a
+}
+
+func (g *Glibc) malloc(th *vtime.Thread, st *alloc.ThreadStats, size uint64) mem.Addr {
 	st.Mallocs++
 	st.BytesRequested += size
 	th.Tick(th.Cost().AllocOp)
@@ -186,6 +205,7 @@ func (g *Glibc) Malloc(th *vtime.Thread, size uint64) mem.Addr {
 			a.lock.Unlock(th)
 			a = g.newArena(st)
 			th.Tick(th.Cost().OSMap)
+			st.Rec.Transfer("glibc:new-arena", th.ID(), th.Clock(), uint64(a.index))
 			a.lock.Lock(th, st)
 			g.attached[th.ID()] = a
 		}
@@ -217,6 +237,16 @@ func (g *Glibc) Free(th *vtime.Thread, addr mem.Addr) {
 		return
 	}
 	st := &g.stats[th.ID()]
+	if st.Rec == nil {
+		g.free(th, st, addr)
+		return
+	}
+	start := th.Clock()
+	g.free(th, st, addr)
+	st.Rec.Free("glibc", th.ID(), start, th.Clock(), uint64(addr))
+}
+
+func (g *Glibc) free(th *vtime.Thread, st *alloc.ThreadStats, addr mem.Addr) {
 	st.Frees++
 	th.Tick(th.Cost().AllocOp)
 	c := addr - HeaderSize
@@ -241,6 +271,7 @@ func (g *Glibc) Free(th *vtime.Thread, addr mem.Addr) {
 	}
 	if g.attached[th.ID()] != a {
 		st.RemoteFrees++
+		st.Rec.Transfer("glibc:remote-free", th.ID(), th.Clock(), uint64(a.index))
 	}
 	a.lock.Lock(th, st)
 	th.Store(c+sizeWordOff, csz) // clear in-use

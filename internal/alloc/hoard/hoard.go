@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/vtime"
 )
 
@@ -140,6 +141,13 @@ func init() {
 // Name implements alloc.Allocator.
 func (h *Hoard) Name() string { return "hoard" }
 
+// SetObserver implements alloc.Observable.
+func (h *Hoard) SetObserver(r *obs.Recorder) {
+	for i := range h.stats {
+		h.stats[i].Rec = r
+	}
+}
+
 // heapFor hashes the thread id to its heap (identity hash over a dense
 // tid space, as effective as Hoard's modulo hash).
 func (h *Hoard) heapFor(tid int) *heap { return h.heaps[tid%len(h.heaps)] }
@@ -147,6 +155,16 @@ func (h *Hoard) heapFor(tid int) *heap { return h.heaps[tid%len(h.heaps)] }
 // Malloc implements alloc.Allocator.
 func (h *Hoard) Malloc(th *vtime.Thread, size uint64) mem.Addr {
 	st := &h.stats[th.ID()]
+	if st.Rec == nil {
+		return h.malloc(th, st, size)
+	}
+	start := th.Clock()
+	a := h.malloc(th, st, size)
+	st.Rec.Alloc("hoard", th.ID(), start, th.Clock(), size, uint64(a))
+	return a
+}
+
+func (h *Hoard) malloc(th *vtime.Thread, st *alloc.ThreadStats, size uint64) mem.Addr {
 	st.Mallocs++
 	st.BytesRequested += size
 	th.Tick(th.Cost().AllocOp)
@@ -250,6 +268,7 @@ func (h *Hoard) fetchFromGlobal(th *vtime.Thread, hp *heap, st *alloc.ThreadStat
 		g.used -= sb.used
 		g.capacity -= sb.capacity
 		sb.owner = hp
+		st.Rec.Transfer("hoard:sb-from-global", th.ID(), th.Clock(), sb.blockSz)
 		return sb
 	}
 	if len(g.spare) > 0 {
@@ -257,6 +276,7 @@ func (h *Hoard) fetchFromGlobal(th *vtime.Thread, hp *heap, st *alloc.ThreadStat
 		g.spare = g.spare[:len(g.spare)-1]
 		h.assignClass(sb, ci)
 		sb.owner = hp
+		st.Rec.Transfer("hoard:sb-from-global", th.ID(), th.Clock(), sb.blockSz)
 		return sb
 	}
 	return nil
@@ -302,6 +322,16 @@ func (h *Hoard) Free(th *vtime.Thread, addr mem.Addr) {
 		return
 	}
 	st := &h.stats[th.ID()]
+	if st.Rec == nil {
+		h.free(th, st, addr)
+		return
+	}
+	start := th.Clock()
+	h.free(th, st, addr)
+	st.Rec.Free("hoard", th.ID(), start, th.Clock(), uint64(addr))
+}
+
+func (h *Hoard) free(th *vtime.Thread, st *alloc.ThreadStats, addr mem.Addr) {
 	st.Frees++
 	th.Tick(th.Cost().AllocOp)
 
@@ -356,6 +386,7 @@ func (h *Hoard) freeToSuperblock(th *vtime.Thread, st *alloc.ThreadStats, sb *su
 		}
 		if !hp.global && hp != h.heapFor(th.ID()) {
 			st.RemoteFrees++
+			st.Rec.Transfer("hoard:remote-free", th.ID(), th.Clock(), sb.blockSz)
 		}
 		sb.lock.Lock(th, st)
 		sb.free.Push(th, a)
@@ -380,6 +411,7 @@ func (h *Hoard) freeToSuperblock(th *vtime.Thread, st *alloc.ThreadStats, sb *su
 			h.detach(hp, sb)
 			hp.used -= sb.used
 			hp.capacity -= sb.capacity
+			st.Rec.Transfer("hoard:sb-to-global", th.ID(), th.Clock(), sb.blockSz)
 			g := h.global
 			g.lock.Lock(th, st)
 			sb.owner = g

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/vtime"
 )
 
@@ -136,10 +137,27 @@ func init() {
 // Name implements alloc.Allocator.
 func (t *TBB) Name() string { return "tbb" }
 
+// SetObserver implements alloc.Observable.
+func (t *TBB) SetObserver(r *obs.Recorder) {
+	for i := range t.stats {
+		t.stats[i].Rec = r
+	}
+}
+
 // Malloc implements alloc.Allocator.
 func (t *TBB) Malloc(th *vtime.Thread, size uint64) mem.Addr {
+	st := &t.stats[th.ID()]
+	if st.Rec == nil {
+		return t.malloc(th, st, size)
+	}
+	start := th.Clock()
+	a := t.malloc(th, st, size)
+	st.Rec.Alloc("tbb", th.ID(), start, th.Clock(), size, uint64(a))
+	return a
+}
+
+func (t *TBB) malloc(th *vtime.Thread, st *alloc.ThreadStats, size uint64) mem.Addr {
 	tid := th.ID()
-	st := &t.stats[tid]
 	st.Mallocs++
 	st.BytesRequested += size
 	th.Tick(th.Cost().AllocOp)
@@ -170,6 +188,7 @@ func (t *TBB) Malloc(th *vtime.Thread, size uint64) mem.Addr {
 	}
 	// Slow path: a new superblock from the global heap or a 1 MiB chunk.
 	st.SlowRefills++
+	st.Rec.Transfer("tbb:sb-refill", th.ID(), th.Clock(), t.classes.Size(ci))
 	sb := t.newSuperblock(th, st, ci)
 	hp.bins[ci] = append(hp.bins[ci], sb)
 	a := t.takePrivate(th, sb)
@@ -261,8 +280,18 @@ func (t *TBB) Free(th *vtime.Thread, addr mem.Addr) {
 	if addr == 0 {
 		return
 	}
+	st := &t.stats[th.ID()]
+	if st.Rec == nil {
+		t.free(th, st, addr)
+		return
+	}
+	start := th.Clock()
+	t.free(th, st, addr)
+	st.Rec.Free("tbb", th.ID(), start, th.Clock(), uint64(addr))
+}
+
+func (t *TBB) free(th *vtime.Thread, st *alloc.ThreadStats, addr mem.Addr) {
 	tid := th.ID()
-	st := &t.stats[tid]
 	st.Frees++
 	th.Tick(th.Cost().AllocOp)
 
@@ -285,6 +314,7 @@ func (t *TBB) Free(th *vtime.Thread, addr mem.Addr) {
 		return
 	}
 	st.RemoteFrees++
+	st.Rec.Transfer("tbb:remote-free", th.ID(), th.Clock(), sb.blockSz)
 	sb.publicLock.Lock(th, st)
 	if sb.public.Empty() {
 		sb.publicTail = addr

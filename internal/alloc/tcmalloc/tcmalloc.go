@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/vtime"
 )
 
@@ -131,9 +132,26 @@ func init() {
 // Name implements alloc.Allocator.
 func (t *TCMalloc) Name() string { return "tcmalloc" }
 
+// SetObserver implements alloc.Observable.
+func (t *TCMalloc) SetObserver(r *obs.Recorder) {
+	for i := range t.stats {
+		t.stats[i].Rec = r
+	}
+}
+
 // Malloc implements alloc.Allocator.
 func (t *TCMalloc) Malloc(th *vtime.Thread, size uint64) mem.Addr {
 	st := &t.stats[th.ID()]
+	if st.Rec == nil {
+		return t.malloc(th, st, size)
+	}
+	start := th.Clock()
+	a := t.malloc(th, st, size)
+	st.Rec.Alloc("tcmalloc", th.ID(), start, th.Clock(), size, uint64(a))
+	return a
+}
+
+func (t *TCMalloc) malloc(th *vtime.Thread, st *alloc.ThreadStats, size uint64) mem.Addr {
 	st.Mallocs++
 	st.BytesRequested += size
 	th.Tick(th.Cost().AllocOp)
@@ -162,6 +180,7 @@ func (t *TCMalloc) refill(th *vtime.Thread, st *alloc.ThreadStats, ci int) mem.A
 		tc.fetch[ci] = batchCap
 	}
 	want := tc.fetch[ci]
+	st.Rec.Transfer("tcmalloc:central-refill", th.ID(), th.Clock(), uint64(want))
 
 	c := &t.central[ci]
 	c.lock.Lock(th, st)
@@ -237,6 +256,16 @@ func (t *TCMalloc) Free(th *vtime.Thread, addr mem.Addr) {
 		return
 	}
 	st := &t.stats[th.ID()]
+	if st.Rec == nil {
+		t.free(th, st, addr)
+		return
+	}
+	start := th.Clock()
+	t.free(th, st, addr)
+	st.Rec.Free("tcmalloc", th.ID(), start, th.Clock(), uint64(addr))
+}
+
+func (t *TCMalloc) free(th *vtime.Thread, st *alloc.ThreadStats, addr mem.Addr) {
 	st.Frees++
 	th.Tick(th.Cost().AllocOp)
 	sp := t.pageMap[uint64(addr)>>PageShift]
@@ -261,6 +290,7 @@ func (t *TCMalloc) Free(th *vtime.Thread, addr mem.Addr) {
 func (t *TCMalloc) trim(th *vtime.Thread, st *alloc.ThreadStats, ci int) {
 	tc := &t.caches[th.ID()]
 	c := &t.central[ci]
+	st.Rec.Transfer("tcmalloc:cache-trim", th.ID(), th.Clock(), uint64(tc.lists[ci].Len()-cacheTrim/2))
 	c.lock.Lock(th, st)
 	for tc.lists[ci].Len() > cacheTrim/2 {
 		c.free.Push(th, tc.lists[ci].Pop(th))

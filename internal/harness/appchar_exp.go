@@ -25,7 +25,7 @@ func init() {
 			for _, app := range stamp.Names() {
 				res, err := stamp.Run(stamp.Config{
 					App: app, Allocator: "tbb", Threads: 8,
-					Scale: stampScale(opts.Full), Seed: opts.seed(),
+					Scale: stampScale(opts.Full), Seed: opts.seed(), Obs: opts.Obs,
 				})
 				if err != nil {
 					return nil, err

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// goldenResult is a fixed Result exercising every formatter feature:
+// titled and untitled tables, series with and without error bars, and
+// notes.
+func goldenResult() *Result {
+	return &Result{
+		ID:    "figX",
+		Title: "Golden formatter fixture",
+		Tables: []Table{
+			{
+				Columns: []string{"Threads", "Glibc", "Hoard"},
+				Rows: [][]string{
+					{"1", "1.00", "1.10"},
+					{"8", "4.20", "6.30"},
+				},
+			},
+			{
+				Title:   "Best and worst",
+				Columns: []string{"Application", "Best", "Worst"},
+				Rows:    [][]string{{"list", "Glibc", "TCMalloc"}},
+			},
+		},
+		Series: []Series{
+			{Label: "list/Glibc", X: []float64{1, 2, 4}, Y: []float64{1, 1.8, 3.1}, Err: []float64{0, 0.2, 0.4}},
+			{Label: "list/Hoard", X: []float64{1, 2, 4}, Y: []float64{1.1, 2.1, 3.9}},
+		},
+		Notes: []string{"fixture note: shapes, not absolute values"},
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/harness -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestPrintGolden(t *testing.T) {
+	var buf bytes.Buffer
+	Print(&buf, goldenResult())
+	checkGolden(t, "print.golden", buf.Bytes())
+}
+
+func TestPrintMarkdownGolden(t *testing.T) {
+	var buf bytes.Buffer
+	PrintMarkdown(&buf, goldenResult())
+	checkGolden(t, "markdown.golden", buf.Bytes())
+}
+
+func TestChartGolden(t *testing.T) {
+	var buf bytes.Buffer
+	Chart(&buf, goldenResult(), 48, 10)
+	checkGolden(t, "chart.golden", buf.Bytes())
+}
+
+// Chart on a result without series must print nothing at all.
+func TestChartNoSeries(t *testing.T) {
+	var buf bytes.Buffer
+	Chart(&buf, &Result{ID: "x"}, 48, 10)
+	if buf.Len() != 0 {
+		t.Fatalf("Chart printed %q for a series-less result", buf.String())
+	}
+}

@@ -14,13 +14,16 @@ import (
 	"sort"
 	"strings"
 	"text/tabwriter"
+
+	"repro/internal/obs"
 )
 
 // Options configure an experiment run.
 type Options struct {
-	Full bool   // paper-scale parameters instead of quick ones
-	Reps int    // repetitions for mean/CI (defaults per experiment)
-	Seed uint64 // base seed; reps derive their own
+	Full bool          // paper-scale parameters instead of quick ones
+	Reps int           // repetitions for mean/CI (defaults per experiment)
+	Seed uint64        // base seed; reps derive their own
+	Obs  *obs.Recorder // observability sink threaded into every workload; nil disables
 }
 
 func (o Options) reps(quick, full int) int {
@@ -146,6 +149,26 @@ func Print(w io.Writer, r *Result) {
 		fmt.Fprintf(w, "note: %s\n", n)
 	}
 	fmt.Fprintln(w)
+}
+
+// RunRecordFor converts an experiment result into the machine-readable
+// run artifact, attaching whatever the options' recorder collected.
+func RunRecordFor(r *Result, opts Options) *obs.RunRecord {
+	rec := &obs.RunRecord{
+		Schema:     obs.RunRecordSchema,
+		Experiment: r.ID,
+		Title:      r.Title,
+		Config:     obs.RunConfig{Full: opts.Full, Reps: opts.Reps, Seed: opts.seed()},
+		Notes:      r.Notes,
+	}
+	for _, t := range r.Tables {
+		rec.Tables = append(rec.Tables, obs.Table{Title: t.Title, Columns: t.Columns, Rows: t.Rows})
+	}
+	for _, s := range r.Series {
+		rec.Series = append(rec.Series, obs.Series{Label: s.Label, X: s.X, Y: s.Y, Err: s.Err})
+	}
+	rec.Attach(opts.Obs)
+	return rec
 }
 
 // Allocators lists the allocator names in the paper's order.

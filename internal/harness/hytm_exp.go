@@ -40,6 +40,7 @@ func init() {
 						UpdatePct:    60,
 						OpsPerThread: ops,
 						Seed:         opts.seed() + uint64(r)*7919,
+						Obs:          opts.Obs,
 					})
 					if err != nil {
 						return nil, err

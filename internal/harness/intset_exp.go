@@ -25,10 +25,11 @@ func intsetThreads() []int { return []int{1, 2, 4, 6, 8} }
 
 // runIntset executes reps repetitions and returns summarized
 // throughput (tx/s), abort rate and L1 miss ratio.
-func runIntset(cfg intset.Config, reps int, seed uint64) (thr, abort, l1 sim.Summary, err error) {
+func runIntset(cfg intset.Config, reps int, opts Options) (thr, abort, l1 sim.Summary, err error) {
+	cfg.Obs = opts.Obs
 	var ths, abs, l1s []float64
 	for r := 0; r < reps; r++ {
-		cfg.Seed = seed + uint64(r)*7919
+		cfg.Seed = opts.seed() + uint64(r)*7919
 		res, e := intset.Run(cfg)
 		if e != nil {
 			return thr, abort, l1, e
@@ -87,7 +88,7 @@ func runFig4Tab3(opts Options, id string) (*Result, error) {
 					KeyRange:     keyRange,
 					UpdatePct:    60,
 					OpsPerThread: ops,
-				}, reps, opts.seed())
+				}, reps, opts)
 				if err != nil {
 					return nil, err
 				}
@@ -142,7 +143,7 @@ func init() {
 						KeyRange:     keyRange,
 						UpdatePct:    60,
 						OpsPerThread: ops,
-					}, reps, opts.seed())
+					}, reps, opts)
 					if err != nil {
 						return nil, err
 					}
@@ -193,13 +194,13 @@ func init() {
 					}
 					s5 := base
 					s5.Shift = 5
-					t5, _, _, err := runIntset(s5, reps, opts.seed())
+					t5, _, _, err := runIntset(s5, reps, opts)
 					if err != nil {
 						return nil, err
 					}
 					s4 := base
 					s4.Shift = 4
-					t4, _, _, err := runIntset(s4, reps, opts.seed())
+					t4, _, _, err := runIntset(s4, reps, opts)
 					if err != nil {
 						return nil, err
 					}

@@ -36,6 +36,7 @@ func init() {
 							UpdatePct:    rate,
 							OpsPerThread: ops,
 							Seed:         opts.seed() + uint64(r)*7919,
+							Obs:          opts.Obs,
 						})
 						if err != nil {
 							return nil, err

@@ -33,11 +33,12 @@ func stampScale(full bool) stamp.Scale {
 
 // runStamp executes reps repetitions and summarizes the parallel-phase
 // execution time in modelled milliseconds.
-func runStamp(cfg stamp.Config, reps int, seed uint64) (sim.Summary, stamp.Result, error) {
+func runStamp(cfg stamp.Config, reps int, opts Options) (sim.Summary, stamp.Result, error) {
+	cfg.Obs = opts.Obs
 	var times []float64
 	var last stamp.Result
 	for r := 0; r < reps; r++ {
-		cfg.Seed = seed + uint64(r)*104729
+		cfg.Seed = opts.seed() + uint64(r)*104729
 		res, err := stamp.Run(cfg)
 		if err != nil {
 			return sim.Summary{}, last, err
@@ -63,7 +64,7 @@ func init() {
 				for i, aname := range []string{"glibc", "hoard"} {
 					s, _, err := runStamp(stamp.Config{
 						App: app, Allocator: aname, Threads: 8, Scale: stampScale(opts.Full),
-					}, reps, opts.seed())
+					}, reps, opts)
 					if err != nil {
 						return nil, err
 					}
@@ -166,7 +167,7 @@ func runFig7Tab6(opts Options, id string) (*Result, error) {
 			for ai, aname := range Allocators() {
 				s, _, err := runStamp(stamp.Config{
 					App: app, Allocator: aname, Threads: n, Scale: stampScale(opts.Full),
-				}, reps, opts.seed())
+				}, reps, opts)
 				if err != nil {
 					return nil, err
 				}
@@ -221,7 +222,7 @@ func init() {
 					for ai, aname := range Allocators() {
 						s, _, err := runStamp(stamp.Config{
 							App: app, Allocator: aname, Threads: n, Scale: stampScale(opts.Full),
-						}, reps, opts.seed())
+						}, reps, opts)
 						if err != nil {
 							return nil, err
 						}
@@ -266,14 +267,14 @@ func init() {
 				for _, aname := range Allocators() {
 					off, _, err := runStamp(stamp.Config{
 						App: app, Allocator: aname, Threads: 8, Scale: stampScale(opts.Full),
-					}, reps, opts.seed())
+					}, reps, opts)
 					if err != nil {
 						return nil, err
 					}
 					on, _, err := runStamp(stamp.Config{
 						App: app, Allocator: aname, Threads: 8, Scale: stampScale(opts.Full),
 						CacheTx: true,
-					}, reps, opts.seed())
+					}, reps, opts)
 					if err != nil {
 						return nil, err
 					}

@@ -43,7 +43,9 @@ func RunHyTM(cfg Config) (HyTMResult, error) {
 		return HyTMResult{}, err
 	}
 	cache := cachesim.New(cachesim.DefaultCores)
-	engine := vtime.NewEngine(space, cfg.Threads, vtime.Config{Cache: cache})
+	engine := vtime.NewEngine(space, cfg.Threads, vtime.Config{Cache: cache, Obs: cfg.Obs})
+	alloc.Observe(allocator, cfg.Obs)
+	cfg.Obs.BeginPhase(fmt.Sprintf("hytm/%s/%s/t%d", cfg.Kind, cfg.Allocator, cfg.Threads))
 	h := htm.New(space)
 
 	nb := cfg.HashBuckets

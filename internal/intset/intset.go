@@ -17,6 +17,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/cachesim"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stm"
 	"repro/internal/txstruct"
@@ -66,7 +67,8 @@ type Config struct {
 	Design       stm.Design // STM algorithm variant (ablations)
 	CacheTx      bool       // §6.2 STM-level object caching
 	Seed         uint64
-	HashBuckets  uint64 // hash set only; paper: 128K
+	HashBuckets  uint64        // hash set only; paper: 128K
+	Obs          *obs.Recorder // event/metric sink; nil disables
 }
 
 func (c *Config) fill() {
@@ -118,13 +120,17 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	cache := cachesim.New(cachesim.DefaultCores)
-	engine := vtime.NewEngine(space, cfg.Threads, vtime.Config{Cache: cache})
+	engine := vtime.NewEngine(space, cfg.Threads, vtime.Config{Cache: cache, Obs: cfg.Obs})
 	st := stm.New(space, stm.Config{
 		Shift:          cfg.Shift,
 		Design:         cfg.Design,
 		Allocator:      allocator,
 		CacheTxObjects: cfg.CacheTx,
+		Obs:            cfg.Obs,
 	})
+	alloc.Observe(allocator, cfg.Obs)
+	cfg.Obs.BeginPhase(fmt.Sprintf("intset/%s/%s/t%d/u%d",
+		cfg.Kind, cfg.Allocator, cfg.Threads, cfg.UpdatePct))
 
 	var set Set
 	rng := sim.NewRand(cfg.Seed)

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// maxPlacements bounds how many distinct placement keys one stripe cell
+// names before further keys are folded into OtherPlacements.
+const maxPlacements = 8
+
+// Heatmap attributes transactional conflicts to ORT entries — the
+// paper's Fig. 5 mechanism made observable on any workload. Each cell
+// counts the conflicts and false aborts an ORT entry caused and names
+// the distinct *placement keys* (block address >> shift, i.e. which
+// 2^shift-byte memory stripes) that collided there, so an aliasing
+// entry (two placements far apart mapping to one versioned lock — the
+// Glibc 64 MiB arena effect) is directly readable from the output.
+type Heatmap struct {
+	cells map[uint64]*StripeCell
+}
+
+// StripeCell is one ORT entry's conflict record.
+type StripeCell struct {
+	Entry           uint64
+	Conflicts       uint64 // aborts attributed to this entry
+	FalseAborts     uint64 // conflicts between different addresses
+	placements      map[uint64]uint64
+	OtherPlacements uint64 // collisions past the maxPlacements cap
+}
+
+// NewHeatmap builds an empty heatmap.
+func NewHeatmap() *Heatmap {
+	return &Heatmap{cells: make(map[uint64]*StripeCell)}
+}
+
+// Record attributes one abort to ORT entry. ownerKey and reqKey are the
+// placement keys of the access holding/having-versioned the stripe and
+// of the access that died; on a false abort they differ.
+func (h *Heatmap) Record(entry uint64, falseAbort bool, ownerKey, reqKey uint64) {
+	c := h.cells[entry]
+	if c == nil {
+		c = &StripeCell{Entry: entry, placements: make(map[uint64]uint64, 2)}
+		h.cells[entry] = c
+	}
+	c.Conflicts++
+	if falseAbort {
+		c.FalseAborts++
+	}
+	c.note(ownerKey)
+	if reqKey != ownerKey {
+		c.note(reqKey)
+	}
+}
+
+func (c *StripeCell) note(key uint64) {
+	if _, ok := c.placements[key]; !ok && len(c.placements) >= maxPlacements {
+		c.OtherPlacements++
+		return
+	}
+	c.placements[key]++
+}
+
+// Len returns the number of ORT entries with at least one conflict.
+func (h *Heatmap) Len() int { return len(h.cells) }
+
+// TotalFalseAborts sums false aborts over all cells.
+func (h *Heatmap) TotalFalseAborts() uint64 {
+	var n uint64
+	for _, c := range h.cells {
+		n += c.FalseAborts
+	}
+	return n
+}
+
+// PlacementJSON is one colliding placement in serialized form.
+type PlacementJSON struct {
+	Key   uint64 `json:"key"` // block address >> shift
+	Count uint64 `json:"count"`
+}
+
+// StripeJSON is the serialized form of one heatmap cell.
+type StripeJSON struct {
+	Entry           uint64          `json:"entry"`
+	Conflicts       uint64          `json:"conflicts"`
+	FalseAborts     uint64          `json:"false_aborts"`
+	Placements      []PlacementJSON `json:"placements,omitempty"`
+	OtherPlacements uint64          `json:"other_placements,omitempty"`
+	Aliased         bool            `json:"aliased"` // >1 distinct placement collided here
+}
+
+func (c *StripeCell) toJSON() StripeJSON {
+	out := StripeJSON{
+		Entry:           c.Entry,
+		Conflicts:       c.Conflicts,
+		FalseAborts:     c.FalseAborts,
+		OtherPlacements: c.OtherPlacements,
+		Aliased:         len(c.placements) > 1 || c.OtherPlacements > 0,
+	}
+	keys := make([]uint64, 0, len(c.placements))
+	for k := range c.placements {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		out.Placements = append(out.Placements, PlacementJSON{Key: k, Count: c.placements[k]})
+	}
+	return out
+}
+
+// Top returns the n hottest cells ordered by false aborts, then
+// conflicts, then entry index (fully deterministic).
+func (h *Heatmap) Top(n int) []StripeJSON {
+	cells := make([]*StripeCell, 0, len(h.cells))
+	for _, c := range h.cells {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		if a.FalseAborts != b.FalseAborts {
+			return a.FalseAborts > b.FalseAborts
+		}
+		if a.Conflicts != b.Conflicts {
+			return a.Conflicts > b.Conflicts
+		}
+		return a.Entry < b.Entry
+	})
+	if n > 0 && len(cells) > n {
+		cells = cells[:n]
+	}
+	out := make([]StripeJSON, len(cells))
+	for i, c := range cells {
+		out[i] = c.toJSON()
+	}
+	return out
+}
+
+// WritePrometheus renders the heatmap as Prometheus metrics: a
+// histogram of per-stripe false-abort counts (every conflicted entry is
+// one observation) plus per-entry detail series for the topN hottest
+// entries (labelled with the colliding placement keys so the aliasing
+// pairs are named in the exposition itself).
+func (h *Heatmap) WritePrometheus(w io.Writer, topN int) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	var dist Histogram
+	for _, c := range h.cells {
+		dist.Observe(c.FalseAborts)
+	}
+	p("# TYPE stm_stripe_false_aborts histogram\n")
+	cum := uint64(0)
+	for i := 0; i <= histBuckets; i++ {
+		if dist.buckets[i] == 0 && i < histBuckets {
+			continue
+		}
+		cum += dist.buckets[i]
+		le := "+Inf"
+		if i < histBuckets {
+			le = fmt.Sprintf("%d", bucketBound(i))
+		}
+		p("stm_stripe_false_aborts_bucket{le=%q} %d\n", le, cum)
+	}
+	p("stm_stripe_false_aborts_sum %d\n", dist.sum)
+	p("stm_stripe_false_aborts_count %d\n", dist.count)
+
+	p("# TYPE stm_stripe_conflicts gauge\n")
+	for _, s := range h.Top(topN) {
+		placements := ""
+		for i, pl := range s.Placements {
+			if i > 0 {
+				placements += " "
+			}
+			placements += fmt.Sprintf("%#x:%d", pl.Key, pl.Count)
+		}
+		p("stm_stripe_conflicts{entry=\"%d\",false_aborts=\"%d\",placements=%q} %d\n",
+			s.Entry, s.FalseAborts, placements, s.Conflicts)
+	}
+	return err
+}

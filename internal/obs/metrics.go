@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Registry holds counters, gauges and log-bucketed histograms keyed by
+// their full name including any Prometheus-style labels, e.g.
+// `alloc_ops_total{alloc="glibc",op="malloc"}`. Instruments are created
+// on first use and live for the registry's lifetime, so callers on hot
+// paths can resolve an instrument once and keep the pointer.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is a settable float64.
+type Gauge struct{ v float64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) { g.v += d }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// histBuckets is the number of log2 buckets: bucket i counts
+// observations v with v <= 2^i; larger values land in +Inf.
+const histBuckets = 33
+
+// Histogram is a log2-bucketed histogram of uint64 observations.
+type Histogram struct {
+	buckets [histBuckets + 1]uint64 // [histBuckets] = +Inf
+	count   uint64
+	sum     uint64
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v uint64) {
+	h.count++
+	h.sum += v
+	i := bucketOf(v)
+	h.buckets[i]++
+}
+
+// bucketOf returns the index of the smallest bucket bound >= v.
+func bucketOf(v uint64) int {
+	if v <= 1 {
+		return 0
+	}
+	i := bits.Len64(v - 1) // ceil(log2(v))
+	if i >= histBuckets {
+		return histBuckets
+	}
+	return i
+}
+
+// bucketBound returns the upper bound of bucket i (2^i).
+func bucketBound(i int) uint64 { return uint64(1) << uint(i) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Mean returns sum/count (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Counter returns (creating if needed) the named counter.
+func (g *Registry) Counter(name string) *Counter {
+	c, ok := g.counters[name]
+	if !ok {
+		c = &Counter{}
+		g.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (g *Registry) Gauge(name string) *Gauge {
+	ga, ok := g.gauges[name]
+	if !ok {
+		ga = &Gauge{}
+		g.gauges[name] = ga
+	}
+	return ga
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (g *Registry) Histogram(name string) *Histogram {
+	h, ok := g.hists[name]
+	if !ok {
+		h = &Histogram{}
+		g.hists[name] = h
+	}
+	return h
+}
+
+// family splits a full metric name into its family (the part before any
+// label braces) and the label body (without braces, empty if none).
+func family(name string) (fam, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
+// withLabel renders family{labels,extra} with correct comma handling.
+func withLabel(fam, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return fam
+	case labels == "":
+		return fam + "{" + extra + "}"
+	case extra == "":
+		return fam + "{" + labels + "}"
+	}
+	return fam + "{" + labels + "," + extra + "}"
+}
+
+// sortedKeys returns the map keys ordered by (family, full name) so
+// exposition groups label variants of one family together.
+func sortedKeys[T any](m map[string]T) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		fi, _ := family(keys[i])
+		fj, _ := family(keys[j])
+		if fi != fj {
+			return fi < fj
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format, deterministically ordered. Counters first, then
+// gauges, then histograms (with cumulative le buckets), each family
+// preceded by a # TYPE line.
+func (g *Registry) WritePrometheus(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	lastFam := ""
+	for _, k := range sortedKeys(g.counters) {
+		fam, _ := family(k)
+		if fam != lastFam {
+			p("# TYPE %s counter\n", fam)
+			lastFam = fam
+		}
+		p("%s %d\n", k, g.counters[k].v)
+	}
+	lastFam = ""
+	for _, k := range sortedKeys(g.gauges) {
+		fam, _ := family(k)
+		if fam != lastFam {
+			p("# TYPE %s gauge\n", fam)
+			lastFam = fam
+		}
+		p("%s %s\n", k, formatFloat(g.gauges[k].v))
+	}
+	lastFam = ""
+	for _, k := range sortedKeys(g.hists) {
+		fam, labels := family(k)
+		if fam != lastFam {
+			p("# TYPE %s histogram\n", fam)
+			lastFam = fam
+		}
+		h := g.hists[k]
+		cum := uint64(0)
+		for i := 0; i <= histBuckets; i++ {
+			if h.buckets[i] == 0 && i < histBuckets {
+				continue // keep exposition compact: only landed buckets + +Inf
+			}
+			cum += h.buckets[i]
+			le := "+Inf"
+			if i < histBuckets {
+				le = fmt.Sprintf("%d", bucketBound(i))
+			}
+			p("%s %d\n", withLabel(fam+"_bucket", labels, `le="`+le+`"`), cum)
+		}
+		p("%s %d\n", withLabel(fam+"_sum", labels, ""), h.sum)
+		p("%s %d\n", withLabel(fam+"_count", labels, ""), h.count)
+	}
+	return err
+}
+
+// formatFloat renders a float deterministically (no exponent jitter:
+// %g is already deterministic in Go; this just pins the verb).
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// BucketCount is one non-empty histogram bucket in a snapshot.
+type BucketCount struct {
+	LE    string `json:"le"` // upper bound ("+Inf" for the overflow bucket)
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is the JSON form of a histogram.
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     uint64        `json:"sum"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time JSON-serializable copy of a registry.
+// Maps marshal with sorted keys, so output is deterministic.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current state.
+func (g *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   make(map[string]uint64, len(g.counters)),
+		Gauges:     make(map[string]float64, len(g.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(g.hists)),
+	}
+	for k, c := range g.counters {
+		s.Counters[k] = c.v
+	}
+	for k, ga := range g.gauges {
+		s.Gauges[k] = ga.v
+	}
+	for k, h := range g.hists {
+		hs := HistogramSnapshot{Count: h.count, Sum: h.sum}
+		for i := 0; i <= histBuckets; i++ {
+			if h.buckets[i] == 0 {
+				continue
+			}
+			le := "+Inf"
+			if i < histBuckets {
+				le = fmt.Sprintf("%d", bucketBound(i))
+			}
+			hs.Buckets = append(hs.Buckets, BucketCount{LE: le, Count: h.buckets[i]})
+		}
+		s.Histograms[k] = hs
+	}
+	return s
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// RunRecordSchema identifies the RunRecord JSON layout version.
+const RunRecordSchema = "tmrepro/run-record/v1"
+
+// Table is the serialization form of one result table (mirrors
+// harness.Table without importing it, so any tool can reuse it).
+type Table struct {
+	Title   string     `json:"title,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// Series is one plottable line: label plus x/y[/err] points.
+type Series struct {
+	Label string    `json:"label"`
+	X     []float64 `json:"x"`
+	Y     []float64 `json:"y"`
+	Err   []float64 `json:"err,omitempty"`
+}
+
+// RunConfig captures the knobs that produced a run.
+type RunConfig struct {
+	Full  bool              `json:"full"`
+	Reps  int               `json:"reps,omitempty"`
+	Seed  uint64            `json:"seed"`
+	Extra map[string]string `json:"extra,omitempty"`
+}
+
+// TraceInfo summarizes the event stream attached to a run.
+type TraceInfo struct {
+	Events  int            `json:"events"`
+	Dropped uint64         `json:"dropped,omitempty"`
+	ByKind  map[string]int `json:"by_kind,omitempty"`
+	Phases  []string       `json:"phases,omitempty"`
+}
+
+// RunRecord is the machine-readable artifact of one experiment run —
+// what BENCH_<exp>.json files hold. Everything in it derives from
+// virtual time and fixed seeds, so records are reproducible
+// byte-for-byte.
+type RunRecord struct {
+	Schema     string       `json:"schema"`
+	Experiment string       `json:"experiment"`
+	Title      string       `json:"title,omitempty"`
+	Config     RunConfig    `json:"config"`
+	Tables     []Table      `json:"tables,omitempty"`
+	Series     []Series     `json:"series,omitempty"`
+	Notes      []string     `json:"notes,omitempty"`
+	Metrics    *Snapshot    `json:"metrics,omitempty"`
+	Stripes    []StripeJSON `json:"stripe_heatmap,omitempty"`
+	Trace      *TraceInfo   `json:"trace,omitempty"`
+}
+
+// Attach fills the record's observability sections (metrics snapshot,
+// stripe heatmap, trace summary) from the recorder. A nil recorder
+// leaves the record untouched.
+func (rec *RunRecord) Attach(r *Recorder) {
+	if r == nil {
+		return
+	}
+	rec.Metrics = r.reg.Snapshot()
+	rec.Stripes = r.heat.Top(64)
+	info := &TraceInfo{Dropped: r.Dropped(), Phases: r.Phases(), ByKind: map[string]int{}}
+	for _, ev := range r.Events() {
+		info.Events++
+		info.ByKind[ev.Kind.String()]++
+	}
+	rec.Trace = info
+}
+
+// WriteJSON serializes the record with stable formatting.
+func (rec *RunRecord) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
+}
+
+// WriteRunRecords serializes one record as an object or several as an
+// array, matching what a single -json output file should hold.
+func WriteRunRecords(w io.Writer, recs []*RunRecord) error {
+	if len(recs) == 1 {
+		return recs[0].WriteJSON(w)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Events returns every retained event across all threads, ordered by
+// (epoch, timestamp, thread, per-thread sequence) — a total order, so
+// trace output is byte-stable for a fixed seed.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for _, rg := range r.rings {
+		out = append(out, rg.events()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Epoch != b.Epoch {
+			return a.Epoch < b.Epoch
+		}
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// WriteChromeTrace renders the retained events as Chrome trace-event
+// JSON (the "JSON object format"), loadable in Perfetto or
+// chrome://tracing. Each phase (sub-run) becomes its own process, each
+// logical thread a track; timestamps are virtual cycles, so the file is
+// deterministic and directly comparable across runs and machines.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(s)
+	}
+	for epoch, name := range r.Phases() {
+		emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%q}}`, epoch, name))
+	}
+	for _, ev := range r.Events() {
+		emit(chromeEvent(ev))
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+func chromeEvent(ev Event) string {
+	head := fmt.Sprintf(`{"name":%q,"cat":%q,"ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d`,
+		ev.Kind.String(), ev.Kind.Cat(), ev.TS, ev.Dur, ev.Epoch, ev.TID)
+	var args string
+	switch ev.Kind {
+	case KindTxCommit:
+		args = fmt.Sprintf(`"reads":%d,"writes":%d`, ev.A, ev.B)
+	case KindTxAbort:
+		stripe := "null"
+		if ev.A != NoStripe {
+			stripe = fmt.Sprintf("%d", ev.A)
+		}
+		args = fmt.Sprintf(`"reason":%q,"stripe":%s,"false_abort":%t`, ev.Label, stripe, ev.B != 0)
+	case KindAlloc:
+		args = fmt.Sprintf(`"alloc":%q,"size":%d,"addr":%d`, ev.Label, ev.A, ev.B)
+	case KindFree:
+		args = fmt.Sprintf(`"alloc":%q,"addr":%d`, ev.Label, ev.B)
+	case KindLockWait:
+		args = fmt.Sprintf(`"lock":%q`, ev.Label)
+	case KindTransfer:
+		args = fmt.Sprintf(`"transfer":%q,"n":%d`, ev.Label, ev.A)
+	default:
+		return head + "}"
+	}
+	return head + `,"args":{` + args + "}}"
+}
+
+// WriteJSONL renders the retained events one JSON object per line, the
+// machine-friendly twin of the Chrome export (same order, same fields,
+// no enclosing document).
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	phases := r.Phases()
+	for _, ev := range r.Events() {
+		phase := ""
+		if int(ev.Epoch) < len(phases) {
+			phase = phases[ev.Epoch]
+		}
+		line := fmt.Sprintf(`{"kind":%q,"cat":%q,"phase":%q,"tid":%d,"ts":%d,"dur":%d,"a":%d,"b":%d`,
+			ev.Kind.String(), ev.Kind.Cat(), phase, ev.TID, ev.TS, ev.Dur, ev.A, ev.B)
+		if ev.Label != "" {
+			line += fmt.Sprintf(`,"label":%q`, ev.Label)
+		}
+		if _, err := bw.WriteString(line + "}\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WritePrometheus renders the full metrics state — registry first, then
+// the heatmap-derived per-stripe series — in Prometheus text format.
+func (r *Recorder) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	if err := r.reg.WritePrometheus(w); err != nil {
+		return err
+	}
+	return r.heat.WritePrometheus(w, 32)
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/cachesim"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/stm"
 	"repro/internal/vtime"
 )
@@ -53,7 +54,8 @@ type Config struct {
 	Shift     uint
 	CacheTx   bool
 	Seed      uint64
-	Profile   bool // collect the Table 5 allocation profile
+	Profile   bool          // collect the Table 5 allocation profile
+	Obs       *obs.Recorder // event/metric sink; nil disables
 }
 
 // Result reports one run.
@@ -192,7 +194,9 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	cache := cachesim.New(cachesim.DefaultCores)
-	engine := vtime.NewEngine(space, cfg.Threads, vtime.Config{Cache: cache})
+	engine := vtime.NewEngine(space, cfg.Threads, vtime.Config{Cache: cache, Obs: cfg.Obs})
+	alloc.Observe(base, cfg.Obs)
+	cfg.Obs.BeginPhase(fmt.Sprintf("stamp/%s/%s/t%d", cfg.App, cfg.Allocator, cfg.Threads))
 
 	w := &World{
 		Space:     space,
@@ -211,6 +215,7 @@ func Run(cfg Config) (Result, error) {
 		Shift:          cfg.Shift,
 		Allocator:      w.Allocator,
 		CacheTxObjects: cfg.CacheTx,
+		Obs:            cfg.Obs,
 	})
 	if w.prof != nil {
 		w.prof.stm = w.STM

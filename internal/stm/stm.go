@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/vtime"
 )
 
@@ -85,6 +86,10 @@ type Config struct {
 	// transactional allocations, instead of going back to the system
 	// allocator.
 	CacheTxObjects bool
+	// Obs, when non-nil, receives per-transaction events (commit/abort
+	// with cause and aliasing ORT stripe) and metrics. The disabled
+	// path costs one nil-check per transaction boundary.
+	Obs *obs.Recorder
 }
 
 // AbortReason classifies why a transaction aborted.
@@ -171,6 +176,7 @@ type STM struct {
 	allocator alloc.Allocator
 	cacheTx   bool
 	design    Design
+	rec       *obs.Recorder
 
 	// lockAddrs[i] records which address acquired ORT entry i, for
 	// false-conflict classification (diagnostic only).
@@ -201,6 +207,7 @@ func New(space *mem.Space, cfg Config) *STM {
 		allocator: cfg.Allocator,
 		cacheTx:   cfg.CacheTxObjects,
 		design:    cfg.Design,
+		rec:       cfg.Obs,
 		lockAddrs: make([]mem.Addr, size),
 		txs:       make(map[int]*Tx),
 	}
@@ -381,6 +388,8 @@ type Tx struct {
 
 	undo []writeEntry // write-through: first-write old values
 
+	beginClock uint64 // virtual clock at begin, for attempt latency
+
 	allocs []allocRec // blocks malloc'd by this tx (undone on abort)
 	frees  []allocRec // frees deferred to commit
 
@@ -394,6 +403,7 @@ func (tx *Tx) Thread() *vtime.Thread { return tx.th }
 
 func (tx *Tx) begin() {
 	tx.active = true
+	tx.beginClock = tx.th.Clock()
 	tx.snapshot = versionOf(tx.th.Load(tx.stm.clockA))
 	tx.readSet = tx.readSet[:0]
 	tx.writeSet = tx.writeSet[:0]
@@ -407,12 +417,34 @@ func (tx *Tx) begin() {
 	tx.th.Tick(tx.th.Cost().TxBase)
 }
 
-// abort rolls the transaction back and unwinds fn via panic.
-func (tx *Tx) abort(reason AbortReason, falseConflict bool) {
+// abort rolls the transaction back and unwinds fn via panic. idx is
+// the ORT entry whose conflict killed the attempt and a the address
+// this transaction was accessing; the conflict is false when the entry
+// was last acquired for a *different* address (stripe sharing or
+// aliasing — the allocator-placement effect under study).
+func (tx *Tx) abort(reason AbortReason, idx uint64, a mem.Addr) {
+	s := tx.stm
+	owner := s.lockAddrs[idx]
+	falseConflict := owner != a
 	if falseConflict {
 		tx.stats.FalseAborts++
 	}
 	tx.rollback(reason)
+	if s.rec != nil {
+		s.rec.TxAbort(tx.th.ID(), tx.beginClock, tx.th.Clock(), reason.String(),
+			idx, falseConflict, uint64(owner)>>s.shift, uint64(a)>>s.shift)
+	}
+	panic(abortSignal{reason})
+}
+
+// abortNoStripe aborts without a single attributable ORT entry
+// (explicit restarts).
+func (tx *Tx) abortNoStripe(reason AbortReason) {
+	tx.rollback(reason)
+	if s := tx.stm; s.rec != nil {
+		s.rec.TxAbort(tx.th.ID(), tx.beginClock, tx.th.Clock(), reason.String(),
+			obs.NoStripe, false, 0, 0)
+	}
 	panic(abortSignal{reason})
 }
 
@@ -445,7 +477,7 @@ func (tx *Tx) rollback(reason AbortReason) {
 
 // Restart aborts the transaction and retries it (explicit user abort).
 func (tx *Tx) Restart() {
-	tx.abort(AbortExplicit, false)
+	tx.abortNoStripe(AbortExplicit)
 }
 
 // validate re-checks every read-set entry against the current ORT.
@@ -497,11 +529,11 @@ func (tx *Tx) Load(a mem.Addr) uint64 {
 				// own current values. Either way, read memory.
 				return tx.th.Load(a)
 			}
-			tx.abort(AbortLockedByOther, s.lockAddrs[idx] != a)
+			tx.abort(AbortLockedByOther, idx, a)
 		}
 		if versionOf(w) > tx.snapshot {
 			if !tx.extend() {
-				tx.abort(AbortVersionAhead, s.lockAddrs[idx] != a)
+				tx.abort(AbortVersionAhead, idx, a)
 			}
 		}
 		v := tx.th.Load(a)
@@ -566,11 +598,11 @@ func (tx *Tx) acquire(idx uint64, a mem.Addr) {
 			if ownerOf(w) == tx.th.ID() {
 				panic("stm: ORT entry locked by this thread but not in its lock map")
 			}
-			tx.abort(AbortLockedByOther, s.lockAddrs[idx] != a)
+			tx.abort(AbortLockedByOther, idx, a)
 		}
 		if versionOf(w) > tx.snapshot {
 			if !tx.extend() {
-				tx.abort(AbortVersionAhead, s.lockAddrs[idx] != a)
+				tx.abort(AbortVersionAhead, idx, a)
 			}
 		}
 		if tx.th.CAS(ortA, w, lockWord(tx.th.ID())) {
@@ -611,6 +643,10 @@ func (tx *Tx) commit() bool {
 	if next > tx.snapshot+1 {
 		if !tx.validate() {
 			tx.rollback(AbortValidation)
+			if s.rec != nil {
+				s.rec.TxAbort(tx.th.ID(), tx.beginClock, tx.th.Clock(),
+					AbortValidation.String(), obs.NoStripe, false, 0, 0)
+			}
 			return false
 		}
 	}
@@ -682,6 +718,9 @@ func (tx *Tx) finishCommit() {
 	tx.active = false
 	tx.stats.Commits++
 	tx.th.Tick(tx.th.Cost().TxBase)
+	if s := tx.stm; s.rec != nil {
+		s.rec.TxCommit(tx.th.ID(), tx.beginClock, tx.th.Clock(), len(tx.readSet), int(ws))
+	}
 }
 
 // Malloc allocates inside the transaction; the block is reclaimed if

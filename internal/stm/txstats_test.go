@@ -1,0 +1,78 @@
+package stm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTxStatsSubZeroOperands(t *testing.T) {
+	var zero TxStats
+	if got := zero.Sub(zero); got != zero {
+		t.Fatalf("zero.Sub(zero) = %+v, want all-zero", got)
+	}
+
+	full := TxStats{
+		Starts:       10,
+		Commits:      7,
+		Aborts:       3,
+		FalseAborts:  2,
+		MaxRetries:   4,
+		MaxReadSet:   20,
+		MaxWriteSet:  9,
+		LoadsTotal:   100,
+		StoresTotal:  50,
+		AllocsInTx:   5,
+		FreesInTx:    4,
+		CacheHits:    2,
+		CacheReturns: 1,
+	}
+	full.ByReason[0] = 2
+	full.ByReason[1] = 1
+
+	// Subtracting a zero baseline must be the identity.
+	if got := full.Sub(zero); got != full {
+		t.Fatalf("full.Sub(zero) = %+v, want %+v", got, full)
+	}
+
+	// Subtracting a snapshot from itself zeroes the deltas but keeps the
+	// high-water marks (Max*), which are not phase-relative.
+	got := full.Sub(full)
+	if got.Starts != 0 || got.Commits != 0 || got.Aborts != 0 ||
+		got.FalseAborts != 0 || got.LoadsTotal != 0 || got.StoresTotal != 0 ||
+		got.AllocsInTx != 0 || got.FreesInTx != 0 ||
+		got.CacheHits != 0 || got.CacheReturns != 0 {
+		t.Fatalf("full.Sub(full) left nonzero deltas: %+v", got)
+	}
+	for i, v := range got.ByReason {
+		if v != 0 {
+			t.Fatalf("ByReason[%d] = %d after self-subtract", i, v)
+		}
+	}
+	if got.MaxRetries != full.MaxRetries || got.MaxReadSet != full.MaxReadSet ||
+		got.MaxWriteSet != full.MaxWriteSet {
+		t.Fatalf("Sub clobbered the high-water marks: %+v", got)
+	}
+}
+
+func TestAbortRateZeroAttempts(t *testing.T) {
+	var zero TxStats
+	r := zero.AbortRate()
+	if r != 0 {
+		t.Fatalf("AbortRate with zero starts = %v, want 0", r)
+	}
+	if math.IsNaN(r) || math.IsInf(r, 0) {
+		t.Fatalf("AbortRate with zero starts is not finite: %v", r)
+	}
+
+	s := TxStats{Starts: 4, Aborts: 1}
+	if got := s.AbortRate(); got != 0.25 {
+		t.Fatalf("AbortRate = %v, want 0.25", got)
+	}
+	// All-abort and all-commit edges.
+	if got := (TxStats{Starts: 3, Aborts: 3}).AbortRate(); got != 1 {
+		t.Fatalf("all-abort AbortRate = %v, want 1", got)
+	}
+	if got := (TxStats{Starts: 3, Commits: 3}).AbortRate(); got != 0 {
+		t.Fatalf("all-commit AbortRate = %v, want 0", got)
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/cachesim"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // DefaultQuantum bounds how far (in cycles) a running thread may
@@ -42,6 +43,7 @@ type Engine struct {
 	Cache   *cachesim.Hierarchy // may be nil: flat memory costs
 	Cost    *CostModel
 	Quantum uint64
+	Obs     *obs.Recorder // scheduler-quantum tracing; nil disables
 
 	threads []*Thread
 	rng     uint64 // deterministic deadline jitter state
@@ -52,6 +54,7 @@ type Config struct {
 	Cache   *cachesim.Hierarchy
 	Cost    *CostModel
 	Quantum uint64
+	Obs     *obs.Recorder
 }
 
 // NewEngine builds an engine over space for n logical threads.
@@ -62,6 +65,7 @@ func NewEngine(space *mem.Space, n int, cfg Config) *Engine {
 		Cache:   cfg.Cache,
 		Cost:    cfg.Cost,
 		Quantum: cfg.Quantum,
+		Obs:     cfg.Obs,
 	}
 	if e.Cost == nil {
 		c := DefaultCost
@@ -154,8 +158,12 @@ func (e *Engine) Run(fn func(t *Thread)) []uint64 {
 			e.rng = e.rng*6364136223846793005 + 1442695040888963407
 			deadline += (e.rng >> 33) % (e.Quantum/2 + 1)
 		}
+		sliceStart := cur.clock
 		cur.resume <- deadline
 		ev := <-cur.pause
+		if e.Obs != nil && cur.clock > sliceStart {
+			e.Obs.Quantum(cur.id, sliceStart, cur.clock)
+		}
 		if ev.done {
 			cur.done = true
 			running--

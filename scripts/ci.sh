@@ -1,0 +1,35 @@
+#!/bin/sh
+# ci.sh — the repository's tier-1 gate, runnable locally or in CI.
+#
+#   scripts/ci.sh
+#
+# Steps: formatting, vet, build, the full test suite, and a -race pass
+# over the packages whose tests don't depend on the virtual-time
+# engine's one-goroutine-at-a-time determinism (the engine serializes
+# execution by construction, so -race on those packages only slows the
+# suite down without adding coverage).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (virtual-time-independent packages) =="
+go test -race ./internal/obs ./internal/mem ./internal/sim ./internal/cachesim
+
+echo "CI OK"
