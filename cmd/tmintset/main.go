@@ -21,23 +21,28 @@ import (
 	_ "repro/internal/alloc/tcmalloc"
 
 	"repro/internal/intset"
+	"repro/internal/obs"
 	"repro/internal/stm"
 )
 
 func main() {
 	var (
-		kind    = flag.String("kind", "linkedlist", "structure: linkedlist, hashset, rbtree")
-		name    = flag.String("alloc", "glibc", "allocator: glibc hoard tbb tcmalloc")
-		threads = flag.Int("threads", 8, "logical threads (1..8)")
-		updates = flag.Int("updates", 60, "update percentage (0, 20, 60)")
-		initial = flag.Int("initial", 0, "initial set size (0 = paper default 4096)")
-		keys    = flag.Int("range", 0, "key range (0 = 2x initial)")
-		ops     = flag.Int("ops", 0, "operations per thread (0 = default)")
-		shift   = flag.Uint("shift", 0, "ORT shift amount (0 = default 5)")
-		design  = flag.String("design", "etl-wb", "STM design: etl-wb, etl-wt, ctl")
-		cacheTx = flag.Bool("cachetx", false, "STM-level tx-object caching (paper §6.2)")
-		hytm    = flag.Bool("hytm", false, "run under the hybrid HTM (hashset only)")
-		seed    = flag.Uint64("seed", 0, "workload seed")
+		kind     = flag.String("kind", "linkedlist", "structure: linkedlist, hashset, rbtree")
+		name     = flag.String("alloc", "glibc", "allocator: glibc hoard tbb tcmalloc")
+		threads  = flag.Int("threads", 8, "logical threads (1..8)")
+		updates  = flag.Int("updates", 60, "update percentage (0, 20, 60)")
+		initial  = flag.Int("initial", 0, "initial set size (0 = paper default 4096)")
+		keys     = flag.Int("range", 0, "key range (0 = 2x initial)")
+		ops      = flag.Int("ops", 0, "operations per thread (0 = default)")
+		shift    = flag.Uint("shift", 0, "ORT shift amount (0 = default 5)")
+		design   = flag.String("design", "etl-wb", "STM design: etl-wb, etl-wt, ctl")
+		cacheTx  = flag.Bool("cachetx", false, "STM-level tx-object caching (paper §6.2)")
+		hytm     = flag.Bool("hytm", false, "run under the hybrid HTM (hashset only)")
+		seed     = flag.Uint64("seed", 0, "workload seed")
+		cmName   = flag.String("cm", "", "contention manager: suicide (default), backoff, karma, aggressive")
+		retryCap = flag.Uint64("retry-cap", 0, "aborts before the irrevocable fallback (0 = default)")
+		faultStr = flag.String("fault", "", "fault plan, e.g. 'oom@10x2,lat%5:300,storm@20000:24000,quota@1048576'")
+		deadline = flag.Uint64("deadline", 0, "virtual-cycle watchdog bound per phase (0 = none)")
 	)
 	flag.Parse()
 
@@ -53,6 +58,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown design %q\n", *design)
 		os.Exit(2)
 	}
+	cm, err := stm.ParseCM(*cmName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	cfg := intset.Config{
 		Kind:         intset.Kind(*kind),
 		Allocator:    *name,
@@ -65,6 +75,10 @@ func main() {
 		Design:       d,
 		CacheTx:      *cacheTx,
 		Seed:         *seed,
+		CM:           cm,
+		RetryCap:     *retryCap,
+		Fault:        *faultStr,
+		Deadline:     *deadline,
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -90,14 +104,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(tw, "mode\tSTM %s, shift %d\n", d, res.Config.Shift)
+	fmt.Fprintf(tw, "mode\tSTM %s, shift %d, CM %s\n", d, res.Config.Shift, cm)
+	if res.Status != "" && res.Status != obs.StatusOK {
+		fmt.Fprintf(tw, "status\t%s: %s\n", res.Status, res.Failure)
+	}
 	fmt.Fprintf(tw, "throughput\t%.0f tx per modelled second\n", res.Throughput)
 	fmt.Fprintf(tw, "time\t%.4f ms for %d ops\n", res.Seconds*1e3, res.Ops)
 	fmt.Fprintf(tw, "transactions\t%d commits, %d aborts (%.1f%%), %d false aborts\n",
 		res.Tx.Commits, res.Tx.Aborts, res.Tx.AbortRate()*100, res.Tx.FalseAborts)
+	if res.Tx.Irrevocables > 0 || res.Tx.BackoffCycles > 0 {
+		fmt.Fprintf(tw, "robustness\t%d irrevocable fallbacks, %d backoff cycles, worst streak %d aborts\n",
+			res.Tx.Irrevocables, res.Tx.BackoffCycles, res.Tx.MaxConsecAborts)
+	}
 	fmt.Fprintf(tw, "cache\t%.2f%% L1D miss, %d false-sharing misses\n",
 		res.L1Miss*100, res.CacheTotal.FalseShare)
-	fmt.Fprintf(tw, "allocator\t%d mallocs, %d frees, %d lock acquisitions (%d contended)\n",
-		res.AllocStats.Mallocs, res.AllocStats.Frees, res.AllocStats.LockAcquires, res.AllocStats.LockContended)
+	fmt.Fprintf(tw, "allocator\t%d mallocs (%d failed), %d frees, %d lock acquisitions (%d contended)\n",
+		res.AllocStats.Mallocs, res.AllocStats.FailedMallocs, res.AllocStats.Frees,
+		res.AllocStats.LockAcquires, res.AllocStats.LockContended)
 	tw.Flush()
+	if res.Status == obs.StatusFailed {
+		os.Exit(1)
+	}
 }

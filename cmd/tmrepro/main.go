@@ -25,18 +25,22 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available experiments and exit")
-		run     = flag.String("run", "", "comma-separated experiment ids, or 'all'")
-		full    = flag.Bool("full", false, "paper-scale parameters (slow)")
-		quick   = flag.Bool("quick", false, "quick-scale parameters (the default; overrides -full)")
-		reps    = flag.Int("reps", 0, "repetitions per configuration (0 = per-experiment default)")
-		seed    = flag.Uint64("seed", 0, "base seed (0 = default)")
-		out     = flag.String("out", "", "directory to also write per-experiment .txt and BENCH_<id>.json files into")
-		chart   = flag.Bool("chart", true, "render figures' series as ASCII charts")
-		md      = flag.Bool("md", false, "emit GitHub-flavoured markdown instead of plain tables")
-		trace   = flag.String("trace", "", "write the event trace here: Chrome trace-event JSON (Perfetto-loadable), or JSON Lines if the path ends in .jsonl")
-		metrics = flag.String("metrics", "", "write a Prometheus text-format metrics snapshot here")
-		jsonOut = flag.String("json", "", "write machine-readable run records (JSON) here")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		run      = flag.String("run", "", "comma-separated experiment ids, or 'all'")
+		full     = flag.Bool("full", false, "paper-scale parameters (slow)")
+		quick    = flag.Bool("quick", false, "quick-scale parameters (the default; overrides -full)")
+		reps     = flag.Int("reps", 0, "repetitions per configuration (0 = per-experiment default)")
+		seed     = flag.Uint64("seed", 0, "base seed (0 = default)")
+		out      = flag.String("out", "", "directory to also write per-experiment .txt and BENCH_<id>.json files into")
+		chart    = flag.Bool("chart", true, "render figures' series as ASCII charts")
+		md       = flag.Bool("md", false, "emit GitHub-flavoured markdown instead of plain tables")
+		trace    = flag.String("trace", "", "write the event trace here: Chrome trace-event JSON (Perfetto-loadable), or JSON Lines if the path ends in .jsonl")
+		metrics  = flag.String("metrics", "", "write a Prometheus text-format metrics snapshot here")
+		jsonOut  = flag.String("json", "", "write machine-readable run records (JSON) here")
+		cmName   = flag.String("cm", "", "contention manager for every workload: suicide (default), backoff, karma, aggressive")
+		retryCap = flag.Uint64("retry-cap", 0, "aborts before the irrevocable fallback (0 = default)")
+		faultStr = flag.String("fault", "", "fault plan injected into every workload (internal/fault grammar)")
+		deadline = flag.Uint64("deadline", 0, "virtual-cycle watchdog bound per workload phase (0 = none)")
 	)
 	flag.Parse()
 	if *quick {
@@ -63,9 +67,12 @@ func main() {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-	opts := harness.Options{Full: *full, Reps: *reps, Seed: *seed}
+	base := harness.Options{
+		Full: *full, Reps: *reps, Seed: *seed,
+		CM: *cmName, RetryCap: *retryCap, Fault: *faultStr, Deadline: *deadline,
+	}
 	if *trace != "" || *metrics != "" || *jsonOut != "" {
-		opts.Obs = obs.New(obs.Config{})
+		base.Obs = obs.New(obs.Config{})
 	}
 
 	var records []*obs.RunRecord
@@ -79,13 +86,30 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", id, e.Paper)
 		start := time.Now()
-		res, err := e.Run(opts)
+		opts := base
+		opts.Health = &harness.Health{}
+		res, err := runExperiment(e, opts)
 		if err != nil {
+			// A panicking experiment still yields a valid failed-status run
+			// record, so downstream tooling sees the outcome, not a gap.
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
 			failed++
+			opts.Health.Note(obs.StatusFailed, err.Error())
+			if opts.Obs != nil || *out != "" {
+				rec := harness.RunRecordFor(&harness.Result{ID: id, Title: e.Paper}, opts)
+				records = append(records, rec)
+				if *out != "" {
+					if mkErr := os.MkdirAll(*out, 0o755); mkErr == nil {
+						writeTo(filepath.Join(*out, "BENCH_"+id+".json"), rec.WriteJSON)
+					}
+				}
+			}
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "%s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+		if s := opts.Health.Status(); s != "" && s != obs.StatusOK {
+			fmt.Fprintf(os.Stderr, "%s status: %s (%s)\n", id, s, opts.Health.Failure())
+		}
 
 		writers := []io.Writer{os.Stdout}
 		if *out != "" {
@@ -131,15 +155,15 @@ func main() {
 		}
 	}
 	if *metrics != "" {
-		if err := writeTo(*metrics, opts.Obs.WritePrometheus); err != nil {
+		if err := writeTo(*metrics, base.Obs.WritePrometheus); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
 	if *trace != "" {
-		write := opts.Obs.WriteChromeTrace
+		write := base.Obs.WriteChromeTrace
 		if strings.HasSuffix(*trace, ".jsonl") {
-			write = opts.Obs.WriteJSONL
+			write = base.Obs.WriteJSONL
 		}
 		if err := writeTo(*trace, write); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -149,6 +173,19 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// runExperiment runs one experiment with panic capture: whatever
+// escapes the workloads' own recovery (a harness bug, an injected
+// fault tripping an unguarded path) becomes an error instead of
+// tearing down the whole reproduction sweep.
+func runExperiment(e *harness.Experiment, opts harness.Options) (res *harness.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return e.Run(opts)
 }
 
 // writeTo creates path (and its directory) and streams fn into it.

@@ -36,23 +36,28 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/stamp"
+	"repro/internal/stm"
 	"repro/internal/vtime"
 )
 
 func main() {
 	var (
-		app     = flag.String("app", "", "application (required); one of: bayes genome intruder kmeans labyrinth ssca2 vacation yada")
-		alloc   = flag.String("alloc", "glibc", "allocator: glibc hoard tbb tcmalloc")
-		threads = flag.Int("threads", 1, "logical threads (1..8)")
-		scale   = flag.String("scale", "quick", "workload scale: quick or ref")
-		variant = flag.String("variant", "high", "contention variant for kmeans/vacation: high or low")
-		shift   = flag.Uint("shift", 0, "ORT shift amount (0 = default 5)")
-		cacheTx = flag.Bool("cachetx", false, "enable the STM-level tx-object cache (paper §6.2)")
-		profile = flag.Bool("profile", false, "print the Table 5 allocation profile")
-		seed    = flag.Uint64("seed", 0, "workload seed (0 = default)")
-		trace   = flag.String("trace", "", "write the event trace here: Chrome trace-event JSON, or JSON Lines if the path ends in .jsonl")
-		metrics = flag.String("metrics", "", "write a Prometheus text-format metrics snapshot here")
-		jsonOut = flag.String("json", "", "write a machine-readable run record (JSON) here")
+		app      = flag.String("app", "", "application (required); one of: bayes genome intruder kmeans labyrinth ssca2 vacation yada")
+		alloc    = flag.String("alloc", "glibc", "allocator: glibc hoard tbb tcmalloc")
+		threads  = flag.Int("threads", 1, "logical threads (1..8)")
+		scale    = flag.String("scale", "quick", "workload scale: quick or ref")
+		variant  = flag.String("variant", "high", "contention variant for kmeans/vacation: high or low")
+		shift    = flag.Uint("shift", 0, "ORT shift amount (0 = default 5)")
+		cacheTx  = flag.Bool("cachetx", false, "enable the STM-level tx-object cache (paper §6.2)")
+		profile  = flag.Bool("profile", false, "print the Table 5 allocation profile")
+		seed     = flag.Uint64("seed", 0, "workload seed (0 = default)")
+		trace    = flag.String("trace", "", "write the event trace here: Chrome trace-event JSON, or JSON Lines if the path ends in .jsonl")
+		metrics  = flag.String("metrics", "", "write a Prometheus text-format metrics snapshot here")
+		jsonOut  = flag.String("json", "", "write a machine-readable run record (JSON) here")
+		cmName   = flag.String("cm", "", "contention manager: suicide (default), backoff, karma, aggressive")
+		retryCap = flag.Uint64("retry-cap", 0, "aborts before the irrevocable fallback (0 = default)")
+		faultStr = flag.String("fault", "", "fault plan, e.g. 'oom@10x2,lat%5:300,stall@t1:50000:20000,quota@1048576'")
+		deadline = flag.Uint64("deadline", 0, "virtual-cycle watchdog bound per phase (0 = none)")
 	)
 	flag.Parse()
 	if *app == "" {
@@ -72,6 +77,11 @@ func main() {
 	if *trace != "" || *metrics != "" || *jsonOut != "" {
 		rec = obs.New(obs.Config{})
 	}
+	cm, err := stm.ParseCM(*cmName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	res, err := stamp.Run(stamp.Config{
 		App:       *app,
 		Allocator: *alloc,
@@ -83,24 +93,41 @@ func main() {
 		Profile:   *profile,
 		Seed:      *seed,
 		Obs:       rec,
+		CM:        cm,
+		RetryCap:  *retryCap,
+		Fault:     *faultStr,
+		Deadline:  *deadline,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("%s / %s / %d thread(s) / %s scale — validation OK\n\n", *app, *alloc, *threads, *scale)
+	switch res.Status {
+	case "", obs.StatusOK:
+		fmt.Printf("%s / %s / %d thread(s) / %s scale — validation OK\n\n", *app, *alloc, *threads, *scale)
+	default:
+		fmt.Printf("%s / %s / %d thread(s) / %s scale — %s: %s\n\n",
+			*app, *alloc, *threads, *scale, res.Status, res.Failure)
+	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "execution time\t%.4f ms (modelled, parallel phase)\n", res.Seconds*1e3)
 	fmt.Fprintf(tw, "init time\t%.4f ms\n", vtime.Seconds(res.InitCycles)*1e3)
 	fmt.Fprintf(tw, "transactions\t%d commits, %d aborts (%.1f%%), %d false aborts\n",
 		res.Tx.Commits, res.Tx.Aborts, res.Tx.AbortRate()*100, res.Tx.FalseAborts)
-	fmt.Fprintf(tw, "abort reasons\tlocked=%d version=%d validation=%d explicit=%d\n",
-		res.Tx.ByReason[0], res.Tx.ByReason[1], res.Tx.ByReason[2], res.Tx.ByReason[3])
+	reasons := make([]string, 0, stm.AbortReasonCount)
+	for r := 0; r < stm.AbortReasonCount; r++ {
+		reasons = append(reasons, fmt.Sprintf("%s=%d", stm.AbortReason(r), res.Tx.ByReason[r]))
+	}
+	fmt.Fprintf(tw, "abort reasons\t%s\n", strings.Join(reasons, " "))
 	fmt.Fprintf(tw, "tx sets\tmax read %d, max write %d, worst retries %d\n",
 		res.Tx.MaxReadSet, res.Tx.MaxWriteSet, res.Tx.MaxRetries)
 	fmt.Fprintf(tw, "tx memory\t%d mallocs, %d frees inside transactions\n",
 		res.Tx.AllocsInTx, res.Tx.FreesInTx)
+	if res.Tx.Irrevocables > 0 || res.Tx.BackoffCycles > 0 || res.Alloc.FailedMallocs > 0 {
+		fmt.Fprintf(tw, "robustness\t%d irrevocable fallbacks, %d backoff cycles, worst streak %d aborts, %d failed mallocs\n",
+			res.Tx.Irrevocables, res.Tx.BackoffCycles, res.Tx.MaxConsecAborts, res.Alloc.FailedMallocs)
+	}
 	fmt.Fprintf(tw, "allocator\t%d mallocs, %d frees, %d lock acquisitions (%d contended), %d remote frees, %d OS maps\n",
 		res.Alloc.Mallocs, res.Alloc.Frees, res.Alloc.LockAcquires, res.Alloc.LockContended,
 		res.Alloc.RemoteFrees, res.Alloc.OSMaps)
@@ -127,15 +154,21 @@ func main() {
 			Schema:     obs.RunRecordSchema,
 			Experiment: "stamp/" + *app,
 			Title:      fmt.Sprintf("%s on %s, %d thread(s), %s scale", *app, *alloc, *threads, *scale),
+			Status:     res.Status,
+			Failure:    res.Failure,
 			Config: obs.RunConfig{
 				Seed: *seed,
 				Extra: map[string]string{
-					"app":     *app,
-					"alloc":   *alloc,
-					"threads": fmt.Sprintf("%d", *threads),
-					"scale":   *scale,
-					"variant": *variant,
-					"cachetx": fmt.Sprintf("%v", *cacheTx),
+					"app":      *app,
+					"alloc":    *alloc,
+					"threads":  fmt.Sprintf("%d", *threads),
+					"scale":    *scale,
+					"variant":  *variant,
+					"cachetx":  fmt.Sprintf("%v", *cacheTx),
+					"cm":       cm.String(),
+					"retrycap": fmt.Sprintf("%d", *retryCap),
+					"fault":    *faultStr,
+					"deadline": fmt.Sprintf("%d", *deadline),
 				},
 			},
 			Tables: []obs.Table{{
@@ -172,6 +205,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	// A captured panic is a real failure for scripting purposes, but only
+	// after every requested artifact has been written: a failed run still
+	// leaves a valid record behind.
+	if res.Status == obs.StatusFailed {
+		os.Exit(1)
 	}
 }
 

@@ -31,11 +31,16 @@ type Allocator interface {
 	// Name returns the allocator's short name ("glibc", "hoard", ...).
 	Name() string
 	// Malloc returns the simulated address of a block of at least size
-	// bytes. Size zero is allowed and returns a minimum-size block,
-	// mirroring malloc(0).
+	// bytes, or 0 when memory is exhausted (address-space quota hit or a
+	// fault injector forced the failure) — the simulated malloc(3)
+	// returning NULL. Size zero is allowed and returns a minimum-size
+	// block, mirroring malloc(0).
 	Malloc(th *vtime.Thread, size uint64) mem.Addr
 	// Free releases the block at addr, which must have been returned by
-	// Malloc on this allocator.
+	// Malloc on this allocator. An invalid addr (double free, pointer the
+	// allocator never handed out) is detected via the model's metadata,
+	// counted in Stats, and otherwise ignored — the free-list state is
+	// never corrupted by bad input.
 	Free(th *vtime.Thread, addr mem.Addr)
 	// BlockSize returns the usable size of the block at addr (the size
 	// class it was served from).
@@ -73,6 +78,9 @@ type Stats struct {
 	SlowRefills    uint64 // fast-path misses that went to a shared store
 	OSMaps         uint64 // regions requested from the simulated OS
 	LiveBytes      int64  // block bytes currently allocated (gauge)
+	FailedMallocs  uint64 // Mallocs that returned 0 (OOM or injected fault)
+	DoubleFrees    uint64 // frees of a block already free
+	BadFrees       uint64 // frees of a pointer the allocator never issued
 }
 
 // Add accumulates other into s.
@@ -87,16 +95,111 @@ func (s *Stats) Add(o Stats) {
 	s.SlowRefills += o.SlowRefills
 	s.OSMaps += o.OSMaps
 	s.LiveBytes += o.LiveBytes
+	s.FailedMallocs += o.FailedMallocs
+	s.DoubleFrees += o.DoubleFrees
+	s.BadFrees += o.BadFrees
+}
+
+// FreeFault classifies an invalid Free caught by an allocator's
+// metadata checks (boundary tags, span/superblock lookup).
+type FreeFault int
+
+const (
+	// DoubleFree: the block's metadata says it is already free.
+	DoubleFree FreeFault = iota
+	// BadPointer: the address maps to no block this allocator issued.
+	BadPointer
+)
+
+// String returns the fault's event label.
+func (f FreeFault) String() string {
+	if f == DoubleFree {
+		return "double_free"
+	}
+	return "bad_free"
+}
+
+// Injector decides, per allocation, whether to inject a fault.
+// internal/fault implements it; the interface lives here (and is
+// satisfied structurally) so allocator models never import the fault
+// package.
+type Injector interface {
+	// MallocFault is consulted once at the top of every Malloc. fail
+	// forces the call to return 0; delay is extra latency in virtual
+	// cycles charged to the thread either way (a malloc latency spike).
+	MallocFault(tid int, size uint64) (fail bool, delay uint64)
+}
+
+// Injectable is implemented by allocators that accept a fault
+// injector. All four models implement it.
+type Injectable interface {
+	SetInjector(inj Injector)
+}
+
+// Inject attaches inj to a if the allocator supports injection.
+func Inject(a Allocator, inj Injector) {
+	if inj == nil {
+		return
+	}
+	if i, ok := a.(Injectable); ok {
+		i.SetInjector(inj)
+	}
 }
 
 // ThreadStats is the per-thread counter block implementations keep in
 // their per-thread state. Rec, when non-nil, is the observability sink
 // for this thread's allocator events (set via SetObserver on the
-// allocator); keeping it here lets shared helpers like CountingMutex
-// emit events without changing their signatures.
+// allocator); Inj, when non-nil, is the fault injector (set via
+// SetInjector). Keeping both here lets shared helpers like
+// CountingMutex and PreMalloc work without changing model signatures.
 type ThreadStats struct {
 	Stats
 	Rec *obs.Recorder
+	Inj Injector
+}
+
+// PreMalloc runs the fault-injection gate at the top of a model's
+// Malloc: it charges any injected latency and reports whether the call
+// must fail (return 0). On failure it also does the full failure
+// accounting, so the model just returns.
+func (st *ThreadStats) PreMalloc(th *vtime.Thread, size uint64) (fail bool) {
+	if st.Inj == nil {
+		return false
+	}
+	f, delay := st.Inj.MallocFault(th.ID(), size)
+	if delay > 0 {
+		if st.Rec != nil {
+			st.Rec.Fault("malloc_latency", th.ID(), th.Clock(), delay)
+		}
+		th.Tick(delay)
+	}
+	if f {
+		st.MallocFailed(th, size)
+	}
+	return f
+}
+
+// MallocFailed does the accounting for a Malloc returning 0 — injected
+// or a genuine simulated OOM (mem quota / address-space exhaustion).
+func (st *ThreadStats) MallocFailed(th *vtime.Thread, size uint64) {
+	st.FailedMallocs++
+	if st.Rec != nil {
+		st.Rec.Fault("oom", th.ID(), th.Clock(), size)
+	}
+}
+
+// FreeFaulted does the accounting for an invalid Free the model's
+// metadata checks caught. The model returns without touching any
+// free-list state.
+func (st *ThreadStats) FreeFaulted(th *vtime.Thread, f FreeFault, addr mem.Addr) {
+	if f == DoubleFree {
+		st.DoubleFrees++
+	} else {
+		st.BadFrees++
+	}
+	if st.Rec != nil {
+		st.Rec.Fault(f.String(), th.ID(), th.Clock(), uint64(addr))
+	}
 }
 
 // Observable is implemented by allocators that can stream events

@@ -24,8 +24,6 @@
 package glibc
 
 import (
-	"fmt"
-
 	"repro/internal/alloc"
 	"repro/internal/mem"
 	"repro/internal/obs"
@@ -89,6 +87,9 @@ func New(space *mem.Space, threads int) *Glibc {
 		mmaps:    make(map[mem.Addr]uint64),
 	}
 	main := g.newArena(nil)
+	if main == nil {
+		panic("glibc: cannot map the main arena")
+	}
 	for i := range g.attached {
 		g.attached[i] = main
 	}
@@ -111,8 +112,20 @@ func (g *Glibc) SetObserver(r *obs.Recorder) {
 	}
 }
 
+// SetInjector implements alloc.Injectable.
+func (g *Glibc) SetInjector(inj alloc.Injector) {
+	for i := range g.stats {
+		g.stats[i].Inj = inj
+	}
+}
+
+// newArena maps a fresh arena, or returns nil when the simulated OS is
+// out of memory.
 func (g *Glibc) newArena(st *alloc.ThreadStats) *arena {
-	base := g.space.MustMap(ArenaSize, ArenaAlign)
+	base, err := g.space.Map(ArenaSize, ArenaAlign)
+	if err != nil {
+		return nil
+	}
 	if st != nil {
 		st.OSMaps++
 	}
@@ -156,13 +169,18 @@ func (g *Glibc) lockArena(th *vtime.Thread, st *alloc.ThreadStats) *arena {
 			return cand
 		}
 	}
-	if len(g.arenas) >= 8*g.threads {
+	fresh := (*arena)(nil)
+	if len(g.arenas) < 8*g.threads {
+		fresh = g.newArena(st)
+	}
+	if fresh == nil {
+		// Arena cap hit, or the simulated OS refused the mapping: block
+		// on the next arena rather than growing.
 		next := g.arenas[(start+1)%len(g.arenas)]
 		next.lock.Lock(th, st)
 		g.attached[tid] = next
 		return next
 	}
-	fresh := g.newArena(st)
 	th.Tick(th.Cost().OSMap)
 	st.Rec.Transfer("glibc:new-arena", th.ID(), th.Clock(), uint64(fresh.index))
 	fresh.lock.Lock(th, st)
@@ -186,13 +204,14 @@ func (g *Glibc) malloc(th *vtime.Thread, st *alloc.ThreadStats, size uint64) mem
 	st.Mallocs++
 	st.BytesRequested += size
 	th.Tick(th.Cost().AllocOp)
+	if st.PreMalloc(th, size) {
+		return 0
+	}
 
 	if size+HeaderSize > MmapThreshold {
 		return g.mmapChunk(th, st, size)
 	}
 	csz := chunkSize(size)
-	st.BytesAllocated += csz - HeaderSize
-	st.LiveBytes += int64(csz - HeaderSize)
 
 	a := g.lockArena(th, st)
 	var c mem.Addr
@@ -204,6 +223,10 @@ func (g *Glibc) malloc(th *vtime.Thread, st *alloc.ThreadStats, size uint64) mem
 			// Arena exhausted: fall over to a brand-new arena.
 			a.lock.Unlock(th)
 			a = g.newArena(st)
+			if a == nil {
+				st.MallocFailed(th, size)
+				return 0
+			}
 			th.Tick(th.Cost().OSMap)
 			st.Rec.Transfer("glibc:new-arena", th.ID(), th.Clock(), uint64(a.index))
 			a.lock.Lock(th, st)
@@ -214,12 +237,18 @@ func (g *Glibc) malloc(th *vtime.Thread, st *alloc.ThreadStats, size uint64) mem
 	}
 	th.Store(c+sizeWordOff, csz|inUseBit)
 	a.lock.Unlock(th)
+	st.BytesAllocated += csz - HeaderSize
+	st.LiveBytes += int64(csz - HeaderSize)
 	return c + HeaderSize
 }
 
 func (g *Glibc) mmapChunk(th *vtime.Thread, st *alloc.ThreadStats, size uint64) mem.Addr {
 	region := mem.AlignUp(size+HeaderSize, mem.PageSize)
-	base := g.space.MustMap(region, mem.PageSize)
+	base, err := g.space.Map(region, mem.PageSize)
+	if err != nil {
+		st.MallocFailed(th, size)
+		return 0
+	}
 	st.OSMaps++
 	th.Tick(th.Cost().OSMap)
 	st.BytesAllocated += region - HeaderSize
@@ -247,13 +276,22 @@ func (g *Glibc) Free(th *vtime.Thread, addr mem.Addr) {
 }
 
 func (g *Glibc) free(th *vtime.Thread, st *alloc.ThreadStats, addr mem.Addr) {
-	st.Frees++
 	th.Tick(th.Cost().AllocOp)
+	// Validate the pointer before loading its boundary tag or touching
+	// any accounting: a wild pointer may not even be mapped.
+	a := g.arenaOf(addr)
+	_, mmapped := g.mmaps[addr]
+	if a == nil && !mmapped {
+		st.FreeFaulted(th, alloc.BadPointer, addr)
+		return
+	}
 	c := addr - HeaderSize
 	word := th.Load(c + sizeWordOff)
 	if word&inUseBit == 0 {
-		panic(fmt.Sprintf("glibc: double free or corruption at %#x", uint64(addr)))
+		st.FreeFaulted(th, alloc.DoubleFree, addr)
+		return
 	}
+	st.Frees++
 	if word&mmappedBit != 0 {
 		st.LiveBytes -= int64((word &^ uint64(inUseBit|mmappedBit)) - HeaderSize)
 		delete(g.mmaps, addr)
@@ -265,10 +303,6 @@ func (g *Glibc) free(th *vtime.Thread, st *alloc.ThreadStats, addr mem.Addr) {
 	}
 	csz := word &^ uint64(inUseBit|mmappedBit)
 	st.LiveBytes -= int64(csz - HeaderSize)
-	a := g.arenaOf(addr)
-	if a == nil {
-		panic(fmt.Sprintf("glibc: free of non-heap address %#x", uint64(addr)))
-	}
 	if g.attached[th.ID()] != a {
 		st.RemoteFrees++
 		st.Rec.Transfer("glibc:remote-free", th.ID(), th.Clock(), uint64(a.index))

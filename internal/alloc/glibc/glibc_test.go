@@ -110,18 +110,34 @@ func TestFreeListRecycling(t *testing.T) {
 	}
 }
 
-func TestDoubleFreePanics(t *testing.T) {
+func TestDoubleFreeDetected(t *testing.T) {
 	s := mem.NewSpace()
 	g := New(s, 1)
 	th := solo(s)
 	a := g.Malloc(th, 16)
 	g.Free(th, a)
-	defer func() {
-		if recover() == nil {
-			t.Error("double free did not panic")
-		}
-	}()
-	g.Free(th, a)
+	g.Free(th, a) // boundary tag says free: counted, not corrupting
+	st := g.Stats()
+	if st.DoubleFrees != 1 {
+		t.Errorf("DoubleFrees = %d, want 1", st.DoubleFrees)
+	}
+	if st.Frees != 1 {
+		t.Errorf("Frees = %d, want 1 (the invalid free must not count)", st.Frees)
+	}
+	// The block is reusable exactly once: the free list was not
+	// corrupted by the double free.
+	b := g.Malloc(th, 16)
+	c := g.Malloc(th, 16)
+	if b != a {
+		t.Errorf("reuse after double free: got %#x, want %#x", uint64(b), uint64(a))
+	}
+	if c == a {
+		t.Error("double free put the block on the free list twice")
+	}
+	g.Free(th, 0xdead0000) // no arena, no mmap record
+	if st := g.Stats(); st.BadFrees != 1 {
+		t.Errorf("BadFrees = %d, want 1", st.BadFrees)
+	}
 }
 
 func TestLargeGoesToMmap(t *testing.T) {

@@ -148,6 +148,13 @@ func (h *Hoard) SetObserver(r *obs.Recorder) {
 	}
 }
 
+// SetInjector implements alloc.Injectable.
+func (h *Hoard) SetInjector(inj alloc.Injector) {
+	for i := range h.stats {
+		h.stats[i].Inj = inj
+	}
+}
+
 // heapFor hashes the thread id to its heap (identity hash over a dense
 // tid space, as effective as Hoard's modulo hash).
 func (h *Hoard) heapFor(tid int) *heap { return h.heaps[tid%len(h.heaps)] }
@@ -168,28 +175,34 @@ func (h *Hoard) malloc(th *vtime.Thread, st *alloc.ThreadStats, size uint64) mem
 	st.Mallocs++
 	st.BytesRequested += size
 	th.Tick(th.Cost().AllocOp)
+	if st.PreMalloc(th, size) {
+		return 0
+	}
 	if size > MaxBlock {
 		return h.mapBig(th, st, size)
 	}
 	ci := h.classes.Index(max64(size, MinBlock))
 	blockSz := h.classes.Size(ci)
-	st.BytesAllocated += blockSz
-	st.LiveBytes += int64(blockSz)
 
+	var a mem.Addr
 	if blockSz <= LocalCacheMax {
 		c := &h.caches[th.ID()]
-		if a := c.lists[ci].Pop(th); a != 0 {
-			return a
+		if a = c.lists[ci].Pop(th); a == 0 {
+			st.SlowRefills++
+			h.refillCache(th, st, ci)
+			a = c.lists[ci].Pop(th)
 		}
+	} else {
 		st.SlowRefills++
-		h.refillCache(th, st, ci)
-		if a := c.lists[ci].Pop(th); a != 0 {
-			return a
-		}
-		panic("hoard: refill produced no blocks")
+		a = h.slowMalloc(th, st, ci)
 	}
-	st.SlowRefills++
-	return h.slowMalloc(th, st, ci)
+	if a == 0 {
+		st.MallocFailed(th, size)
+		return 0
+	}
+	st.BytesAllocated += blockSz
+	st.LiveBytes += int64(blockSz)
+	return a
 }
 
 // refillCache moves up to cacheRefill blocks of class ci from the
@@ -200,6 +213,9 @@ func (h *Hoard) refillCache(th *vtime.Thread, st *alloc.ThreadStats, ci int) {
 	hp.lock.Lock(th, st)
 	for got := 0; got < cacheRefill; {
 		sb := h.usableSuperblock(th, hp, st, ci)
+		if sb == nil {
+			break // simulated OS is out of memory; keep what we got
+		}
 		sb.lock.Lock(th, st)
 		for got < cacheRefill {
 			a := h.takeBlock(th, sb)
@@ -219,6 +235,10 @@ func (h *Hoard) slowMalloc(th *vtime.Thread, st *alloc.ThreadStats, ci int) mem.
 	hp := h.heapFor(th.ID())
 	hp.lock.Lock(th, st)
 	sb := h.usableSuperblock(th, hp, st, ci)
+	if sb == nil {
+		hp.lock.Unlock(th)
+		return 0
+	}
 	sb.lock.Lock(th, st)
 	a := h.takeBlock(th, sb)
 	sb.lock.Unlock(th)
@@ -226,9 +246,6 @@ func (h *Hoard) slowMalloc(th *vtime.Thread, st *alloc.ThreadStats, ci int) mem.
 		hp.used++
 	}
 	hp.lock.Unlock(th)
-	if a == 0 {
-		panic("hoard: fresh superblock has no block")
-	}
 	return a
 }
 
@@ -246,6 +263,9 @@ func (h *Hoard) usableSuperblock(th *vtime.Thread, hp *heap, st *alloc.ThreadSta
 	sb := h.fetchFromGlobal(th, hp, st, ci)
 	if sb == nil {
 		sb = h.newSuperblock(th, hp, st, ci)
+	}
+	if sb == nil {
+		return nil
 	}
 	hp.bins[ci] = append(hp.bins[ci], sb)
 	hp.used += sb.used
@@ -282,8 +302,13 @@ func (h *Hoard) fetchFromGlobal(th *vtime.Thread, hp *heap, st *alloc.ThreadStat
 	return nil
 }
 
+// newSuperblock maps a fresh superblock, or returns nil when the
+// simulated OS is out of memory.
 func (h *Hoard) newSuperblock(th *vtime.Thread, hp *heap, st *alloc.ThreadStats, ci int) *superblock {
-	base := h.space.MustMap(SuperblockSize, SuperblockAlign)
+	base, err := h.space.Map(SuperblockSize, SuperblockAlign)
+	if err != nil {
+		return nil
+	}
 	st.OSMaps++
 	th.Tick(th.Cost().OSMap)
 	sb := &superblock{base: base, owner: hp}
@@ -332,23 +357,35 @@ func (h *Hoard) Free(th *vtime.Thread, addr mem.Addr) {
 }
 
 func (h *Hoard) free(th *vtime.Thread, st *alloc.ThreadStats, addr mem.Addr) {
-	st.Frees++
 	th.Tick(th.Cost().AllocOp)
 
 	if sz, ok := h.big[addr]; ok {
+		st.Frees++
 		st.LiveBytes -= int64(sz)
 		h.freeBig(th, addr, sz)
 		return
 	}
+	// Size-class lookup doubles as pointer validation: the address must
+	// resolve to a superblock we mapped, sit on a block boundary inside
+	// its carved range, and the superblock must still be class-assigned
+	// (a spare means every block was already freed).
 	sb := h.superblockOf(addr)
 	if sb == nil {
-		panic(fmt.Sprintf("hoard: free of unknown address %#x", uint64(addr)))
+		st.FreeFaulted(th, alloc.BadPointer, addr)
+		return
 	}
+	if sb.class < 0 {
+		st.FreeFaulted(th, alloc.DoubleFree, addr)
+		return
+	}
+	if addr < sb.base+headerReserve || addr >= sb.bump ||
+		uint64(addr-(sb.base+headerReserve))%sb.blockSz != 0 {
+		st.FreeFaulted(th, alloc.BadPointer, addr)
+		return
+	}
+	st.Frees++
 	st.LiveBytes -= int64(sb.blockSz)
 	if sb.blockSz <= LocalCacheMax {
-		if sb.class < 0 {
-			panic(fmt.Sprintf("hoard: free of %#x whose superblock %#x is a spare (used=%d)", uint64(addr), uint64(sb.base), sb.used))
-		}
 		cache := &h.caches[th.ID()].lists[sb.class]
 		cache.Push(th, addr)
 		if cache.Len() > cacheCap {
@@ -389,6 +426,14 @@ func (h *Hoard) freeToSuperblock(th *vtime.Thread, st *alloc.ThreadStats, sb *su
 			st.Rec.Transfer("hoard:remote-free", th.ID(), th.Clock(), sb.blockSz)
 		}
 		sb.lock.Lock(th, st)
+		if sb.used == 0 {
+			// Every block is already free: this is the second free of a
+			// block that went through the local cache both times.
+			sb.lock.Unlock(th)
+			hp.lock.Unlock(th)
+			st.FreeFaulted(th, alloc.DoubleFree, a)
+			return
+		}
 		sb.free.Push(th, a)
 		sb.used--
 		sb.lock.Unlock(th)
@@ -448,7 +493,11 @@ func (h *Hoard) superblockOf(addr mem.Addr) *superblock {
 
 func (h *Hoard) mapBig(th *vtime.Thread, st *alloc.ThreadStats, size uint64) mem.Addr {
 	region := mem.AlignUp(size, mem.PageSize)
-	base := h.space.MustMap(region, mem.PageSize)
+	base, err := h.space.Map(region, mem.PageSize)
+	if err != nil {
+		st.MallocFailed(th, size)
+		return 0
+	}
 	st.OSMaps++
 	th.Tick(th.Cost().OSMap)
 	st.BytesAllocated += region

@@ -144,6 +144,13 @@ func (t *TBB) SetObserver(r *obs.Recorder) {
 	}
 }
 
+// SetInjector implements alloc.Injectable.
+func (t *TBB) SetInjector(inj alloc.Injector) {
+	for i := range t.stats {
+		t.stats[i].Inj = inj
+	}
+}
+
 // Malloc implements alloc.Allocator.
 func (t *TBB) Malloc(th *vtime.Thread, size uint64) mem.Addr {
 	st := &t.stats[th.ID()]
@@ -161,40 +168,46 @@ func (t *TBB) malloc(th *vtime.Thread, st *alloc.ThreadStats, size uint64) mem.A
 	st.Mallocs++
 	st.BytesRequested += size
 	th.Tick(th.Cost().AllocOp)
+	if st.PreMalloc(th, size) {
+		return 0
+	}
 	if size > LargeMax {
 		return t.mapBig(th, st, size)
 	}
 	ci := t.classes.Index(max64(size, MinBlock))
-	st.BytesAllocated += t.classes.Size(ci)
-	st.LiveBytes += int64(t.classes.Size(ci))
+	blockSz := t.classes.Size(ci)
 
 	hp := t.heaps[tid]
+	a := mem.Addr(0)
 	// Fast path over this thread's superblocks: private list, then
 	// fresh carve, newest superblock first.
-	for i := len(hp.bins[ci]) - 1; i >= 0; i-- {
-		if a := t.takePrivate(th, hp.bins[ci][i]); a != 0 {
-			return a
-		}
+	for i := len(hp.bins[ci]) - 1; i >= 0 && a == 0; i-- {
+		a = t.takePrivate(th, hp.bins[ci][i])
 	}
-	// Next: steal the public free lists (synchronized, one lock per
-	// superblock).
-	for i := len(hp.bins[ci]) - 1; i >= 0; i-- {
-		sb := hp.bins[ci][i]
-		if t.drainPublic(th, st, sb) {
-			if a := t.takePrivate(th, sb); a != 0 {
-				return a
+	if a == 0 {
+		// Next: steal the public free lists (synchronized, one lock per
+		// superblock).
+		for i := len(hp.bins[ci]) - 1; i >= 0 && a == 0; i-- {
+			sb := hp.bins[ci][i]
+			if t.drainPublic(th, st, sb) {
+				a = t.takePrivate(th, sb)
 			}
 		}
 	}
-	// Slow path: a new superblock from the global heap or a 1 MiB chunk.
-	st.SlowRefills++
-	st.Rec.Transfer("tbb:sb-refill", th.ID(), th.Clock(), t.classes.Size(ci))
-	sb := t.newSuperblock(th, st, ci)
-	hp.bins[ci] = append(hp.bins[ci], sb)
-	a := t.takePrivate(th, sb)
 	if a == 0 {
-		panic("tbb: fresh superblock has no block")
+		// Slow path: a new superblock from the global heap or a 1 MiB chunk.
+		st.SlowRefills++
+		st.Rec.Transfer("tbb:sb-refill", th.ID(), th.Clock(), blockSz)
+		sb := t.newSuperblock(th, st, ci)
+		if sb == nil {
+			st.MallocFailed(th, size)
+			return 0
+		}
+		hp.bins[ci] = append(hp.bins[ci], sb)
+		a = t.takePrivate(th, sb)
 	}
+	st.BytesAllocated += blockSz
+	st.LiveBytes += int64(blockSz)
 	return a
 }
 
@@ -233,7 +246,8 @@ func (t *TBB) drainPublic(th *vtime.Thread, st *alloc.ThreadStats, sb *superbloc
 }
 
 // newSuperblock obtains an empty superblock from the global heap or
-// carves one from the current 1 MiB chunk.
+// carves one from the current 1 MiB chunk; nil when the simulated OS
+// is out of memory.
 func (t *TBB) newSuperblock(th *vtime.Thread, st *alloc.ThreadStats, ci int) *superblock {
 	t.globalLock.Lock(th, st)
 	if n := len(t.spare); n > 0 {
@@ -247,7 +261,11 @@ func (t *TBB) newSuperblock(th *vtime.Thread, st *alloc.ThreadStats, ci int) *su
 
 	t.chunkLock.Lock(th, st)
 	if t.chunkCur+SuperblockSize > t.chunkEnd {
-		base := t.space.MustMap(ChunkSize, SuperblockAlign)
+		base, err := t.space.Map(ChunkSize, SuperblockAlign)
+		if err != nil {
+			t.chunkLock.Unlock(th)
+			return nil
+		}
 		st.OSMaps++
 		th.Tick(th.Cost().OSMap)
 		t.chunkCur, t.chunkEnd = base, base+ChunkSize
@@ -292,18 +310,32 @@ func (t *TBB) Free(th *vtime.Thread, addr mem.Addr) {
 
 func (t *TBB) free(th *vtime.Thread, st *alloc.ThreadStats, addr mem.Addr) {
 	tid := th.ID()
-	st.Frees++
 	th.Tick(th.Cost().AllocOp)
 
 	if sz, ok := t.big[addr]; ok {
+		st.Frees++
 		st.LiveBytes -= int64(sz)
 		t.freeBig(th, addr, sz)
 		return
 	}
+	// Size-class lookup doubles as pointer validation: the address must
+	// resolve to a superblock we carved, sit on a block boundary inside
+	// its bumped range, and the superblock must have live blocks.
 	sb := t.superblockOf(addr)
 	if sb == nil {
-		panic(fmt.Sprintf("tbb: free of unknown address %#x", uint64(addr)))
+		st.FreeFaulted(th, alloc.BadPointer, addr)
+		return
 	}
+	if addr < sb.base+headerReserve || addr >= sb.bump ||
+		uint64(addr-(sb.base+headerReserve))%sb.blockSz != 0 {
+		st.FreeFaulted(th, alloc.BadPointer, addr)
+		return
+	}
+	if sb.used == 0 {
+		st.FreeFaulted(th, alloc.DoubleFree, addr)
+		return
+	}
+	st.Frees++
 	st.LiveBytes -= int64(sb.blockSz)
 	if sb.owner == tid {
 		sb.private.Push(th, addr)
@@ -358,7 +390,11 @@ func (t *TBB) superblockOf(addr mem.Addr) *superblock {
 
 func (t *TBB) mapBig(th *vtime.Thread, st *alloc.ThreadStats, size uint64) mem.Addr {
 	region := mem.AlignUp(size, mem.PageSize)
-	base := t.space.MustMap(region, mem.PageSize)
+	base, err := t.space.Map(region, mem.PageSize)
+	if err != nil {
+		st.MallocFailed(th, size)
+		return 0
+	}
 	st.OSMaps++
 	th.Tick(th.Cost().OSMap)
 	st.BytesAllocated += region

@@ -139,6 +139,13 @@ func (t *TCMalloc) SetObserver(r *obs.Recorder) {
 	}
 }
 
+// SetInjector implements alloc.Injectable.
+func (t *TCMalloc) SetInjector(inj alloc.Injector) {
+	for i := range t.stats {
+		t.stats[i].Inj = inj
+	}
+}
+
 // Malloc implements alloc.Allocator.
 func (t *TCMalloc) Malloc(th *vtime.Thread, size uint64) mem.Addr {
 	st := &t.stats[th.ID()]
@@ -155,19 +162,27 @@ func (t *TCMalloc) malloc(th *vtime.Thread, st *alloc.ThreadStats, size uint64) 
 	st.Mallocs++
 	st.BytesRequested += size
 	th.Tick(th.Cost().AllocOp)
+	if st.PreMalloc(th, size) {
+		return 0
+	}
 	if size > SmallMax {
 		return t.mapLarge(th, st, size)
 	}
 	ci := t.classes.Index(max64(size, MinBlock))
-	st.BytesAllocated += t.classes.Size(ci)
-	st.LiveBytes += int64(t.classes.Size(ci))
 
 	tc := &t.caches[th.ID()]
-	if a := tc.lists[ci].Pop(th); a != 0 {
-		return a
+	a := tc.lists[ci].Pop(th)
+	if a == 0 {
+		st.SlowRefills++
+		a = t.refill(th, st, ci)
+		if a == 0 {
+			st.MallocFailed(th, size)
+			return 0
+		}
 	}
-	st.SlowRefills++
-	return t.refill(th, st, ci)
+	st.BytesAllocated += t.classes.Size(ci)
+	st.LiveBytes += int64(t.classes.Size(ci))
+	return a
 }
 
 // refill performs the incremental batch transfer from the central cache:
@@ -189,7 +204,9 @@ func (t *TCMalloc) refill(th *vtime.Thread, st *alloc.ThreadStats, ci int) mem.A
 	for got < want {
 		a := c.free.Pop(th)
 		if a == 0 {
-			t.growCentral(th, st, ci)
+			if !t.growCentral(th, st, ci) {
+				break // OS out of memory: settle for what we got
+			}
 			continue
 		}
 		if first == 0 {
@@ -206,8 +223,9 @@ func (t *TCMalloc) refill(th *vtime.Thread, st *alloc.ThreadStats, ci int) mem.A
 // growCentral fetches a span from the page heap and threads its blocks
 // onto the central free list in ascending address order (so consecutive
 // pops hand out consecutive addresses — Fig. 2). Caller holds the
-// central list's lock.
-func (t *TCMalloc) growCentral(th *vtime.Thread, st *alloc.ThreadStats, ci int) {
+// central list's lock. Reports false when the simulated OS is out of
+// memory.
+func (t *TCMalloc) growCentral(th *vtime.Thread, st *alloc.ThreadStats, ci int) bool {
 	blockSz := t.classes.Size(ci)
 	// Span large enough for ~64 objects, at least one page — mirroring
 	// TCMalloc's class-to-pages sizing.
@@ -216,15 +234,20 @@ func (t *TCMalloc) growCentral(th *vtime.Thread, st *alloc.ThreadStats, ci int) 
 		bytes = mem.AlignUp(blockSz, PageSize)
 	}
 	sp := t.newSpan(th, st, bytes, ci)
+	if sp == nil {
+		return false
+	}
 	n := sp.bytes / blockSz
 	// Push highest address first: LIFO pops then ascend.
 	for i := int64(n) - 1; i >= 0; i-- {
 		t.central[ci].free.Push(th, sp.base+mem.Addr(uint64(i)*blockSz))
 	}
+	return true
 }
 
 // newSpan carves a page-aligned span from the current OS chunk and
-// registers its pages in the page map.
+// registers its pages in the page map; nil when the simulated OS is
+// out of memory.
 func (t *TCMalloc) newSpan(th *vtime.Thread, st *alloc.ThreadStats, bytes uint64, class int) *span {
 	t.heapLock.Lock(th, st)
 	if t.chunkCur+mem.Addr(bytes) > t.chunkEnd {
@@ -232,7 +255,11 @@ func (t *TCMalloc) newSpan(th *vtime.Thread, st *alloc.ThreadStats, bytes uint64
 		if bytes > sz {
 			sz = mem.AlignUp(bytes, chunkSize)
 		}
-		base := t.space.MustMap(sz, PageSize)
+		base, err := t.space.Map(sz, PageSize)
+		if err != nil {
+			t.heapLock.Unlock(th)
+			return nil
+		}
 		st.OSMaps++
 		th.Tick(th.Cost().OSMap)
 		t.chunkCur, t.chunkEnd = base, base+mem.Addr(sz)
@@ -266,17 +293,31 @@ func (t *TCMalloc) Free(th *vtime.Thread, addr mem.Addr) {
 }
 
 func (t *TCMalloc) free(th *vtime.Thread, st *alloc.ThreadStats, addr mem.Addr) {
-	st.Frees++
 	th.Tick(th.Cost().AllocOp)
+	// Page-map lookup doubles as pointer validation: the page must
+	// belong to a live span and the address must sit on a block boundary
+	// within it. (A large span freed twice fails the page lookup, since
+	// the first free unregistered its pages.)
 	sp := t.pageMap[uint64(addr)>>PageShift]
 	if sp == nil {
-		panic(fmt.Sprintf("tcmalloc: free of unknown address %#x", uint64(addr)))
+		st.FreeFaulted(th, alloc.BadPointer, addr)
+		return
 	}
 	if sp.class < 0 {
+		if addr != sp.base {
+			st.FreeFaulted(th, alloc.BadPointer, addr)
+			return
+		}
+		st.Frees++
 		st.LiveBytes -= int64(sp.bytes)
 		t.freeLarge(th, sp)
 		return
 	}
+	if uint64(addr-sp.base)%t.classes.Size(sp.class) != 0 {
+		st.FreeFaulted(th, alloc.BadPointer, addr)
+		return
+	}
+	st.Frees++
 	st.LiveBytes -= int64(t.classes.Size(sp.class))
 	tc := &t.caches[th.ID()]
 	tc.lists[sp.class].Push(th, addr)
@@ -306,7 +347,12 @@ func (t *TCMalloc) trim(th *vtime.Thread, st *alloc.ThreadStats, ci int) {
 func (t *TCMalloc) mapLarge(th *vtime.Thread, st *alloc.ThreadStats, size uint64) mem.Addr {
 	bytes := mem.AlignUp(size, PageSize)
 	t.heapLock.Lock(th, st)
-	base := t.space.MustMap(bytes, PageSize)
+	base, err := t.space.Map(bytes, PageSize)
+	if err != nil {
+		t.heapLock.Unlock(th)
+		st.MallocFailed(th, size)
+		return 0
+	}
 	st.OSMaps++
 	th.Tick(th.Cost().OSMap)
 	t.heapLock.Unlock(th)

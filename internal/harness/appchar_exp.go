@@ -22,14 +22,20 @@ func init() {
 					"L1 miss",
 				},
 			}
+			cm, err := opts.stmCM()
+			if err != nil {
+				return nil, err
+			}
 			for _, app := range stamp.Names() {
 				res, err := stamp.Run(stamp.Config{
 					App: app, Allocator: "tbb", Threads: 8,
 					Scale: stampScale(opts.Full), Seed: opts.seed(), Obs: opts.Obs,
+					CM: cm, RetryCap: opts.RetryCap, Fault: opts.Fault, Deadline: opts.Deadline,
 				})
 				if err != nil {
 					return nil, err
 				}
+				opts.Health.Note(res.Status, res.Failure)
 				t.Rows = append(t.Rows, []string{
 					app,
 					fmt.Sprintf("%d", res.Tx.Commits),

@@ -16,6 +16,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/obs"
+	"repro/internal/stm"
 )
 
 // Options configure an experiment run.
@@ -24,7 +25,67 @@ type Options struct {
 	Reps int           // repetitions for mean/CI (defaults per experiment)
 	Seed uint64        // base seed; reps derive their own
 	Obs  *obs.Recorder // observability sink threaded into every workload; nil disables
+
+	// Robustness knobs, threaded into every workload run.
+	CM       string  // contention manager name (stm.ParseCM); "" = suicide
+	RetryCap uint64  // irrevocable-fallback threshold (0 = STM default)
+	Fault    string  // fault-plan spec (internal/fault grammar); "" disables
+	Deadline uint64  // virtual-cycle watchdog bound per workload phase; 0 disables
+	Health   *Health // aggregated run status across the experiment; nil disables
 }
+
+// Health aggregates workload run statuses across one experiment:
+// the worst of ok < degraded < failed wins, and every non-ok failure
+// detail is kept so the run record explains how the run was wound down.
+type Health struct {
+	status   string
+	failures []string
+}
+
+func statusRank(s string) int {
+	switch s {
+	case obs.StatusFailed:
+		return 2
+	case obs.StatusDegraded:
+		return 1
+	}
+	return 0
+}
+
+// Note folds one workload outcome into the aggregate.
+func (h *Health) Note(status, failure string) {
+	if h == nil {
+		return
+	}
+	if statusRank(status) > statusRank(h.status) {
+		h.status = status
+	}
+	if failure != "" {
+		h.failures = append(h.failures, failure)
+	}
+}
+
+// Status returns the aggregated status ("" means every run was ok).
+func (h *Health) Status() string {
+	if h == nil {
+		return ""
+	}
+	return h.status
+}
+
+// Failure returns a one-line summary of the collected failure details.
+func (h *Health) Failure() string {
+	if h == nil || len(h.failures) == 0 {
+		return ""
+	}
+	if len(h.failures) == 1 {
+		return h.failures[0]
+	}
+	return fmt.Sprintf("%s (+%d more)", h.failures[0], len(h.failures)-1)
+}
+
+// stmCM resolves the options' contention-manager name.
+func (o Options) stmCM() (stm.CM, error) { return stm.ParseCM(o.CM) }
 
 func (o Options) reps(quick, full int) int {
 	if o.Reps > 0 {
@@ -154,11 +215,29 @@ func Print(w io.Writer, r *Result) {
 // RunRecordFor converts an experiment result into the machine-readable
 // run artifact, attaching whatever the options' recorder collected.
 func RunRecordFor(r *Result, opts Options) *obs.RunRecord {
+	cfg := obs.RunConfig{Full: opts.Full, Reps: opts.Reps, Seed: opts.seed()}
+	if opts.CM != "" || opts.RetryCap != 0 || opts.Fault != "" || opts.Deadline != 0 {
+		cfg.Extra = map[string]string{}
+		if opts.CM != "" {
+			cfg.Extra["cm"] = opts.CM
+		}
+		if opts.RetryCap != 0 {
+			cfg.Extra["retry_cap"] = fmt.Sprintf("%d", opts.RetryCap)
+		}
+		if opts.Fault != "" {
+			cfg.Extra["fault"] = opts.Fault
+		}
+		if opts.Deadline != 0 {
+			cfg.Extra["deadline"] = fmt.Sprintf("%d", opts.Deadline)
+		}
+	}
 	rec := &obs.RunRecord{
 		Schema:     obs.RunRecordSchema,
 		Experiment: r.ID,
 		Title:      r.Title,
-		Config:     obs.RunConfig{Full: opts.Full, Reps: opts.Reps, Seed: opts.seed()},
+		Status:     opts.Health.Status(),
+		Failure:    opts.Health.Failure(),
+		Config:     cfg,
 		Notes:      r.Notes,
 	}
 	for _, t := range r.Tables {

@@ -27,6 +27,13 @@ func intsetThreads() []int { return []int{1, 2, 4, 6, 8} }
 // throughput (tx/s), abort rate and L1 miss ratio.
 func runIntset(cfg intset.Config, reps int, opts Options) (thr, abort, l1 sim.Summary, err error) {
 	cfg.Obs = opts.Obs
+	cfg.CM, err = opts.stmCM()
+	if err != nil {
+		return thr, abort, l1, err
+	}
+	cfg.RetryCap = opts.RetryCap
+	cfg.Fault = opts.Fault
+	cfg.Deadline = opts.Deadline
 	var ths, abs, l1s []float64
 	for r := 0; r < reps; r++ {
 		cfg.Seed = opts.seed() + uint64(r)*7919
@@ -34,6 +41,7 @@ func runIntset(cfg intset.Config, reps int, opts Options) (thr, abort, l1 sim.Su
 		if e != nil {
 			return thr, abort, l1, e
 		}
+		opts.Health.Note(res.Status, res.Failure)
 		ths = append(ths, res.Throughput)
 		abs = append(abs, res.Tx.AbortRate())
 		l1s = append(l1s, res.L1Miss)

@@ -17,6 +17,10 @@ func init() {
 		Paper: "§4/§5 update-rate sweep: read-only, read-dominated, write-dominated (linked list, 8 threads)",
 		Run: func(opts Options) (*Result, error) {
 			initial, keyRange, ops := intsetScale(opts.Full, intset.LinkedList)
+			cm, err := opts.stmCM()
+			if err != nil {
+				return nil, err
+			}
 			reps := opts.reps(1, 3)
 			res := &Result{ID: "fig4rates", Title: "Update-rate sensitivity (linked list, 8 threads)"}
 			for _, rate := range []int{0, 20, 60} {
@@ -37,10 +41,15 @@ func init() {
 							OpsPerThread: ops,
 							Seed:         opts.seed() + uint64(r)*7919,
 							Obs:          opts.Obs,
+							CM:           cm,
+							RetryCap:     opts.RetryCap,
+							Fault:        opts.Fault,
+							Deadline:     opts.Deadline,
 						})
 						if err != nil {
 							return nil, err
 						}
+						opts.Health.Note(out.Status, out.Failure)
 						thrSum += out.Throughput
 						abortSum += out.Tx.AbortRate()
 						falseSum += float64(out.Tx.FalseAborts)

@@ -35,6 +35,14 @@ func stampScale(full bool) stamp.Scale {
 // execution time in modelled milliseconds.
 func runStamp(cfg stamp.Config, reps int, opts Options) (sim.Summary, stamp.Result, error) {
 	cfg.Obs = opts.Obs
+	cm, err := opts.stmCM()
+	if err != nil {
+		return sim.Summary{}, stamp.Result{}, err
+	}
+	cfg.CM = cm
+	cfg.RetryCap = opts.RetryCap
+	cfg.Fault = opts.Fault
+	cfg.Deadline = opts.Deadline
 	var times []float64
 	var last stamp.Result
 	for r := 0; r < reps; r++ {
@@ -43,6 +51,7 @@ func runStamp(cfg stamp.Config, reps int, opts Options) (sim.Summary, stamp.Resu
 		if err != nil {
 			return sim.Summary{}, last, err
 		}
+		opts.Health.Note(res.Status, res.Failure)
 		times = append(times, res.Seconds*1e3)
 		last = res
 	}
@@ -97,15 +106,25 @@ func init() {
 		Run: func(opts Options) (*Result, error) {
 			res := &Result{ID: "tab5", Title: "Allocation profile per app, region and size class (sequential run)"}
 			t := Table{Columns: []string{"App", "Region", "<=16", "<=32", "<=48", "<=64", "<=96", "<=128", "<=256", ">256", "#mallocs", "#frees", "bytes"}}
+			cm, err := opts.stmCM()
+			if err != nil {
+				return nil, err
+			}
 			for _, app := range stamp.Names() {
 				out, err := stamp.Run(stamp.Config{
 					App: app, Allocator: "tbb", Threads: 1, Scale: stampScale(opts.Full),
 					Profile: true, Seed: opts.seed(),
+					CM: cm, RetryCap: opts.RetryCap, Fault: opts.Fault, Deadline: opts.Deadline,
 				})
 				if err != nil {
 					return nil, err
 				}
+				opts.Health.Note(out.Status, out.Failure)
 				p := out.Profile
+				if p == nil { // run wound down (watchdog / captured panic) before profiling finished
+					t.Rows = append(t.Rows, []string{app, "(" + out.Status + ")", "", "", "", "", "", "", "", "", "", "", ""})
+					continue
+				}
 				for _, reg := range []stamp.Region{stamp.RegionSeq, stamp.RegionPar, stamp.RegionTx} {
 					row := []string{app, reg.String()}
 					for b := 0; b < 8; b++ {

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/cachesim"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -69,6 +70,10 @@ type Config struct {
 	Seed         uint64
 	HashBuckets  uint64        // hash set only; paper: 128K
 	Obs          *obs.Recorder // event/metric sink; nil disables
+	CM           stm.CM        // contention manager (default CMSuicide)
+	RetryCap     uint64        // irrevocable-fallback threshold (0 = default)
+	Fault        string        // fault-plan spec (internal/fault grammar); "" disables
+	Deadline     uint64        // virtual-cycle watchdog bound per phase; 0 disables
 }
 
 func (c *Config) fill() {
@@ -109,25 +114,57 @@ type Result struct {
 	L1Miss     float64 // L1D miss ratio over the parallel phase
 	CacheTotal cachesim.CoreStats
 	AllocStats alloc.Stats
+	Status     string // obs.StatusOK / StatusDegraded / StatusFailed
+	Failure    string // watchdog / panic detail when Status is not ok
 }
 
 // Run executes the benchmark described by cfg and returns its result.
-func Run(cfg Config) (Result, error) {
+// Configuration errors are returned as errors; a run that starts but is
+// wound down (watchdog deadline) or panics under injected faults comes
+// back with Status degraded or failed, so callers always have a
+// machine-readable outcome to record.
+func Run(cfg Config) (res Result, err error) {
 	cfg.fill()
 	space := mem.NewSpace()
 	allocator, err := alloc.New(cfg.Allocator, space, cfg.Threads)
 	if err != nil {
 		return Result{}, err
 	}
+	var plan *fault.Plan
+	if cfg.Fault != "" {
+		plan, err = fault.Parse(cfg.Fault, cfg.Seed)
+		if err != nil {
+			return Result{}, err
+		}
+		plan.SetObserver(cfg.Obs)
+		plan.ApplyQuota(space)
+		alloc.Inject(allocator, plan)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Config = cfg
+			res.Status = obs.StatusFailed
+			res.Failure = fmt.Sprint(r)
+			err = nil
+		}
+	}()
 	cache := cachesim.New(cachesim.DefaultCores)
-	engine := vtime.NewEngine(space, cfg.Threads, vtime.Config{Cache: cache, Obs: cfg.Obs})
-	st := stm.New(space, stm.Config{
+	engine := vtime.NewEngine(space, cfg.Threads, vtime.Config{
+		Cache: cache, Obs: cfg.Obs, Deadline: cfg.Deadline,
+	})
+	stmCfg := stm.Config{
 		Shift:          cfg.Shift,
 		Design:         cfg.Design,
 		Allocator:      allocator,
 		CacheTxObjects: cfg.CacheTx,
 		Obs:            cfg.Obs,
-	})
+		CM:             cfg.CM,
+		RetryCap:       cfg.RetryCap,
+	}
+	if plan != nil {
+		stmCfg.Fault = plan
+	}
+	st := stm.New(space, stmCfg)
 	alloc.Observe(allocator, cfg.Obs)
 	cfg.Obs.BeginPhase(fmt.Sprintf("intset/%s/%s/t%d/u%d",
 		cfg.Kind, cfg.Allocator, cfg.Threads, cfg.UpdatePct))
@@ -162,6 +199,14 @@ func Run(cfg Config) (Result, error) {
 			}
 		}
 	})
+
+	if engine.DeadlineExceeded() {
+		return Result{
+			Config:  cfg,
+			Status:  obs.StatusDegraded,
+			Failure: fmt.Sprintf("virtual-time deadline %d exceeded during initialization", cfg.Deadline),
+		}, nil
+	}
 
 	// The measurement covers only the parallel phase.
 	engine.ResetClocks()
@@ -201,7 +246,7 @@ func Run(cfg Config) (Result, error) {
 	}
 	ops := uint64(cfg.Threads) * uint64(cfg.OpsPerThread)
 	secs := vtime.Seconds(cycles)
-	res := Result{
+	res = Result{
 		Config:     cfg,
 		Cycles:     cycles,
 		Seconds:    secs,
@@ -211,6 +256,11 @@ func Run(cfg Config) (Result, error) {
 		L1Miss:     phase.L1MissRatio(),
 		CacheTotal: phase,
 		AllocStats: allocator.Stats(),
+		Status:     obs.StatusOK,
+	}
+	if engine.DeadlineExceeded() {
+		res.Status = obs.StatusDegraded
+		res.Failure = fmt.Sprintf("virtual-time deadline %d exceeded in the parallel phase", cfg.Deadline)
 	}
 	return res, nil
 }

@@ -16,11 +16,19 @@
 package mem
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrNoMemory is the simulated out-of-memory condition: a Map request
+// exceeded the space's byte quota or exhausted the address space.
+// Callers that model real allocators propagate it as a failed malloc
+// (returning 0) rather than crashing, so workloads can degrade
+// gracefully under memory pressure.
+var ErrNoMemory = errors.New("mem: no memory")
 
 // Addr is a byte address in the simulated address space.
 type Addr uint64
@@ -101,6 +109,7 @@ type Space struct {
 
 	mu      sync.Mutex // guards region list mutation and next
 	next    Addr
+	quota   uint64                   // reserved-byte ceiling; 0 = unlimited
 	regions atomic.Pointer[[]Region] // sorted by Base, copy-on-write
 
 	mapCalls   atomic.Uint64
@@ -140,12 +149,16 @@ func (s *Space) Map(size, align uint64) (Addr, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
+	if s.quota != 0 && s.reserved.Load()+size > s.quota {
+		return 0, fmt.Errorf("mem: Map: %d bytes requested over a %d-byte quota with %d reserved: %w",
+			size, s.quota, s.reserved.Load(), ErrNoMemory)
+	}
 	base := (s.next + Addr(align-1)) &^ Addr(align-1)
 	// Leave one unmapped guard page after every region so that linear
 	// overruns fault instead of silently corrupting a neighbour.
 	next := base + Addr(size) + PageSize
 	if next >= MaxAddr {
-		return 0, fmt.Errorf("mem: Map: address space exhausted (%d bytes requested)", size)
+		return 0, fmt.Errorf("mem: Map: address space exhausted (%d bytes requested): %w", size, ErrNoMemory)
 	}
 	s.next = next
 
@@ -167,14 +180,34 @@ func (s *Space) Map(size, align uint64) (Addr, error) {
 	return base, nil
 }
 
-// MustMap is Map but panics on failure; allocator internals use it since
-// exhaustion of the 256 GiB simulated space indicates a harness bug.
+// MustMap is Map but panics on failure. It is reserved for internal
+// invariants — regions that must exist for the simulation itself to be
+// coherent (the STM's ORT, experiment scaffolding) — where a failure
+// indicates a harness bug. Allocator models use Map and surface
+// ErrNoMemory as a failed malloc instead.
 func (s *Space) MustMap(size, align uint64) Addr {
 	a, err := s.Map(size, align)
 	if err != nil {
 		panic(err)
 	}
 	return a
+}
+
+// SetQuota caps the space's reserved bytes: a Map that would push the
+// total past quota fails with ErrNoMemory. Zero removes the cap. The
+// quota models address-space exhaustion and memory pressure; it is not
+// retroactive (already-mapped regions stay mapped).
+func (s *Space) SetQuota(quota uint64) {
+	s.mu.Lock()
+	s.quota = quota
+	s.mu.Unlock()
+}
+
+// Quota returns the current byte quota (0 = unlimited).
+func (s *Space) Quota() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quota
 }
 
 // Unmap releases the region with the given base address (as returned by

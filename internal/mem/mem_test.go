@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -206,4 +207,53 @@ func TestStatsAccounting(t *testing.T) {
 	if st := s.Stats(); st.CommittedBytes != 2*PageSize {
 		t.Errorf("committed = %d, want %d", st.CommittedBytes, 2*PageSize)
 	}
+}
+
+func TestQuota(t *testing.T) {
+	s := NewSpace()
+	s.SetQuota(4 * PageSize)
+	if _, err := s.Map(2*PageSize, 0); err != nil {
+		t.Fatalf("within quota: %v", err)
+	}
+	if _, err := s.Map(4*PageSize, 0); !errors.Is(err, ErrNoMemory) {
+		t.Fatalf("over quota: err = %v, want ErrNoMemory", err)
+	}
+	// Still below the cap: a smaller request succeeds.
+	if _, err := s.Map(PageSize, 0); err != nil {
+		t.Fatalf("after rejection: %v", err)
+	}
+	if got := s.Quota(); got != 4*PageSize {
+		t.Errorf("Quota() = %d, want %d", got, 4*PageSize)
+	}
+	// Unmapping frees quota.
+	base := s.MustMap(PageSize, 0)
+	if _, err := s.Map(PageSize, 0); !errors.Is(err, ErrNoMemory) {
+		t.Fatal("expected quota exhaustion")
+	}
+	if err := s.Unmap(base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Map(PageSize, 0); err != nil {
+		t.Fatalf("after unmap: %v", err)
+	}
+	// Lifting the quota removes the cap.
+	s.SetQuota(0)
+	if _, err := s.Map(64*PageSize, 0); err != nil {
+		t.Fatalf("after lifting quota: %v", err)
+	}
+}
+
+func TestMustMapPanicsOnQuota(t *testing.T) {
+	s := NewSpace()
+	s.SetQuota(PageSize)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MustMap did not panic over quota")
+		}
+		if err, ok := r.(error); !ok || !errors.Is(err, ErrNoMemory) {
+			t.Fatalf("panic value %v does not wrap ErrNoMemory", r)
+		}
+	}()
+	s.MustMap(2*PageSize, 0)
 }

@@ -23,13 +23,16 @@ type Kind uint8
 
 // Event kinds.
 const (
-	KindTxCommit Kind = iota // committed transaction (dur = whole attempt)
-	KindTxAbort              // aborted attempt (cause + ORT stripe in args)
-	KindAlloc                // allocator malloc (dur = allocator latency)
-	KindFree                 // allocator free
-	KindLockWait             // contended wait on an allocator lock
-	KindTransfer             // superblock / central-cache / arena transfer
-	KindQuantum              // one scheduler quantum of a logical thread
+	KindTxCommit    Kind = iota // committed transaction (dur = whole attempt)
+	KindTxAbort                 // aborted attempt (cause + ORT stripe in args)
+	KindAlloc                   // allocator malloc (dur = allocator latency)
+	KindFree                    // allocator free
+	KindLockWait                // contended wait on an allocator lock
+	KindTransfer                // superblock / central-cache / arena transfer
+	KindQuantum                 // one scheduler quantum of a logical thread
+	KindFault                   // an injected or detected fault (OOM, bad free, storm, stall)
+	KindIrrevocable             // a transaction ran irrevocably under the fallback lock
+	KindWatchdog                // the harness watchdog fired (deadline / captured panic)
 	kindCount
 )
 
@@ -49,6 +52,12 @@ func (k Kind) String() string {
 		return "transfer"
 	case KindQuantum:
 		return "quantum"
+	case KindFault:
+		return "fault"
+	case KindIrrevocable:
+		return "irrevocable"
+	case KindWatchdog:
+		return "watchdog"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -62,6 +71,12 @@ func (k Kind) Cat() string {
 		return "alloc"
 	case KindQuantum:
 		return "sched"
+	case KindFault:
+		return "fault"
+	case KindIrrevocable:
+		return "stm"
+	case KindWatchdog:
+		return "harness"
 	}
 	return "obs"
 }
@@ -337,6 +352,59 @@ func (r *Recorder) Quantum(tid int, start, end uint64) {
 	}
 	r.quanta.Inc()
 	r.push(tid, Event{Kind: KindQuantum, TS: start, Dur: end - start})
+}
+
+// Fault records one injected or detected fault. kind names the fault
+// class ("oom", "lat-spike", "stall", "abort-storm", "double-free",
+// "bad-free", ...); a is fault-specific payload (malloc count, stall
+// cycles, faulting address).
+func (r *Recorder) Fault(kind string, tid int, clock uint64, a uint64) {
+	if r == nil {
+		return
+	}
+	r.reg.Counter(`fault_injected_total{kind="` + kind + `"}`).Inc()
+	r.push(tid, Event{Kind: KindFault, TS: clock, A: a, Label: kind})
+}
+
+// Irrevocable records one transaction that fell back to irrevocable
+// execution under the global fallback lock after exhausting its retry
+// cap, spanning [start, end] virtual cycles. aborts is the consecutive-
+// abort streak that triggered the fallback.
+func (r *Recorder) Irrevocable(tid int, start, end uint64, aborts uint64) {
+	if r == nil {
+		return
+	}
+	r.reg.Counter("stm_irrevocable_total").Inc()
+	r.reg.Histogram("stm_irrevocable_cycles").Observe(end - start)
+	r.push(tid, Event{Kind: KindIrrevocable, TS: start, Dur: end - start, A: aborts})
+}
+
+// Starvation publishes the livelock/starvation detector's watermarks:
+// the worst consecutive-abort streak and the largest commit-age gap
+// (virtual cycles between two successive commits of one thread) seen so
+// far.
+func (r *Recorder) Starvation(maxConsecAborts, maxCommitGap uint64) {
+	if r == nil {
+		return
+	}
+	g := r.reg.Gauge("stm_max_consecutive_aborts")
+	if float64(maxConsecAborts) > g.Value() {
+		g.Set(float64(maxConsecAborts))
+	}
+	g = r.reg.Gauge("stm_max_commit_gap_cycles")
+	if float64(maxCommitGap) > g.Value() {
+		g.Set(float64(maxCommitGap))
+	}
+}
+
+// Watchdog records the harness watchdog firing. label describes the
+// trigger ("deadline" or "panic").
+func (r *Recorder) Watchdog(label string, tid int, clock uint64) {
+	if r == nil {
+		return
+	}
+	r.reg.Counter(`watchdog_trips_total{trigger="` + label + `"}`).Inc()
+	r.push(tid, Event{Kind: KindWatchdog, TS: clock, Label: label})
 }
 
 // Gauge sets a named gauge (convenience passthrough).

@@ -40,6 +40,15 @@ type TraceInfo struct {
 	Phases  []string       `json:"phases,omitempty"`
 }
 
+// Run statuses. A record is valid in any of them: the robustness layer
+// guarantees an artifact is emitted even when the run degrades or dies.
+const (
+	StatusOK       = "ok"       // completed and validated
+	StatusDegraded = "degraded" // terminated under pressure: watchdog deadline,
+	// graceful OOM shutdown, or post-fault validation failure
+	StatusFailed = "failed" // a panic was captured; partial results only
+)
+
 // RunRecord is the machine-readable artifact of one experiment run —
 // what BENCH_<exp>.json files hold. Everything in it derives from
 // virtual time and fixed seeds, so records are reproducible
@@ -48,6 +57,8 @@ type RunRecord struct {
 	Schema     string       `json:"schema"`
 	Experiment string       `json:"experiment"`
 	Title      string       `json:"title,omitempty"`
+	Status     string       `json:"status,omitempty"`  // "" is StatusOK (pre-robustness records)
+	Failure    string       `json:"failure,omitempty"` // watchdog / panic detail for non-ok statuses
 	Config     RunConfig    `json:"config"`
 	Tables     []Table      `json:"tables,omitempty"`
 	Series     []Series     `json:"series,omitempty"`

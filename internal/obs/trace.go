@@ -83,6 +83,12 @@ func chromeEvent(ev Event) string {
 		args = fmt.Sprintf(`"lock":%q`, ev.Label)
 	case KindTransfer:
 		args = fmt.Sprintf(`"transfer":%q,"n":%d`, ev.Label, ev.A)
+	case KindFault:
+		args = fmt.Sprintf(`"fault":%q,"n":%d`, ev.Label, ev.A)
+	case KindIrrevocable:
+		args = fmt.Sprintf(`"consec_aborts":%d`, ev.A)
+	case KindWatchdog:
+		args = fmt.Sprintf(`"trigger":%q`, ev.Label)
 	default:
 		return head + "}"
 	}

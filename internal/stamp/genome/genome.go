@@ -82,7 +82,7 @@ func (g *Genome) Setup(w *stamp.World) {
 		for i := range g.gene {
 			g.gene[i] = "acgt"[rng.Intn(4)]
 		}
-		g.geneAddr = w.Allocator.Malloc(th, uint64(g.geneLen))
+		g.geneAddr = w.Malloc(th, uint64(g.geneLen))
 		w.Space.WriteBytes(g.geneAddr, g.gene)
 		th.Tick(uint64(g.geneLen)) // pricing the bulk write
 

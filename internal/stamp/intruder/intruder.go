@@ -99,7 +99,7 @@ func (a *Intruder) Setup(w *stamp.World) {
 				a.planted++
 			}
 			for i := 0; i < n; i++ {
-				rec := w.Allocator.Malloc(th, uint64(frData+a.fragBytes))
+				rec := w.Malloc(th, uint64(frData+a.fragBytes))
 				th.Store(rec+frFlow, uint64(f))
 				th.Store(rec+frIdx, uint64(i))
 				th.Store(rec+frCount, uint64(n))

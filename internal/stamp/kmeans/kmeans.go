@@ -62,8 +62,8 @@ func (a *KMeans) Setup(w *World) {
 	a.params(w.Scale, w.Variant)
 	a.barrier = vtime.NewBarrier(w.Threads)
 	w.Seq(func(th *vtime.Thread) {
-		a.points = w.Allocator.Malloc(th, uint64(a.n*a.d*8))
-		a.centers = w.Allocator.Malloc(th, uint64(a.k*a.d*8))
+		a.points = w.Malloc(th, uint64(a.n*a.d*8))
+		a.centers = w.Malloc(th, uint64(a.k*a.d*8))
 		a.newSum = w.Calloc(th, uint64(a.k*a.d*8))
 		a.newLen = w.Calloc(th, uint64(a.k*8))
 		rng := sim.NewRand(w.Seed)

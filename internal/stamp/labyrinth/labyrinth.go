@@ -135,7 +135,7 @@ func (a *Labyrinth) Parallel(w *stamp.World, th *vtime.Thread) {
 		for attempt := 0; ; attempt++ {
 			// Private grid copy: a large parallel-region allocation,
 			// freed in the parallel region too.
-			private := w.Allocator.Malloc(th, uint64(nCells*8))
+			private := w.Malloc(th, uint64(nCells*8))
 			for i := 0; i < nCells; i++ {
 				th.Store(private+mem.Addr(i*8), th.Load(a.cellAddr(i)))
 			}

@@ -77,6 +77,10 @@ type profAlloc struct {
 	stm      *stm.STM
 	parallel bool
 	p        Profile
+	// quarantined holds blocks already counted as tx frees via
+	// NoteTxFree; their allocator-level Free arrives later from the
+	// STM's quarantine release and must not be counted again.
+	quarantined map[mem.Addr]struct{}
 }
 
 func newProfAlloc(base alloc.Allocator) *profAlloc {
@@ -104,8 +108,23 @@ func (pa *profAlloc) Malloc(th *vtime.Thread, size uint64) mem.Addr {
 
 // Free implements alloc.Allocator.
 func (pa *profAlloc) Free(th *vtime.Thread, addr mem.Addr) {
-	pa.p.Frees[pa.region(th)]++
+	if _, ok := pa.quarantined[addr]; ok {
+		delete(pa.quarantined, addr)
+	} else {
+		pa.p.Frees[pa.region(th)]++
+	}
 	pa.Allocator.Free(th, addr)
+}
+
+// NoteTxFree implements stm.TxFreeNoter: a transactionally issued free
+// is attributed to the tx region when it commits, not when the
+// quarantine eventually releases the block.
+func (pa *profAlloc) NoteTxFree(addr mem.Addr) {
+	pa.p.Frees[RegionTx]++
+	if pa.quarantined == nil {
+		pa.quarantined = map[mem.Addr]struct{}{}
+	}
+	pa.quarantined[addr] = struct{}{}
 }
 
 func (pa *profAlloc) profile() *Profile {

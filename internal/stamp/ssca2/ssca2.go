@@ -52,8 +52,8 @@ func (a *SSCA2) Setup(w *stamp.World) {
 	a.params(w.Scale)
 	a.barrier = vtime.NewBarrier(w.Threads)
 	w.Seq(func(th *vtime.Thread) {
-		a.edgeU = w.Allocator.Malloc(th, uint64(a.e*8))
-		a.edgeV = w.Allocator.Malloc(th, uint64(a.e*8))
+		a.edgeU = w.Malloc(th, uint64(a.e*8))
+		a.edgeV = w.Malloc(th, uint64(a.e*8))
 		a.deg = w.Calloc(th, uint64(a.v*8))
 		a.offset = w.Calloc(th, uint64((a.v+1)*8))
 		a.fill = w.Calloc(th, uint64(a.v*8))

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/cachesim"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/stm"
@@ -56,6 +57,10 @@ type Config struct {
 	Seed      uint64
 	Profile   bool          // collect the Table 5 allocation profile
 	Obs       *obs.Recorder // event/metric sink; nil disables
+	CM        stm.CM        // contention manager (default CMSuicide)
+	RetryCap  uint64        // irrevocable-fallback threshold (0 = default)
+	Fault     string        // fault-plan spec (internal/fault grammar); "" disables
+	Deadline  uint64        // virtual-cycle watchdog bound per phase; 0 disables
 }
 
 // Result reports one run.
@@ -69,6 +74,8 @@ type Result struct {
 	Cache      cachesim.CoreStats
 	L1Miss     float64
 	Profile    *Profile
+	Status     string // obs.StatusOK / StatusDegraded / StatusFailed
+	Failure    string // watchdog / validation / panic detail when not ok
 }
 
 // World is the environment an application runs in.
@@ -84,11 +91,37 @@ type World struct {
 	prof      *profAlloc
 }
 
+// mallocRetries and mallocRetryWait bound how long a non-transactional
+// allocation waits out a transient failure before declaring the system
+// out of memory.
+const (
+	mallocRetries   = 8
+	mallocRetryWait = 4096
+)
+
+// Malloc allocates outside a transaction. The allocator's failure path
+// (injected OOM or an exhausted quota) is retried a bounded number of
+// times in virtual time — transient faults clear, persistent ones panic
+// wrapping mem.ErrNoMemory, which Run captures into a failed-status
+// result instead of tearing the process down.
+func (w *World) Malloc(th *vtime.Thread, size uint64) mem.Addr {
+	if a := w.Allocator.Malloc(th, size); a != 0 {
+		return a
+	}
+	for i := 0; i < mallocRetries; i++ {
+		th.Tick(mallocRetryWait)
+		if a := w.Allocator.Malloc(th, size); a != 0 {
+			return a
+		}
+	}
+	panic(fmt.Errorf("stamp: failed to allocate %d bytes: %w", size, mem.ErrNoMemory))
+}
+
 // Calloc allocates a zero-filled block, as the C applications do via
 // calloc: allocators hand out recycled blocks with free-list links in
 // their first words, so counters and tables must be cleared explicitly.
 func (w *World) Calloc(th *vtime.Thread, size uint64) mem.Addr {
-	a := w.Allocator.Malloc(th, size)
+	a := w.Malloc(th, size)
 	for off := uint64(0); off < size; off += 8 {
 		th.Store(a+mem.Addr(off), 0)
 	}
@@ -176,8 +209,12 @@ func New(name string) (App, error) {
 }
 
 // Run executes one full application run: setup (sequential), parallel
-// phase (timed), validation.
-func Run(cfg Config) (Result, error) {
+// phase (timed), validation. Configuration errors come back as errors;
+// once a run starts it always produces a Result — wound down by the
+// watchdog or spoiled by injected faults means Status degraded, a
+// captured panic means Status failed — so callers can emit a
+// machine-readable run record whatever happened.
+func Run(cfg Config) (res Result, err error) {
 	app, err := New(cfg.App)
 	if err != nil {
 		return Result{}, err
@@ -193,8 +230,28 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	var plan *fault.Plan
+	if cfg.Fault != "" {
+		plan, err = fault.Parse(cfg.Fault, cfg.Seed)
+		if err != nil {
+			return Result{}, err
+		}
+		plan.SetObserver(cfg.Obs)
+		plan.ApplyQuota(space)
+		alloc.Inject(base, plan)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Config = cfg
+			res.Status = obs.StatusFailed
+			res.Failure = fmt.Sprint(r)
+			err = nil
+		}
+	}()
 	cache := cachesim.New(cachesim.DefaultCores)
-	engine := vtime.NewEngine(space, cfg.Threads, vtime.Config{Cache: cache, Obs: cfg.Obs})
+	engine := vtime.NewEngine(space, cfg.Threads, vtime.Config{
+		Cache: cache, Obs: cfg.Obs, Deadline: cfg.Deadline,
+	})
 	alloc.Observe(base, cfg.Obs)
 	cfg.Obs.BeginPhase(fmt.Sprintf("stamp/%s/%s/t%d", cfg.App, cfg.Allocator, cfg.Threads))
 
@@ -211,18 +268,31 @@ func Run(cfg Config) (Result, error) {
 		w.prof = newProfAlloc(base)
 		w.Allocator = w.prof
 	}
-	w.STM = stm.New(space, stm.Config{
+	stmCfg := stm.Config{
 		Shift:          cfg.Shift,
 		Allocator:      w.Allocator,
 		CacheTxObjects: cfg.CacheTx,
 		Obs:            cfg.Obs,
-	})
+		CM:             cfg.CM,
+		RetryCap:       cfg.RetryCap,
+	}
+	if plan != nil {
+		stmCfg.Fault = plan
+	}
+	w.STM = stm.New(space, stmCfg)
 	if w.prof != nil {
 		w.prof.stm = w.STM
 	}
 
 	app.Setup(w)
 	initCycles := engine.MaxClock()
+	if engine.DeadlineExceeded() {
+		return Result{
+			Config:  cfg,
+			Status:  obs.StatusDegraded,
+			Failure: fmt.Sprintf("virtual-time deadline %d exceeded during setup", cfg.Deadline),
+		}, nil
+	}
 
 	// Timed parallel phase.
 	engine.ResetClocks()
@@ -238,8 +308,19 @@ func Run(cfg Config) (Result, error) {
 	cycles := engine.MaxClock()
 	txAfter := w.STM.Stats()
 
-	if err := app.Validate(w); err != nil {
-		return Result{}, fmt.Errorf("stamp: %s validation failed: %w", cfg.App, err)
+	status, failure := obs.StatusOK, ""
+	if engine.DeadlineExceeded() {
+		status = obs.StatusDegraded
+		failure = fmt.Sprintf("virtual-time deadline %d exceeded in the parallel phase", cfg.Deadline)
+	} else if err := app.Validate(w); err != nil {
+		if plan == nil {
+			return Result{}, fmt.Errorf("stamp: %s validation failed: %w", cfg.App, err)
+		}
+		// Under an active fault plan a validation failure is an expected
+		// degraded outcome (e.g. work dropped by an abort storm), not a
+		// harness error: record it and keep the artifacts flowing.
+		status = obs.StatusDegraded
+		failure = fmt.Sprintf("validation failed under fault plan %q: %v", cfg.Fault, err)
 	}
 
 	total := cache.TotalStats()
@@ -251,7 +332,7 @@ func Run(cfg Config) (Result, error) {
 		FalseShare: total.FalseShare - cacheBase.FalseShare,
 		InvalsSent: total.InvalsSent - cacheBase.InvalsSent,
 	}
-	res := Result{
+	res = Result{
 		Config:     cfg,
 		InitCycles: initCycles,
 		Cycles:     cycles,
@@ -260,6 +341,8 @@ func Run(cfg Config) (Result, error) {
 		Alloc:      base.Stats(),
 		Cache:      phase,
 		L1Miss:     phase.L1MissRatio(),
+		Status:     status,
+		Failure:    failure,
 	}
 	if w.prof != nil {
 		res.Profile = w.prof.profile()

@@ -71,11 +71,19 @@ type Yada struct {
 
 	setupNext int        // next point index during the sequential build
 	newBad    [][]badRef // per-thread cascade buffers
+	pinched   []bool     // per-thread: last insertPoint hit a pinched cavity
 
 	refined   int
 	skipped   int
+	dropped   int  // refinements abandoned after repeated pinched cavities
 	exhausted bool // a thread ran out of point indices
 }
+
+// pinchRetries bounds how often a pinched refinement is re-queued
+// before being dropped: concurrent refinements normally reshape the
+// cavity within a few rounds, and a bound keeps a degenerate corner of
+// the mesh from spinning the queue forever.
+const pinchRetries = 16
 
 // Name implements stamp.App.
 func (a *Yada) Name() string { return "yada" }
@@ -171,6 +179,7 @@ func (a *Yada) Setup(w *stamp.World) {
 		a.ptLimit = make([]int, w.Threads)
 		a.epochs = make([]uint64, w.Threads)
 		a.newBad = make([][]badRef, w.Threads)
+		a.pinched = make([]bool, w.Threads)
 		reserved := 3 + a.nPoints // indices used by setup, from thread 0's range
 		per := (a.maxPoints - reserved) / w.Threads
 		for t := 0; t < w.Threads; t++ {
@@ -337,6 +346,24 @@ func (a *Yada) insertPoint(tx *stm.Tx, p pt, fromQueue bool, seeds ...mem.Addr) 
 		}
 	}
 
+	// A pinched boundary — some vertex on more than two boundary edges —
+	// arises when floating-point circumcircle tests disagree and the
+	// cavity is not a simple star. Endpoint-matched fan wiring would then
+	// be ambiguous: the overwrites leave asymmetric neighbour links, and
+	// the next free over such a link strands a live triangle pointing at
+	// reclaimed memory. Detect it before mutating anything and bail; the
+	// caller re-queues the refinement for after the mesh has evolved.
+	seenA := map[int]bool{}
+	seenB := map[int]bool{}
+	for _, be := range boundary {
+		if seenA[be.e.a] || seenB[be.e.b] {
+			a.pinched[tid] = true
+			return false
+		}
+		seenA[be.e.a] = true
+		seenB[be.e.b] = true
+	}
+
 	// Claim the new point index (the write below is to the thread's own
 	// slot of the point array).
 	if fromQueue {
@@ -473,6 +500,7 @@ func (a *Yada) meshTriangles(tx *stm.Tx) []mem.Addr {
 // whole refinement would serialize the benchmark; stale queue entries
 // are instead filtered by the epoch check.
 func (a *Yada) Parallel(w *stamp.World, th *vtime.Thread) {
+	pinchCount := map[mem.Addr]int{} // per-thread pinch re-queue budget
 	for {
 		var item uint64
 		done := false
@@ -496,6 +524,7 @@ func (a *Yada) Parallel(w *stamp.World, th *vtime.Thread) {
 		w.Atomic(th, func(tx *stm.Tx) {
 			cascade = nil
 			a.newBad[tid] = a.newBad[tid][:0]
+			a.pinched[tid] = false
 			if tx.Load(t+tAlive) != 1 || tx.Load(t+tEpoch) != epoch {
 				a.skipped++ // stale entry: triangle already refined away
 				return
@@ -511,6 +540,19 @@ func (a *Yada) Parallel(w *stamp.World, th *vtime.Thread) {
 				cascade = append(cascade, a.newBad[tid]...)
 			}
 		})
+		if a.pinched[tid] {
+			// The cavity boundary was not a simple loop. Re-queue and let
+			// concurrent refinements reshape the neighbourhood; after
+			// pinchRetries rounds give the triangle up as unrefinable.
+			if pinchCount[t] < pinchRetries {
+				pinchCount[t]++
+				w.Atomic(th, func(tx *stm.Tx) {
+					a.queue.Push(tx, epoch<<40|uint64(t))
+				})
+			} else {
+				a.dropped++
+			}
+		}
 		if len(cascade) > 0 {
 			w.Atomic(th, func(tx *stm.Tx) {
 				for _, b := range cascade {
@@ -556,8 +598,9 @@ func (a *Yada) Validate(w *stamp.World) error {
 			}
 		}
 		// No refinable triangle may remain (unless the point budget ran
-		// out, which bounds the refinement legitimately).
-		if !a.exhausted {
+		// out or pinched cavities were dropped, both of which bound the
+		// refinement legitimately).
+		if !a.exhausted && a.dropped == 0 {
 			for _, t := range tris {
 				v, p := a.triPts(tx, t)
 				if bad, _ := a.isBad(p[0], p[1], p[2], v[0], v[1], v[2]); bad {

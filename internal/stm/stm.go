@@ -90,6 +90,18 @@ type Config struct {
 	// with cause and aliasing ORT stripe) and metrics. The disabled
 	// path costs one nil-check per transaction boundary.
 	Obs *obs.Recorder
+	// CM selects the contention manager (default CMSuicide, the
+	// paper's setting).
+	CM CM
+	// RetryCap is the consecutive-abort count at which a transaction
+	// falls back to irrevocable execution under the global fallback
+	// lock. Zero selects DefaultRetryCap; NoRetryCap disables the
+	// ladder.
+	RetryCap uint64
+	// Fault, when non-nil, is consulted at every transaction begin for
+	// injected stalls and abort storms (internal/fault.Plan implements
+	// it).
+	Fault FaultHook
 }
 
 // AbortReason classifies why a transaction aborted.
@@ -101,8 +113,14 @@ const (
 	AbortVersionAhead                     // stripe version newer than snapshot, extension failed
 	AbortValidation                       // read-set validation failed at commit
 	AbortExplicit                         // user-requested restart
+	AbortOOM                              // transactional allocation failed
+	AbortKilled                           // killed by an aggressive rival or an abort storm
 	abortReasonCount
 )
+
+// AbortReasonCount is the number of distinct abort reasons (the length
+// of TxStats.ByReason).
+const AbortReasonCount = int(abortReasonCount)
 
 func (r AbortReason) String() string {
 	switch r {
@@ -114,6 +132,10 @@ func (r AbortReason) String() string {
 		return "validation"
 	case AbortExplicit:
 		return "explicit"
+	case AbortOOM:
+		return "oom"
+	case AbortKilled:
+		return "killed"
 	}
 	return fmt.Sprintf("reason(%d)", int(r))
 }
@@ -135,6 +157,12 @@ type TxStats struct {
 	FreesInTx    uint64
 	CacheHits    uint64 // tx-object cache hits (CacheTxObjects)
 	CacheReturns uint64 // objects parked in the cache
+
+	// Robustness / contention-management counters.
+	MaxConsecAborts uint64 // longest consecutive-abort streak of one transaction
+	CommitGapMax    uint64 // longest virtual-cycle gap between a thread's commits
+	Irrevocables    uint64 // transactions that fell back to irrevocable execution
+	BackoffCycles   uint64 // virtual cycles spent in contention-management backoff
 }
 
 // Sub returns s minus o field-wise (MaxRetries is kept from s), for
@@ -154,6 +182,8 @@ func (s TxStats) Sub(o TxStats) TxStats {
 	out.FreesInTx -= o.FreesInTx
 	out.CacheHits -= o.CacheHits
 	out.CacheReturns -= o.CacheReturns
+	out.Irrevocables -= o.Irrevocables
+	out.BackoffCycles -= o.BackoffCycles
 	return out
 }
 
@@ -177,12 +207,43 @@ type STM struct {
 	cacheTx   bool
 	design    Design
 	rec       *obs.Recorder
+	cm        CM
+	retryCap  uint64
+	fault     FaultHook
+	fallback  vtime.Lock // serializes irrevocable fallback transactions
 
 	// lockAddrs[i] records which address acquired ORT entry i, for
 	// false-conflict classification (diagnostic only).
 	lockAddrs []mem.Addr
 
 	txs map[int]*Tx
+
+	// quarantine holds transactionally freed blocks awaiting
+	// reclamation. The allocator writes free-list metadata into a
+	// block's words without bumping ORT versions, so handing a block
+	// back while a transaction that began before the free is still
+	// running would let it read heap metadata as application data with
+	// a fully consistent read set (TinySTM solves this with mod_mem's
+	// epoch GC). Blocks are released once every active transaction's
+	// snapshot has reached the freeing commit.
+	quarantine []quarRec
+	reclaiming bool // reclaim in progress; bars reentry across yields
+}
+
+// quarRec is one block awaiting safe reclamation.
+type quarRec struct {
+	addr mem.Addr
+	size uint64
+	ver  int64 // clock value at which the free committed
+}
+
+// TxFreeNoter is implemented by wrapping allocators (e.g. the stamp
+// profiler) that attribute frees to the region that issued them: the
+// quarantine delays the allocator-level Free past the transaction, so
+// the STM announces a transactional free at commit time and the
+// wrapper must not count the later release a second time.
+type TxFreeNoter interface {
+	NoteTxFree(addr mem.Addr)
 }
 
 // New builds an STM over space.
@@ -208,11 +269,23 @@ func New(space *mem.Space, cfg Config) *STM {
 		cacheTx:   cfg.CacheTxObjects,
 		design:    cfg.Design,
 		rec:       cfg.Obs,
+		cm:        cfg.CM,
+		retryCap:  cfg.RetryCap,
+		fault:     cfg.Fault,
 		lockAddrs: make([]mem.Addr, size),
 		txs:       make(map[int]*Tx),
 	}
+	if s.retryCap == 0 {
+		s.retryCap = DefaultRetryCap
+	}
 	return s
 }
+
+// CM returns the configured contention manager.
+func (s *STM) CM() CM { return s.cm }
+
+// RetryCap returns the effective consecutive-abort fallback threshold.
+func (s *STM) RetryCap() uint64 { return s.retryCap }
 
 // OrtIndex returns the ORT entry index for an address — the paper's
 // mapping function: shift right, then modulo the table size.
@@ -256,6 +329,7 @@ func (s *STM) TxFor(th *vtime.Thread) *Tx {
 		writeIdx:  make(map[mem.Addr]int, 64),
 		lockedSet: make(map[uint64]int, 32),
 		cache:     make(map[uint64][]mem.Addr),
+		rng:       uint64(th.ID())*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
 	}
 	s.txs[th.ID()] = tx
 	return tx
@@ -308,12 +382,23 @@ func addStats(dst, src *TxStats) {
 	dst.FreesInTx += src.FreesInTx
 	dst.CacheHits += src.CacheHits
 	dst.CacheReturns += src.CacheReturns
+	if src.MaxConsecAborts > dst.MaxConsecAborts {
+		dst.MaxConsecAborts = src.MaxConsecAborts
+	}
+	if src.CommitGapMax > dst.CommitGapMax {
+		dst.CommitGapMax = src.CommitGapMax
+	}
+	dst.Irrevocables += src.Irrevocables
+	dst.BackoffCycles += src.BackoffCycles
 }
 
-// Atomic runs fn as a transaction on th, retrying on abort (SUICIDE
-// contention management: immediate restart). fn must be a pure function
-// of transactional state: any side effects outside tx operations may be
-// repeated.
+// Atomic runs fn as a transaction on th, retrying on abort under the
+// configured contention manager. fn must be a pure function of
+// transactional state: any side effects outside tx operations may be
+// repeated. After RetryCap consecutive aborts the transaction descends
+// the degradation ladder: it acquires the global fallback lock, drains
+// every other transaction, and runs irrevocably — guaranteed to
+// commit, whatever the conflict pattern.
 func (s *STM) Atomic(th *vtime.Thread, fn func(tx *Tx)) {
 	tx := s.TxFor(th)
 	if tx.active {
@@ -321,13 +406,44 @@ func (s *STM) Atomic(th *vtime.Thread, fn func(tx *Tx)) {
 	}
 	retries := uint64(0)
 	for {
+		// Park while an irrevocable transaction runs elsewhere: we hold
+		// nothing, so waiting here cannot deadlock, and staying out
+		// keeps the fallback transaction alone.
+		s.waitFallback(tx)
 		tx.begin()
-		if tx.tryRun(fn) {
+		if s.fault != nil {
+			stall, storm := s.fault.TxBegin(th.ID(), th.Clock())
+			if stall > 0 {
+				th.Tick(stall)
+			}
+			if storm {
+				// Abort-storm kill: roll back (nothing is locked yet)
+				// and fall through to the retry bookkeeping.
+				tx.rollback(AbortKilled)
+				if s.rec != nil {
+					s.rec.TxAbort(th.ID(), tx.beginClock, th.Clock(),
+						AbortKilled.String(), obs.NoStripe, false, 0, 0)
+				}
+			}
+		}
+		if tx.active && tx.tryRun(fn) {
+			tx.noteOutcome(retries, true)
+			s.reclaim(th)
 			return
 		}
 		retries++
 		if retries > tx.stats.MaxRetries {
 			tx.stats.MaxRetries = retries
+		}
+		tx.noteOutcome(retries, false)
+		if s.retryCap != NoRetryCap && retries >= s.retryCap {
+			s.runIrrevocable(tx, fn, retries)
+			tx.noteOutcome(retries, true)
+			s.reclaim(th)
+			return
+		}
+		if s.cm == CMBackoff {
+			tx.backoff(retries)
 		}
 	}
 }
@@ -340,6 +456,23 @@ func (tx *Tx) tryRun(fn func(tx *Tx)) (committed bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(abortSignal); ok {
+				committed = false
+				return
+			}
+			// A memory fault in a revocable transaction whose read set no
+			// longer validates is a zombie read: the stale snapshot let the
+			// application follow a recycled pointer off the map. On real
+			// hardware the load would return garbage and the transaction
+			// would die at validation; model that by aborting it here. A
+			// fault with a consistent read set is a genuine bug and still
+			// propagates.
+			if _, isFault := r.(mem.Fault); isFault && tx.active &&
+				!tx.irrevocable && !tx.validate() {
+				tx.rollback(AbortValidation)
+				if s := tx.stm; s.rec != nil {
+					s.rec.TxAbort(tx.th.ID(), tx.beginClock, tx.th.Clock(),
+						AbortValidation.String(), obs.NoStripe, false, 0, 0)
+				}
 				committed = false
 				return
 			}
@@ -395,6 +528,14 @@ type Tx struct {
 
 	cache map[uint64][]mem.Addr // request size -> cached blocks (§6.2)
 
+	// Contention-management state.
+	karma       uint64 // accumulated work (loads+stores), CMKarma priority
+	killed      bool   // an aggressive rival demands this tx abort
+	waitBudget  uint64 // remaining conflict-wait polls this attempt
+	irrevocable bool   // running alone under the fallback lock
+	rng         uint64 // deterministic backoff jitter state
+	lastCommit  uint64 // virtual clock of this thread's previous commit
+
 	stats TxStats
 }
 
@@ -403,6 +544,8 @@ func (tx *Tx) Thread() *vtime.Thread { return tx.th }
 
 func (tx *Tx) begin() {
 	tx.active = true
+	tx.killed = false
+	tx.waitBudget = conflictWaitBudget
 	tx.beginClock = tx.th.Clock()
 	tx.snapshot = versionOf(tx.th.Load(tx.stm.clockA))
 	tx.readSet = tx.readSet[:0]
@@ -510,7 +653,9 @@ func (tx *Tx) extend() bool {
 
 // Load performs a transactional read of the word at a.
 func (tx *Tx) Load(a mem.Addr) uint64 {
+	tx.checkKilled()
 	tx.stats.LoadsTotal++
+	tx.karma++
 	tx.th.Tick(tx.th.Cost().TxAccess)
 	if tx.stm.design != ETLWriteThrough {
 		if i, ok := tx.writeIdx[a]; ok {
@@ -528,6 +673,9 @@ func (tx *Tx) Load(a mem.Addr) uint64 {
 				// for other addresses; under write-through it holds our
 				// own current values. Either way, read memory.
 				return tx.th.Load(a)
+			}
+			if tx.cmWait(ownerOf(w)) {
+				continue // the conflict may have cleared; re-read
 			}
 			tx.abort(AbortLockedByOther, idx, a)
 		}
@@ -551,7 +699,9 @@ func (tx *Tx) Load(a mem.Addr) uint64 {
 // value while write-through logs the old value and writes in place. CTL
 // only buffers — locks are taken at commit.
 func (tx *Tx) Store(a mem.Addr, v uint64) {
+	tx.checkKilled()
 	tx.stats.StoresTotal++
+	tx.karma++
 	tx.th.Tick(tx.th.Cost().TxAccess)
 	switch tx.stm.design {
 	case ETLWriteThrough:
@@ -598,6 +748,9 @@ func (tx *Tx) acquire(idx uint64, a mem.Addr) {
 			if ownerOf(w) == tx.th.ID() {
 				panic("stm: ORT entry locked by this thread but not in its lock map")
 			}
+			if tx.cmWait(ownerOf(w)) {
+				continue // the conflict may have cleared; re-read
+			}
 			tx.abort(AbortLockedByOther, idx, a)
 		}
 		if versionOf(w) > tx.snapshot {
@@ -616,6 +769,7 @@ func (tx *Tx) acquire(idx uint64, a mem.Addr) {
 
 // commit attempts to finish the transaction; false means it aborted.
 func (tx *Tx) commit() bool {
+	tx.checkKilled()
 	s := tx.stm
 	if len(tx.writeSet) == 0 && len(tx.locked) == 0 {
 		// Read-only: the snapshot is consistent by construction.
@@ -704,18 +858,27 @@ func (tx *Tx) finishCommit() {
 	if ws > tx.stats.MaxWriteSet {
 		tx.stats.MaxWriteSet = ws
 	}
-	// Deferred frees execute now; the §6.2 optimization parks them in
-	// the thread-local cache instead.
-	for _, rec := range tx.frees {
-		if tx.stm.cacheTx {
-			tx.cache[rec.size] = append(tx.cache[rec.size], rec.addr)
-			tx.stats.CacheReturns++
-			tx.th.Tick(tx.th.Cost().AllocOp)
-		} else {
-			tx.stm.allocator.Free(tx.th, rec.addr)
+	// Deferred frees land in quarantine now (reclaimed by the next
+	// Atomic once no straggler transaction can still reach them); the
+	// §6.2 optimization parks them in the thread-local cache instead.
+	if len(tx.frees) > 0 {
+		ver := versionOf(tx.th.Load(tx.stm.clockA))
+		for _, rec := range tx.frees {
+			if tx.stm.cacheTx {
+				tx.cache[rec.size] = append(tx.cache[rec.size], rec.addr)
+				tx.stats.CacheReturns++
+				tx.th.Tick(tx.th.Cost().AllocOp)
+			} else {
+				if n, ok := tx.stm.allocator.(TxFreeNoter); ok {
+					n.NoteTxFree(rec.addr)
+				}
+				tx.stm.quarantine = append(tx.stm.quarantine,
+					quarRec{addr: rec.addr, size: rec.size, ver: ver})
+			}
 		}
 	}
 	tx.active = false
+	tx.karma = 0 // priority is spent on commit (karma CM)
 	tx.stats.Commits++
 	tx.th.Tick(tx.th.Cost().TxBase)
 	if s := tx.stm; s.rec != nil {
@@ -723,9 +886,56 @@ func (tx *Tx) finishCommit() {
 	}
 }
 
+// reclaim hands quarantined blocks back to the allocator once they are
+// unreachable: a block freed at clock ver is safe when every active
+// transaction's snapshot is at least ver, because such transactions
+// only see the post-free mesh (consistent reads validate against
+// versions the freeing commit bumped) and so cannot follow a stale
+// pointer into the block. With no transactions active everything
+// drains, so a finished run leaves the quarantine empty.
+func (s *STM) reclaim(th *vtime.Thread) {
+	// Free calls tick virtual time and can yield to other threads whose
+	// own reclaim would walk the same list, so bar reentry and detach
+	// the releasable blocks before touching the allocator.
+	if len(s.quarantine) == 0 || s.reclaiming {
+		return
+	}
+	s.reclaiming = true
+	defer func() { s.reclaiming = false }()
+	// Loop: frees yield, so commits elsewhere may quarantine more blocks
+	// (and their barred reclaims count on this one picking them up).
+	for {
+		minSnap := int64(1)<<62 - 1
+		for _, d := range s.txs {
+			if d.active && d.snapshot < minSnap {
+				minSnap = d.snapshot
+			}
+		}
+		var release []quarRec
+		keep := s.quarantine[:0]
+		for _, q := range s.quarantine {
+			if q.ver <= minSnap {
+				release = append(release, q)
+			} else {
+				keep = append(keep, q)
+			}
+		}
+		s.quarantine = keep
+		if len(release) == 0 {
+			return
+		}
+		for _, q := range release {
+			s.allocator.Free(th, q.addr)
+		}
+	}
+}
+
 // Malloc allocates inside the transaction; the block is reclaimed if
 // the transaction aborts. With CacheTxObjects the request is first
-// served from the thread-local object cache.
+// served from the thread-local object cache. A failed allocation
+// (simulated OOM) aborts the transaction cleanly — stripes released,
+// earlier allocations undone — so the retry, or ultimately the
+// irrevocable fallback, sees a consistent heap; it never returns 0.
 func (tx *Tx) Malloc(size uint64) mem.Addr {
 	tx.stats.AllocsInTx++
 	var a mem.Addr
@@ -739,6 +949,9 @@ func (tx *Tx) Malloc(size uint64) mem.Addr {
 	}
 	if a == 0 {
 		a = tx.stm.allocator.Malloc(tx.th, size)
+	}
+	if a == 0 {
+		a = tx.txMallocOOM(size) // aborts, or retries irrevocably
 	}
 	tx.allocs = append(tx.allocs, allocRec{addr: a, size: size})
 	return a

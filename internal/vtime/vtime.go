@@ -36,6 +36,19 @@ const DefaultQuantum = 199
 
 const farFuture = ^uint64(0) >> 1
 
+// killDeadline is the poison resume value the scheduler sends to wind a
+// thread down when the engine's virtual-time deadline passes: the next
+// scheduling point inside the thread converts it into a deadlineSignal
+// panic, unwound and captured by the thread wrapper.
+const killDeadline = ^uint64(0)
+
+// deadlineSignal unwinds a thread killed by the engine watchdog. It is
+// recognized (and swallowed) by Run; user code never sees it unless it
+// recovers indiscriminately.
+type deadlineSignal struct{}
+
+func (deadlineSignal) String() string { return "vtime: virtual-time deadline exceeded" }
+
 // Engine coordinates a set of logical threads over one address space
 // and one cache hierarchy.
 type Engine struct {
@@ -44,28 +57,38 @@ type Engine struct {
 	Cost    *CostModel
 	Quantum uint64
 	Obs     *obs.Recorder // scheduler-quantum tracing; nil disables
+	// Deadline, when non-zero, is the engine watchdog: a Run whose
+	// least-advanced thread passes this virtual-cycle bound is wound
+	// down (every thread is unwound at its next scheduling point) and
+	// Run returns normally with DeadlineExceeded reporting true. It
+	// turns livelocks and runaway workloads into a diagnosable,
+	// artifact-producing outcome instead of a host-side hang.
+	Deadline uint64
 
-	threads []*Thread
-	rng     uint64 // deterministic deadline jitter state
+	threads     []*Thread
+	rng         uint64 // deterministic deadline jitter state
+	deadlineHit bool
 }
 
 // Config carries optional Engine settings.
 type Config struct {
-	Cache   *cachesim.Hierarchy
-	Cost    *CostModel
-	Quantum uint64
-	Obs     *obs.Recorder
+	Cache    *cachesim.Hierarchy
+	Cost     *CostModel
+	Quantum  uint64
+	Obs      *obs.Recorder
+	Deadline uint64 // virtual-cycle watchdog bound; 0 disables
 }
 
 // NewEngine builds an engine over space for n logical threads.
 func NewEngine(space *mem.Space, n int, cfg Config) *Engine {
 	e := &Engine{
-		rng:     0x9e3779b97f4a7c15,
-		Space:   space,
-		Cache:   cfg.Cache,
-		Cost:    cfg.Cost,
-		Quantum: cfg.Quantum,
-		Obs:     cfg.Obs,
+		rng:      0x9e3779b97f4a7c15,
+		Space:    space,
+		Cache:    cfg.Cache,
+		Cost:     cfg.Cost,
+		Quantum:  cfg.Quantum,
+		Obs:      cfg.Obs,
+		Deadline: cfg.Deadline,
 	}
 	if e.Cost == nil {
 		c := DefaultCost
@@ -106,6 +129,7 @@ type threadEvent struct {
 // experiments.
 func (e *Engine) Run(fn func(t *Thread)) []uint64 {
 	n := len(e.threads)
+	e.deadlineHit = false
 	for _, t := range e.threads {
 		t.done = false
 		go func(t *Thread) {
@@ -113,14 +137,19 @@ func (e *Engine) Run(fn func(t *Thread)) []uint64 {
 				ev := threadEvent{done: true}
 				if r := recover(); r != nil {
 					ev.panic = r
-					// The panic value is re-raised from Run's caller
-					// context, which loses this goroutine's stack;
-					// surface it here for debuggability.
-					fmt.Fprintf(os.Stderr, "vtime: thread %d panicked: %v\n%s\n", t.id, r, debug.Stack())
+					if _, isDeadline := r.(deadlineSignal); !isDeadline {
+						// The panic value is re-raised from Run's caller
+						// context, which loses this goroutine's stack;
+						// surface it here for debuggability.
+						fmt.Fprintf(os.Stderr, "vtime: thread %d panicked: %v\n%s\n", t.id, r, debug.Stack())
+					}
 				}
 				t.pause <- ev
 			}()
 			t.deadline = <-t.resume
+			if t.deadline == killDeadline {
+				panic(deadlineSignal{})
+			}
 			fn(t)
 		}(t)
 	}
@@ -138,6 +167,35 @@ func (e *Engine) Run(fn func(t *Thread)) []uint64 {
 			if cur == nil || t.clock < cur.clock {
 				cur = t
 			}
+		}
+		// Engine watchdog: the least-advanced runnable thread is past the
+		// deadline, so every thread is — wind the region down. Each
+		// remaining thread is resumed with the poison deadline and
+		// unwinds at its next scheduling point.
+		if e.Deadline != 0 && cur.clock > e.Deadline {
+			e.deadlineHit = true
+			if e.Obs != nil {
+				e.Obs.Watchdog("deadline", cur.id, cur.clock)
+			}
+			for running > 0 {
+				var victim *Thread
+				for _, t := range e.threads {
+					if !t.done {
+						victim = t
+						break
+					}
+				}
+				victim.resume <- killDeadline
+				ev := <-victim.pause
+				victim.done = true
+				running--
+				if ev.panic != nil && firstPanic == nil {
+					if _, isDeadline := ev.panic.(deadlineSignal); !isDeadline {
+						firstPanic = ev.panic
+					}
+				}
+			}
+			break
 		}
 		// Deadline: second-smallest clock plus a quantum.
 		deadline := uint64(farFuture)
@@ -181,6 +239,10 @@ func (e *Engine) Run(fn func(t *Thread)) []uint64 {
 	}
 	return out
 }
+
+// DeadlineExceeded reports whether the last Run was wound down by the
+// engine watchdog (Deadline passed before every thread finished).
+func (e *Engine) DeadlineExceeded() bool { return e.deadlineHit }
 
 // MaxClock returns the largest thread clock — the parallel region's
 // virtual execution time.
@@ -244,6 +306,9 @@ func (t *Thread) Tick(cycles uint64) {
 	if t.clock >= t.deadline && t.engine != nil {
 		t.pause <- threadEvent{}
 		t.deadline = <-t.resume
+		if t.deadline == killDeadline {
+			panic(deadlineSignal{})
+		}
 	}
 }
 
@@ -252,6 +317,9 @@ func (t *Thread) Yield() {
 	if t.engine != nil && t.clock >= t.deadline {
 		t.pause <- threadEvent{}
 		t.deadline = <-t.resume
+		if t.deadline == killDeadline {
+			panic(deadlineSignal{})
+		}
 	}
 }
 

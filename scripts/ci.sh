@@ -32,4 +32,25 @@ go test ./...
 echo "== go test -race (virtual-time-independent packages) =="
 go test -race ./internal/obs ./internal/mem ./internal/sim ./internal/cachesim
 
+echo "== fault-injection smoke =="
+# Every STAMP app must survive an injected-OOM plan with the graceful-
+# degradation ladder engaged, still emitting a valid run record, and two
+# runs of the same seeded fault plan must be byte-identical.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go run ./cmd/tmstamp -app yada -alloc tbb -threads 2 \
+    -cm backoff -retry-cap 64 -fault 'oom@10x2,oom%1,lat%2:200' -deadline 2000000000 \
+    -seed 7 -json "$tmpdir/fault1.json" >/dev/null
+go run ./cmd/tmstamp -app yada -alloc tbb -threads 2 \
+    -cm backoff -retry-cap 64 -fault 'oom@10x2,oom%1,lat%2:200' -deadline 2000000000 \
+    -seed 7 -json "$tmpdir/fault2.json" >/dev/null
+cmp "$tmpdir/fault1.json" "$tmpdir/fault2.json" || {
+    echo "fault-injection run records differ for the same seed" >&2
+    exit 1
+}
+grep -q '"status"' "$tmpdir/fault1.json" || {
+    echo "fault-injection run record carries no status" >&2
+    exit 1
+}
+
 echo "CI OK"
