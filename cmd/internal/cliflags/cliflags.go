@@ -1,0 +1,186 @@
+// Package cliflags is the shared flag surface of the tm* binaries:
+// the robustness-policy group (-cm, -retry-cap, -fault, -deadline), the
+// sweep group (-jobs, -cache, -no-cache) and the artifact-output group
+// (-trace, -metrics, -json). Flag values that name things — contention
+// managers, fault plans — are validated while flags parse, so a typo
+// fails immediately with the allowed names instead of minutes into a
+// sweep.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/stm"
+	"repro/internal/sweep"
+)
+
+// Robustness is the parsed policy group.
+type Robustness struct {
+	CM       stm.CM
+	RetryCap uint64
+	Fault    string
+	Deadline uint64
+}
+
+// AddRobustness registers -cm, -retry-cap, -fault and -deadline on fs.
+// -cm and -fault validate as they parse.
+func AddRobustness(fs *flag.FlagSet) *Robustness {
+	r := &Robustness{}
+	fs.Func("cm", "contention manager: "+strings.Join(stm.CMNames(), ", "), func(v string) error {
+		cm, err := stm.ParseCM(v)
+		if err != nil {
+			return fmt.Errorf("unknown contention manager %q (allowed: %s)", v, strings.Join(stm.CMNames(), ", "))
+		}
+		r.CM = cm
+		return nil
+	})
+	fs.Uint64Var(&r.RetryCap, "retry-cap", 0, "aborts before the irrevocable fallback (0 = default)")
+	fs.Func("fault", "fault plan injected into every workload (internal/fault grammar)", func(v string) error {
+		if _, err := fault.Parse(v, 1); err != nil {
+			return err
+		}
+		r.Fault = v
+		return nil
+	})
+	fs.Uint64Var(&r.Deadline, "deadline", 0, "virtual-cycle watchdog bound per workload phase (0 = none)")
+	return r
+}
+
+// Spec assembles a typed harness spec from the policy group plus the
+// binary's own scale flags, mapping the CLI's zero-means-default
+// conventions onto the spec's explicit nil-or-override pointers.
+func (r *Robustness) Spec(full bool, reps int, seed uint64) *harness.Spec {
+	s := &harness.Spec{Full: full, CM: r.CM, Fault: r.Fault}
+	if reps > 0 {
+		s.Reps = &reps
+	}
+	if seed != 0 {
+		s.Seed = &seed
+	}
+	if r.RetryCap != 0 {
+		s.RetryCap = &r.RetryCap
+	}
+	if r.Deadline != 0 {
+		s.Deadline = &r.Deadline
+	}
+	return s
+}
+
+// Sweep is the parsed scheduler group.
+type Sweep struct {
+	Jobs    int
+	Dir     string
+	NoCache bool
+}
+
+// AddSweep registers -jobs, -cache and -no-cache on fs.
+func AddSweep(fs *flag.FlagSet) *Sweep {
+	s := &Sweep{}
+	fs.IntVar(&s.Jobs, "jobs", runtime.NumCPU(),
+		"host goroutine pool width for sweep cells (results are byte-identical for any value)")
+	fs.StringVar(&s.Dir, "cache", "", "directory memoizing finished cells by config hash ('' disables)")
+	fs.BoolVar(&s.NoCache, "no-cache", false, "disable the cell cache even when -cache is set")
+	return s
+}
+
+// Open returns the configured cell cache (nil when disabled).
+func (s *Sweep) Open() (*sweep.Cache, error) {
+	if s.NoCache || s.Dir == "" {
+		return nil, nil
+	}
+	return sweep.OpenCache(s.Dir)
+}
+
+// Output is the parsed artifact group.
+type Output struct {
+	Trace   string
+	Metrics string
+	JSON    string
+}
+
+// AddOutput registers -trace, -metrics and -json on fs.
+func AddOutput(fs *flag.FlagSet) *Output {
+	o := &Output{}
+	fs.StringVar(&o.Trace, "trace", "",
+		"write the event trace here: Chrome trace-event JSON (Perfetto-loadable), or JSON Lines if the path ends in .jsonl")
+	fs.StringVar(&o.Metrics, "metrics", "", "write a Prometheus text-format metrics snapshot here")
+	fs.StringVar(&o.JSON, "json", "", "write machine-readable run records (JSON) here")
+	return o
+}
+
+// Enabled reports whether any artifact output was requested.
+func (o *Output) Enabled() bool { return o.Trace != "" || o.Metrics != "" || o.JSON != "" }
+
+// NewRecorder returns a recorder when any artifact needs one.
+func (o *Output) NewRecorder() *obs.Recorder {
+	if !o.Enabled() {
+		return nil
+	}
+	return obs.New(obs.Config{})
+}
+
+// WriteTrace writes the recorder's event trace to -trace (no-op when
+// unset), as Chrome trace-event JSON or JSON Lines by extension.
+func (o *Output) WriteTrace(rec *obs.Recorder) error {
+	if o.Trace == "" {
+		return nil
+	}
+	write := rec.WriteChromeTrace
+	if strings.HasSuffix(o.Trace, ".jsonl") {
+		write = rec.WriteJSONL
+	}
+	return WriteTo(o.Trace, write)
+}
+
+// WriteMetrics writes the recorder's metrics to -metrics (no-op when
+// unset); extra, when non-nil, appends additional metric blocks (e.g.
+// the sweep scheduler's) after the recorder's.
+func (o *Output) WriteMetrics(rec *obs.Recorder, extra func(io.Writer) error) error {
+	if o.Metrics == "" {
+		return nil
+	}
+	return WriteTo(o.Metrics, func(w io.Writer) error {
+		if err := rec.WritePrometheus(w); err != nil {
+			return err
+		}
+		if extra != nil {
+			return extra(w)
+		}
+		return nil
+	})
+}
+
+// WriteRecords writes the run records to -json (no-op when unset).
+func (o *Output) WriteRecords(records []*obs.RunRecord) error {
+	if o.JSON == "" {
+		return nil
+	}
+	return WriteTo(o.JSON, func(w io.Writer) error { return obs.WriteRunRecords(w, records) })
+}
+
+// WriteTo creates path (and its directory) and streams fn into it.
+func WriteTo(path string, fn func(io.Writer) error) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

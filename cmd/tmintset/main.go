@@ -7,9 +7,15 @@
 //
 //	tmintset -kind linkedlist -alloc glibc -threads 8 -updates 60
 //	tmintset -kind hashset -alloc tcmalloc -threads 8 -hytm
+//	tmintset -kind rbtree -alloc hoard -cache .tmcache -json out/run.json
+//
+// The run executes as one sweep cell, so -cache memoizes it by
+// configuration hash; tracing (-trace / -metrics) forces a live run,
+// since a cache hit cannot replay events.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,30 +26,31 @@ import (
 	_ "repro/internal/alloc/tbb"
 	_ "repro/internal/alloc/tcmalloc"
 
+	"repro/cmd/internal/cliflags"
 	"repro/internal/intset"
 	"repro/internal/obs"
 	"repro/internal/stm"
+	"repro/internal/sweep"
 )
 
 func main() {
 	var (
-		kind     = flag.String("kind", "linkedlist", "structure: linkedlist, hashset, rbtree")
-		name     = flag.String("alloc", "glibc", "allocator: glibc hoard tbb tcmalloc")
-		threads  = flag.Int("threads", 8, "logical threads (1..8)")
-		updates  = flag.Int("updates", 60, "update percentage (0, 20, 60)")
-		initial  = flag.Int("initial", 0, "initial set size (0 = paper default 4096)")
-		keys     = flag.Int("range", 0, "key range (0 = 2x initial)")
-		ops      = flag.Int("ops", 0, "operations per thread (0 = default)")
-		shift    = flag.Uint("shift", 0, "ORT shift amount (0 = default 5)")
-		design   = flag.String("design", "etl-wb", "STM design: etl-wb, etl-wt, ctl")
-		cacheTx  = flag.Bool("cachetx", false, "STM-level tx-object caching (paper §6.2)")
-		hytm     = flag.Bool("hytm", false, "run under the hybrid HTM (hashset only)")
-		seed     = flag.Uint64("seed", 0, "workload seed")
-		cmName   = flag.String("cm", "", "contention manager: suicide (default), backoff, karma, aggressive")
-		retryCap = flag.Uint64("retry-cap", 0, "aborts before the irrevocable fallback (0 = default)")
-		faultStr = flag.String("fault", "", "fault plan, e.g. 'oom@10x2,lat%5:300,storm@20000:24000,quota@1048576'")
-		deadline = flag.Uint64("deadline", 0, "virtual-cycle watchdog bound per phase (0 = none)")
+		kind    = flag.String("kind", "linkedlist", "structure: linkedlist, hashset, rbtree")
+		name    = flag.String("alloc", "glibc", "allocator: glibc hoard tbb tcmalloc")
+		threads = flag.Int("threads", 8, "logical threads (1..8)")
+		updates = flag.Int("updates", 60, "update percentage (0, 20, 60)")
+		initial = flag.Int("initial", 0, "initial set size (0 = paper default 4096)")
+		keys    = flag.Int("range", 0, "key range (0 = 2x initial)")
+		ops     = flag.Int("ops", 0, "operations per thread (0 = default)")
+		shift   = flag.Uint("shift", 0, "ORT shift amount (0 = default 5)")
+		design  = flag.String("design", "etl-wb", "STM design: etl-wb, etl-wt, ctl")
+		cacheTx = flag.Bool("cachetx", false, "STM-level tx-object caching (paper §6.2)")
+		hytm    = flag.Bool("hytm", false, "run under the hybrid HTM (hashset only)")
+		seed    = flag.Uint64("seed", 0, "workload seed")
 	)
+	rob := cliflags.AddRobustness(flag.CommandLine)
+	sw := cliflags.AddSweep(flag.CommandLine)
+	outp := cliflags.AddOutput(flag.CommandLine)
 	flag.Parse()
 
 	var d stm.Design
@@ -58,11 +65,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown design %q\n", *design)
 		os.Exit(2)
 	}
-	cm, err := stm.ParseCM(*cmName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
+	rec := outp.NewRecorder()
 	cfg := intset.Config{
 		Kind:         intset.Kind(*kind),
 		Allocator:    *name,
@@ -75,16 +78,91 @@ func main() {
 		Design:       d,
 		CacheTx:      *cacheTx,
 		Seed:         *seed,
-		CM:           cm,
-		RetryCap:     *retryCap,
-		Fault:        *faultStr,
-		Deadline:     *deadline,
+		CM:           rob.CM,
+		RetryCap:     rob.RetryCap,
+		Fault:        rob.Fault,
+		Deadline:     rob.Deadline,
+	}
+
+	cache, err := sw.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if rec != nil {
+		cache = nil // a cache hit could not replay the trace
+	}
+	spec, err := json.Marshal(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	mode := "stm"
+	if *hytm {
+		mode = "hytm"
+	}
+	cells := []sweep.Cell{{
+		Key: fmt.Sprintf("cli/intset/%s/%s/%s/t%d/u%d/%s",
+			mode, *kind, *name, *threads, *updates, *design),
+		Spec: spec,
+		Seed: *seed,
+		Run: func() (any, *obs.Delta, error) {
+			c := cfg
+			c.Obs = rec
+			var payload any
+			var err error
+			if *hytm {
+				payload, err = intset.RunHyTM(c)
+			} else {
+				payload, err = intset.Run(c)
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+			var dl *obs.Delta
+			if rec != nil {
+				dl = rec.Delta()
+			}
+			return payload, dl, nil
+		},
+	}}
+	sched := &sweep.Scheduler{Jobs: sw.Jobs, Cache: cache}
+	outs, stats := sched.Run(cells)
+	out := outs[0]
+	if out.Err != nil {
+		fmt.Fprintln(os.Stderr, out.Err)
+		os.Exit(1)
+	}
+	if out.Cached {
+		fmt.Fprintf(os.Stderr, "cached result (%s, hash %.12s)\n", sw.Dir, out.Hash)
+	}
+
+	record := obs.NewRunRecord("intset/" + mode)
+	record.Title = fmt.Sprintf("%s on %s, %d thread(s), %d%% updates (%s)", *kind, *name, *threads, *updates, mode)
+	record.Config = obs.RunConfig{
+		Seed: *seed,
+		Extra: map[string]string{
+			"kind": *kind, "alloc": *name,
+			"threads": fmt.Sprintf("%d", *threads),
+			"updates": fmt.Sprintf("%d", *updates),
+			"design":  *design,
+			"mode":    mode,
+			"cm":      rob.CM.String(),
+		},
+	}
+	record.Sweep = &obs.SweepInfo{
+		CellSet:  sweep.CellSetHash(cells),
+		Cells:    stats.Cells,
+		Executed: stats.Executed,
+		Cached:   stats.Cached,
+		Jobs:     sw.Jobs,
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	exitFailed := false
 	if *hytm {
-		res, err := intset.RunHyTM(cfg)
-		if err != nil {
+		var res intset.HyTMResult
+		if err := json.Unmarshal(out.Payload, &res); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -97,32 +175,72 @@ func main() {
 		fmt.Fprintf(tw, "allocator\t%d mallocs, %d frees, %d lock acquisitions (%d contended)\n",
 			res.Alloc.Mallocs, res.Alloc.Frees, res.Alloc.LockAcquires, res.Alloc.LockContended)
 		tw.Flush()
-		return
+		record.Tables = []obs.Table{{
+			Title:   "Summary",
+			Columns: []string{"Metric", "Value"},
+			Rows: [][]string{
+				{"throughput (tx/s)", fmt.Sprintf("%.0f", res.Throughput)},
+				{"HTM commits", fmt.Sprintf("%d", st.HTMCommits)},
+				{"HTM aborts", fmt.Sprintf("%d", st.HTMAborts)},
+				{"fallbacks", fmt.Sprintf("%d", st.Fallbacks)},
+			},
+		}}
+	} else {
+		var res intset.Result
+		if err := json.Unmarshal(out.Payload, &res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(tw, "mode\tSTM %s, shift %d, CM %s\n", d, res.Config.Shift, rob.CM)
+		if res.Status != "" && res.Status != obs.StatusOK {
+			fmt.Fprintf(tw, "status\t%s: %s\n", res.Status, res.Failure)
+		}
+		fmt.Fprintf(tw, "throughput\t%.0f tx per modelled second\n", res.Throughput)
+		fmt.Fprintf(tw, "time\t%.4f ms for %d ops\n", res.Seconds*1e3, res.Ops)
+		fmt.Fprintf(tw, "transactions\t%d commits, %d aborts (%.1f%%), %d false aborts\n",
+			res.Tx.Commits, res.Tx.Aborts, res.Tx.AbortRate()*100, res.Tx.FalseAborts)
+		if res.Tx.Irrevocables > 0 || res.Tx.BackoffCycles > 0 {
+			fmt.Fprintf(tw, "robustness\t%d irrevocable fallbacks, %d backoff cycles, worst streak %d aborts\n",
+				res.Tx.Irrevocables, res.Tx.BackoffCycles, res.Tx.MaxConsecAborts)
+		}
+		fmt.Fprintf(tw, "cache\t%.2f%% L1D miss, %d false-sharing misses\n",
+			res.L1Miss*100, res.CacheTotal.FalseShare)
+		fmt.Fprintf(tw, "allocator\t%d mallocs (%d failed), %d frees, %d lock acquisitions (%d contended)\n",
+			res.AllocStats.Mallocs, res.AllocStats.FailedMallocs, res.AllocStats.Frees,
+			res.AllocStats.LockAcquires, res.AllocStats.LockContended)
+		tw.Flush()
+		record.Status = res.Status
+		record.Failure = res.Failure
+		record.Tables = []obs.Table{{
+			Title:   "Summary",
+			Columns: []string{"Metric", "Value"},
+			Rows: [][]string{
+				{"throughput (tx/s)", fmt.Sprintf("%.0f", res.Throughput)},
+				{"commits", fmt.Sprintf("%d", res.Tx.Commits)},
+				{"aborts", fmt.Sprintf("%d", res.Tx.Aborts)},
+				{"false aborts", fmt.Sprintf("%d", res.Tx.FalseAborts)},
+				{"L1 miss", fmt.Sprintf("%.4f", res.L1Miss)},
+			},
+		}}
+		exitFailed = res.Status == obs.StatusFailed
 	}
-	res, err := intset.Run(cfg)
-	if err != nil {
+
+	if outp.JSON != "" {
+		record.Attach(rec)
+		if err := cliflags.WriteTo(outp.JSON, record.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := outp.WriteMetrics(rec, stats.WritePrometheus); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(tw, "mode\tSTM %s, shift %d, CM %s\n", d, res.Config.Shift, cm)
-	if res.Status != "" && res.Status != obs.StatusOK {
-		fmt.Fprintf(tw, "status\t%s: %s\n", res.Status, res.Failure)
+	if err := outp.WriteTrace(rec); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	fmt.Fprintf(tw, "throughput\t%.0f tx per modelled second\n", res.Throughput)
-	fmt.Fprintf(tw, "time\t%.4f ms for %d ops\n", res.Seconds*1e3, res.Ops)
-	fmt.Fprintf(tw, "transactions\t%d commits, %d aborts (%.1f%%), %d false aborts\n",
-		res.Tx.Commits, res.Tx.Aborts, res.Tx.AbortRate()*100, res.Tx.FalseAborts)
-	if res.Tx.Irrevocables > 0 || res.Tx.BackoffCycles > 0 {
-		fmt.Fprintf(tw, "robustness\t%d irrevocable fallbacks, %d backoff cycles, worst streak %d aborts\n",
-			res.Tx.Irrevocables, res.Tx.BackoffCycles, res.Tx.MaxConsecAborts)
-	}
-	fmt.Fprintf(tw, "cache\t%.2f%% L1D miss, %d false-sharing misses\n",
-		res.L1Miss*100, res.CacheTotal.FalseShare)
-	fmt.Fprintf(tw, "allocator\t%d mallocs (%d failed), %d frees, %d lock acquisitions (%d contended)\n",
-		res.AllocStats.Mallocs, res.AllocStats.FailedMallocs, res.AllocStats.Frees,
-		res.AllocStats.LockAcquires, res.AllocStats.LockContended)
-	tw.Flush()
-	if res.Status == obs.StatusFailed {
+	if exitFailed {
 		os.Exit(1)
 	}
 }

@@ -13,12 +13,16 @@
 //     another thread (false-sharing exposure);
 //   - the resulting collision histogram over the ORT.
 //
+// The per-allocator analyses run as independent sweep cells on the
+// -jobs pool and memoize into -cache by configuration hash.
+//
 // Usage:
 //
 //	tmlayout [-size 16] [-threads 8] [-blocks 512] [-shift 5] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,12 +33,25 @@ import (
 	_ "repro/internal/alloc/tbb"
 	_ "repro/internal/alloc/tcmalloc"
 
+	"repro/cmd/internal/cliflags"
 	"repro/internal/alloc"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/stm"
+	"repro/internal/sweep"
 	"repro/internal/vtime"
 )
+
+// layoutParams is the cell spec: everything that determines a layout
+// analysis, so the cache key changes exactly when the analysis would.
+type layoutParams struct {
+	Allocator string `json:"allocator"`
+	Size      uint64 `json:"size"`
+	Threads   int    `json:"threads"`
+	Blocks    int    `json:"blocks"`
+	Shift     uint   `json:"shift"`
+	Parallel  bool   `json:"parallel"`
+}
 
 func main() {
 	var (
@@ -45,7 +62,40 @@ func main() {
 		mode    = flag.String("mode", "parallel", "parallel (contended, via the virtual-time engine) or solo")
 		jsonOut = flag.Bool("json", false, "emit the analysis as a machine-readable run record on stdout")
 	)
+	sw := cliflags.AddSweep(flag.CommandLine)
 	flag.Parse()
+
+	cache, err := sw.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var cells []sweep.Cell
+	for _, name := range alloc.Names() {
+		p := layoutParams{
+			Allocator: name,
+			Size:      *size,
+			Threads:   *threads,
+			Blocks:    *blocks,
+			Shift:     *shift,
+			Parallel:  *mode == "parallel",
+		}
+		spec, err := json.Marshal(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cells = append(cells, sweep.Cell{
+			Key:  fmt.Sprintf("cli/layout/%s/b%d/t%d/n%d/s%d/%s", name, *size, *threads, *blocks, *shift, *mode),
+			Spec: spec,
+			Run: func() (any, *obs.Delta, error) {
+				r, err := analyze(p)
+				return r, nil, err
+			},
+		})
+	}
+	sched := &sweep.Scheduler{Jobs: sw.Jobs, Cache: cache}
+	outs, stats := sched.Run(cells)
 
 	table := obs.Table{
 		Title: fmt.Sprintf("%d threads x %d blocks of %d bytes, ORT shift %d, %s mode",
@@ -53,38 +103,50 @@ func main() {
 		Columns: []string{"allocator", "stripe-shared", "blocks", "cross-thread stripes",
 			"aliased entries", "cross-thread lines", "max/stripe"},
 	}
-	for _, name := range alloc.Names() {
-		r, err := analyze(name, *size, *threads, *blocks, *shift, *mode == "parallel")
-		if err != nil {
+	for i, name := range alloc.Names() {
+		out := outs[i]
+		if out.Err != nil {
+			fmt.Fprintln(os.Stderr, out.Err)
+			os.Exit(1)
+		}
+		var r report
+		if err := json.Unmarshal(out.Payload, &r); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		total := *threads * *blocks
 		table.Rows = append(table.Rows, []string{
 			name,
-			fmt.Sprintf("%d", r.stripeShared),
+			fmt.Sprintf("%d", r.StripeShared),
 			fmt.Sprintf("%d", total),
-			fmt.Sprintf("%d", r.crossThreadStripes),
-			fmt.Sprintf("%d", r.aliased),
-			fmt.Sprintf("%d", r.crossThreadLines),
-			fmt.Sprintf("%d", r.maxPerStripe),
+			fmt.Sprintf("%d", r.CrossThreadStripes),
+			fmt.Sprintf("%d", r.Aliased),
+			fmt.Sprintf("%d", r.CrossThreadLines),
+			fmt.Sprintf("%d", r.MaxPerStripe),
 		})
+	}
+	if stats.Cached > 0 {
+		fmt.Fprintf(os.Stderr, "%d/%d cells served from cache (%s)\n", stats.Cached, stats.Cells, sw.Dir)
 	}
 
 	if *jsonOut {
-		record := &obs.RunRecord{
-			Schema:     obs.RunRecordSchema,
-			Experiment: "layout",
-			Title:      "Allocator block placement vs ORT stripes and cache lines",
-			Config: obs.RunConfig{Extra: map[string]string{
-				"size":    fmt.Sprintf("%d", *size),
-				"threads": fmt.Sprintf("%d", *threads),
-				"blocks":  fmt.Sprintf("%d", *blocks),
-				"shift":   fmt.Sprintf("%d", *shift),
-				"mode":    *mode,
-			}},
-			Tables: []obs.Table{table},
+		record := obs.NewRunRecord("layout")
+		record.Title = "Allocator block placement vs ORT stripes and cache lines"
+		record.Config = obs.RunConfig{Extra: map[string]string{
+			"size":    fmt.Sprintf("%d", *size),
+			"threads": fmt.Sprintf("%d", *threads),
+			"blocks":  fmt.Sprintf("%d", *blocks),
+			"shift":   fmt.Sprintf("%d", *shift),
+			"mode":    *mode,
+		}}
+		record.Sweep = &obs.SweepInfo{
+			CellSet:  sweep.CellSetHash(cells),
+			Cells:    stats.Cells,
+			Executed: stats.Executed,
+			Cached:   stats.Cached,
+			Jobs:     sw.Jobs,
 		}
+		record.Tables = []obs.Table{table}
 		if err := record.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -109,35 +171,35 @@ max/stripe:           worst-case blocks mapped to one versioned lock`)
 }
 
 type report struct {
-	stripeShared       int
-	crossThreadStripes int
-	aliased            int
-	crossThreadLines   int
-	maxPerStripe       int
+	StripeShared       int `json:"stripe_shared"`
+	CrossThreadStripes int `json:"cross_thread_stripes"`
+	Aliased            int `json:"aliased"`
+	CrossThreadLines   int `json:"cross_thread_lines"`
+	MaxPerStripe       int `json:"max_per_stripe"`
 }
 
-func analyze(name string, size uint64, threads, blocks int, shift uint, parallel bool) (report, error) {
+func analyze(p layoutParams) (report, error) {
 	space := mem.NewSpace()
-	a, err := alloc.New(name, space, threads)
+	a, err := alloc.New(p.Allocator, space, p.Threads)
 	if err != nil {
 		return report{}, err
 	}
-	st := stm.New(space, stm.Config{Shift: shift})
+	st := stm.New(space, stm.Config{Shift: p.Shift})
 
 	type blk struct {
 		addr mem.Addr
 		tid  int
 	}
 	var all []blk
-	if parallel {
+	if p.Parallel {
 		// Threads allocate concurrently under the virtual-time engine:
 		// Glibc's arena trylock contention creates per-thread arenas,
 		// exposing the 64 MiB aliasing of the paper's §5.2.
-		e := vtime.NewEngine(space, threads, vtime.Config{})
-		perThread := make([][]mem.Addr, threads)
+		e := vtime.NewEngine(space, p.Threads, vtime.Config{})
+		perThread := make([][]mem.Addr, p.Threads)
 		e.Run(func(th *vtime.Thread) {
-			for i := 0; i < blocks; i++ {
-				perThread[th.ID()] = append(perThread[th.ID()], a.Malloc(th, size))
+			for i := 0; i < p.Blocks; i++ {
+				perThread[th.ID()] = append(perThread[th.ID()], a.Malloc(th, p.Size))
 				th.Tick(40) // space the requests out, as real work would
 			}
 		})
@@ -149,13 +211,13 @@ func analyze(name string, size uint64, threads, blocks int, shift uint, parallel
 	} else {
 		// Interleaved round-robin allocation on one uncontended thread
 		// sequence (Glibc keeps everyone on the main arena).
-		ths := make([]*vtime.Thread, threads)
+		ths := make([]*vtime.Thread, p.Threads)
 		for t := range ths {
 			ths[t] = vtime.Solo(space, t, nil)
 		}
-		for i := 0; i < blocks; i++ {
-			for t := 0; t < threads; t++ {
-				all = append(all, blk{addr: a.Malloc(ths[t], size), tid: t})
+		for i := 0; i < p.Blocks; i++ {
+			for t := 0; t < p.Threads; t++ {
+				all = append(all, blk{addr: a.Malloc(ths[t], p.Size), tid: t})
 			}
 		}
 	}
@@ -168,12 +230,12 @@ func analyze(name string, size uint64, threads, blocks int, shift uint, parallel
 	}
 	stripes := map[uint64]*stripeInfo{} // addr>>shift -> info
 	entries := map[uint64]map[uint64]bool{}
-	stripeSz := uint64(1) << shift
+	stripeSz := uint64(1) << p.Shift
 	for _, b := range all {
 		// A block covers every stripe its bytes touch; a 48-byte block
 		// with shift 5 spans two stripes (the paper's rbtree case).
-		first := uint64(b.addr) >> shift
-		last := (uint64(b.addr) + size - 1) >> shift
+		first := uint64(b.addr) >> p.Shift
+		last := (uint64(b.addr) + p.Size - 1) >> p.Shift
 		for sk := first; sk <= last; sk++ {
 			si := stripes[sk]
 			if si == nil {
@@ -192,24 +254,24 @@ func analyze(name string, size uint64, threads, blocks int, shift uint, parallel
 	var r report
 	for _, si := range stripes {
 		if si.count > 1 {
-			r.stripeShared += si.count
+			r.StripeShared += si.count
 		}
 		if len(si.tids) > 1 {
-			r.crossThreadStripes++
+			r.CrossThreadStripes++
 		}
-		if si.count > r.maxPerStripe {
-			r.maxPerStripe = si.count
+		if si.count > r.MaxPerStripe {
+			r.MaxPerStripe = si.count
 		}
 	}
 	for _, sks := range entries {
 		if len(sks) > 1 {
-			r.aliased++
+			r.Aliased++
 		}
 	}
 	// Cache line sharing across threads.
 	lines := map[uint64]map[int]bool{}
 	for _, b := range all {
-		for lk := uint64(b.addr) >> 6; lk <= (uint64(b.addr)+size-1)>>6; lk++ {
+		for lk := uint64(b.addr) >> 6; lk <= (uint64(b.addr)+p.Size-1)>>6; lk++ {
 			if lines[lk] == nil {
 				lines[lk] = map[int]bool{}
 			}
@@ -218,7 +280,7 @@ func analyze(name string, size uint64, threads, blocks int, shift uint, parallel
 	}
 	for _, tids := range lines {
 		if len(tids) > 1 {
-			r.crossThreadLines++
+			r.CrossThreadLines++
 		}
 	}
 	return r, nil

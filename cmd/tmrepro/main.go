@@ -2,11 +2,17 @@
 // Implications of Dynamic Memory Allocators on Transactional Memory
 // Systems" (PPoPP 2015) on this repository's simulated substrate.
 //
+// Experiments decompose into independent (configuration, repetition)
+// cells that run on a work-stealing goroutine pool (-jobs) and memoize
+// into an on-disk cache (-cache); output bytes are identical for any
+// pool width, and a repeated invocation with the same cache serves
+// every cell from disk.
+//
 // Usage:
 //
 //	tmrepro -list
 //	tmrepro -run fig1,tab4
-//	tmrepro -run all -full -reps 5 -out results/
+//	tmrepro -run all -full -reps 5 -out results/ -jobs 8 -cache .tmcache
 //	tmrepro -run fig4 -quick -trace out.json -metrics out.prom -json out/run.json
 package main
 
@@ -19,29 +25,26 @@ import (
 	"strings"
 	"time"
 
+	"repro/cmd/internal/cliflags"
 	"repro/internal/harness"
 	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list available experiments and exit")
-		run      = flag.String("run", "", "comma-separated experiment ids, or 'all'")
-		full     = flag.Bool("full", false, "paper-scale parameters (slow)")
-		quick    = flag.Bool("quick", false, "quick-scale parameters (the default; overrides -full)")
-		reps     = flag.Int("reps", 0, "repetitions per configuration (0 = per-experiment default)")
-		seed     = flag.Uint64("seed", 0, "base seed (0 = default)")
-		out      = flag.String("out", "", "directory to also write per-experiment .txt and BENCH_<id>.json files into")
-		chart    = flag.Bool("chart", true, "render figures' series as ASCII charts")
-		md       = flag.Bool("md", false, "emit GitHub-flavoured markdown instead of plain tables")
-		trace    = flag.String("trace", "", "write the event trace here: Chrome trace-event JSON (Perfetto-loadable), or JSON Lines if the path ends in .jsonl")
-		metrics  = flag.String("metrics", "", "write a Prometheus text-format metrics snapshot here")
-		jsonOut  = flag.String("json", "", "write machine-readable run records (JSON) here")
-		cmName   = flag.String("cm", "", "contention manager for every workload: suicide (default), backoff, karma, aggressive")
-		retryCap = flag.Uint64("retry-cap", 0, "aborts before the irrevocable fallback (0 = default)")
-		faultStr = flag.String("fault", "", "fault plan injected into every workload (internal/fault grammar)")
-		deadline = flag.Uint64("deadline", 0, "virtual-cycle watchdog bound per workload phase (0 = none)")
+		list  = flag.Bool("list", false, "list available experiments and exit")
+		run   = flag.String("run", "", "comma-separated experiment ids, or 'all'")
+		full  = flag.Bool("full", false, "paper-scale parameters (slow)")
+		quick = flag.Bool("quick", false, "quick-scale parameters (the default; overrides -full)")
+		reps  = flag.Int("reps", 0, "repetitions per configuration (0 = per-experiment default)")
+		seed  = flag.Uint64("seed", 0, "base seed (0 = default)")
+		out   = flag.String("out", "", "directory to also write per-experiment .txt and BENCH_<id>.json files into")
+		chart = flag.Bool("chart", true, "render figures' series as ASCII charts")
+		md    = flag.Bool("md", false, "emit GitHub-flavoured markdown instead of plain tables")
 	)
+	rob := cliflags.AddRobustness(flag.CommandLine)
+	sw := cliflags.AddSweep(flag.CommandLine)
+	outp := cliflags.AddOutput(flag.CommandLine)
 	flag.Parse()
 	if *quick {
 		*full = false
@@ -67,48 +70,43 @@ func main() {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-	base := harness.Options{
-		Full: *full, Reps: *reps, Seed: *seed,
-		CM: *cmName, RetryCap: *retryCap, Fault: *faultStr, Deadline: *deadline,
+
+	spec := rob.Spec(*full, *reps, *seed)
+	spec.Obs = outp.NewRecorder()
+	cache, err := sw.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	if *trace != "" || *metrics != "" || *jsonOut != "" {
-		base.Obs = obs.New(obs.Config{})
-	}
+	session := &harness.Session{Spec: spec, Jobs: sw.Jobs, Cache: cache}
+
+	fmt.Fprintf(os.Stderr, "running %d experiment(s) with -jobs %d...\n", len(ids), sw.Jobs)
+	start := time.Now()
+	runs, stats := session.Run(ids)
+	fmt.Fprintf(os.Stderr, "sweep: %s\n", stats)
 
 	var records []*obs.RunRecord
 	failed := 0
-	for _, id := range ids {
-		e, ok := harness.Get(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (see -list)\n", id)
-			failed++
-			continue
-		}
-		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", id, e.Paper)
-		start := time.Now()
-		opts := base
-		opts.Health = &harness.Health{}
-		res, err := runExperiment(e, opts)
-		if err != nil {
-			// A panicking experiment still yields a valid failed-status run
+	for _, r := range runs {
+		if r.Err != nil {
+			// A failing experiment still yields a valid failed-status run
 			// record, so downstream tooling sees the outcome, not a gap.
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, r.Err)
 			failed++
-			opts.Health.Note(obs.StatusFailed, err.Error())
-			if opts.Obs != nil || *out != "" {
-				rec := harness.RunRecordFor(&harness.Result{ID: id, Title: e.Paper}, opts)
+			r.Health.Note(obs.StatusFailed, r.Err.Error())
+			if outp.Enabled() || *out != "" {
+				rec := session.Record(r)
 				records = append(records, rec)
 				if *out != "" {
 					if mkErr := os.MkdirAll(*out, 0o755); mkErr == nil {
-						writeTo(filepath.Join(*out, "BENCH_"+id+".json"), rec.WriteJSON)
+						cliflags.WriteTo(filepath.Join(*out, "BENCH_"+r.ID+".json"), rec.WriteJSON)
 					}
 				}
 			}
 			continue
 		}
-		fmt.Fprintf(os.Stderr, "%s done in %v\n", id, time.Since(start).Round(time.Millisecond))
-		if s := opts.Health.Status(); s != "" && s != obs.StatusOK {
-			fmt.Fprintf(os.Stderr, "%s status: %s (%s)\n", id, s, opts.Health.Failure())
+		if s := r.Health.Status(); s != "" && s != obs.StatusOK {
+			fmt.Fprintf(os.Stderr, "%s status: %s (%s)\n", r.ID, s, r.Health.Failure())
 		}
 
 		writers := []io.Writer{os.Stdout}
@@ -117,7 +115,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			f, err := os.Create(filepath.Join(*out, id+".txt"))
+			f, err := os.Create(filepath.Join(*out, r.ID+".txt"))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -127,81 +125,40 @@ func main() {
 		}
 		mw := io.MultiWriter(writers...)
 		if *md {
-			harness.PrintMarkdown(mw, res)
+			harness.PrintMarkdown(mw, r.Result)
 		} else {
-			harness.Print(mw, res)
-			if *chart && len(res.Series) > 0 {
-				harness.Chart(mw, res, 64, 14)
+			harness.Print(mw, r.Result)
+			if *chart && len(r.Result.Series) > 0 {
+				harness.Chart(mw, r.Result, 64, 14)
 			}
 		}
 
-		if opts.Obs != nil || *out != "" {
-			rec := harness.RunRecordFor(res, opts)
+		if outp.Enabled() || *out != "" {
+			rec := session.Record(r)
 			records = append(records, rec)
 			if *out != "" {
-				if err := writeTo(filepath.Join(*out, "BENCH_"+id+".json"), rec.WriteJSON); err != nil {
+				if err := cliflags.WriteTo(filepath.Join(*out, "BENCH_"+r.ID+".json"), rec.WriteJSON); err != nil {
 					fmt.Fprintln(os.Stderr, err)
 					os.Exit(1)
 				}
 			}
 		}
 	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
 
-	if *jsonOut != "" {
-		err := writeTo(*jsonOut, func(w io.Writer) error { return obs.WriteRunRecords(w, records) })
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	if err := outp.WriteRecords(records); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	if *metrics != "" {
-		if err := writeTo(*metrics, base.Obs.WritePrometheus); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	if err := outp.WriteMetrics(spec.Obs, stats.WritePrometheus); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	if *trace != "" {
-		write := base.Obs.WriteChromeTrace
-		if strings.HasSuffix(*trace, ".jsonl") {
-			write = base.Obs.WriteJSONL
-		}
-		if err := writeTo(*trace, write); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	if err := outp.WriteTrace(spec.Obs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	if failed > 0 {
 		os.Exit(1)
 	}
-}
-
-// runExperiment runs one experiment with panic capture: whatever
-// escapes the workloads' own recovery (a harness bug, an injected
-// fault tripping an unguarded path) becomes an error instead of
-// tearing down the whole reproduction sweep.
-func runExperiment(e *harness.Experiment, opts harness.Options) (res *harness.Result, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			res, err = nil, fmt.Errorf("panic: %v", r)
-		}
-	}()
-	return e.Run(opts)
-}
-
-// writeTo creates path (and its directory) and streams fn into it.
-func writeTo(path string, fn func(io.Writer) error) error {
-	if dir := filepath.Dir(path); dir != "." && dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := fn(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

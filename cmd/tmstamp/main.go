@@ -5,19 +5,20 @@
 // Usage:
 //
 //	tmstamp -app yada -alloc glibc -threads 8 [-scale ref] [-cachetx]
-//	        [-shift 5] [-profile] [-seed 1]
+//	        [-shift 5] [-profile] [-seed 1] [-cache DIR]
 //
 // It prints the modelled execution time, transaction statistics,
 // allocator activity, cache behaviour and (with -profile) the Table
-// 5-style allocation characterization.
+// 5-style allocation characterization. The run executes as one sweep
+// cell, so -cache memoizes it by configuration hash; tracing (-trace /
+// -metrics) forces a live run, since a cache hit cannot replay events.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"path/filepath"
 	"strings"
 	"text/tabwriter"
 
@@ -34,31 +35,29 @@ import (
 	_ "repro/internal/stamp/vacation"
 	_ "repro/internal/stamp/yada"
 
+	"repro/cmd/internal/cliflags"
 	"repro/internal/obs"
 	"repro/internal/stamp"
 	"repro/internal/stm"
+	"repro/internal/sweep"
 	"repro/internal/vtime"
 )
 
 func main() {
 	var (
-		app      = flag.String("app", "", "application (required); one of: bayes genome intruder kmeans labyrinth ssca2 vacation yada")
-		alloc    = flag.String("alloc", "glibc", "allocator: glibc hoard tbb tcmalloc")
-		threads  = flag.Int("threads", 1, "logical threads (1..8)")
-		scale    = flag.String("scale", "quick", "workload scale: quick or ref")
-		variant  = flag.String("variant", "high", "contention variant for kmeans/vacation: high or low")
-		shift    = flag.Uint("shift", 0, "ORT shift amount (0 = default 5)")
-		cacheTx  = flag.Bool("cachetx", false, "enable the STM-level tx-object cache (paper §6.2)")
-		profile  = flag.Bool("profile", false, "print the Table 5 allocation profile")
-		seed     = flag.Uint64("seed", 0, "workload seed (0 = default)")
-		trace    = flag.String("trace", "", "write the event trace here: Chrome trace-event JSON, or JSON Lines if the path ends in .jsonl")
-		metrics  = flag.String("metrics", "", "write a Prometheus text-format metrics snapshot here")
-		jsonOut  = flag.String("json", "", "write a machine-readable run record (JSON) here")
-		cmName   = flag.String("cm", "", "contention manager: suicide (default), backoff, karma, aggressive")
-		retryCap = flag.Uint64("retry-cap", 0, "aborts before the irrevocable fallback (0 = default)")
-		faultStr = flag.String("fault", "", "fault plan, e.g. 'oom@10x2,lat%5:300,stall@t1:50000:20000,quota@1048576'")
-		deadline = flag.Uint64("deadline", 0, "virtual-cycle watchdog bound per phase (0 = none)")
+		app     = flag.String("app", "", "application (required); one of: bayes genome intruder kmeans labyrinth ssca2 vacation yada")
+		alloc   = flag.String("alloc", "glibc", "allocator: glibc hoard tbb tcmalloc")
+		threads = flag.Int("threads", 1, "logical threads (1..8)")
+		scale   = flag.String("scale", "quick", "workload scale: quick or ref")
+		variant = flag.String("variant", "high", "contention variant for kmeans/vacation: high or low")
+		shift   = flag.Uint("shift", 0, "ORT shift amount (0 = default 5)")
+		cacheTx = flag.Bool("cachetx", false, "enable the STM-level tx-object cache (paper §6.2)")
+		profile = flag.Bool("profile", false, "print the Table 5 allocation profile")
+		seed    = flag.Uint64("seed", 0, "workload seed (0 = default)")
 	)
+	rob := cliflags.AddRobustness(flag.CommandLine)
+	sw := cliflags.AddSweep(flag.CommandLine)
+	outp := cliflags.AddOutput(flag.CommandLine)
 	flag.Parse()
 	if *app == "" {
 		flag.Usage()
@@ -73,16 +72,8 @@ func main() {
 	if *variant == "low" {
 		va = stamp.LowContention
 	}
-	var rec *obs.Recorder
-	if *trace != "" || *metrics != "" || *jsonOut != "" {
-		rec = obs.New(obs.Config{})
-	}
-	cm, err := stm.ParseCM(*cmName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	res, err := stamp.Run(stamp.Config{
+	rec := outp.NewRecorder()
+	cfg := stamp.Config{
 		App:       *app,
 		Allocator: *alloc,
 		Threads:   *threads,
@@ -92,13 +83,56 @@ func main() {
 		CacheTx:   *cacheTx,
 		Profile:   *profile,
 		Seed:      *seed,
-		Obs:       rec,
-		CM:        cm,
-		RetryCap:  *retryCap,
-		Fault:     *faultStr,
-		Deadline:  *deadline,
-	})
+		CM:        rob.CM,
+		RetryCap:  rob.RetryCap,
+		Fault:     rob.Fault,
+		Deadline:  rob.Deadline,
+	}
+
+	cache, err := sw.Open()
 	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if rec != nil {
+		cache = nil // a cache hit could not replay the trace
+	}
+	spec, err := json.Marshal(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cells := []sweep.Cell{{
+		Key: fmt.Sprintf("cli/stamp/%s/%s/t%d/sc%d/v%d/sh%d/c%v/p%v",
+			*app, *alloc, *threads, sc, va, *shift, *cacheTx, *profile),
+		Spec: spec,
+		Seed: *seed,
+		Run: func() (any, *obs.Delta, error) {
+			c := cfg
+			c.Obs = rec
+			res, err := stamp.Run(c)
+			if err != nil {
+				return nil, nil, err
+			}
+			var d *obs.Delta
+			if rec != nil {
+				d = rec.Delta()
+			}
+			return res, d, nil
+		},
+	}}
+	sched := &sweep.Scheduler{Jobs: sw.Jobs, Cache: cache}
+	outs, stats := sched.Run(cells)
+	out := outs[0]
+	if out.Err != nil {
+		fmt.Fprintln(os.Stderr, out.Err)
+		os.Exit(1)
+	}
+	if out.Cached {
+		fmt.Fprintf(os.Stderr, "cached result (%s, hash %.12s)\n", sw.Dir, out.Hash)
+	}
+	var res stamp.Result
+	if err := json.Unmarshal(out.Payload, &res); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -149,62 +183,58 @@ func main() {
 		tw.Flush()
 	}
 
-	if *jsonOut != "" {
-		record := &obs.RunRecord{
-			Schema:     obs.RunRecordSchema,
-			Experiment: "stamp/" + *app,
-			Title:      fmt.Sprintf("%s on %s, %d thread(s), %s scale", *app, *alloc, *threads, *scale),
-			Status:     res.Status,
-			Failure:    res.Failure,
-			Config: obs.RunConfig{
-				Seed: *seed,
-				Extra: map[string]string{
-					"app":      *app,
-					"alloc":    *alloc,
-					"threads":  fmt.Sprintf("%d", *threads),
-					"scale":    *scale,
-					"variant":  *variant,
-					"cachetx":  fmt.Sprintf("%v", *cacheTx),
-					"cm":       cm.String(),
-					"retrycap": fmt.Sprintf("%d", *retryCap),
-					"fault":    *faultStr,
-					"deadline": fmt.Sprintf("%d", *deadline),
-				},
+	if outp.JSON != "" {
+		record := obs.NewRunRecord("stamp/" + *app)
+		record.Title = fmt.Sprintf("%s on %s, %d thread(s), %s scale", *app, *alloc, *threads, *scale)
+		record.Status = res.Status
+		record.Failure = res.Failure
+		record.Config = obs.RunConfig{
+			Seed: *seed,
+			Extra: map[string]string{
+				"app":      *app,
+				"alloc":    *alloc,
+				"threads":  fmt.Sprintf("%d", *threads),
+				"scale":    *scale,
+				"variant":  *variant,
+				"cachetx":  fmt.Sprintf("%v", *cacheTx),
+				"cm":       rob.CM.String(),
+				"retrycap": fmt.Sprintf("%d", rob.RetryCap),
+				"fault":    rob.Fault,
+				"deadline": fmt.Sprintf("%d", rob.Deadline),
 			},
-			Tables: []obs.Table{{
-				Title:   "Summary",
-				Columns: []string{"Metric", "Value"},
-				Rows: [][]string{
-					{"execution time (ms)", fmt.Sprintf("%.4f", res.Seconds*1e3)},
-					{"init time (ms)", fmt.Sprintf("%.4f", vtime.Seconds(res.InitCycles)*1e3)},
-					{"commits", fmt.Sprintf("%d", res.Tx.Commits)},
-					{"aborts", fmt.Sprintf("%d", res.Tx.Aborts)},
-					{"false aborts", fmt.Sprintf("%d", res.Tx.FalseAborts)},
-					{"L1 miss", fmt.Sprintf("%.4f", res.L1Miss)},
-				},
-			}},
 		}
+		record.Sweep = &obs.SweepInfo{
+			CellSet:  sweep.CellSetHash(cells),
+			Cells:    stats.Cells,
+			Executed: stats.Executed,
+			Cached:   stats.Cached,
+			Jobs:     sw.Jobs,
+		}
+		record.Tables = []obs.Table{{
+			Title:   "Summary",
+			Columns: []string{"Metric", "Value"},
+			Rows: [][]string{
+				{"execution time (ms)", fmt.Sprintf("%.4f", res.Seconds*1e3)},
+				{"init time (ms)", fmt.Sprintf("%.4f", vtime.Seconds(res.InitCycles)*1e3)},
+				{"commits", fmt.Sprintf("%d", res.Tx.Commits)},
+				{"aborts", fmt.Sprintf("%d", res.Tx.Aborts)},
+				{"false aborts", fmt.Sprintf("%d", res.Tx.FalseAborts)},
+				{"L1 miss", fmt.Sprintf("%.4f", res.L1Miss)},
+			},
+		}}
 		record.Attach(rec)
-		if err := writeTo(*jsonOut, record.WriteJSON); err != nil {
+		if err := cliflags.WriteTo(outp.JSON, record.WriteJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
-	if *metrics != "" {
-		if err := writeTo(*metrics, rec.WritePrometheus); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	if err := outp.WriteMetrics(rec, stats.WritePrometheus); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	if *trace != "" {
-		write := rec.WriteChromeTrace
-		if strings.HasSuffix(*trace, ".jsonl") {
-			write = rec.WriteJSONL
-		}
-		if err := writeTo(*trace, write); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	if err := outp.WriteTrace(rec); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	// A captured panic is a real failure for scripting purposes, but only
 	// after every requested artifact has been written: a failed run still
@@ -212,22 +242,4 @@ func main() {
 	if res.Status == obs.StatusFailed {
 		os.Exit(1)
 	}
-}
-
-// writeTo creates path (and its directory) and streams fn into it.
-func writeTo(path string, fn func(io.Writer) error) error {
-	if dir := filepath.Dir(path); dir != "." && dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := fn(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

@@ -14,49 +14,45 @@ func init() {
 	Register(&Experiment{
 		ID:    "appchar",
 		Paper: "§4 application characterization: contention, set sizes, tx memory behaviour",
-		Run: func(opts Options) (*Result, error) {
-			t := Table{
-				Columns: []string{
-					"App", "Commits", "Abort rate", "False aborts",
-					"Max read set", "Max write set", "Tx mallocs", "Tx frees",
-					"L1 miss",
-				},
+		Plan: func(b *Builder) error {
+			apps := stamp.Names()
+			probes := make([]Handle[StampProbe], len(apps))
+			for pi, app := range apps {
+				probes[pi] = b.StampProbeCell(stampCfg(b.Spec().Full, app, "tbb", 8))
 			}
-			cm, err := opts.stmCM()
-			if err != nil {
-				return nil, err
-			}
-			for _, app := range stamp.Names() {
-				res, err := stamp.Run(stamp.Config{
-					App: app, Allocator: "tbb", Threads: 8,
-					Scale: stampScale(opts.Full), Seed: opts.seed(), Obs: opts.Obs,
-					CM: cm, RetryCap: opts.RetryCap, Fault: opts.Fault, Deadline: opts.Deadline,
-				})
-				if err != nil {
-					return nil, err
+			b.Reduce(func() (*Result, error) {
+				t := Table{
+					Columns: []string{
+						"App", "Commits", "Abort rate", "False aborts",
+						"Max read set", "Max write set", "Tx mallocs", "Tx frees",
+						"L1 miss",
+					},
 				}
-				opts.Health.Note(res.Status, res.Failure)
-				t.Rows = append(t.Rows, []string{
-					app,
-					fmt.Sprintf("%d", res.Tx.Commits),
-					fmt.Sprintf("%.1f%%", res.Tx.AbortRate()*100),
-					fmt.Sprintf("%d", res.Tx.FalseAborts),
-					fmt.Sprintf("%d", res.Tx.MaxReadSet),
-					fmt.Sprintf("%d", res.Tx.MaxWriteSet),
-					fmt.Sprintf("%d", res.Tx.AllocsInTx),
-					fmt.Sprintf("%d", res.Tx.FreesInTx),
-					fmt.Sprintf("%.2f%%", res.L1Miss*100),
-				})
-			}
-			return &Result{
-				ID:     "appchar",
-				Title:  "STAMP characterization on this substrate (8 threads, TBBMalloc)",
-				Tables: []Table{t},
-				Notes: []string{
-					"qualitative expectations: labyrinth/yada long transactions (large sets);",
-					"kmeans/ssca2 short ones with no tx allocation; intruder/yada high contention.",
-				},
-			}, nil
+				for pi, app := range apps {
+					res := probes[pi].Get()
+					t.Rows = append(t.Rows, []string{
+						app,
+						fmt.Sprintf("%d", res.Tx.Commits),
+						fmt.Sprintf("%.1f%%", res.Tx.AbortRate()*100),
+						fmt.Sprintf("%d", res.Tx.FalseAborts),
+						fmt.Sprintf("%d", res.Tx.MaxReadSet),
+						fmt.Sprintf("%d", res.Tx.MaxWriteSet),
+						fmt.Sprintf("%d", res.Tx.AllocsInTx),
+						fmt.Sprintf("%d", res.Tx.FreesInTx),
+						fmt.Sprintf("%.2f%%", res.L1Miss*100),
+					})
+				}
+				return &Result{
+					ID:     "appchar",
+					Title:  "STAMP characterization on this substrate (8 threads, TBBMalloc)",
+					Tables: []Table{t},
+					Notes: []string{
+						"qualitative expectations: labyrinth/yada long transactions (large sets);",
+						"kmeans/ssca2 short ones with no tx allocation; intruder/yada high contention.",
+					},
+				}, nil
+			})
+			return nil
 		},
 	})
 }

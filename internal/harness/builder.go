@@ -1,0 +1,397 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/htm"
+	"repro/internal/intset"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/stamp"
+	"repro/internal/stm"
+	"repro/internal/sweep"
+	"repro/internal/threadtest"
+)
+
+// Builder is what an experiment plans against: instead of running
+// workloads inline, an experiment's Plan function declares its cells —
+// one per (configuration, repetition) point — receives typed handles to
+// their future payloads, and installs a Reduce closure that folds the
+// payloads into the printable Result. The split is what lets the sweep
+// scheduler run cells in any order on any goroutine (or skip them via
+// the cache) while reduction stays a straight-line serial function.
+type Builder struct {
+	id    string
+	spec  *Spec
+	cells []sweep.Cell
+	outs  []sweep.Outcome // filled by the session before reduce runs
+	fn    func() (*Result, error)
+}
+
+// Spec exposes the validated spec so plans can scale themselves
+// (reps, Full, derived parameters).
+func (b *Builder) Spec() *Spec { return b.spec }
+
+// Reps resolves the effective repetition count for this plan.
+func (b *Builder) Reps(quick, full int) int { return b.spec.reps(quick, full) }
+
+// Reduce installs the fold from cell payloads to the Result. Handles
+// are only valid inside it.
+func (b *Builder) Reduce(fn func() (*Result, error)) { b.fn = fn }
+
+// Handle is a typed reference to one cell's future payload.
+type Handle[T any] struct {
+	b   *Builder
+	idx int
+}
+
+// Get decodes the cell's payload. Valid only inside Reduce; a decode
+// mismatch is a harness bug and panics (the session converts it to an
+// experiment error).
+func (h Handle[T]) Get() T {
+	out := h.b.outs[h.idx]
+	var v T
+	if err := json.Unmarshal(out.Payload, &v); err != nil {
+		panic(fmt.Errorf("harness: decode payload of cell %s: %w", out.Key, err))
+	}
+	return v
+}
+
+// CellHealth is embedded in cell payloads that carry a degradation
+// status; the session folds every cell's health into the experiment
+// aggregate before reducing.
+type CellHealth struct {
+	Status  string `json:"status,omitempty"`
+	Failure string `json:"failure,omitempty"`
+}
+
+// addCell registers one cell: key names it, spec (serialized
+// canonically) plus the derived seed identify it for caching, and run
+// executes it against a private per-cell recorder (nil when the session
+// is unobserved).
+func addCell[T any](b *Builder, key string, spec any, seed uint64, run func(rec *obs.Recorder) (any, error)) Handle[T] {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		panic(fmt.Errorf("harness: encode spec of cell %s: %w", key, err))
+	}
+	parent := b.spec.Obs
+	b.cells = append(b.cells, sweep.Cell{
+		Key:  key,
+		Spec: raw,
+		Seed: seed,
+		Run: func() (any, *obs.Delta, error) {
+			var rec *obs.Recorder
+			if parent != nil {
+				rec = parent.Sibling()
+			}
+			payload, err := run(rec)
+			if err != nil {
+				return nil, nil, err
+			}
+			if rec == nil {
+				return payload, nil, nil
+			}
+			return payload, rec.Delta(), nil
+		},
+	})
+	return Handle[T]{b: b, idx: len(b.cells) - 1}
+}
+
+// ---- intset cells ----
+
+// IntsetCell is the payload of one synthetic-benchmark run.
+type IntsetCell struct {
+	Throughput  float64 `json:"thr"`
+	AbortRate   float64 `json:"abort_rate"`
+	L1Miss      float64 `json:"l1_miss"`
+	FalseAborts uint64  `json:"false_aborts"`
+	CellHealth
+}
+
+func intsetKey(prefix string, cfg intset.Config, rep int) string {
+	return fmt.Sprintf("%s/%s/%s/t%d/u%d/i%d/k%d/o%d/s%d/d%d/h%d/c%v/r%d",
+		prefix, cfg.Kind, cfg.Allocator, cfg.Threads, cfg.UpdatePct, cfg.InitialSize,
+		cfg.KeyRange, cfg.OpsPerThread, cfg.Shift, cfg.Design, cfg.HashBuckets, cfg.CacheTx, rep)
+}
+
+// applyRobustness threads the spec's policy knobs into a workload
+// config. The workload parameters stay the experiment's business; the
+// policy is the spec's.
+func (b *Builder) applyIntset(cfg intset.Config) intset.Config {
+	cfg.Obs = nil
+	cfg.CM = b.spec.CM
+	cfg.RetryCap = b.spec.retryCap()
+	cfg.Fault = b.spec.Fault
+	cfg.Deadline = b.spec.deadline()
+	return cfg
+}
+
+// Intset declares one synthetic-benchmark cell.
+func (b *Builder) Intset(cfg intset.Config, rep int) Handle[IntsetCell] {
+	cfg = b.applyIntset(cfg)
+	key := intsetKey("intset", cfg, rep)
+	cfg.Seed = sweep.DeriveSeed(b.spec.seed(), key)
+	return addCell[IntsetCell](b, key, cfg, cfg.Seed, func(rec *obs.Recorder) (any, error) {
+		c := cfg
+		c.Obs = rec
+		res, err := intset.Run(c)
+		if err != nil {
+			return nil, err
+		}
+		return IntsetCell{
+			Throughput:  res.Throughput,
+			AbortRate:   res.Tx.AbortRate(),
+			L1Miss:      res.L1Miss,
+			FalseAborts: res.Tx.FalseAborts,
+			CellHealth:  CellHealth{Status: res.Status, Failure: res.Failure},
+		}, nil
+	})
+}
+
+// IntsetSweep declares reps repetitions of one configuration.
+func (b *Builder) IntsetSweep(cfg intset.Config, reps int) IntsetSweep {
+	s := IntsetSweep{hs: make([]Handle[IntsetCell], reps)}
+	for r := 0; r < reps; r++ {
+		s.hs[r] = b.Intset(cfg, r)
+	}
+	return s
+}
+
+// IntsetSweep summarizes the repetitions of one intset configuration.
+type IntsetSweep struct{ hs []Handle[IntsetCell] }
+
+// Cells decodes all repetition payloads (Reduce-time only).
+func (s IntsetSweep) Cells() []IntsetCell {
+	out := make([]IntsetCell, len(s.hs))
+	for i, h := range s.hs {
+		out[i] = h.Get()
+	}
+	return out
+}
+
+// Thr summarizes throughput over the repetitions.
+func (s IntsetSweep) Thr() sim.Summary {
+	var xs []float64
+	for _, c := range s.Cells() {
+		xs = append(xs, c.Throughput)
+	}
+	return sim.Summarize(xs)
+}
+
+// Abort summarizes the abort rate over the repetitions.
+func (s IntsetSweep) Abort() sim.Summary {
+	var xs []float64
+	for _, c := range s.Cells() {
+		xs = append(xs, c.AbortRate)
+	}
+	return sim.Summarize(xs)
+}
+
+// L1 summarizes the L1 miss ratio over the repetitions.
+func (s IntsetSweep) L1() sim.Summary {
+	var xs []float64
+	for _, c := range s.Cells() {
+		xs = append(xs, c.L1Miss)
+	}
+	return sim.Summarize(xs)
+}
+
+// ---- stamp cells ----
+
+// StampCell is the payload of one timed STAMP run.
+type StampCell struct {
+	Ms float64 `json:"ms"` // parallel-phase time in modelled milliseconds
+	CellHealth
+}
+
+// StampProbe is the payload of one instrumented STAMP run (application
+// characterization and allocation profile).
+type StampProbe struct {
+	Tx      stm.TxStats    `json:"tx"`
+	L1Miss  float64        `json:"l1_miss"`
+	Profile *stamp.Profile `json:"profile,omitempty"`
+	CellHealth
+}
+
+func stampKey(cfg stamp.Config, rep int) string {
+	return fmt.Sprintf("stamp/%s/%s/t%d/sc%d/v%d/s%d/c%v/p%v/r%d",
+		cfg.App, cfg.Allocator, cfg.Threads, cfg.Scale, cfg.Variant, cfg.Shift,
+		cfg.CacheTx, cfg.Profile, rep)
+}
+
+func (b *Builder) applyStamp(cfg stamp.Config) stamp.Config {
+	cfg.Obs = nil
+	cfg.CM = b.spec.CM
+	cfg.RetryCap = b.spec.retryCap()
+	cfg.Fault = b.spec.Fault
+	cfg.Deadline = b.spec.deadline()
+	return cfg
+}
+
+func (b *Builder) stampCell(cfg stamp.Config, rep int) (stamp.Config, string) {
+	cfg = b.applyStamp(cfg)
+	key := stampKey(cfg, rep)
+	cfg.Seed = sweep.DeriveSeed(b.spec.seed(), key)
+	return cfg, key
+}
+
+// Stamp declares one timed STAMP cell.
+func (b *Builder) Stamp(cfg stamp.Config, rep int) Handle[StampCell] {
+	cfg, key := b.stampCell(cfg, rep)
+	return addCell[StampCell](b, key, cfg, cfg.Seed, func(rec *obs.Recorder) (any, error) {
+		c := cfg
+		c.Obs = rec
+		res, err := stamp.Run(c)
+		if err != nil {
+			return nil, err
+		}
+		return StampCell{
+			Ms:         res.Seconds * 1e3,
+			CellHealth: CellHealth{Status: res.Status, Failure: res.Failure},
+		}, nil
+	})
+}
+
+// StampSweep declares reps repetitions of one configuration.
+func (b *Builder) StampSweep(cfg stamp.Config, reps int) StampSweep {
+	s := StampSweep{hs: make([]Handle[StampCell], reps)}
+	for r := 0; r < reps; r++ {
+		s.hs[r] = b.Stamp(cfg, r)
+	}
+	return s
+}
+
+// StampProbeCell declares one instrumented STAMP cell. Its key carries
+// a distinct prefix: a probe runs the same workload as a timed cell but
+// its payload has a different shape, so the two must never deduplicate
+// against each other even when their configs coincide (appchar's probes
+// vs fig7's timed runs).
+func (b *Builder) StampProbeCell(cfg stamp.Config) Handle[StampProbe] {
+	cfg = b.applyStamp(cfg)
+	key := "probe/" + stampKey(cfg, 0)
+	cfg.Seed = sweep.DeriveSeed(b.spec.seed(), key)
+	return addCell[StampProbe](b, key, cfg, cfg.Seed, func(rec *obs.Recorder) (any, error) {
+		c := cfg
+		c.Obs = rec
+		res, err := stamp.Run(c)
+		if err != nil {
+			return nil, err
+		}
+		return StampProbe{
+			Tx:         res.Tx,
+			L1Miss:     res.L1Miss,
+			Profile:    res.Profile,
+			CellHealth: CellHealth{Status: res.Status, Failure: res.Failure},
+		}, nil
+	})
+}
+
+// StampSweep summarizes the repetitions of one STAMP configuration.
+type StampSweep struct{ hs []Handle[StampCell] }
+
+// Cells decodes all repetition payloads (Reduce-time only).
+func (s StampSweep) Cells() []StampCell {
+	out := make([]StampCell, len(s.hs))
+	for i, h := range s.hs {
+		out[i] = h.Get()
+	}
+	return out
+}
+
+// Ms summarizes the execution time (modelled ms) over the repetitions.
+func (s StampSweep) Ms() sim.Summary {
+	var xs []float64
+	for _, c := range s.Cells() {
+		xs = append(xs, c.Ms)
+	}
+	return sim.Summarize(xs)
+}
+
+// ---- threadtest cells ----
+
+// ThreadtestCell is the payload of one allocator-microbenchmark run.
+type ThreadtestCell struct {
+	Throughput float64 `json:"thr"` // malloc/free pairs per modelled second
+}
+
+// Threadtest declares one allocator-microbenchmark cell. The workload
+// is deterministic (no seed), but rep still names distinct cells so
+// repetition counts keep their meaning.
+func (b *Builder) Threadtest(cfg threadtest.Config, rep int) Handle[ThreadtestCell] {
+	key := fmt.Sprintf("threadtest/%s/t%d/b%d/o%d/w%d/r%d",
+		cfg.Allocator, cfg.Threads, cfg.BlockSize, cfg.OpsPerThread, cfg.TouchWords, rep)
+	seed := sweep.DeriveSeed(b.spec.seed(), key)
+	return addCell[ThreadtestCell](b, key, cfg, seed, func(*obs.Recorder) (any, error) {
+		res, err := threadtest.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return ThreadtestCell{Throughput: res.Throughput}, nil
+	})
+}
+
+// ThreadtestSweep declares reps repetitions of one configuration.
+func (b *Builder) ThreadtestSweep(cfg threadtest.Config, reps int) ThreadtestSweep {
+	s := ThreadtestSweep{hs: make([]Handle[ThreadtestCell], reps)}
+	for r := 0; r < reps; r++ {
+		s.hs[r] = b.Threadtest(cfg, r)
+	}
+	return s
+}
+
+// ThreadtestSweep summarizes the repetitions of one configuration.
+type ThreadtestSweep struct{ hs []Handle[ThreadtestCell] }
+
+// Thr summarizes throughput over the repetitions.
+func (s ThreadtestSweep) Thr() sim.Summary {
+	var xs []float64
+	for _, h := range s.hs {
+		xs = append(xs, h.Get().Throughput)
+	}
+	return sim.Summarize(xs)
+}
+
+// ---- HyTM cells ----
+
+// HyTMCell is the payload of one best-effort-HTM run.
+type HyTMCell struct {
+	Throughput float64   `json:"thr"`
+	HTM        htm.Stats `json:"htm"`
+}
+
+// HyTM declares one hybrid-TM cell.
+func (b *Builder) HyTM(cfg intset.Config, rep int) Handle[HyTMCell] {
+	cfg.Obs = nil
+	key := intsetKey("hytm", cfg, rep)
+	cfg.Seed = sweep.DeriveSeed(b.spec.seed(), key)
+	return addCell[HyTMCell](b, key, cfg, cfg.Seed, func(rec *obs.Recorder) (any, error) {
+		c := cfg
+		c.Obs = rec
+		res, err := intset.RunHyTM(c)
+		if err != nil {
+			return nil, err
+		}
+		return HyTMCell{Throughput: res.Throughput, HTM: res.HTM}, nil
+	})
+}
+
+// ---- static cells ----
+
+// staticSpec identifies a static (computed, workload-free) cell.
+type staticSpec struct {
+	ID   string `json:"id"`
+	Full bool   `json:"full"`
+}
+
+// Static declares a cell that computes its Result directly — for the
+// paper items that are demonstrations or self-descriptions rather than
+// sweeps (tab1, tab2, fig2, fig5). The whole Result is the payload.
+func (b *Builder) Static(fn func() (*Result, error)) Handle[Result] {
+	key := "static/" + b.id
+	spec := staticSpec{ID: b.id, Full: b.spec.Full}
+	seed := sweep.DeriveSeed(b.spec.seed(), key)
+	return addCell[Result](b, key, spec, seed, func(*obs.Recorder) (any, error) {
+		return fn()
+	})
+}

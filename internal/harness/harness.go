@@ -16,23 +16,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/obs"
-	"repro/internal/stm"
 )
-
-// Options configure an experiment run.
-type Options struct {
-	Full bool          // paper-scale parameters instead of quick ones
-	Reps int           // repetitions for mean/CI (defaults per experiment)
-	Seed uint64        // base seed; reps derive their own
-	Obs  *obs.Recorder // observability sink threaded into every workload; nil disables
-
-	// Robustness knobs, threaded into every workload run.
-	CM       string  // contention manager name (stm.ParseCM); "" = suicide
-	RetryCap uint64  // irrevocable-fallback threshold (0 = STM default)
-	Fault    string  // fault-plan spec (internal/fault grammar); "" disables
-	Deadline uint64  // virtual-cycle watchdog bound per workload phase; 0 disables
-	Health   *Health // aggregated run status across the experiment; nil disables
-}
 
 // Health aggregates workload run statuses across one experiment:
 // the worst of ok < degraded < failed wins, and every non-ok failure
@@ -84,26 +68,6 @@ func (h *Health) Failure() string {
 	return fmt.Sprintf("%s (+%d more)", h.failures[0], len(h.failures)-1)
 }
 
-// stmCM resolves the options' contention-manager name.
-func (o Options) stmCM() (stm.CM, error) { return stm.ParseCM(o.CM) }
-
-func (o Options) reps(quick, full int) int {
-	if o.Reps > 0 {
-		return o.Reps
-	}
-	if o.Full {
-		return full
-	}
-	return quick
-}
-
-func (o Options) seed() uint64 {
-	if o.Seed == 0 {
-		return 0x9a9e7
-	}
-	return o.Seed
-}
-
 // Table is one printable table of results.
 type Table struct {
 	Title   string
@@ -128,11 +92,14 @@ type Result struct {
 	Notes  []string
 }
 
-// Experiment regenerates one paper item.
+// Experiment regenerates one paper item. Plan declares the
+// experiment's cells against the builder and installs the reducer that
+// folds their payloads into the printable Result; the session (or the
+// legacy Run adapter) executes the cells through the sweep scheduler.
 type Experiment struct {
 	ID    string // "fig1", "tab4", ...
 	Paper string // what it reproduces
-	Run   func(opts Options) (*Result, error)
+	Plan  func(b *Builder) error
 }
 
 var registry = map[string]*Experiment{}
@@ -210,44 +177,6 @@ func Print(w io.Writer, r *Result) {
 		fmt.Fprintf(w, "note: %s\n", n)
 	}
 	fmt.Fprintln(w)
-}
-
-// RunRecordFor converts an experiment result into the machine-readable
-// run artifact, attaching whatever the options' recorder collected.
-func RunRecordFor(r *Result, opts Options) *obs.RunRecord {
-	cfg := obs.RunConfig{Full: opts.Full, Reps: opts.Reps, Seed: opts.seed()}
-	if opts.CM != "" || opts.RetryCap != 0 || opts.Fault != "" || opts.Deadline != 0 {
-		cfg.Extra = map[string]string{}
-		if opts.CM != "" {
-			cfg.Extra["cm"] = opts.CM
-		}
-		if opts.RetryCap != 0 {
-			cfg.Extra["retry_cap"] = fmt.Sprintf("%d", opts.RetryCap)
-		}
-		if opts.Fault != "" {
-			cfg.Extra["fault"] = opts.Fault
-		}
-		if opts.Deadline != 0 {
-			cfg.Extra["deadline"] = fmt.Sprintf("%d", opts.Deadline)
-		}
-	}
-	rec := &obs.RunRecord{
-		Schema:     obs.RunRecordSchema,
-		Experiment: r.ID,
-		Title:      r.Title,
-		Status:     opts.Health.Status(),
-		Failure:    opts.Health.Failure(),
-		Config:     cfg,
-		Notes:      r.Notes,
-	}
-	for _, t := range r.Tables {
-		rec.Tables = append(rec.Tables, obs.Table{Title: t.Title, Columns: t.Columns, Rows: t.Rows})
-	}
-	for _, s := range r.Series {
-		rec.Series = append(rec.Series, obs.Series{Label: s.Label, X: s.X, Y: s.Y, Err: s.Err})
-	}
-	rec.Attach(opts.Obs)
-	return rec
 }
 
 // Allocators lists the allocator names in the paper's order.

@@ -15,23 +15,14 @@ func init() {
 	Register(&Experiment{
 		ID:    "hytm",
 		Paper: "future work (§7): allocator influence on a best-effort HTM / hybrid TM",
-		Run: func(opts Options) (*Result, error) {
-			initial, keyRange, ops := intsetScale(opts.Full, intset.HashSet)
-			reps := opts.reps(1, 3)
-			t := Table{
-				Title: "hash set, 60% updates, 8 threads, HTM + lock-elision fallback",
-				Columns: []string{
-					"Allocator", "Throughput (tx/s)", "HTM commits", "HTM aborts",
-					"conflict", "capacity", "lock", "alloc", "fallbacks",
-				},
-			}
-			series := make([]Series, 1)
-			series[0].Label = "HTM conflict aborts per allocator (x=allocator index)"
+		Plan: func(b *Builder) error {
+			initial, keyRange, ops := intsetScale(b.Spec().Full, intset.HashSet)
+			reps := b.Reps(1, 3)
+			handles := make([][]Handle[HyTMCell], len(Allocators()))
 			for ai, aname := range Allocators() {
-				var thr float64
-				var agg intset.HyTMResult
+				handles[ai] = make([]Handle[HyTMCell], reps)
 				for r := 0; r < reps; r++ {
-					res, err := intset.RunHyTM(intset.Config{
+					handles[ai][r] = b.HyTM(intset.Config{
 						Kind:         intset.HashSet,
 						Allocator:    aname,
 						Threads:      8,
@@ -39,42 +30,56 @@ func init() {
 						KeyRange:     keyRange,
 						UpdatePct:    60,
 						OpsPerThread: ops,
-						Seed:         opts.seed() + uint64(r)*7919,
-						Obs:          opts.Obs,
-					})
-					if err != nil {
-						return nil, err
-					}
-					thr += res.Throughput
-					agg = res
+					}, r)
 				}
-				thr /= float64(reps)
-				st := agg.HTM
-				t.Rows = append(t.Rows, []string{
-					DisplayName(aname),
-					fmt.Sprintf("%.3g", thr),
-					fmt.Sprintf("%d", st.HTMCommits),
-					fmt.Sprintf("%d", st.HTMAborts),
-					fmt.Sprintf("%d", st.ByReason[0]), // conflict
-					fmt.Sprintf("%d", st.ByReason[1]), // capacity
-					fmt.Sprintf("%d", st.ByReason[2]), // lock
-					fmt.Sprintf("%d", st.ByReason[3]), // alloc
-					fmt.Sprintf("%d", st.Fallbacks),
-				})
-				series[0].X = append(series[0].X, float64(ai))
-				series[0].Y = append(series[0].Y, float64(st.ByReason[0]))
 			}
-			return &Result{
-				ID:     "hytm",
-				Title:  "Allocators under hybrid (HTM + fallback) transactional memory",
-				Tables: []Table{t},
-				Series: series,
-				Notes: []string{
-					"HTM detects conflicts per 64-byte line: allocators that pack several nodes",
-					"per line (or hand adjacent blocks to different threads) convert their",
-					"false-sharing behaviour directly into transactional aborts.",
-				},
-			}, nil
+			b.Reduce(func() (*Result, error) {
+				t := Table{
+					Title: "hash set, 60% updates, 8 threads, HTM + lock-elision fallback",
+					Columns: []string{
+						"Allocator", "Throughput (tx/s)", "HTM commits", "HTM aborts",
+						"conflict", "capacity", "lock", "alloc", "fallbacks",
+					},
+				}
+				series := make([]Series, 1)
+				series[0].Label = "HTM conflict aborts per allocator (x=allocator index)"
+				for ai, aname := range Allocators() {
+					var thr float64
+					var agg HyTMCell
+					for _, h := range handles[ai] {
+						c := h.Get()
+						thr += c.Throughput
+						agg = c
+					}
+					thr /= float64(len(handles[ai]))
+					st := agg.HTM
+					t.Rows = append(t.Rows, []string{
+						DisplayName(aname),
+						fmt.Sprintf("%.3g", thr),
+						fmt.Sprintf("%d", st.HTMCommits),
+						fmt.Sprintf("%d", st.HTMAborts),
+						fmt.Sprintf("%d", st.ByReason[0]), // conflict
+						fmt.Sprintf("%d", st.ByReason[1]), // capacity
+						fmt.Sprintf("%d", st.ByReason[2]), // lock
+						fmt.Sprintf("%d", st.ByReason[3]), // alloc
+						fmt.Sprintf("%d", st.Fallbacks),
+					})
+					series[0].X = append(series[0].X, float64(ai))
+					series[0].Y = append(series[0].Y, float64(st.ByReason[0]))
+				}
+				return &Result{
+					ID:     "hytm",
+					Title:  "Allocators under hybrid (HTM + fallback) transactional memory",
+					Tables: []Table{t},
+					Series: series,
+					Notes: []string{
+						"HTM detects conflicts per 64-byte line: allocators that pack several nodes",
+						"per line (or hand adjacent blocks to different threads) convert their",
+						"false-sharing behaviour directly into transactional aborts.",
+					},
+				}, nil
+			})
+			return nil
 		},
 	})
 }

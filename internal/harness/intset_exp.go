@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/intset"
-	"repro/internal/sim"
 )
 
 // intsetScale returns the workload parameters for the synthetic
@@ -23,108 +22,101 @@ func intsetScale(full bool, kind intset.Kind) (initial, keyRange, ops int) {
 
 func intsetThreads() []int { return []int{1, 2, 4, 6, 8} }
 
-// runIntset executes reps repetitions and returns summarized
-// throughput (tx/s), abort rate and L1 miss ratio.
-func runIntset(cfg intset.Config, reps int, opts Options) (thr, abort, l1 sim.Summary, err error) {
-	cfg.Obs = opts.Obs
-	cfg.CM, err = opts.stmCM()
-	if err != nil {
-		return thr, abort, l1, err
+// intsetCfg builds the write-dominated synthetic configuration used by
+// several experiments (so their cells hash — and dedupe — identically).
+func intsetCfg(full bool, kind intset.Kind, aname string, threads int) intset.Config {
+	initial, keyRange, ops := intsetScale(full, kind)
+	return intset.Config{
+		Kind:         kind,
+		Allocator:    aname,
+		Threads:      threads,
+		InitialSize:  initial,
+		KeyRange:     keyRange,
+		UpdatePct:    60,
+		OpsPerThread: ops,
 	}
-	cfg.RetryCap = opts.RetryCap
-	cfg.Fault = opts.Fault
-	cfg.Deadline = opts.Deadline
-	var ths, abs, l1s []float64
-	for r := 0; r < reps; r++ {
-		cfg.Seed = opts.seed() + uint64(r)*7919
-		res, e := intset.Run(cfg)
-		if e != nil {
-			return thr, abort, l1, e
-		}
-		opts.Health.Note(res.Status, res.Failure)
-		ths = append(ths, res.Throughput)
-		abs = append(abs, res.Tx.AbortRate())
-		l1s = append(l1s, res.L1Miss)
-	}
-	return sim.Summarize(ths), sim.Summarize(abs), sim.Summarize(l1s), nil
 }
 
 // fig4 (+tab3 data): throughput of the three structures across thread
-// counts, write-dominated workload.
+// counts, write-dominated workload. Both experiments declare the same
+// cells, so a session running both executes the sweep once.
 func init() {
 	Register(&Experiment{
 		ID:    "fig4",
 		Paper: "Figure 4: throughput of linked list / hashset / red-black tree (60% updates)",
-		Run:   func(opts Options) (*Result, error) { return runFig4Tab3(opts, "fig4") },
+		Plan:  func(b *Builder) error { return planFig4Tab3(b, "fig4") },
 	})
 	Register(&Experiment{
 		ID:    "tab3",
 		Paper: "Table 3: best and worst allocators per data structure (write-dominated)",
-		Run:   func(opts Options) (*Result, error) { return runFig4Tab3(opts, "tab3") },
+		Plan:  func(b *Builder) error { return planFig4Tab3(b, "tab3") },
 	})
 }
 
-func runFig4Tab3(opts Options, id string) (*Result, error) {
-	reps := opts.reps(2, 5)
-	res := &Result{ID: id, Title: "Synthetic benchmark, 60% updates"}
-	best := Table{
-		Title:   "Best and worst allocators (Table 3)",
-		Columns: []string{"Application", "Best", "Worst", "Perf. Diff.", "Threads"},
-	}
-	for _, kind := range intset.Kinds() {
-		initial, keyRange, ops := intsetScale(opts.Full, kind)
-		t := Table{Title: fmt.Sprintf("%s throughput (tx/s)", kind), Columns: []string{"Threads"}}
-		for _, a := range Allocators() {
-			t.Columns = append(t.Columns, DisplayName(a))
-		}
-		// peak[a] tracks each allocator's best throughput over thread
-		// counts, as Table 3 compares maxima.
-		peak := make([]float64, len(Allocators()))
-		peakThreads := make([]int, len(Allocators()))
-		series := make([]Series, len(Allocators()))
-		for ai, a := range Allocators() {
-			series[ai].Label = fmt.Sprintf("%s/%s", kind, DisplayName(a))
-		}
-		for _, n := range intsetThreads() {
-			row := []string{fmt.Sprintf("%d", n)}
+func planFig4Tab3(b *Builder, id string) error {
+	reps := b.Reps(2, 5)
+	kinds := intset.Kinds()
+	threads := intsetThreads()
+	sweeps := make([][][]IntsetSweep, len(kinds))
+	for ki, kind := range kinds {
+		sweeps[ki] = make([][]IntsetSweep, len(threads))
+		for ni, n := range threads {
+			sweeps[ki][ni] = make([]IntsetSweep, len(Allocators()))
 			for ai, aname := range Allocators() {
-				thr, _, _, err := runIntset(intset.Config{
-					Kind:         kind,
-					Allocator:    aname,
-					Threads:      n,
-					InitialSize:  initial,
-					KeyRange:     keyRange,
-					UpdatePct:    60,
-					OpsPerThread: ops,
-				}, reps, opts)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, fmt.Sprintf("%.3g", thr.Mean))
-				series[ai].X = append(series[ai].X, float64(n))
-				series[ai].Y = append(series[ai].Y, thr.Mean)
-				series[ai].Err = append(series[ai].Err, thr.CI95)
-				if thr.Mean > peak[ai] {
-					peak[ai] = thr.Mean
-					peakThreads[ai] = n
-				}
+				sweeps[ki][ni][ai] = b.IntsetSweep(intsetCfg(b.Spec().Full, kind, aname, n), reps)
 			}
-			t.Rows = append(t.Rows, row)
 		}
-		res.Tables = append(res.Tables, t)
-		res.Series = append(res.Series, series...)
-
-		b, w := bestWorst(peak, false)
-		best.Rows = append(best.Rows, []string{
-			string(kind),
-			DisplayName(Allocators()[b]),
-			DisplayName(Allocators()[w]),
-			fmt.Sprintf("%.2f%%", pctDiff(peak[b], peak[w])),
-			fmt.Sprintf("%d", peakThreads[b]),
-		})
 	}
-	res.Tables = append(res.Tables, best)
-	return res, nil
+	b.Reduce(func() (*Result, error) {
+		res := &Result{ID: id, Title: "Synthetic benchmark, 60% updates"}
+		best := Table{
+			Title:   "Best and worst allocators (Table 3)",
+			Columns: []string{"Application", "Best", "Worst", "Perf. Diff.", "Threads"},
+		}
+		for ki, kind := range kinds {
+			t := Table{Title: fmt.Sprintf("%s throughput (tx/s)", kind), Columns: []string{"Threads"}}
+			for _, a := range Allocators() {
+				t.Columns = append(t.Columns, DisplayName(a))
+			}
+			// peak[a] tracks each allocator's best throughput over thread
+			// counts, as Table 3 compares maxima.
+			peak := make([]float64, len(Allocators()))
+			peakThreads := make([]int, len(Allocators()))
+			series := make([]Series, len(Allocators()))
+			for ai, a := range Allocators() {
+				series[ai].Label = fmt.Sprintf("%s/%s", kind, DisplayName(a))
+			}
+			for ni, n := range threads {
+				row := []string{fmt.Sprintf("%d", n)}
+				for ai := range Allocators() {
+					thr := sweeps[ki][ni][ai].Thr()
+					row = append(row, fmt.Sprintf("%.3g", thr.Mean))
+					series[ai].X = append(series[ai].X, float64(n))
+					series[ai].Y = append(series[ai].Y, thr.Mean)
+					series[ai].Err = append(series[ai].Err, thr.CI95)
+					if thr.Mean > peak[ai] {
+						peak[ai] = thr.Mean
+						peakThreads[ai] = n
+					}
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			res.Tables = append(res.Tables, t)
+			res.Series = append(res.Series, series...)
+
+			bi, wi := bestWorst(peak, false)
+			best.Rows = append(best.Rows, []string{
+				string(kind),
+				DisplayName(Allocators()[bi]),
+				DisplayName(Allocators()[wi]),
+				fmt.Sprintf("%.2f%%", pctDiff(peak[bi], peak[wi])),
+				fmt.Sprintf("%d", peakThreads[bi]),
+			})
+		}
+		res.Tables = append(res.Tables, best)
+		return res, nil
+	})
+	return nil
 }
 
 // tab4: percentage of aborted transactions and L1 miss ratio for the
@@ -133,41 +125,40 @@ func init() {
 	Register(&Experiment{
 		ID:    "tab4",
 		Paper: "Table 4: aborted transactions and L1 data misses (sorted linked list, 60% updates)",
-		Run: func(opts Options) (*Result, error) {
-			initial, keyRange, ops := intsetScale(opts.Full, intset.LinkedList)
-			reps := opts.reps(1, 3)
-			t := Table{Columns: []string{"#P"}}
-			for _, a := range Allocators() {
-				t.Columns = append(t.Columns, DisplayName(a)+" aborts", DisplayName(a)+" L1miss")
-			}
-			for _, n := range intsetThreads() {
-				row := []string{fmt.Sprintf("%d", n)}
-				for _, aname := range Allocators() {
-					_, abort, l1, err := runIntset(intset.Config{
-						Kind:         intset.LinkedList,
-						Allocator:    aname,
-						Threads:      n,
-						InitialSize:  initial,
-						KeyRange:     keyRange,
-						UpdatePct:    60,
-						OpsPerThread: ops,
-					}, reps, opts)
-					if err != nil {
-						return nil, err
-					}
-					row = append(row, fmt.Sprintf("%04.1f%%", abort.Mean*100), fmt.Sprintf("%.1f%%", l1.Mean*100))
+		Plan: func(b *Builder) error {
+			reps := b.Reps(1, 3)
+			threads := intsetThreads()
+			sweeps := make([][]IntsetSweep, len(threads))
+			for ni, n := range threads {
+				sweeps[ni] = make([]IntsetSweep, len(Allocators()))
+				for ai, aname := range Allocators() {
+					sweeps[ni][ai] = b.IntsetSweep(intsetCfg(b.Spec().Full, intset.LinkedList, aname, n), reps)
 				}
-				t.Rows = append(t.Rows, row)
 			}
-			return &Result{
-				ID:     "tab4",
-				Title:  "Linked-list abort and L1 miss rates",
-				Tables: []Table{t},
-				Notes: []string{
-					"expected shape: Glibc fewest aborts (32-byte spacing dodges stripe sharing)",
-					"but the highest L1 miss ratio (halved cache density).",
-				},
-			}, nil
+			b.Reduce(func() (*Result, error) {
+				t := Table{Columns: []string{"#P"}}
+				for _, a := range Allocators() {
+					t.Columns = append(t.Columns, DisplayName(a)+" aborts", DisplayName(a)+" L1miss")
+				}
+				for ni, n := range threads {
+					row := []string{fmt.Sprintf("%d", n)}
+					for ai := range Allocators() {
+						abort, l1 := sweeps[ni][ai].Abort(), sweeps[ni][ai].L1()
+						row = append(row, fmt.Sprintf("%04.1f%%", abort.Mean*100), fmt.Sprintf("%.1f%%", l1.Mean*100))
+					}
+					t.Rows = append(t.Rows, row)
+				}
+				return &Result{
+					ID:     "tab4",
+					Title:  "Linked-list abort and L1 miss rates",
+					Tables: []Table{t},
+					Notes: []string{
+						"expected shape: Glibc fewest aborts (32-byte spacing dodges stripe sharing)",
+						"but the highest L1 miss ratio (halved cache density).",
+					},
+				}, nil
+			})
+			return nil
 		},
 	})
 }
@@ -177,58 +168,54 @@ func init() {
 	Register(&Experiment{
 		ID:    "fig6",
 		Paper: "Figure 6: relative speedup (-1) of the linked list with shift 4 vs shift 5",
-		Run: func(opts Options) (*Result, error) {
-			initial, keyRange, ops := intsetScale(opts.Full, intset.LinkedList)
-			reps := opts.reps(1, 3)
-			t := Table{Columns: []string{"Threads"}}
-			for _, a := range Allocators() {
-				t.Columns = append(t.Columns, DisplayName(a))
-			}
-			series := make([]Series, len(Allocators()))
-			for ai, a := range Allocators() {
-				series[ai].Label = DisplayName(a)
-			}
-			for _, n := range intsetThreads() {
-				row := []string{fmt.Sprintf("%d", n)}
+		Plan: func(b *Builder) error {
+			reps := b.Reps(1, 3)
+			threads := intsetThreads()
+			type pair struct{ s5, s4 IntsetSweep }
+			sweeps := make([][]pair, len(threads))
+			for ni, n := range threads {
+				sweeps[ni] = make([]pair, len(Allocators()))
 				for ai, aname := range Allocators() {
-					base := intset.Config{
-						Kind:         intset.LinkedList,
-						Allocator:    aname,
-						Threads:      n,
-						InitialSize:  initial,
-						KeyRange:     keyRange,
-						UpdatePct:    60,
-						OpsPerThread: ops,
-					}
+					base := intsetCfg(b.Spec().Full, intset.LinkedList, aname, n)
 					s5 := base
 					s5.Shift = 5
-					t5, _, _, err := runIntset(s5, reps, opts)
-					if err != nil {
-						return nil, err
-					}
 					s4 := base
 					s4.Shift = 4
-					t4, _, _, err := runIntset(s4, reps, opts)
-					if err != nil {
-						return nil, err
-					}
-					rel := t4.Mean/t5.Mean - 1
-					row = append(row, fmt.Sprintf("%+.3f", rel))
-					series[ai].X = append(series[ai].X, float64(n))
-					series[ai].Y = append(series[ai].Y, rel)
+					sweeps[ni][ai] = pair{s5: b.IntsetSweep(s5, reps), s4: b.IntsetSweep(s4, reps)}
 				}
-				t.Rows = append(t.Rows, row)
 			}
-			return &Result{
-				ID:     "fig6",
-				Title:  "Shift-amount sensitivity (speedup-1 of shift 4 over shift 5)",
-				Tables: []Table{t},
-				Series: series,
-				Notes: []string{
-					"expected shape: negative for Glibc (nothing to gain, extra ORT pressure);",
-					"positive at higher thread counts for the 16-byte allocators.",
-				},
-			}, nil
+			b.Reduce(func() (*Result, error) {
+				t := Table{Columns: []string{"Threads"}}
+				for _, a := range Allocators() {
+					t.Columns = append(t.Columns, DisplayName(a))
+				}
+				series := make([]Series, len(Allocators()))
+				for ai, a := range Allocators() {
+					series[ai].Label = DisplayName(a)
+				}
+				for ni, n := range threads {
+					row := []string{fmt.Sprintf("%d", n)}
+					for ai := range Allocators() {
+						t5, t4 := sweeps[ni][ai].s5.Thr(), sweeps[ni][ai].s4.Thr()
+						rel := t4.Mean/t5.Mean - 1
+						row = append(row, fmt.Sprintf("%+.3f", rel))
+						series[ai].X = append(series[ai].X, float64(n))
+						series[ai].Y = append(series[ai].Y, rel)
+					}
+					t.Rows = append(t.Rows, row)
+				}
+				return &Result{
+					ID:     "fig6",
+					Title:  "Shift-amount sensitivity (speedup-1 of shift 4 over shift 5)",
+					Tables: []Table{t},
+					Series: series,
+					Notes: []string{
+						"expected shape: negative for Glibc (nothing to gain, extra ORT pressure);",
+						"positive at higher thread counts for the 16-byte allocators.",
+					},
+				}, nil
+			})
+			return nil
 		},
 	})
 }

@@ -15,61 +15,58 @@ func init() {
 	Register(&Experiment{
 		ID:    "fig4rates",
 		Paper: "§4/§5 update-rate sweep: read-only, read-dominated, write-dominated (linked list, 8 threads)",
-		Run: func(opts Options) (*Result, error) {
-			initial, keyRange, ops := intsetScale(opts.Full, intset.LinkedList)
-			cm, err := opts.stmCM()
-			if err != nil {
-				return nil, err
-			}
-			reps := opts.reps(1, 3)
-			res := &Result{ID: "fig4rates", Title: "Update-rate sensitivity (linked list, 8 threads)"}
-			for _, rate := range []int{0, 20, 60} {
-				t := Table{
-					Title:   fmt.Sprintf("%d%% updates", rate),
-					Columns: []string{"Allocator", "Throughput (tx/s)", "Abort rate", "False aborts"},
+		Plan: func(b *Builder) error {
+			initial, keyRange, ops := intsetScale(b.Spec().Full, intset.LinkedList)
+			reps := b.Reps(1, 3)
+			rates := []int{0, 20, 60}
+			sweeps := make([][]IntsetSweep, len(rates))
+			for ri, rate := range rates {
+				sweeps[ri] = make([]IntsetSweep, len(Allocators()))
+				for ai, aname := range Allocators() {
+					sweeps[ri][ai] = b.IntsetSweep(intset.Config{
+						Kind:         intset.LinkedList,
+						Allocator:    aname,
+						Threads:      8,
+						InitialSize:  initial,
+						KeyRange:     keyRange,
+						UpdatePct:    rate,
+						OpsPerThread: ops,
+					}, reps)
 				}
-				for _, aname := range Allocators() {
-					var thrSum, abortSum, falseSum float64
-					for r := 0; r < reps; r++ {
-						out, err := intset.Run(intset.Config{
-							Kind:         intset.LinkedList,
-							Allocator:    aname,
-							Threads:      8,
-							InitialSize:  initial,
-							KeyRange:     keyRange,
-							UpdatePct:    rate,
-							OpsPerThread: ops,
-							Seed:         opts.seed() + uint64(r)*7919,
-							Obs:          opts.Obs,
-							CM:           cm,
-							RetryCap:     opts.RetryCap,
-							Fault:        opts.Fault,
-							Deadline:     opts.Deadline,
-						})
-						if err != nil {
-							return nil, err
-						}
-						opts.Health.Note(out.Status, out.Failure)
-						thrSum += out.Throughput
-						abortSum += out.Tx.AbortRate()
-						falseSum += float64(out.Tx.FalseAborts)
+			}
+			b.Reduce(func() (*Result, error) {
+				res := &Result{ID: "fig4rates", Title: "Update-rate sensitivity (linked list, 8 threads)"}
+				for ri, rate := range rates {
+					t := Table{
+						Title:   fmt.Sprintf("%d%% updates", rate),
+						Columns: []string{"Allocator", "Throughput (tx/s)", "Abort rate", "False aborts"},
 					}
-					n := float64(reps)
-					t.Rows = append(t.Rows, []string{
-						DisplayName(aname),
-						fmt.Sprintf("%.3g", thrSum/n),
-						fmt.Sprintf("%.1f%%", abortSum/n*100),
-						fmt.Sprintf("%.0f", falseSum/n),
-					})
+					for ai, aname := range Allocators() {
+						var thrSum, abortSum, falseSum float64
+						cells := sweeps[ri][ai].Cells()
+						for _, c := range cells {
+							thrSum += c.Throughput
+							abortSum += c.AbortRate
+							falseSum += float64(c.FalseAborts)
+						}
+						n := float64(len(cells))
+						t.Rows = append(t.Rows, []string{
+							DisplayName(aname),
+							fmt.Sprintf("%.3g", thrSum/n),
+							fmt.Sprintf("%.1f%%", abortSum/n*100),
+							fmt.Sprintf("%.0f", falseSum/n),
+						})
+					}
+					res.Tables = append(res.Tables, t)
 				}
-				res.Tables = append(res.Tables, t)
-			}
-			res.Notes = []string{
-				"read-only runs never abort regardless of allocator;",
-				"allocator separation grows with the update rate (the paper used 60% as the",
-				"most allocator-sensitive configuration).",
-			}
-			return res, nil
+				res.Notes = []string{
+					"read-only runs never abort regardless of allocator;",
+					"allocator separation grows with the update rate (the paper used 60% as the",
+					"most allocator-sensitive configuration).",
+				}
+				return res, nil
+			})
+			return nil
 		},
 	})
 }

@@ -1,0 +1,227 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/stm"
+	"repro/internal/sweep"
+)
+
+// Session runs experiments through the parallel sweep scheduler: every
+// requested experiment is planned into cells, the union of all cells is
+// scheduled once (so configurations shared between experiments — fig4
+// and tab3, fig7 and fig8 — execute once), and each experiment reduces
+// its own outcomes. Results are byte-identical for any Jobs value: the
+// scheduler hands outcomes back in cell order, observability deltas
+// merge in first-reference order, and reducers are plain serial code.
+type Session struct {
+	Spec *Spec
+	Jobs int // host goroutine pool width; <= 1 runs serially
+
+	// Cache memoizes finished cells on disk. Ignored (treated as nil)
+	// when Spec.Obs is set: a cache hit cannot replay an event trace, so
+	// observability implies execution.
+	Cache *sweep.Cache
+}
+
+// ExperimentRun is one experiment's outcome within a session.
+type ExperimentRun struct {
+	ID         string
+	Experiment *Experiment // nil when ID was unknown
+	Result     *Result     // nil when Err is set
+	Err        error
+	Health     *Health
+	Sweep      *obs.SweepInfo // cell accounting for the run record
+}
+
+// jobs returns the normalized pool width.
+func (s *Session) jobs() int {
+	if s.Jobs < 1 {
+		return 1
+	}
+	return s.Jobs
+}
+
+// Run plans, schedules and reduces the experiments with the given ids,
+// returning one ExperimentRun per id (in order) plus the scheduler
+// statistics for the whole sweep.
+func (s *Session) Run(ids []string) ([]*ExperimentRun, sweep.Stats) {
+	if err := s.Spec.Validate(); err != nil {
+		runs := make([]*ExperimentRun, len(ids))
+		for i, id := range ids {
+			runs[i] = &ExperimentRun{ID: id, Err: err}
+		}
+		return runs, sweep.Stats{}
+	}
+
+	type planned struct {
+		run    *ExperimentRun
+		b      *Builder
+		lo, hi int // the plan's cell range in the concatenated slice
+	}
+	runs := make([]*ExperimentRun, len(ids))
+	var cells []sweep.Cell
+	var plans []*planned
+	for i, id := range ids {
+		er := &ExperimentRun{ID: id}
+		runs[i] = er
+		spec := s.Spec.child()
+		er.Health = spec.Health
+		e, ok := Get(id)
+		if !ok {
+			er.Err = fmt.Errorf("harness: unknown experiment %q", id)
+			continue
+		}
+		er.Experiment = e
+		b := &Builder{id: id, spec: spec}
+		if err := planRecovered(e, b); err != nil {
+			er.Err = err
+			continue
+		}
+		p := &planned{run: er, b: b, lo: len(cells)}
+		cells = append(cells, b.cells...)
+		p.hi = len(cells)
+		plans = append(plans, p)
+	}
+
+	cache := s.Cache
+	if s.Spec.Obs != nil {
+		cache = nil // observability implies execution
+	}
+	sched := sweep.Scheduler{Jobs: s.jobs(), Cache: cache}
+	outs, stats := sched.Run(cells)
+
+	// Deduplicated cells share one Outcome (and Delta pointer): merge
+	// each distinct delta exactly once, at its first reference, so the
+	// merged trace is identical to what a serial no-dedup run would
+	// produce up to that sharing.
+	merged := make(map[*obs.Delta]bool)
+	for _, p := range plans {
+		p.b.outs = outs[p.lo:p.hi]
+		sw := &obs.SweepInfo{CellSet: sweep.CellSetHash(p.b.cells), Cells: len(p.b.cells)}
+		var firstErr error
+		for _, o := range p.b.outs {
+			switch {
+			case o.Err != nil:
+				if firstErr == nil {
+					firstErr = o.Err
+				}
+				continue
+			case o.Cached:
+				sw.Cached++
+			default:
+				sw.Executed++
+			}
+			if o.Delta != nil && !merged[o.Delta] {
+				merged[o.Delta] = true
+				s.Spec.Obs.Apply(o.Delta)
+			}
+			var ch CellHealth
+			if json.Unmarshal(o.Payload, &ch) == nil {
+				p.run.Health.Note(ch.Status, ch.Failure)
+			}
+		}
+		p.run.Sweep = sw
+		if firstErr != nil {
+			p.run.Err = firstErr
+			continue
+		}
+		p.run.Result, p.run.Err = reduceRecovered(p.b)
+	}
+	return runs, stats
+}
+
+// planRecovered runs the experiment's Plan with panic capture.
+func planRecovered(e *Experiment, b *Builder) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("harness: planning %s panicked: %v", e.ID, r)
+		}
+	}()
+	return e.Plan(b)
+}
+
+// reduceRecovered runs the plan's reducer with panic capture.
+func reduceRecovered(b *Builder) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("harness: reducing %s panicked: %v", b.id, r)
+		}
+	}()
+	if b.fn == nil {
+		return nil, fmt.Errorf("harness: experiment %s installed no reducer", b.id)
+	}
+	return b.fn()
+}
+
+// Record converts one experiment run into the machine-readable v2 run
+// artifact, attaching whatever the session's recorder collected.
+func (s *Session) Record(run *ExperimentRun) *obs.RunRecord {
+	rec := obs.NewRunRecord(run.ID)
+	if run.Result != nil {
+		rec.Title = run.Result.Title
+	} else if run.Experiment != nil {
+		rec.Title = run.Experiment.Paper
+	}
+	rec.Status = run.Health.Status()
+	rec.Failure = run.Health.Failure()
+
+	cfg := obs.RunConfig{Full: s.Spec.Full, Seed: s.Spec.seed()}
+	if s.Spec.Reps != nil {
+		cfg.Reps = *s.Spec.Reps
+	}
+	extra := map[string]string{}
+	if s.Spec.CM != stm.CMSuicide {
+		extra["cm"] = s.Spec.CM.String()
+	}
+	if s.Spec.RetryCap != nil {
+		extra["retry_cap"] = fmt.Sprintf("%d", *s.Spec.RetryCap)
+	}
+	if s.Spec.Fault != "" {
+		extra["fault"] = s.Spec.Fault
+	}
+	if s.Spec.Deadline != nil {
+		extra["deadline"] = fmt.Sprintf("%d", *s.Spec.Deadline)
+	}
+	if len(extra) > 0 {
+		cfg.Extra = extra
+	}
+	rec.Config = cfg
+
+	if run.Sweep != nil {
+		sw := *run.Sweep
+		sw.Jobs = s.jobs()
+		rec.Sweep = &sw
+	}
+	if r := run.Result; r != nil {
+		for _, t := range r.Tables {
+			rec.Tables = append(rec.Tables, obs.Table{Title: t.Title, Columns: t.Columns, Rows: t.Rows})
+		}
+		for _, sr := range r.Series {
+			rec.Series = append(rec.Series, obs.Series{Label: sr.Label, X: sr.X, Y: sr.Y, Err: sr.Err})
+		}
+		rec.Notes = r.Notes
+	}
+	rec.Attach(s.Spec.Obs)
+	return rec
+}
+
+// RunExperiment runs a single experiment serially with no cache — the
+// spec-level equivalent of the old monolithic Run entry point.
+func RunExperiment(e *Experiment, spec *Spec) (*Result, error) {
+	runs, _ := (&Session{Spec: spec}).Run([]string{e.ID})
+	return runs[0].Result, runs[0].Err
+}
+
+// Run executes the experiment under the legacy Options.
+//
+// Deprecated: build a Spec and use Session or RunExperiment.
+func (e *Experiment) Run(opts Options) (*Result, error) {
+	spec, err := opts.Spec()
+	if err != nil {
+		return nil, err
+	}
+	return RunExperiment(e, spec)
+}

@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/stm"
+)
+
+// Spec is the typed experiment specification: what to run, at which
+// scale, under which robustness policy. It replaces the stringly-typed
+// Options (contention manager as a free-form string, zero-means-default
+// integers) with enum and explicit-override fields that validate at
+// construction time instead of deep inside an experiment loop.
+//
+// Nil pointer fields mean "use the per-experiment default"; a non-nil
+// pointer is an explicit override, so overriding *to zero* (e.g.
+// RetryCap pointing at 0 = stm.NoRetryCap semantics via validation) is
+// expressible, which the old zero-means-default ints could not say.
+type Spec struct {
+	Full bool    // paper-scale parameters instead of quick ones
+	Reps *int    // repetitions for mean/CI; nil = per-experiment default
+	Seed *uint64 // base seed; nil = the suite default
+
+	CM       stm.CM  // contention manager (typed; default CMSuicide)
+	RetryCap *uint64 // irrevocable-fallback threshold; nil = STM default
+	Fault    string  // fault-plan spec (internal/fault grammar); "" disables
+	Deadline *uint64 // virtual-cycle watchdog bound per workload phase; nil = none
+
+	Obs    *obs.Recorder // observability sink; nil disables
+	Health *Health       // aggregated run status; nil = one is created per experiment
+}
+
+// DefaultSeed is the suite's base seed when Spec.Seed is nil.
+const DefaultSeed = 0x9a9e7
+
+// Validate checks the spec once, up front: experiments can then trust
+// every field. It fails fast with the allowed names/grammar instead of
+// letting a bad contention manager or fault plan surface mid-sweep.
+func (s *Spec) Validate() error {
+	switch s.CM {
+	case stm.CMSuicide, stm.CMBackoff, stm.CMKarma, stm.CMAggressive:
+	default:
+		return fmt.Errorf("harness: invalid contention manager %v (known: %v)", s.CM, stm.CMNames())
+	}
+	if s.Reps != nil && *s.Reps < 1 {
+		return fmt.Errorf("harness: reps override must be >= 1, got %d", *s.Reps)
+	}
+	if s.Fault != "" {
+		if _, err := fault.Parse(s.Fault, 1); err != nil {
+			return fmt.Errorf("harness: invalid fault plan: %w", err)
+		}
+	}
+	return nil
+}
+
+// reps resolves the effective repetition count.
+func (s *Spec) reps(quick, full int) int {
+	if s.Reps != nil {
+		return *s.Reps
+	}
+	if s.Full {
+		return full
+	}
+	return quick
+}
+
+// seed resolves the effective base seed.
+func (s *Spec) seed() uint64 {
+	if s.Seed != nil && *s.Seed != 0 {
+		return *s.Seed
+	}
+	return DefaultSeed
+}
+
+// retryCap resolves the effective retry cap (0 = STM default).
+func (s *Spec) retryCap() uint64 {
+	if s.RetryCap == nil {
+		return 0
+	}
+	return *s.RetryCap
+}
+
+// deadline resolves the effective watchdog deadline (0 = none).
+func (s *Spec) deadline() uint64 {
+	if s.Deadline == nil {
+		return 0
+	}
+	return *s.Deadline
+}
+
+// child clones the spec for one experiment, giving it a private Health
+// aggregate when the caller did not supply a shared one.
+func (s *Spec) child() *Spec {
+	c := *s
+	if c.Health == nil {
+		c.Health = &Health{}
+	}
+	return &c
+}
+
+// Options is the deprecated stringly-typed predecessor of Spec, kept
+// for one release as an adapter so external callers migrate at their
+// own pace.
+//
+// Deprecated: build a Spec (directly or via cmd/internal/cliflags) and
+// use Session or RunExperiment instead.
+type Options struct {
+	Full bool          // paper-scale parameters instead of quick ones
+	Reps int           // repetitions for mean/CI (0 = per-experiment default)
+	Seed uint64        // base seed (0 = default)
+	Obs  *obs.Recorder // observability sink threaded into every workload; nil disables
+
+	CM       string  // contention manager name (stm.ParseCM); "" = suicide
+	RetryCap uint64  // irrevocable-fallback threshold (0 = STM default)
+	Fault    string  // fault-plan spec (internal/fault grammar); "" disables
+	Deadline uint64  // virtual-cycle watchdog bound per workload phase; 0 disables
+	Health   *Health // aggregated run status across the experiment; nil disables
+}
+
+// Spec converts the legacy options to a validated Spec. The old
+// zero-means-default conventions are preserved: 0 reps/seed/retry-cap/
+// deadline map to nil overrides.
+func (o Options) Spec() (*Spec, error) {
+	cm, err := stm.ParseCM(o.CM)
+	if err != nil {
+		return nil, err
+	}
+	s := &Spec{
+		Full:   o.Full,
+		CM:     cm,
+		Fault:  o.Fault,
+		Obs:    o.Obs,
+		Health: o.Health,
+	}
+	if o.Reps > 0 {
+		reps := o.Reps
+		s.Reps = &reps
+	}
+	if o.Seed != 0 {
+		seed := o.Seed
+		s.Seed = &seed
+	}
+	if o.RetryCap != 0 {
+		cap := o.RetryCap
+		s.RetryCap = &cap
+	}
+	if o.Deadline != 0 {
+		dl := o.Deadline
+		s.Deadline = &dl
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -3,7 +3,6 @@ package harness
 import (
 	"fmt"
 
-	"repro/internal/sim"
 	"repro/internal/threadtest"
 )
 
@@ -13,55 +12,58 @@ func init() {
 	Register(&Experiment{
 		ID:    "fig3",
 		Paper: "Figure 3: throughput of the studied allocators for different block sizes (8 threads)",
-		Run: func(opts Options) (*Result, error) {
+		Plan: func(b *Builder) error {
 			sizes := []uint64{16, 64, 128, 256, 512, 2048, 8192}
 			ops := 2000
-			if opts.Full {
+			if b.Spec().Full {
 				ops = 10000
 			}
-			reps := opts.reps(2, 5)
-
-			res := &Result{ID: "fig3", Title: "threadtest throughput (million op/s)"}
-			t := Table{Columns: []string{"Block size"}}
-			for _, a := range Allocators() {
-				t.Columns = append(t.Columns, DisplayName(a))
-			}
-			series := make([]Series, len(Allocators()))
-			for i, a := range Allocators() {
-				series[i].Label = DisplayName(a)
-			}
-			for _, size := range sizes {
-				row := []string{fmt.Sprintf("%d", size)}
+			reps := b.Reps(2, 5)
+			sweeps := make([][]ThreadtestSweep, len(sizes))
+			for si, size := range sizes {
+				sweeps[si] = make([]ThreadtestSweep, len(Allocators()))
 				for ai, aname := range Allocators() {
-					var samples []float64
-					for r := 0; r < reps; r++ {
-						out, err := threadtest.Run(threadtest.Config{
-							Allocator:    aname,
-							Threads:      8,
-							BlockSize:    size,
-							OpsPerThread: ops,
-						})
-						if err != nil {
-							return nil, err
-						}
-						samples = append(samples, out.Throughput/1e6)
-					}
-					s := sim.Summarize(samples)
-					row = append(row, fmt.Sprintf("%.2f", s.Mean))
-					series[ai].X = append(series[ai].X, float64(size))
-					series[ai].Y = append(series[ai].Y, s.Mean)
-					series[ai].Err = append(series[ai].Err, s.CI95)
+					sweeps[si][ai] = b.ThreadtestSweep(threadtest.Config{
+						Allocator:    aname,
+						Threads:      8,
+						BlockSize:    size,
+						OpsPerThread: ops,
+					}, reps)
 				}
-				t.Rows = append(t.Rows, row)
 			}
-			res.Tables = []Table{t}
-			res.Series = series
-			res.Notes = []string{
-				"expected shapes: TCMalloc weak at 16B (false sharing), strong elsewhere;",
-				"Hoard fast through 256B then drops; TBB flat until ~8KB then collapses;",
-				"Glibc pays an arena lock on every operation.",
-			}
-			return res, nil
+			b.Reduce(func() (*Result, error) {
+				res := &Result{ID: "fig3", Title: "threadtest throughput (million op/s)"}
+				t := Table{Columns: []string{"Block size"}}
+				for _, a := range Allocators() {
+					t.Columns = append(t.Columns, DisplayName(a))
+				}
+				series := make([]Series, len(Allocators()))
+				for i, a := range Allocators() {
+					series[i].Label = DisplayName(a)
+				}
+				for si, size := range sizes {
+					row := []string{fmt.Sprintf("%d", size)}
+					for ai := range Allocators() {
+						s := sweeps[si][ai].Thr()
+						s.Mean /= 1e6
+						s.CI95 /= 1e6
+						row = append(row, fmt.Sprintf("%.2f", s.Mean))
+						series[ai].X = append(series[ai].X, float64(size))
+						series[ai].Y = append(series[ai].Y, s.Mean)
+						series[ai].Err = append(series[ai].Err, s.CI95)
+					}
+					t.Rows = append(t.Rows, row)
+				}
+				res.Tables = []Table{t}
+				res.Series = series
+				res.Notes = []string{
+					"expected shapes: TCMalloc weak at 16B (false sharing), strong elsewhere;",
+					"Hoard fast through 256B then drops; TBB flat until ~8KB then collapses;",
+					"Glibc pays an arena lock on every operation.",
+				}
+				return res, nil
+			})
+			return nil
 		},
 	})
 }

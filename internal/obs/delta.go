@@ -1,0 +1,142 @@
+package obs
+
+import "sort"
+
+// Delta is the detachable observability state of one Recorder — the
+// events, phases, metrics and heatmap one sweep cell collected while
+// running with its own private Recorder. The parallel sweep scheduler
+// gives every cell its own Recorder (the Recorder itself is not
+// host-thread-safe), carries the finished cells' Deltas back to the
+// coordinating goroutine, and the harness folds them into the main
+// Recorder with Apply in deterministic cell order — so a -jobs 8 run
+// merges to exactly the bytes a -jobs 1 run produces.
+type Delta struct {
+	phases []string
+	rings  []*ring
+	reg    *Registry
+	heat   *Heatmap
+}
+
+// Delta returns the recorder's collected state as a mergeable unit.
+// The recorder must not be used for further recording afterwards (the
+// Delta aliases its internals); per-cell recorders are discarded once
+// their cell completes, so nothing does.
+func (r *Recorder) Delta() *Delta {
+	if r == nil {
+		return nil
+	}
+	return &Delta{phases: r.phases, rings: r.rings, reg: r.reg, heat: r.heat}
+}
+
+// Events returns the delta's retained event count (for provenance).
+func (d *Delta) Events() int {
+	if d == nil {
+		return 0
+	}
+	n := 0
+	for _, rg := range d.rings {
+		if rg != nil {
+			n += len(rg.events())
+		}
+	}
+	return n
+}
+
+// Apply folds a cell's Delta into the recorder: phases are appended
+// (event epochs shifted accordingly, so each cell keeps its own trace
+// process), per-thread events are re-pushed in their original order,
+// counters and histogram buckets add, gauges keep the maximum (every
+// gauge in this codebase is a watermark), and heatmap cells accumulate.
+// Applying the same deltas in the same order always yields the same
+// recorder state — merge determinism is the caller's ordering duty.
+func (r *Recorder) Apply(d *Delta) {
+	if r == nil || d == nil {
+		return
+	}
+	off := int32(len(r.phases))
+	r.phases = append(r.phases, d.phases...)
+	for tid, rg := range d.rings {
+		if rg == nil {
+			continue
+		}
+		r.extraDropped += rg.dropped()
+		for _, ev := range rg.events() {
+			ev.Epoch += off
+			r.pushRaw(tid, ev)
+		}
+	}
+	r.reg.merge(d.reg)
+	r.heat.merge(d.heat)
+}
+
+// pushRaw appends an event preserving its TID/Epoch/TS (unlike push,
+// which stamps the recorder's current epoch).
+func (r *Recorder) pushRaw(tid int, ev Event) {
+	for tid >= len(r.rings) {
+		r.rings = append(r.rings, &ring{buf: make([]Event, r.ringSize)})
+	}
+	ev.TID = int32(tid)
+	r.rings[tid].push(ev)
+}
+
+// merge folds src into the registry: counters and histograms add,
+// gauges take the maximum (watermark semantics).
+func (g *Registry) merge(src *Registry) {
+	if src == nil {
+		return
+	}
+	for k, c := range src.counters {
+		g.Counter(k).Add(c.v)
+	}
+	for k, sg := range src.gauges {
+		dst := g.Gauge(k)
+		if sg.v > dst.v {
+			dst.v = sg.v
+		}
+	}
+	for k, sh := range src.hists {
+		dst := g.Histogram(k)
+		dst.count += sh.count
+		dst.sum += sh.sum
+		for i := range sh.buckets {
+			dst.buckets[i] += sh.buckets[i]
+		}
+	}
+}
+
+// merge folds src into the heatmap. Placement keys are visited in
+// sorted order so the maxPlacements cap cuts off deterministically.
+func (h *Heatmap) merge(src *Heatmap) {
+	if src == nil {
+		return
+	}
+	entries := make([]uint64, 0, len(src.cells))
+	for e := range src.cells {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i] < entries[j] })
+	for _, e := range entries {
+		sc := src.cells[e]
+		c := h.cells[e]
+		if c == nil {
+			c = &StripeCell{Entry: e, placements: make(map[uint64]uint64, len(sc.placements))}
+			h.cells[e] = c
+		}
+		c.Conflicts += sc.Conflicts
+		c.FalseAborts += sc.FalseAborts
+		c.OtherPlacements += sc.OtherPlacements
+		keys := make([]uint64, 0, len(sc.placements))
+		for k := range sc.placements {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			n := sc.placements[k]
+			if _, ok := c.placements[k]; !ok && len(c.placements) >= maxPlacements {
+				c.OtherPlacements += n
+				continue
+			}
+			c.placements[k] += n
+		}
+	}
+}

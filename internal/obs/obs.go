@@ -157,6 +157,10 @@ type Recorder struct {
 	epoch    int32
 	phases   []string
 
+	// extraDropped counts events already dropped inside merged Deltas
+	// (they never reached this recorder's rings).
+	extraDropped uint64
+
 	reg  *Registry
 	heat *Heatmap
 
@@ -192,6 +196,16 @@ func New(cfg Config) *Recorder {
 		quanta:     reg.Counter("sched_quanta_total"),
 	}
 	return r
+}
+
+// Sibling returns a fresh empty recorder with the same configuration —
+// the per-cell private recorder whose Delta is later applied back into
+// this one (nil on a nil recorder).
+func (r *Recorder) Sibling() *Recorder {
+	if r == nil {
+		return nil
+	}
+	return New(Config{RingSize: r.ringSize})
 }
 
 // Enabled reports whether the recorder is active (non-nil).
@@ -420,7 +434,7 @@ func (r *Recorder) Dropped() uint64 {
 	if r == nil {
 		return 0
 	}
-	var d uint64
+	d := r.extraDropped
 	for _, rg := range r.rings {
 		d += rg.dropped()
 	}

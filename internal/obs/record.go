@@ -2,11 +2,18 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 )
 
-// RunRecordSchema identifies the RunRecord JSON layout version.
-const RunRecordSchema = "tmrepro/run-record/v1"
+// Run-record schema identifiers. V2 added SchemaVersion and the Sweep
+// provenance section (cell-set hash, cached-vs-executed counts, host
+// pool width); everything in v1 is still present and means the same, so
+// v1 files decode losslessly (see DecodeRunRecords).
+const (
+	RunRecordSchemaV1 = "tmrepro/run-record/v1"
+	RunRecordSchema   = "tmrepro/run-record/v2"
+)
 
 // Table is the serialization form of one result table (mirrors
 // harness.Table without importing it, so any tool can reuse it).
@@ -49,23 +56,45 @@ const (
 	StatusFailed = "failed" // a panic was captured; partial results only
 )
 
+// SweepInfo is the scheduler provenance of a record produced through
+// the parallel sweep: which cell set the experiment decomposed into
+// (a hash over the cells' config hashes — the experiment's identity for
+// caching), how many cells ran versus came from the cache, and how wide
+// the host worker pool was. Everything except Jobs is deterministic for
+// a given cache state; Jobs records how the run was executed, like wall
+// clock would, and is excluded from byte-identity comparisons.
+type SweepInfo struct {
+	CellSet  string `json:"cell_set,omitempty"` // hash over the experiment's cell hashes
+	Cells    int    `json:"cells"`
+	Executed int    `json:"executed"`
+	Cached   int    `json:"cached"`
+	Jobs     int    `json:"jobs,omitempty"` // host goroutine pool width used
+}
+
 // RunRecord is the machine-readable artifact of one experiment run —
 // what BENCH_<exp>.json files hold. Everything in it derives from
 // virtual time and fixed seeds, so records are reproducible
 // byte-for-byte.
 type RunRecord struct {
-	Schema     string       `json:"schema"`
-	Experiment string       `json:"experiment"`
-	Title      string       `json:"title,omitempty"`
-	Status     string       `json:"status,omitempty"`  // "" is StatusOK (pre-robustness records)
-	Failure    string       `json:"failure,omitempty"` // watchdog / panic detail for non-ok statuses
-	Config     RunConfig    `json:"config"`
-	Tables     []Table      `json:"tables,omitempty"`
-	Series     []Series     `json:"series,omitempty"`
-	Notes      []string     `json:"notes,omitempty"`
-	Metrics    *Snapshot    `json:"metrics,omitempty"`
-	Stripes    []StripeJSON `json:"stripe_heatmap,omitempty"`
-	Trace      *TraceInfo   `json:"trace,omitempty"`
+	Schema        string       `json:"schema"`
+	SchemaVersion int          `json:"schema_version,omitempty"` // 0/absent means 1 (v1 files predate it)
+	Experiment    string       `json:"experiment"`
+	Title         string       `json:"title,omitempty"`
+	Status        string       `json:"status,omitempty"`  // "" is StatusOK (pre-robustness records)
+	Failure       string       `json:"failure,omitempty"` // watchdog / panic detail for non-ok statuses
+	Config        RunConfig    `json:"config"`
+	Sweep         *SweepInfo   `json:"sweep,omitempty"` // scheduler provenance (v2)
+	Tables        []Table      `json:"tables,omitempty"`
+	Series        []Series     `json:"series,omitempty"`
+	Notes         []string     `json:"notes,omitempty"`
+	Metrics       *Snapshot    `json:"metrics,omitempty"`
+	Stripes       []StripeJSON `json:"stripe_heatmap,omitempty"`
+	Trace         *TraceInfo   `json:"trace,omitempty"`
+}
+
+// NewRunRecord returns a record stamped with the current schema.
+func NewRunRecord(experiment string) *RunRecord {
+	return &RunRecord{Schema: RunRecordSchema, SchemaVersion: 2, Experiment: experiment}
 }
 
 // Attach fills the record's observability sections (metrics snapshot,
@@ -101,4 +130,40 @@ func WriteRunRecords(w io.Writer, recs []*RunRecord) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(recs)
+}
+
+// DecodeRunRecords reads what WriteRunRecords (or any older tool)
+// wrote: a single record object or an array of them, in either the v1
+// or v2 schema. v1 records come back with SchemaVersion normalized to 1
+// so consumers can switch on the version without string comparisons;
+// unknown schemas are an error rather than a silent misread.
+func DecodeRunRecords(r io.Reader) ([]*RunRecord, error) {
+	dec := json.NewDecoder(r)
+	var raw json.RawMessage
+	if err := dec.Decode(&raw); err != nil {
+		return nil, err
+	}
+	var recs []*RunRecord
+	if len(raw) > 0 && raw[0] == '[' {
+		if err := json.Unmarshal(raw, &recs); err != nil {
+			return nil, err
+		}
+	} else {
+		var rec RunRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, err
+		}
+		recs = []*RunRecord{&rec}
+	}
+	for _, rec := range recs {
+		switch {
+		case rec.Schema == RunRecordSchemaV1 && rec.SchemaVersion <= 1:
+			rec.SchemaVersion = 1
+		case rec.Schema == RunRecordSchema && (rec.SchemaVersion == 0 || rec.SchemaVersion == 2):
+			rec.SchemaVersion = 2
+		default:
+			return nil, fmt.Errorf("obs: unknown run-record schema %q (version %d)", rec.Schema, rec.SchemaVersion)
+		}
+	}
+	return recs, nil
 }

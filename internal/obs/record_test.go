@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+const v1Fixture = `{
+  "schema": "tmrepro/run-record/v1",
+  "experiment": "fig4",
+  "title": "legacy record",
+  "config": {"full": false, "seed": 633319},
+  "tables": [{"columns": ["a"], "rows": [["1"]]}]
+}`
+
+func TestDecodeRunRecordsV1(t *testing.T) {
+	recs, err := DecodeRunRecords(strings.NewReader(v1Fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("decoded %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Schema != RunRecordSchemaV1 || r.SchemaVersion != 1 {
+		t.Errorf("v1 record normalized to schema %q version %d", r.Schema, r.SchemaVersion)
+	}
+	if r.Experiment != "fig4" || r.Config.Seed != 633319 {
+		t.Errorf("v1 fields lost: %+v", r)
+	}
+	if r.Sweep != nil {
+		t.Error("v1 records predate sweep provenance; decoder must not invent it")
+	}
+}
+
+func TestDecodeRunRecordsV2(t *testing.T) {
+	rec := NewRunRecord("tab4")
+	rec.Sweep = &SweepInfo{CellSet: "abc", Cells: 3, Executed: 2, Cached: 1, Jobs: 8}
+	var buf strings.Builder
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := DecodeRunRecords(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := recs[0]
+	if r.Schema != RunRecordSchema || r.SchemaVersion != 2 {
+		t.Errorf("v2 record decoded as schema %q version %d", r.Schema, r.SchemaVersion)
+	}
+	if r.Sweep == nil || r.Sweep.Cells != 3 || r.Sweep.Cached != 1 || r.Sweep.Jobs != 8 {
+		t.Errorf("sweep provenance lost: %+v", r.Sweep)
+	}
+}
+
+func TestDecodeRunRecordsArray(t *testing.T) {
+	recs, err := DecodeRunRecords(strings.NewReader("[" + v1Fixture + "," + v1Fixture + "]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].SchemaVersion != 1 {
+		t.Fatalf("array decode = %d records (last version %d), want 2 v1 records",
+			len(recs), recs[len(recs)-1].SchemaVersion)
+	}
+}
+
+func TestDecodeRunRecordsUnknownSchema(t *testing.T) {
+	in := strings.Replace(v1Fixture, "run-record/v1", "run-record/v9", 1)
+	if _, err := DecodeRunRecords(strings.NewReader(in)); err == nil {
+		t.Fatal("unknown schema must be an error, not a silent pass-through")
+	}
+}

@@ -1,0 +1,259 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(1, "a") == DeriveSeed(1, "b") {
+		t.Error("different keys must derive different seeds")
+	}
+	if DeriveSeed(1, "a") == DeriveSeed(2, "a") {
+		t.Error("different base seeds must derive different seeds")
+	}
+	if DeriveSeed(1, "a") != DeriveSeed(1, "a") {
+		t.Error("derivation must be deterministic")
+	}
+	if DeriveSeed(0x9a9e7, "exp/rep0") == 0 {
+		t.Error("derived seed must never be zero (workloads treat 0 as 'use default')")
+	}
+	// Rep index in the key separates repetition seeds.
+	if DeriveSeed(7, "cfg/r0") == DeriveSeed(7, "cfg/r1") {
+		t.Error("per-rep keys must derive distinct seeds")
+	}
+}
+
+func TestCellHashIdentity(t *testing.T) {
+	mk := func(key, spec string, seed uint64) *Cell {
+		return &Cell{Key: key, Spec: json.RawMessage(spec), Seed: seed}
+	}
+	base := mk("k", `{"a":1}`, 3).Hash()
+	if got := mk("k", `{"a":1}`, 3).Hash(); got != base {
+		t.Error("identical cells must hash identically")
+	}
+	for name, c := range map[string]*Cell{
+		"key":  mk("k2", `{"a":1}`, 3),
+		"spec": mk("k", `{"a":2}`, 3),
+		"seed": mk("k", `{"a":1}`, 4),
+	} {
+		if c.Hash() == base {
+			t.Errorf("changing the %s must change the hash", name)
+		}
+	}
+}
+
+func payloadCell(key string, seed uint64, v string) Cell {
+	return Cell{
+		Key:  key,
+		Spec: json.RawMessage(fmt.Sprintf(`{"v":%q}`, v)),
+		Seed: seed,
+		Run:  func() (any, *obs.Delta, error) { return map[string]string{"v": v}, nil, nil },
+	}
+}
+
+func TestCacheHitMissInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := payloadCell("k", 1, "x")
+	if _, ok := c.Get(&cell); ok {
+		t.Fatal("empty cache must miss")
+	}
+	if err := c.Put(&cell, json.RawMessage(`{"v":"x"}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(&cell)
+	if !ok || string(got) != `{"v":"x"}` {
+		t.Fatalf("cache hit = %q, %v; want the stored payload", got, ok)
+	}
+
+	// A spec change and a seed change each produce a different hash, so
+	// the old entry is simply not found.
+	specChanged := payloadCell("k", 1, "y")
+	if _, ok := c.Get(&specChanged); ok {
+		t.Error("changed spec must miss")
+	}
+	seedChanged := payloadCell("k", 2, "x")
+	if _, ok := c.Get(&seedChanged); ok {
+		t.Error("changed seed must miss")
+	}
+
+	// A version bump invalidates entries that *do* collide on path:
+	// rewrite the stored entry claiming an older cell-schema version.
+	path := filepath.Join(dir, cell.Hash()[:2], cell.Hash()+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := strings.Replace(string(data), Version, "tmrepro-cells/v0", 1)
+	if stale == string(data) {
+		t.Fatalf("entry %s does not embed the version string", path)
+	}
+	if err := os.WriteFile(path, []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(&cell); ok {
+		t.Error("an entry recorded under another code version must miss")
+	}
+
+	// Corruption is a miss, not an error.
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(&cell); ok {
+		t.Error("a corrupt entry must miss")
+	}
+
+	// Nil cache is inert.
+	var nilCache *Cache
+	if _, ok := nilCache.Get(&cell); ok {
+		t.Error("nil cache must miss")
+	}
+	if err := nilCache.Put(&cell, got); err != nil {
+		t.Error("nil cache Put must be a no-op:", err)
+	}
+}
+
+func TestSchedulerOrderAndDedup(t *testing.T) {
+	var executed atomic.Int64
+	mk := func(key string, v string) Cell {
+		return Cell{
+			Key:  key,
+			Spec: json.RawMessage(fmt.Sprintf(`{"v":%q}`, v)),
+			Run: func() (any, *obs.Delta, error) {
+				executed.Add(1)
+				return v, nil, nil
+			},
+		}
+	}
+	// c0 and c2 are the same cell (same key/spec/seed): the scheduler
+	// must run it once and fan the outcome to both positions.
+	cells := []Cell{mk("a", "A"), mk("b", "B"), mk("a", "A"), mk("c", "C")}
+	for _, jobs := range []int{1, 4} {
+		executed.Store(0)
+		s := &Scheduler{Jobs: jobs}
+		outs, stats := s.Run(cells)
+		if executed.Load() != 3 {
+			t.Errorf("jobs=%d: executed %d closures, want 3 (dedup)", jobs, executed.Load())
+		}
+		if stats.Cells != 4 || stats.Unique != 3 || stats.Executed != 3 {
+			t.Errorf("jobs=%d: stats = %+v, want 4 cells / 3 unique / 3 executed", jobs, stats)
+		}
+		var got []string
+		for _, o := range outs {
+			var v string
+			if err := json.Unmarshal(o.Payload, &v); err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, v)
+		}
+		if want := []string{"A", "B", "A", "C"}; !reflect.DeepEqual(got, want) {
+			t.Errorf("jobs=%d: outcomes %v, want %v (cell order)", jobs, got, want)
+		}
+		if outs[0].Hash != outs[2].Hash {
+			t.Errorf("jobs=%d: duplicate cells must share a hash", jobs)
+		}
+	}
+}
+
+func TestSchedulerPanicIsolation(t *testing.T) {
+	cells := []Cell{
+		payloadCell("ok", 1, "fine"),
+		{Key: "boom", Spec: json.RawMessage(`{}`),
+			Run: func() (any, *obs.Delta, error) { panic("injected") }},
+	}
+	s := &Scheduler{Jobs: 4}
+	outs, stats := s.Run(cells)
+	if outs[0].Err != nil {
+		t.Error("healthy cell must survive a sibling's panic:", outs[0].Err)
+	}
+	if outs[1].Err == nil || !strings.Contains(outs[1].Err.Error(), "panicked") {
+		t.Errorf("panicking cell error = %v, want a captured panic", outs[1].Err)
+	}
+	if stats.Errors != 1 {
+		t.Errorf("stats.Errors = %d, want 1", stats.Errors)
+	}
+}
+
+func TestSchedulerCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := []Cell{payloadCell("a", 1, "A"), payloadCell("b", 2, "B")}
+	s := &Scheduler{Jobs: 2, Cache: c}
+	first, st1 := s.Run(cells)
+	if st1.Executed != 2 || st1.Cached != 0 {
+		t.Fatalf("cold run stats = %+v, want 2 executed", st1)
+	}
+	second, st2 := s.Run(cells)
+	if st2.Executed != 0 || st2.Cached != 2 {
+		t.Fatalf("warm run stats = %+v, want 2 cached", st2)
+	}
+	for i := range cells {
+		if string(first[i].Payload) != string(second[i].Payload) {
+			t.Errorf("cell %d: cached payload differs from executed payload", i)
+		}
+		if !second[i].Cached {
+			t.Errorf("cell %d: outcome not marked cached", i)
+		}
+	}
+}
+
+// TestSchedulerObservedCellsNotCached pins the invariant that a cell
+// returning a trace delta is never written to the cache: replaying a
+// hit could not reproduce the events.
+func TestSchedulerObservedCellsNotCached(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New(obs.Config{})
+	cell := Cell{
+		Key:  "observed",
+		Spec: json.RawMessage(`{}`),
+		Run:  func() (any, *obs.Delta, error) { return "v", rec.Delta(), nil },
+	}
+	s := &Scheduler{Jobs: 1, Cache: c}
+	s.Run([]Cell{cell})
+	if _, ok := c.Get(&cell); ok {
+		t.Error("a cell that returned a delta must not be cached")
+	}
+}
+
+// TestSchedulerStress drives many cheap cells through a wide pool; with
+// -race this exercises the deque/steal paths for data races.
+func TestSchedulerStress(t *testing.T) {
+	const n = 256
+	cells := make([]Cell, n)
+	for i := range cells {
+		cells[i] = payloadCell(fmt.Sprintf("c%d", i), uint64(i+1), fmt.Sprintf("v%d", i))
+	}
+	s := &Scheduler{Jobs: 8}
+	outs, stats := s.Run(cells)
+	if stats.Executed != n || stats.Errors != 0 {
+		t.Fatalf("stats = %+v, want %d executed", stats, n)
+	}
+	for i, o := range outs {
+		var v map[string]string
+		if err := json.Unmarshal(o.Payload, &v); err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("v%d", i); v["v"] != want {
+			t.Errorf("cell %d: payload %q, want %q", i, v["v"], want)
+		}
+	}
+}

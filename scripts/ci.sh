@@ -32,6 +32,12 @@ go test ./...
 echo "== go test -race (virtual-time-independent packages) =="
 go test -race ./internal/obs ./internal/mem ./internal/sim ./internal/cachesim
 
+echo "== go test -race (sweep scheduler) =="
+# The scheduler is the one component that genuinely runs host
+# goroutines concurrently; its deque/steal/cache paths get a dedicated
+# race pass.
+go test -race ./internal/sweep
+
 echo "== fault-injection smoke =="
 # Every STAMP app must survive an injected-OOM plan with the graceful-
 # degradation ladder engaged, still emitting a valid run record, and two
@@ -50,6 +56,37 @@ cmp "$tmpdir/fault1.json" "$tmpdir/fault2.json" || {
 }
 grep -q '"status"' "$tmpdir/fault1.json" || {
     echo "fault-injection run record carries no status" >&2
+    exit 1
+}
+
+echo "== parallel-determinism gate =="
+# A wide work-stealing pool must produce byte-identical results to a
+# serial run. Only the recorded pool width ("jobs", execution
+# provenance like wall-clock time) may differ between the two records.
+go run ./cmd/tmrepro -run fig1 -jobs 1 -out "$tmpdir/j1" >"$tmpdir/j1.txt"
+go run ./cmd/tmrepro -run fig1 -jobs 8 -out "$tmpdir/j8" >"$tmpdir/j8.txt"
+cmp "$tmpdir/j1.txt" "$tmpdir/j8.txt" || {
+    echo "tmrepro stdout differs between -jobs 1 and -jobs 8" >&2
+    exit 1
+}
+sed 's/"jobs": *[0-9]*/"jobs": 0/' "$tmpdir/j1/BENCH_fig1.json" >"$tmpdir/j1.norm"
+sed 's/"jobs": *[0-9]*/"jobs": 0/' "$tmpdir/j8/BENCH_fig1.json" >"$tmpdir/j8.norm"
+cmp "$tmpdir/j1.norm" "$tmpdir/j8.norm" || {
+    echo "run records differ between -jobs 1 and -jobs 8" >&2
+    exit 1
+}
+
+echo "== cache round-trip gate =="
+# A second invocation against a warm cache must execute nothing and
+# reproduce the same stdout.
+go run ./cmd/tmrepro -run tab4 -cache "$tmpdir/cellcache" >"$tmpdir/c1.txt" 2>/dev/null
+go run ./cmd/tmrepro -run tab4 -cache "$tmpdir/cellcache" >"$tmpdir/c2.txt" 2>"$tmpdir/c2.err"
+cmp "$tmpdir/c1.txt" "$tmpdir/c2.txt" || {
+    echo "cached run differs from executed run" >&2
+    exit 1
+}
+grep -q ' 0 executed' "$tmpdir/c2.err" || {
+    echo "second -cache invocation executed cells instead of hitting the cache" >&2
     exit 1
 }
 
