@@ -6,8 +6,8 @@ package main
 
 import (
 	"fmt"
-	"time"
 
+	"repro/cmd/internal/cliflags"
 	_ "repro/internal/alloc/glibc"
 	_ "repro/internal/alloc/hoard"
 	_ "repro/internal/alloc/tbb"
@@ -26,14 +26,14 @@ import (
 func main() {
 	for _, app := range []string{"genome", "intruder", "vacation", "yada", "labyrinth", "bayes"} {
 		for _, alloc := range []string{"glibc", "hoard", "tbb", "tcmalloc"} {
-			start := time.Now()
+			watch := cliflags.StartStopwatch()
 			res, err := stamp.Run(stamp.Config{App: app, Allocator: alloc, Threads: 8, Scale: stamp.Ref})
 			if err != nil {
 				fmt.Println(app, alloc, "ERR", err)
 				continue
 			}
 			fmt.Printf("%-10s %-9s real=%8v vtime=%7.2fms aborts=%6d rate=%.3f txallocs=%d\n",
-				app, alloc, time.Since(start).Round(time.Millisecond), res.Seconds*1e3,
+				app, alloc, watch.Elapsed(), res.Seconds*1e3,
 				res.Tx.Aborts, res.Tx.AbortRate(), res.Tx.AllocsInTx)
 		}
 	}

@@ -47,10 +47,12 @@ func main() {
 		cacheTx = flag.Bool("cachetx", false, "STM-level tx-object caching (paper §6.2)")
 		hytm    = flag.Bool("hytm", false, "run under the hybrid HTM (hashset only)")
 		seed    = flag.Uint64("seed", 0, "workload seed")
+		seedUAF = flag.Bool("seed-uaf", false, "plant a use-after-free in the measurement phase (sanitizer demo)")
 	)
 	rob := cliflags.AddRobustness(flag.CommandLine)
 	sw := cliflags.AddSweep(flag.CommandLine)
 	outp := cliflags.AddOutput(flag.CommandLine)
+	cliflags.AddSanitize(flag.CommandLine)
 	flag.Parse()
 
 	var d stm.Design
@@ -82,6 +84,7 @@ func main() {
 		RetryCap:     rob.RetryCap,
 		Fault:        rob.Fault,
 		Deadline:     rob.Deadline,
+		SeedUAF:      *seedUAF,
 	}
 
 	cache, err := sw.Open()

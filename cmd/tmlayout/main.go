@@ -63,6 +63,7 @@ func main() {
 		jsonOut = flag.Bool("json", false, "emit the analysis as a machine-readable run record on stdout")
 	)
 	sw := cliflags.AddSweep(flag.CommandLine)
+	cliflags.AddSanitize(flag.CommandLine)
 	flag.Parse()
 
 	cache, err := sw.Open()

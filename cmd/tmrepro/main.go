@@ -23,7 +23,6 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"time"
 
 	"repro/cmd/internal/cliflags"
 	"repro/internal/harness"
@@ -45,6 +44,7 @@ func main() {
 	rob := cliflags.AddRobustness(flag.CommandLine)
 	sw := cliflags.AddSweep(flag.CommandLine)
 	outp := cliflags.AddOutput(flag.CommandLine)
+	cliflags.AddSanitize(flag.CommandLine)
 	flag.Parse()
 	if *quick {
 		*full = false
@@ -81,7 +81,7 @@ func main() {
 	session := &harness.Session{Spec: spec, Jobs: sw.Jobs, Cache: cache}
 
 	fmt.Fprintf(os.Stderr, "running %d experiment(s) with -jobs %d...\n", len(ids), sw.Jobs)
-	start := time.Now()
+	watch := cliflags.StartStopwatch()
 	runs, stats := session.Run(ids)
 	fmt.Fprintf(os.Stderr, "sweep: %s\n", stats)
 
@@ -144,7 +144,7 @@ func main() {
 			}
 		}
 	}
-	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "done in %v\n", watch.Elapsed())
 
 	if err := outp.WriteRecords(records); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -58,6 +58,7 @@ func main() {
 	rob := cliflags.AddRobustness(flag.CommandLine)
 	sw := cliflags.AddSweep(flag.CommandLine)
 	outp := cliflags.AddOutput(flag.CommandLine)
+	cliflags.AddSanitize(flag.CommandLine)
 	flag.Parse()
 	if *app == "" {
 		flag.Usage()

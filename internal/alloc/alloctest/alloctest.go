@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/mem"
+	"repro/internal/sweep"
 	"repro/internal/vtime"
 )
 
@@ -36,8 +37,24 @@ func Run(t *testing.T, f Factory) {
 
 func solo(space *mem.Space) *vtime.Thread { return vtime.Solo(space, 0, nil) }
 
-func testDataIntegrity(t *testing.T, f Factory) {
+// newSpace builds the space every suite case runs on, with the shadow-
+// memory sanitizer armed: the conformance suite doubles as tier-1
+// coverage of the sanitizer's allocator hooks under every model.
+func newSpace() *mem.Space {
 	space := mem.NewSpace()
+	space.EnableSanitizer()
+	return space
+}
+
+// seededRNG derives a reproducible per-case stream from the repository's
+// seed-derivation scheme, keeping the suite nodeterm-clean: no global
+// math/rand source, and the seed provenance is auditable.
+func seededRNG(key string, tid uint64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(sweep.DeriveSeed(tid, "alloctest/"+key))))
+}
+
+func testDataIntegrity(t *testing.T, f Factory) {
+	space := newSpace()
 	a := f(space, 1)
 	th := solo(space)
 	const n = 500
@@ -58,7 +75,7 @@ func testDataIntegrity(t *testing.T, f Factory) {
 }
 
 func testDisjoint(t *testing.T, f Factory) {
-	space := mem.NewSpace()
+	space := newSpace()
 	a := f(space, 1)
 	th := solo(space)
 	sizes := []uint64{8, 16, 24, 48, 64, 100, 256, 1000, 4096}
@@ -67,11 +84,11 @@ func testDisjoint(t *testing.T, f Factory) {
 		size uint64
 	}
 	var blocks []blk
-	rng := rand.New(rand.NewSource(1))
+	rng := seededRNG("disjoint", 1)
 	for i := 0; i < 2000; i++ {
 		sz := sizes[rng.Intn(len(sizes))]
 		addr := a.Malloc(th, sz)
-		if addr%8 != 0 {
+		if addr%8 != 0 { //tmvet:allow addrhygiene: the conformance suite validates allocator placement, so it inspects alignment directly
 			t.Fatalf("Malloc(%d) = %#x: not 8-byte aligned", sz, uint64(addr))
 		}
 		blocks = append(blocks, blk{addr, sz})
@@ -88,7 +105,7 @@ func testDisjoint(t *testing.T, f Factory) {
 }
 
 func testBlockSize(t *testing.T, f Factory) {
-	space := mem.NewSpace()
+	space := newSpace()
 	a := f(space, 1)
 	th := solo(space)
 	for _, sz := range []uint64{1, 8, 16, 17, 48, 63, 64, 100, 255, 256, 1024, 5000} {
@@ -100,7 +117,7 @@ func testBlockSize(t *testing.T, f Factory) {
 }
 
 func testMallocZero(t *testing.T, f Factory) {
-	space := mem.NewSpace()
+	space := newSpace()
 	a := f(space, 1)
 	th := solo(space)
 	x := a.Malloc(th, 0)
@@ -113,7 +130,7 @@ func testMallocZero(t *testing.T, f Factory) {
 }
 
 func testReuse(t *testing.T, f Factory) {
-	space := mem.NewSpace()
+	space := newSpace()
 	a := f(space, 1)
 	th := solo(space)
 	before := space.Stats()
@@ -130,7 +147,7 @@ func testReuse(t *testing.T, f Factory) {
 }
 
 func testLarge(t *testing.T, f Factory) {
-	space := mem.NewSpace()
+	space := newSpace()
 	a := f(space, 1)
 	th := solo(space)
 	for _, sz := range []uint64{300 << 10, 1 << 20, 5 << 20} {
@@ -148,7 +165,7 @@ func testLarge(t *testing.T, f Factory) {
 }
 
 func testRemoteFree(t *testing.T, f Factory) {
-	space := mem.NewSpace()
+	space := newSpace()
 	a := f(space, 2)
 	e := vtime.NewEngine(space, 2, vtime.Config{})
 	const n = 2000
@@ -186,13 +203,13 @@ func testRemoteFree(t *testing.T, f Factory) {
 }
 
 func testFreeNil(t *testing.T, f Factory) {
-	space := mem.NewSpace()
+	space := newSpace()
 	a := f(space, 1)
 	a.Free(solo(space), 0) // must be a no-op, like free(NULL)
 }
 
 func testStats(t *testing.T, f Factory) {
-	space := mem.NewSpace()
+	space := newSpace()
 	a := f(space, 1)
 	th := solo(space)
 	addr := a.Malloc(th, 40)
@@ -210,7 +227,7 @@ func testStats(t *testing.T, f Factory) {
 }
 
 func testVirtualTimeCharged(t *testing.T, f Factory) {
-	space := mem.NewSpace()
+	space := newSpace()
 	a := f(space, 1)
 	th := solo(space)
 	before := th.Clock()
@@ -221,14 +238,14 @@ func testVirtualTimeCharged(t *testing.T, f Factory) {
 }
 
 func testConcurrentStress(t *testing.T, f Factory) {
-	space := mem.NewSpace()
+	space := newSpace()
 	const threads = 8
 	a := f(space, threads)
 	e := vtime.NewEngine(space, threads, vtime.Config{})
 	sizes := []uint64{8, 16, 16, 16, 48, 64, 128, 256, 1024, 9000}
 	e.Run(func(th *vtime.Thread) {
 		tid := th.ID()
-		rng := rand.New(rand.NewSource(int64(tid)))
+		rng := seededRNG("stress", uint64(tid))
 		live := make([]mem.Addr, 0, 128)
 		for i := 0; i < 3000; i++ {
 			if len(live) > 0 && rng.Intn(2) == 0 {
@@ -262,7 +279,7 @@ func testConcurrentStress(t *testing.T, f Factory) {
 // disjointness among live blocks and the contents of every live block.
 func RunProperty(t *testing.T, f Factory) {
 	check := func(seed uint64) bool {
-		space := mem.NewSpace()
+		space := newSpace()
 		const threads = 4
 		a := f(space, threads)
 		e := vtime.NewEngine(space, threads, vtime.Config{})
@@ -275,7 +292,7 @@ func RunProperty(t *testing.T, f Factory) {
 		ok := true
 		e.Run(func(th *vtime.Thread) {
 			tid := th.ID()
-			rng := rand.New(rand.NewSource(int64(seed) + int64(tid)))
+			rng := seededRNG("property", seed+uint64(tid))
 			sizes := []uint64{8, 16, 24, 48, 64, 200, 1024, 10000}
 			for i := 0; i < 800 && ok; i++ {
 				if len(live[tid]) > 0 && rng.Intn(3) == 0 {
@@ -337,7 +354,7 @@ func RunProperty(t *testing.T, f Factory) {
 // RunFootprint checks the LiveBytes gauge: zero after balanced
 // traffic, positive while blocks are live.
 func RunFootprint(t *testing.T, f Factory) {
-	space := mem.NewSpace()
+	space := newSpace()
 	a := f(space, 1)
 	th := vtime.Solo(space, 0, nil)
 	var addrs []mem.Addr

@@ -191,13 +191,29 @@ func (g *Glibc) lockArena(th *vtime.Thread, st *alloc.ThreadStats) *arena {
 // Malloc implements alloc.Allocator.
 func (g *Glibc) Malloc(th *vtime.Thread, size uint64) mem.Addr {
 	st := &g.stats[th.ID()]
+	var a mem.Addr
 	if st.Rec == nil {
-		return g.malloc(th, st, size)
+		a = g.malloc(th, st, size)
+	} else {
+		start := th.Clock()
+		a = g.malloc(th, st, size)
+		st.Rec.Alloc("glibc", th.ID(), start, th.Clock(), size, uint64(a))
 	}
-	start := th.Clock()
-	a := g.malloc(th, st, size)
-	st.Rec.Alloc("glibc", th.ID(), start, th.Clock(), size, uint64(a))
+	g.sanAlloc(th, a, size)
 	return a
+}
+
+// sanAlloc registers a successful malloc with the space's sanitizer.
+// The usable size comes from a raw boundary-tag read: BlockSize would
+// tick virtual time, and sanitizer bookkeeping must not.
+func (g *Glibc) sanAlloc(th *vtime.Thread, a mem.Addr, size uint64) {
+	sh := g.space.Sanitizer()
+	if sh == nil || a == 0 {
+		return
+	}
+	word := g.space.Load(a - HeaderSize + sizeWordOff)
+	usable := (word &^ uint64(inUseBit|mmappedBit)) - HeaderSize
+	sh.OnAlloc("glibc", a, size, usable, th.ID(), th.Clock())
 }
 
 func (g *Glibc) malloc(th *vtime.Thread, st *alloc.ThreadStats, size uint64) mem.Addr {
@@ -264,6 +280,9 @@ func (g *Glibc) mmapChunk(th *vtime.Thread, st *alloc.ThreadStats, size uint64) 
 func (g *Glibc) Free(th *vtime.Thread, addr mem.Addr) {
 	if addr == 0 {
 		return
+	}
+	if sh := g.space.Sanitizer(); sh != nil {
+		sh.OnFree(addr, th.ID(), th.Clock())
 	}
 	st := &g.stats[th.ID()]
 	if st.Rec == nil {

@@ -162,12 +162,17 @@ func (h *Hoard) heapFor(tid int) *heap { return h.heaps[tid%len(h.heaps)] }
 // Malloc implements alloc.Allocator.
 func (h *Hoard) Malloc(th *vtime.Thread, size uint64) mem.Addr {
 	st := &h.stats[th.ID()]
+	var a mem.Addr
 	if st.Rec == nil {
-		return h.malloc(th, st, size)
+		a = h.malloc(th, st, size)
+	} else {
+		start := th.Clock()
+		a = h.malloc(th, st, size)
+		st.Rec.Alloc("hoard", th.ID(), start, th.Clock(), size, uint64(a))
 	}
-	start := th.Clock()
-	a := h.malloc(th, st, size)
-	st.Rec.Alloc("hoard", th.ID(), start, th.Clock(), size, uint64(a))
+	if sh := h.space.Sanitizer(); sh != nil && a != 0 {
+		sh.OnAlloc("hoard", a, size, h.BlockSize(th, a), th.ID(), th.Clock())
+	}
 	return a
 }
 
@@ -345,6 +350,9 @@ func (h *Hoard) takeBlock(th *vtime.Thread, sb *superblock) mem.Addr {
 func (h *Hoard) Free(th *vtime.Thread, addr mem.Addr) {
 	if addr == 0 {
 		return
+	}
+	if sh := h.space.Sanitizer(); sh != nil {
+		sh.OnFree(addr, th.ID(), th.Clock())
 	}
 	st := &h.stats[th.ID()]
 	if st.Rec == nil {

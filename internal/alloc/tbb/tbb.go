@@ -154,12 +154,17 @@ func (t *TBB) SetInjector(inj alloc.Injector) {
 // Malloc implements alloc.Allocator.
 func (t *TBB) Malloc(th *vtime.Thread, size uint64) mem.Addr {
 	st := &t.stats[th.ID()]
+	var a mem.Addr
 	if st.Rec == nil {
-		return t.malloc(th, st, size)
+		a = t.malloc(th, st, size)
+	} else {
+		start := th.Clock()
+		a = t.malloc(th, st, size)
+		st.Rec.Alloc("tbb", th.ID(), start, th.Clock(), size, uint64(a))
 	}
-	start := th.Clock()
-	a := t.malloc(th, st, size)
-	st.Rec.Alloc("tbb", th.ID(), start, th.Clock(), size, uint64(a))
+	if sh := t.space.Sanitizer(); sh != nil && a != 0 {
+		sh.OnAlloc("tbb", a, size, t.BlockSize(th, a), th.ID(), th.Clock())
+	}
 	return a
 }
 
@@ -297,6 +302,9 @@ func (t *TBB) assign(sb *superblock, tid, ci int) {
 func (t *TBB) Free(th *vtime.Thread, addr mem.Addr) {
 	if addr == 0 {
 		return
+	}
+	if sh := t.space.Sanitizer(); sh != nil {
+		sh.OnFree(addr, th.ID(), th.Clock())
 	}
 	st := &t.stats[th.ID()]
 	if st.Rec == nil {

@@ -149,12 +149,17 @@ func (t *TCMalloc) SetInjector(inj alloc.Injector) {
 // Malloc implements alloc.Allocator.
 func (t *TCMalloc) Malloc(th *vtime.Thread, size uint64) mem.Addr {
 	st := &t.stats[th.ID()]
+	var a mem.Addr
 	if st.Rec == nil {
-		return t.malloc(th, st, size)
+		a = t.malloc(th, st, size)
+	} else {
+		start := th.Clock()
+		a = t.malloc(th, st, size)
+		st.Rec.Alloc("tcmalloc", th.ID(), start, th.Clock(), size, uint64(a))
 	}
-	start := th.Clock()
-	a := t.malloc(th, st, size)
-	st.Rec.Alloc("tcmalloc", th.ID(), start, th.Clock(), size, uint64(a))
+	if sh := t.space.Sanitizer(); sh != nil && a != 0 {
+		sh.OnAlloc("tcmalloc", a, size, t.BlockSize(th, a), th.ID(), th.Clock())
+	}
 	return a
 }
 
@@ -281,6 +286,9 @@ func (t *TCMalloc) newSpan(th *vtime.Thread, st *alloc.ThreadStats, bytes uint64
 func (t *TCMalloc) Free(th *vtime.Thread, addr mem.Addr) {
 	if addr == 0 {
 		return
+	}
+	if sh := t.space.Sanitizer(); sh != nil {
+		sh.OnFree(addr, th.ID(), th.Clock())
 	}
 	st := &t.stats[th.ID()]
 	if st.Rec == nil {

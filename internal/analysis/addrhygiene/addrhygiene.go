@@ -1,0 +1,161 @@
+// Package addrhygiene checks the simulated-address invariant: mem.Addr
+// values name words in the simulated space and are produced only by the
+// substrate (mem, the allocator models, stm, vtime). Consumer code may
+// offset an Addr (p + 8, p - mem.WordSize) but must not conjure one
+// from host-side integers, convert it to a host pointer width, or
+// apply placement arithmetic (*, /, %) that belongs to the allocators.
+// Mixing the two address domains is how a simulated pointer silently
+// becomes a host index — the bug class the sanitizer's wild-address
+// check catches at run time; this analyzer catches it at vet time.
+package addrhygiene
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the addrhygiene checker.
+var Analyzer = &framework.Analyzer{
+	Name: "addrhygiene",
+	Doc:  "mem.Addr must not mix with host integers: no uintptr/unsafe conversions, no signed-to-Addr conjuring, no placement arithmetic outside the substrate",
+	Run:  run,
+}
+
+// producers implement the address space and the allocators; they own
+// placement arithmetic by definition.
+var producers = map[string]bool{
+	"mem": true, "alloc": true, "glibc": true, "hoard": true, "tbb": true,
+	"tcmalloc": true, "stm": true, "vtime": true, "htm": true, "cachesim": true,
+}
+
+func run(p *framework.Pass) error {
+	if producers[p.Pkg.Types.Name()] {
+		return nil
+	}
+
+	// First pass: conversions to Addr that sit directly under a +/-
+	// whose other operand is already an Addr are offset arithmetic, the
+	// one sanctioned way to move a pointer.
+	offsetConv := map[*ast.CallExpr]bool{}
+	p.Inspect(func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.ADD && be.Op != token.SUB) {
+			return true
+		}
+		xAddr := isAddrType(p, be.X)
+		yAddr := isAddrType(p, be.Y)
+		if xAddr {
+			if c, ok := be.Y.(*ast.CallExpr); ok && isAddrConversion(p, c) {
+				offsetConv[c] = true
+			}
+		}
+		if yAddr {
+			if c, ok := be.X.(*ast.CallExpr); ok && isAddrConversion(p, c) {
+				offsetConv[c] = true
+			}
+		}
+		return true
+	})
+
+	p.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkConversion(p, n, offsetConv)
+		case *ast.BinaryExpr:
+			checkArith(p, n)
+		}
+		return true
+	})
+	return nil
+}
+
+func checkConversion(p *framework.Pass, call *ast.CallExpr, offsetConv map[*ast.CallExpr]bool) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := p.Pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	argT := p.Pkg.Info.Types[call.Args[0]].Type
+	if argT == nil {
+		return
+	}
+	switch {
+	case isAddr(tv.Type):
+		basic, ok := argT.Underlying().(*types.Basic)
+		if !ok {
+			return
+		}
+		switch {
+		case basic.Kind() == types.Uintptr:
+			p.Reportf(call.Pos(), "mem.Addr built from a uintptr mixes host and simulated address domains")
+		case basic.Info()&types.IsUnsigned != 0, basic.Info()&types.IsUntyped != 0:
+			// uint64 and friends carry simulated words; untyped constants
+			// are literals.
+		case basic.Info()&types.IsInteger != 0 && !offsetConv[call]:
+			p.Reportf(call.Pos(), "mem.Addr conjured from a signed integer; only Addr ± offset arithmetic may convert, and only inline")
+		}
+	case isUintptrOrUnsafe(tv.Type):
+		if isAddr(argT) {
+			p.Reportf(call.Pos(), "mem.Addr converted to a host pointer width; simulated addresses never leave the simulated space")
+		}
+	}
+}
+
+func checkArith(p *framework.Pass, be *ast.BinaryExpr) {
+	switch be.Op {
+	case token.AND, token.AND_NOT:
+		// Masking with a constant (addr &^ 7) is alignment, not
+		// placement: byte-granular consumers align down to the
+		// containing word.
+		if isConst(p, be.X) || isConst(p, be.Y) {
+			return
+		}
+	case token.MUL, token.QUO, token.REM, token.SHL, token.SHR, token.OR, token.XOR:
+	default:
+		return
+	}
+	if isAddrType(p, be.X) || isAddrType(p, be.Y) {
+		p.Reportf(be.Pos(),
+			"%s on a mem.Addr is placement arithmetic; it belongs to the allocator models, not their callers", be.Op)
+	}
+}
+
+func isConst(p *framework.Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isAddrType(p *framework.Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	return ok && tv.Type != nil && isAddr(tv.Type)
+}
+
+// isAddrConversion reports whether call is a conversion whose target
+// type is mem.Addr.
+func isAddrConversion(p *framework.Pass, call *ast.CallExpr) bool {
+	tv, ok := p.Pkg.Info.Types[call.Fun]
+	return ok && tv.IsType() && isAddr(tv.Type)
+}
+
+func isAddr(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/mem") && obj.Name() == "Addr"
+}
+
+func isUintptrOrUnsafe(t types.Type) bool {
+	if b, ok := t.(*types.Basic); ok {
+		return b.Kind() == types.Uintptr || b.Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package addrhygiene_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/addrhygiene"
+	"repro/internal/analysis/framework"
+)
+
+func TestFixtures(t *testing.T) {
+	framework.RunFixture(t, addrhygiene.Analyzer, filepath.Join("testdata", "consumer"))
+	framework.RunFixture(t, addrhygiene.Analyzer, filepath.Join("testdata", "producer"))
+}

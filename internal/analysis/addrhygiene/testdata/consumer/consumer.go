@@ -1,0 +1,30 @@
+// Package consumer is the addrhygiene fixture for code outside the
+// substrate: offsetting an Addr is fine, conjuring or re-domaining one
+// is not.
+package consumer
+
+import "repro/internal/mem"
+
+func arithmetic(p mem.Addr, i int, u uint64) {
+	_ = p + 8            // offset: fine
+	_ = p - mem.WordSize // offset by constant: fine
+	_ = p + mem.Addr(i)  // inline signed offset: fine
+	_ = p &^ 7           // constant alignment mask: fine
+	_ = mem.Addr(u)      // unsigned carries simulated words: fine
+
+	q := mem.Addr(i) // want "mem.Addr conjured from a signed integer"
+	_ = uintptr(p)   // want "mem.Addr converted to a host pointer width"
+	_ = p * 2        // want "placement arithmetic"
+	_ = p % 8        // want "placement arithmetic"
+	_ = p << 1       // want "placement arithmetic"
+	_ = q
+}
+
+func conjureFromUintptr(h uintptr) mem.Addr {
+	return mem.Addr(h) // want "mem.Addr built from a uintptr"
+}
+
+func annotated(p mem.Addr) mem.Addr {
+	//tmvet:allow addrhygiene: fixture demonstrates a justified suppression
+	return p % 8
+}

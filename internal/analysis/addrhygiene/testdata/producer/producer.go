@@ -1,0 +1,15 @@
+// Package tcmalloc is the addrhygiene negative fixture: its name marks
+// it as a substrate package, so placement arithmetic that would be
+// flagged in a consumer passes here — no findings expected.
+package tcmalloc
+
+import "repro/internal/mem"
+
+func placement(base mem.Addr, class, idx uint64) mem.Addr {
+	span := base + mem.Addr(class*8192)
+	return span + mem.Addr(idx)*64
+}
+
+func pageOf(a mem.Addr) uint64 { return uint64(a>>16) % 1024 }
+
+func carve(a mem.Addr, i int) mem.Addr { return mem.Addr(i) * 8 }

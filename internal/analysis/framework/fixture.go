@@ -1,0 +1,187 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts analysistest-style expectations: a trailing comment
+// `// want "regexp"` on the line a diagnostic should land on.
+var wantRe = regexp.MustCompile(`// want (".*")\s*$`)
+
+// RunFixture loads the fixture package in dir (every .go file, with
+// files named *_test.go treated as the package's test files), runs the
+// analyzer over it, and matches the surviving diagnostics against the
+// `// want "re"` expectations: every diagnostic must be expected and
+// every expectation must fire. Fixture imports resolve through `go
+// list -export`, so fixtures may import both the standard library and
+// this repository's packages.
+func RunFixture(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	pkg, err := loadFixture(dir)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", dir, err)
+	}
+	if pkg.IllTyped != nil {
+		t.Fatalf("fixture %s does not type-check: %v", dir, pkg.IllTyped)
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("fixture %s: %v", dir, err)
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := map[string][]*want{} // "file:line" -> expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat, err := strconv.Unquote(m[1])
+				if err != nil {
+					t.Fatalf("fixture %s: bad want %s: %v", dir, c.Text, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("fixture %s: bad want regexp %q: %v", dir, pat, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				wants[key] = append(wants[key], &want{re: re})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	keys := make([]string, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q did not fire", k, w.re)
+			}
+		}
+	}
+}
+
+// loadFixture parses and type-checks one fixture directory as a single
+// package unit.
+func loadFixture(dir string) (*Package, error) {
+	names, err := fixtureSources(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	pkg := &Package{
+		Path:      "fixture/" + filepath.Base(dir),
+		Dir:       dir,
+		Fset:      fset,
+		TestFiles: map[*ast.File]bool{},
+	}
+	imports := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+		if strings.HasSuffix(name, "_test.go") {
+			pkg.TestFiles[f] = true
+		}
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil && p != "unsafe" {
+				imports[p] = true
+			}
+		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		args := []string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export"}
+		for p := range imports {
+			args = append(args, p)
+		}
+		entries, err := goList(dir, args...)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.Export != "" {
+				exports[e.ImportPath] = e.Export
+			}
+		}
+	}
+
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: exportImporter(fset, exports),
+		Error: func(err error) {
+			if pkg.IllTyped == nil {
+				pkg.IllTyped = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(pkg.Path, fset, pkg.Files, pkg.Info)
+	pkg.Types = tpkg
+	if err != nil && pkg.IllTyped == nil {
+		pkg.IllTyped = err
+	}
+	return pkg, nil
+}
+
+// fixtureSources lists the fixture's .go files in deterministic order.
+func fixtureSources(dir string) ([]string, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".go") {
+			names = append(names, de.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

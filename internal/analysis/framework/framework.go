@@ -1,0 +1,180 @@
+// Package framework is a small, dependency-free harness for static
+// analyzers in the spirit of golang.org/x/tools/go/analysis: an
+// Analyzer inspects one type-checked package and reports diagnostics.
+// The x/tools module is deliberately not used — the repository builds
+// offline from the standard library alone — so the framework supplies
+// the three pieces tmvet needs: a package loader driven by `go list
+// -export` (loader.go), the Analyzer/Pass/Diagnostic surface (this
+// file), and a fixture runner for analyzer self-tests (fixture.go).
+//
+// Suppression follows the repository's annotation grammar:
+//
+//	//tmvet:allow <analyzer>[,<analyzer>...]: <reason>
+//
+// placed on the flagged line or the line directly above it. The reason
+// is mandatory: an annotation without one is itself reported, so every
+// suppressed finding carries its justification in the source.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	Name string // short lower-case identifier used in findings and allow annotations
+	Doc  string // one-paragraph description of the invariant
+	Run  func(*Pass) error
+}
+
+// Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// allowRe matches the annotation grammar; the reason group must be
+// non-empty after trimming.
+var allowRe = regexp.MustCompile(`^//tmvet:allow\s+([a-z][a-z0-9_,\s]*):\s*(.*)$`)
+
+// allowSet maps file -> line -> analyzer names allowed on that line.
+type allowSet map[string]map[int]map[string]bool
+
+// collectAllows scans a package's comments for allow annotations,
+// returning the suppression set plus diagnostics for malformed
+// annotations (missing reason, unparsable grammar).
+func collectAllows(pkg *Package) (allowSet, []Diagnostic) {
+	allows := allowSet{}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//tmvet:") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil || strings.TrimSpace(m[2]) == "" {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: "tmvet",
+						Message:  "malformed annotation: want //tmvet:allow <analyzer>: <reason> with a non-empty reason",
+					})
+					continue
+				}
+				file := allows[pos.Filename]
+				if file == nil {
+					file = map[int]map[string]bool{}
+					allows[pos.Filename] = file
+				}
+				names := file[pos.Line]
+				if names == nil {
+					names = map[string]bool{}
+					file[pos.Line] = names
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					names[strings.TrimSpace(name)] = true
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// allowed reports whether a diagnostic is suppressed: an annotation for
+// its analyzer sits on the same line or the line directly above.
+func (a allowSet) allowed(d Diagnostic) bool {
+	file := a[d.Pos.Filename]
+	if file == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if names := file[line]; names != nil && names[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies every analyzer to every package, filters the
+// findings through the allow annotations, and returns them sorted by
+// position. Packages that failed to type-check contribute a finding
+// instead of being analyzed: an unparsable repository must fail the
+// gate loudly, not pass it silently.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		if pkg.IllTyped != nil {
+			out = append(out, Diagnostic{
+				Pos:      token.Position{Filename: pkg.Dir},
+				Analyzer: "tmvet",
+				Message:  fmt.Sprintf("package %s does not type-check: %v", pkg.Path, pkg.IllTyped),
+			})
+			continue
+		}
+		allows, bad := collectAllows(pkg)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range pass.diags {
+				if !allows.allowed(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out, nil
+}
+
+// Inspect walks every file of the pass's package in source order.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

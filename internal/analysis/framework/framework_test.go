@@ -1,0 +1,78 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const annotated = `package x
+
+//tmvet:allow nodeterm: reason one
+var a int
+
+var b int //tmvet:allow stmaccess, addrhygiene: two analyzers, one line
+
+//tmvet:allow nodeterm
+var c int
+
+//tmvet:allow nodeterm:
+var d int
+`
+
+func parseOne(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: "x", Fset: fset, Files: []*ast.File{f}, TestFiles: map[*ast.File]bool{}}
+}
+
+func TestAnnotationGrammar(t *testing.T) {
+	pkg := parseOne(t, annotated)
+	allows, bad := collectAllows(pkg)
+	if len(bad) != 2 {
+		t.Fatalf("malformed annotations = %d (%v), want 2: missing colon and empty reason", len(bad), bad)
+	}
+	for _, d := range bad {
+		if d.Analyzer != "tmvet" {
+			t.Errorf("malformed annotation attributed to %q, want tmvet", d.Analyzer)
+		}
+	}
+
+	at := func(line int, analyzer string) bool {
+		return allows.allowed(Diagnostic{
+			Pos:      token.Position{Filename: "x.go", Line: line},
+			Analyzer: analyzer,
+		})
+	}
+	// Line 4 (var a) is covered by the annotation on line 3.
+	if !at(4, "nodeterm") {
+		t.Error("annotation on the line above must suppress")
+	}
+	if at(4, "stmaccess") {
+		t.Error("annotation must only suppress its named analyzer")
+	}
+	// Line 6 (var b) has a same-line annotation naming two analyzers.
+	if !at(6, "stmaccess") || !at(6, "addrhygiene") {
+		t.Error("same-line annotation with an analyzer list must suppress both")
+	}
+	// Two lines below an annotation is out of range.
+	if at(5, "nodeterm") {
+		t.Error("an annotation must not reach two lines down")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "p/f.go", Line: 7, Column: 3},
+		Analyzer: "nodeterm",
+		Message:  "msg",
+	}
+	if got, want := d.String(), "p/f.go:7:3: nodeterm: msg"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,222 @@
+// Package nodeterm checks the repository's determinism invariant: run
+// records and cell hashes must be reproducible byte-for-byte, so the
+// packages that produce them may not read wall-clock time, draw from
+// math/rand's process-global source, or let map iteration order leak
+// into ordered output.
+//
+// Three rules, applied to non-test sources:
+//
+//   - No time.Now/Since/Until anywhere except the cliflags package,
+//     whose Stopwatch is the one sanctioned wall-clock reader (it feeds
+//     stderr progress lines only). internal/sweep's host-time stats
+//     carry //tmvet:allow annotations with their justification.
+//   - No package-level math/rand functions (Intn, Float64, Shuffle,
+//     ...): they draw from the global source. Constructing a local
+//     generator (rand.New, rand.NewSource, rand.NewZipf) and calling
+//     its methods is fine — local generators take derived seeds.
+//   - In the record-producing packages (obs, sweep, harness), a
+//     range over a map may not append into a slice unless the slice is
+//     subsequently sorted in the same function: an unsorted collect
+//     would order record bytes by map iteration.
+package nodeterm
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the nodeterm checker.
+var Analyzer = &framework.Analyzer{
+	Name: "nodeterm",
+	Doc:  "forbid wall-clock reads, global math/rand, and map-ordered output in record-producing code",
+	Run:  run,
+}
+
+var timeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// Constructors of local generators are allowed; everything else at
+// package level draws from the global source.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// recordPkgs produce run records or cell hashes; map iteration order
+// must not reach their output.
+var recordPkgs = map[string]bool{"obs": true, "sweep": true, "harness": true}
+
+func run(p *framework.Pass) error {
+	pkgName := p.Pkg.Types.Name()
+	if pkgName == "cliflags" {
+		return nil
+	}
+	for _, f := range p.Pkg.Files {
+		if p.Pkg.TestFiles[f] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(p, n)
+			case *ast.FuncDecl:
+				if recordPkgs[pkgName] && n.Body != nil {
+					checkMapOrder(p, n.Body)
+				}
+			case *ast.FuncLit:
+				if recordPkgs[pkgName] {
+					checkMapOrder(p, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall flags qualified calls into time and math/rand.
+func checkCall(p *framework.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := qualifiedFunc(p, sel)
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		if timeFuncs[obj.Name()] {
+			p.Reportf(call.Pos(),
+				"time.%s reads the wall clock; results must derive from virtual time (use cliflags.Stopwatch for stderr timing)",
+				obj.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[obj.Name()] {
+			p.Reportf(call.Pos(),
+				"rand.%s draws from the process-global source; construct a local generator from a derived seed (sweep.DeriveSeed)",
+				obj.Name())
+		}
+	}
+}
+
+// qualifiedFunc resolves pkg.Func selectors — a selector whose base is
+// a package name, which excludes method calls on values (a *rand.Rand
+// method is fine; the package-level function of the same name is not).
+func qualifiedFunc(p *framework.Pass, sel *ast.SelectorExpr) types.Object {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if _, ok := p.Pkg.Info.Uses[id].(*types.PkgName); !ok {
+		return nil
+	}
+	return p.Pkg.Info.Uses[sel.Sel]
+}
+
+// checkMapOrder flags, within one function body, map ranges that append
+// into a slice which is never sorted afterwards. The collect-then-sort
+// idiom (append keys, sort.Slice them, iterate sorted) is recognized
+// and passes.
+func checkMapOrder(p *framework.Pass, body *ast.BlockStmt) {
+	type candidate struct {
+		rng    *ast.RangeStmt
+		target types.Object
+	}
+	var cands []candidate
+	sorted := map[types.Object]bool{} // slices passed to a sort call after their collect
+	var sortCalls []struct {
+		pos  int
+		args []types.Object
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			tv, ok := p.Pkg.Info.Types[n.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if obj := appendTarget(p, n.Body); obj != nil {
+				cands = append(cands, candidate{rng: n, target: obj})
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := qualifiedFunc(p, sel)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if path := obj.Pkg().Path(); path != "sort" && path != "slices" {
+				return true
+			}
+			call := struct {
+				pos  int
+				args []types.Object
+			}{pos: int(n.Pos())}
+			for _, a := range n.Args {
+				if id, ok := a.(*ast.Ident); ok {
+					if o := p.Pkg.Info.Uses[id]; o != nil {
+						call.args = append(call.args, o)
+					}
+				}
+			}
+			sortCalls = append(sortCalls, call)
+		}
+		return true
+	})
+
+	for _, c := range cands {
+		for _, sc := range sortCalls {
+			if sc.pos <= int(c.rng.Pos()) {
+				continue
+			}
+			for _, a := range sc.args {
+				if a == c.target {
+					sorted[c.target] = true
+				}
+			}
+		}
+		if !sorted[c.target] {
+			p.Reportf(c.rng.Pos(),
+				"range over a map appends to %q without a later sort; iteration order would leak into record output",
+				c.target.Name())
+		}
+	}
+}
+
+// appendTarget returns the object of the slice variable an `x =
+// append(x, ...)` inside body assigns to, or nil when the body does not
+// collect into a slice.
+func appendTarget(p *framework.Pass, body *ast.BlockStmt) types.Object {
+	var target types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return true
+		}
+		if _, builtin := p.Pkg.Info.Uses[fn].(*types.Builtin); !builtin {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if o := p.Pkg.Info.Uses[id]; o != nil {
+				target = o
+			} else if o := p.Pkg.Info.Defs[id]; o != nil {
+				target = o
+			}
+		}
+		return true
+	})
+	return target
+}

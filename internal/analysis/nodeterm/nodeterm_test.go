@@ -1,0 +1,14 @@
+package nodeterm_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/nodeterm"
+)
+
+func TestFixtures(t *testing.T) {
+	framework.RunFixture(t, nodeterm.Analyzer, filepath.Join("testdata", "bad"))
+	framework.RunFixture(t, nodeterm.Analyzer, filepath.Join("testdata", "cliflags"))
+}

@@ -1,0 +1,57 @@
+// Package obs is a nodeterm fixture: its name puts it in the
+// record-producing set, so the map-ordering rule applies alongside the
+// wall-clock and global-rand rules.
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now()    // want "time.Now reads the wall clock"
+	d := time.Since(t) // want "time.Since reads the wall clock"
+	return int64(d)
+}
+
+func annotated() time.Time {
+	//tmvet:allow nodeterm: fixture demonstrates a justified suppression
+	return time.Now()
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "rand.Intn draws from the process-global source"
+}
+
+func localRand() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+
+func unsortedCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "range over a map appends to \"keys\" without a later sort"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortedCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapToMap(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+//tmvet:allow nodeterm // want "malformed annotation"

@@ -1,0 +1,11 @@
+// Package cliflags is the nodeterm negative fixture: the real cliflags
+// package owns the one sanctioned wall-clock reader (Stopwatch, which
+// feeds stderr progress lines only), so the analyzer whitelists the
+// package structurally — no findings expected anywhere in this file.
+package cliflags
+
+import "time"
+
+func start() time.Time { return time.Now() }
+
+func elapsed(t time.Time) time.Duration { return time.Since(t) }

@@ -1,0 +1,116 @@
+// Package recordhygiene checks the run-record schema contract: every
+// exported field of the RunRecord struct — and of every named struct
+// type reachable from it through field types in the same package — must
+// carry a json tag and be exercised by the package's own tests (the
+// v1/v2 decoder round-trip). A field that serializes without coverage
+// is exactly how a schema drifts: it ships in BENCH_*.json files, no
+// test pins its round-trip, and the next decoder change silently drops
+// it. Fields that are deliberately excluded take a //tmvet:allow
+// annotation with the reason.
+//
+// Packages that do not define a RunRecord struct are out of scope.
+package recordhygiene
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the recordhygiene checker.
+var Analyzer = &framework.Analyzer{
+	Name: "recordhygiene",
+	Doc:  "every run-record field needs a json tag and test round-trip coverage",
+	Run:  run,
+}
+
+func run(p *framework.Pass) error {
+	// Named struct declarations in non-test files of this package.
+	structs := map[string]*ast.StructType{}
+	for _, f := range p.Pkg.Files {
+		if p.Pkg.TestFiles[f] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			if st, ok := ts.Type.(*ast.StructType); ok {
+				structs[ts.Name.Name] = st
+			}
+			return true
+		})
+	}
+	if structs["RunRecord"] == nil {
+		return nil
+	}
+
+	// Closure over field types: every named struct the record embeds,
+	// points to, or holds slices/maps of is part of the schema.
+	schema := map[string]bool{}
+	var add func(name string)
+	add = func(name string) {
+		if schema[name] || structs[name] == nil {
+			return
+		}
+		schema[name] = true
+		for _, field := range structs[name].Fields.List {
+			for _, ref := range typeNames(field.Type) {
+				add(ref)
+			}
+		}
+	}
+	add("RunRecord")
+
+	// Identifiers the package's tests mention — field names appearing in
+	// composite literals, selectors, or any other position count as
+	// coverage hooks.
+	covered := map[string]bool{}
+	for _, f := range p.Pkg.Files {
+		if !p.Pkg.TestFiles[f] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				covered[id.Name] = true
+			}
+			return true
+		})
+	}
+	hasTests := len(covered) > 0
+
+	for name := range schema {
+		for _, field := range structs[name].Fields.List {
+			for _, fname := range field.Names {
+				if !fname.IsExported() {
+					continue
+				}
+				if field.Tag == nil || !strings.Contains(field.Tag.Value, `json:"`) {
+					p.Reportf(fname.Pos(), "schema field %s.%s has no json tag; run-record fields must serialize explicitly", name, fname.Name)
+				}
+				if hasTests && !covered[fname.Name] {
+					p.Reportf(fname.Pos(), "schema field %s.%s is not mentioned in any _test.go file; add round-trip coverage or annotate why it is exempt", name, fname.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// typeNames lists the identifiers of named types a field type
+// references, unwrapping pointers, slices, arrays and map values.
+func typeNames(e ast.Expr) []string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return []string{e.Name}
+	case *ast.StarExpr:
+		return typeNames(e.X)
+	case *ast.ArrayType:
+		return typeNames(e.Elt)
+	case *ast.MapType:
+		return append(typeNames(e.Key), typeNames(e.Value)...)
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package recordhygiene_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/recordhygiene"
+)
+
+func TestFixtures(t *testing.T) {
+	framework.RunFixture(t, recordhygiene.Analyzer, filepath.Join("testdata", "records"))
+	framework.RunFixture(t, recordhygiene.Analyzer, filepath.Join("testdata", "norecord"))
+}

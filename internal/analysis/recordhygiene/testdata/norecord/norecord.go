@@ -1,0 +1,9 @@
+// Package norecord is the recordhygiene negative fixture: no RunRecord
+// struct is defined, so bare untagged structs are out of scope — no
+// findings expected.
+package norecord
+
+type Config struct {
+	Threads int
+	Name    string
+}

@@ -1,0 +1,41 @@
+// Package records is the recordhygiene fixture: it defines a RunRecord
+// whose schema closure (through field types) must have json tags and
+// test coverage on every exported field.
+package records
+
+// RunRecord mimics the real artifact schema.
+type RunRecord struct {
+	Schema  string  `json:"schema"`
+	Summary Summary `json:"summary"`
+	Sweep   *Sweep  `json:"sweep,omitempty"`
+	Rows    []Row   `json:"rows,omitempty"`
+	NoTag   int     // want "schema field RunRecord.NoTag has no json tag"
+	//tmvet:allow recordhygiene: fixture demonstrates a deliberately untested field
+	Exempt int `json:"exempt"`
+
+	hidden int // unexported: out of scope
+}
+
+// Summary is reached through a value field.
+type Summary struct {
+	Ops      uint64 `json:"ops"`
+	Untested uint64 `json:"untested"` // want "schema field Summary.Untested is not mentioned in any _test.go file"
+}
+
+// Sweep is reached through a pointer field.
+type Sweep struct {
+	Cells int `json:"cells"`
+}
+
+// Row is reached through a slice field.
+type Row struct {
+	Label string `json:"label"`
+}
+
+// Unrelated is not reachable from RunRecord, so its bare field is out
+// of scope.
+type Unrelated struct {
+	Loose int
+}
+
+func use() { _ = RunRecord{}.hidden }

@@ -1,0 +1,13 @@
+package stmaccess_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/stmaccess"
+)
+
+func TestFixtures(t *testing.T) {
+	framework.RunFixture(t, stmaccess.Analyzer, filepath.Join("testdata", "txbody"))
+}

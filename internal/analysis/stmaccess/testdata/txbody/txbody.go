@@ -1,0 +1,47 @@
+// Package app is the stmaccess fixture: raw substrate access inside a
+// *stm.Tx closure must be flagged, the transactional wrappers and
+// accesses outside closures must not, and the Tx handle must not
+// escape.
+package app
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/mem"
+	"repro/internal/stm"
+	"repro/internal/vtime"
+)
+
+var leaked *stm.Tx
+
+func bad(th *vtime.Thread, space *mem.Space, a alloc.Allocator, p mem.Addr) func(*stm.Tx) {
+	ch := make(chan *stm.Tx, 1)
+	return func(tx *stm.Tx) {
+		tx.Store(p, tx.Load(p)+1)
+		_ = th.Load(p)       // want "raw Thread.Load inside a transaction"
+		th.Store(p, 1)       // want "raw Thread.Store inside a transaction"
+		_ = space.Load(p)    // want "raw Space.Load inside a transaction"
+		_ = a.Malloc(th, 64) // want "raw Allocator.Malloc inside a transaction"
+		a.Free(th, p)        // want "raw Allocator.Free inside a transaction"
+		leaked = tx          // want "Tx assigned to \"leaked\", declared outside the closure"
+		ch <- tx             // want "Tx sent on a channel"
+	}
+}
+
+func annotated(th *vtime.Thread, p mem.Addr) func(*stm.Tx) {
+	return func(tx *stm.Tx) {
+		tx.Load(p)
+		//tmvet:allow stmaccess: fixture models a privatized read of immutable data
+		_ = th.Load(p)
+	}
+}
+
+func outsideClosure(th *vtime.Thread, space *mem.Space, p mem.Addr) uint64 {
+	// Raw access outside any transaction is the substrate working as
+	// intended (initialization, validation, write-back).
+	th.Store(p, 2)
+	return space.Load(p)
+}
+
+func nonTxClosure(th *vtime.Thread, p mem.Addr) func() {
+	return func() { th.Store(p, 3) }
+}

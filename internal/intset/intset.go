@@ -74,6 +74,13 @@ type Config struct {
 	RetryCap     uint64        // irrevocable-fallback threshold (0 = default)
 	Fault        string        // fault-plan spec (internal/fault grammar); "" disables
 	Deadline     uint64        // virtual-cycle watchdog bound per phase; 0 disables
+	// SeedUAF plants a use-after-free at the start of the measurement
+	// phase: thread 0 allocates and stores, frees, then reads the stale
+	// pointer in a fresh transaction. Under the sanitizer the run fails
+	// with a diagnostic; without it the read silently returns recycled
+	// memory. The field is part of the spec, so seeded and clean runs
+	// hash to different cells.
+	SeedUAF bool
 }
 
 func (c *Config) fill() {
@@ -214,6 +221,12 @@ func Run(cfg Config) (res Result, err error) {
 	txBase := st.Stats()
 
 	engine.Run(func(th *vtime.Thread) {
+		if cfg.SeedUAF && th.ID() == 0 {
+			var p mem.Addr
+			st.Atomic(th, func(tx *stm.Tx) { p = tx.Malloc(64); tx.Store(p, 0xdead) })
+			st.Atomic(th, func(tx *stm.Tx) { tx.Free(p, 64) })
+			st.Atomic(th, func(tx *stm.Tx) { tx.Load(p) })
+		}
 		r := sim.NewRand(cfg.Seed*1000003 + uint64(th.ID()) + 1)
 		lastInserted := int64(-1)
 		for i := 0; i < cfg.OpsPerThread; i++ {

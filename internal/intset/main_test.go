@@ -1,0 +1,16 @@
+package intset_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestMain arms the shadow-memory sanitizer for every space the package
+// tests construct, so the benchmark suite doubles as sanitizer coverage
+// of the three data structures under all allocators.
+func TestMain(m *testing.M) {
+	mem.SetSanitizeDefault(true)
+	os.Exit(m.Run())
+}

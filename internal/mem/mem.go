@@ -117,13 +117,23 @@ type Space struct {
 	reserved   atomic.Uint64
 	committed  atomic.Uint64
 	peak       atomic.Uint64
+
+	// shadow is the sanitizer's word-granularity shadow map, nil unless
+	// sanitizer mode is on (see shadow.go). Set at construction or via
+	// EnableSanitizer, before the space is shared across sim threads.
+	shadow *Shadow
 }
 
-// NewSpace returns an empty address space.
+// NewSpace returns an empty address space. When the process-wide
+// sanitize default is set (the CLIs' -sanitize flag), the space carries
+// a sanitizer shadow map from the start.
 func NewSpace() *Space {
 	s := &Space{next: startBase}
 	empty := make([]Region, 0)
 	s.regions.Store(&empty)
+	if sanitizeDefault.Load() {
+		s.shadow = newShadow(s)
+	}
 	return s
 }
 

@@ -112,6 +112,7 @@ func (a *KMeans) Parallel(w *World, th *vtime.Thread) {
 				tx.Store(word(a.newLen, best), tx.Load(word(a.newLen, best))+1)
 				for j := 0; j < a.d; j++ {
 					cur := ffrom(tx.Load(word(a.newSum, best*a.d+j)))
+					//tmvet:allow stmaccess: points are immutable during the phase; the raw load models STAMP's unlogged read of private input data
 					p := ffrom(th.Load(word(a.points, i*a.d+j)))
 					tx.Store(word(a.newSum, best*a.d+j), fbits(cur+p))
 				}

@@ -525,7 +525,10 @@ func (a *Yada) Parallel(w *stamp.World, th *vtime.Thread) {
 			cascade = nil
 			a.newBad[tid] = a.newBad[tid][:0]
 			a.pinched[tid] = false
-			if tx.Load(t+tAlive) != 1 || tx.Load(t+tEpoch) != epoch {
+			// Guard reads: t may point at a triangle refined away (freed,
+			// possibly recycled) since it was queued; the epoch check
+			// validates the handle, so the sanitizer's UAF rule is waived.
+			if tx.LoadGuard(t+tAlive) != 1 || tx.LoadGuard(t+tEpoch) != epoch {
 				a.skipped++ // stale entry: triangle already refined away
 				return
 			}

@@ -1,0 +1,118 @@
+package stm
+
+import "repro/internal/mem"
+
+// Sanitizer glue: when the space carries a shadow map (mem sanitizer
+// mode), every transactional access is classified against it. The
+// checks are deliberately one-sided — they inspect shadow metadata and
+// raw (untimed) memory only, never tick virtual time or write data
+// words — so a sanitized run that raises no diagnostic is byte-identical
+// to an unsanitized one.
+//
+// Raw thread loads and stores (allocator internals, the write-back
+// loop, privatized access after a transaction) are not checked: the
+// sanitizer polices the transactional API surface, where the paper's
+// use-after-free hazard (reading a quarantined block through a stale
+// snapshot) lives.
+
+// sanCheck classifies a transactional load or store of a. A bad access
+// from a doomed transaction — one whose read set no longer validates —
+// is ignored: an unsanitized run would make the same zombie read and
+// die at validation, and the sanitized run must behave identically.
+func (tx *Tx) sanCheck(a mem.Addr, write bool) {
+	sh := tx.stm.space.Sanitizer()
+	if sh == nil {
+		return
+	}
+	d := sh.Check(a, write, tx.th.ID(), tx.th.Clock())
+	if d == nil {
+		return
+	}
+	if !tx.irrevocable && !tx.validateUntimed() {
+		return // zombie: the access aborts at validation either way
+	}
+	tx.sanReport(d)
+}
+
+// sanCheckGuard is sanCheck for LoadGuard: reads of freed blocks are
+// the point of a guard word, so use-after-free is waived; every other
+// classification still reports.
+func (tx *Tx) sanCheckGuard(a mem.Addr) {
+	sh := tx.stm.space.Sanitizer()
+	if sh == nil {
+		return
+	}
+	d := sh.Check(a, false, tx.th.ID(), tx.th.Clock())
+	if d == nil || d.Kind == mem.DiagUseAfterFree {
+		return
+	}
+	if !tx.irrevocable && !tx.validateUntimed() {
+		return
+	}
+	tx.sanReport(d)
+}
+
+// sanFree classifies a transactional free of the block at a (double
+// frees), with the same zombie exemption as sanCheck.
+func (tx *Tx) sanFree(a mem.Addr) {
+	sh := tx.stm.space.Sanitizer()
+	if sh == nil {
+		return
+	}
+	d := sh.CheckFree(a, tx.th.ID(), tx.th.Clock())
+	if d == nil {
+		return
+	}
+	if !tx.irrevocable && !tx.validateUntimed() {
+		return
+	}
+	tx.sanReport(d)
+}
+
+// sanReport records the diagnostic as an obs fault event and raises it.
+// The panic unwinds through tryRun's foreign-panic path — rollback,
+// then repanic — so the workload harness surfaces it as a failed run.
+func (tx *Tx) sanReport(d *mem.Diag) {
+	if rec := tx.stm.rec; rec != nil {
+		rec.Fault("sanitizer:"+string(d.Kind), tx.th.ID(), tx.th.Clock(), uint64(d.Addr))
+	}
+	panic(d)
+}
+
+// sanMarkFreed poisons a block released through an STM-level path the
+// allocator does not see at this moment (quarantine entry, tx-cache
+// park), recording the free's virtual-time provenance now rather than
+// at eventual allocator release.
+func (tx *Tx) sanMarkFreed(a mem.Addr) {
+	if sh := tx.stm.space.Sanitizer(); sh != nil {
+		sh.OnFree(a, tx.th.ID(), tx.th.Clock())
+	}
+}
+
+// sanMarkReused re-arms a block handed out from the thread-local
+// tx-object cache (the allocator sees neither the free nor the malloc).
+func (tx *Tx) sanMarkReused(a mem.Addr) {
+	if sh := tx.stm.space.Sanitizer(); sh != nil {
+		sh.OnReuse(a, tx.th.ID(), tx.th.Clock())
+	}
+}
+
+// validateUntimed is validate against raw memory: same outcome, no
+// virtual-time ticks, so consulting it inside the sanitizer cannot
+// perturb the simulation.
+func (tx *Tx) validateUntimed() bool {
+	s := tx.stm
+	for _, r := range tx.readSet {
+		w := s.space.Load(s.ortAddr(r.idx))
+		if isLocked(w) {
+			if ownerOf(w) != tx.th.ID() {
+				return false
+			}
+			continue
+		}
+		if w != r.version {
+			return false
+		}
+	}
+	return true
+}

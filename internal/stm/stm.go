@@ -605,6 +605,7 @@ func (tx *Tx) rollback(reason AbortReason) {
 	// in the thread-local cache instead of calling the system free.
 	for _, rec := range tx.allocs {
 		if tx.stm.cacheTx {
+			tx.sanMarkFreed(rec.addr)
 			tx.cache[rec.size] = append(tx.cache[rec.size], rec.addr)
 			tx.stats.CacheReturns++
 			tx.th.Tick(tx.th.Cost().AllocOp)
@@ -657,6 +658,29 @@ func (tx *Tx) Load(a mem.Addr) uint64 {
 	tx.stats.LoadsTotal++
 	tx.karma++
 	tx.th.Tick(tx.th.Cost().TxAccess)
+	tx.sanCheck(a, false)
+	return tx.loadWord(a)
+}
+
+// LoadGuard performs a transactional read of a guard word in a
+// validated-handle protocol: a liveness flag or epoch counter that is
+// deliberately read on a block which may have been freed — even
+// recycled — since the handle was captured (yada's stale-queue-entry
+// filter is the canonical user). The read is identical to Load in
+// every protocol and timing respect; only the sanitizer's
+// use-after-free classification is waived, because the caller's epoch
+// check subsumes it. Wild-address and redzone diagnostics still fire.
+func (tx *Tx) LoadGuard(a mem.Addr) uint64 {
+	tx.checkKilled()
+	tx.stats.LoadsTotal++
+	tx.karma++
+	tx.th.Tick(tx.th.Cost().TxAccess)
+	tx.sanCheckGuard(a)
+	return tx.loadWord(a)
+}
+
+// loadWord is the protocol core shared by Load and LoadGuard.
+func (tx *Tx) loadWord(a mem.Addr) uint64 {
 	if tx.stm.design != ETLWriteThrough {
 		if i, ok := tx.writeIdx[a]; ok {
 			return tx.writeSet[i].value
@@ -703,6 +727,7 @@ func (tx *Tx) Store(a mem.Addr, v uint64) {
 	tx.stats.StoresTotal++
 	tx.karma++
 	tx.th.Tick(tx.th.Cost().TxAccess)
+	tx.sanCheck(a, true)
 	switch tx.stm.design {
 	case ETLWriteThrough:
 		idx := tx.stm.OrtIndex(a)
@@ -864,6 +889,7 @@ func (tx *Tx) finishCommit() {
 	if len(tx.frees) > 0 {
 		ver := versionOf(tx.th.Load(tx.stm.clockA))
 		for _, rec := range tx.frees {
+			tx.sanMarkFreed(rec.addr)
 			if tx.stm.cacheTx {
 				tx.cache[rec.size] = append(tx.cache[rec.size], rec.addr)
 				tx.stats.CacheReturns++
@@ -945,6 +971,7 @@ func (tx *Tx) Malloc(size uint64) mem.Addr {
 			tx.cache[size] = lst[:len(lst)-1]
 			tx.stats.CacheHits++
 			tx.th.Tick(tx.th.Cost().AllocOp)
+			tx.sanMarkReused(a)
 		}
 	}
 	if a == 0 {
@@ -963,6 +990,7 @@ func (tx *Tx) Malloc(size uint64) mem.Addr {
 // transaction, as TinySTM's stm_free does.
 func (tx *Tx) Free(a mem.Addr, size uint64) {
 	tx.stats.FreesInTx++
+	tx.sanFree(a)
 	for off := uint64(0); off < size; off += 8 {
 		tx.Store(a+mem.Addr(off), 0)
 	}

@@ -29,8 +29,18 @@ go build ./...
 echo "== go test =="
 go test ./...
 
+echo "== tmvet =="
+# The repository's own static analyzers (determinism, STM isolation,
+# address hygiene, record-schema coverage) must report zero findings;
+# suppressions live in the source as //tmvet:allow annotations with
+# mandatory reasons.
+go run ./cmd/tmvet ./...
+
 echo "== go test -race (virtual-time-independent packages) =="
-go test -race ./internal/obs ./internal/mem ./internal/sim ./internal/cachesim
+# stm and mem ride along: their suites run mostly single-threaded under
+# the engine, but TestMain arms the sanitizer, whose shadow-map
+# bookkeeping must stay race-free where host goroutines do appear.
+go test -race ./internal/obs ./internal/mem ./internal/sim ./internal/cachesim ./internal/stm
 
 echo "== go test -race (sweep scheduler) =="
 # The scheduler is the one component that genuinely runs host
@@ -87,6 +97,41 @@ cmp "$tmpdir/c1.txt" "$tmpdir/c2.txt" || {
 }
 grep -q ' 0 executed' "$tmpdir/c2.err" || {
     echo "second -cache invocation executed cells instead of hitting the cache" >&2
+    exit 1
+}
+
+echo "== sanitizer byte-identity gate =="
+# The shadow-memory sanitizer is pure metadata: arming it must change
+# neither stdout nor the run-record bytes of a clean run. (The j1
+# artifacts from the parallel-determinism gate are the unsanitized
+# baseline; jobs provenance is normalized as above.)
+go run ./cmd/tmrepro -run fig1 -jobs 8 -sanitize -out "$tmpdir/san" >"$tmpdir/san.txt"
+cmp "$tmpdir/j1.txt" "$tmpdir/san.txt" || {
+    echo "tmrepro stdout differs with -sanitize" >&2
+    exit 1
+}
+sed 's/"jobs": *[0-9]*/"jobs": 0/' "$tmpdir/san/BENCH_fig1.json" >"$tmpdir/san.norm"
+cmp "$tmpdir/j1.norm" "$tmpdir/san.norm" || {
+    echo "run records differ with -sanitize" >&2
+    exit 1
+}
+
+echo "== sanitizer detection gate =="
+# A seeded use-after-free must fail loudly under -sanitize and pass
+# silently without it — the contrast that proves the checker is both
+# armed and byte-transparent.
+if go run ./cmd/tmintset -kind linkedlist -alloc tcmalloc -threads 2 \
+    -initial 64 -ops 50 -seed-uaf -sanitize >"$tmpdir/uaf.txt" 2>&1; then
+    echo "seeded use-after-free passed under -sanitize" >&2
+    exit 1
+fi
+grep -q 'use-after-free' "$tmpdir/uaf.txt" || {
+    echo "sanitized seed-uaf run failed without a use-after-free diagnostic" >&2
+    exit 1
+}
+go run ./cmd/tmintset -kind linkedlist -alloc tcmalloc -threads 2 \
+    -initial 64 -ops 50 -seed-uaf >/dev/null || {
+    echo "seeded use-after-free failed without -sanitize (should pass silently)" >&2
     exit 1
 }
 
