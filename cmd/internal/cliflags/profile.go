@@ -1,0 +1,56 @@
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/prof"
+)
+
+// Profile is the parsed cycle-attribution group.
+type Profile struct {
+	Path string
+}
+
+// AddProfile registers -profile on fs. The extension of the given path
+// picks the artifact format when the profile is written.
+func AddProfile(fs *flag.FlagSet) *Profile {
+	p := &Profile{}
+	fs.StringVar(&p.Path, "profile", "",
+		"write the virtual-cycle profile to this file (.folded = folded stacks, .pb.gz = gzipped pprof, else JSON)")
+	return p
+}
+
+// Enabled reports whether a profile artifact was requested.
+func (p *Profile) Enabled() bool { return p != nil && p.Path != "" }
+
+// Write encodes pf to the configured path, picking the format from the
+// file extension: .folded emits folded-stacks text, .pb.gz emits the
+// gzipped pprof protobuf, anything else the canonical JSON form (the
+// format tmprof reads).
+func (p *Profile) Write(pf *prof.Profile) error {
+	if !p.Enabled() {
+		return nil
+	}
+	f, err := os.Create(p.Path)
+	if err != nil {
+		return err
+	}
+	switch {
+	case strings.HasSuffix(p.Path, ".folded"):
+		err = pf.WriteFolded(f)
+	case strings.HasSuffix(p.Path, ".pb.gz"):
+		err = pf.WritePprof(f)
+	default:
+		err = pf.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("write profile %s: %w", p.Path, err)
+	}
+	return nil
+}

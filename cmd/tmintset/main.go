@@ -29,6 +29,7 @@ import (
 	"repro/cmd/internal/cliflags"
 	"repro/internal/intset"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/stm"
 	"repro/internal/sweep"
 )
@@ -53,6 +54,7 @@ func main() {
 	sw := cliflags.AddSweep(flag.CommandLine)
 	outp := cliflags.AddOutput(flag.CommandLine)
 	cliflags.AddSanitize(flag.CommandLine)
+	pr := cliflags.AddProfile(flag.CommandLine)
 	flag.Parse()
 
 	var d stm.Design
@@ -92,8 +94,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if rec != nil {
-		cache = nil // a cache hit could not replay the trace
+	if rec != nil || pr.Enabled() {
+		cache = nil // a cache hit could not replay the trace or the profile
+	}
+	var pp *prof.Profiler
+	if pr.Enabled() {
+		pp = prof.New()
+		pp.SetRecorder(rec)
 	}
 	spec, err := json.Marshal(cfg)
 	if err != nil {
@@ -104,14 +111,16 @@ func main() {
 	if *hytm {
 		mode = "hytm"
 	}
+	key := fmt.Sprintf("cli/intset/%s/%s/%s/t%d/u%d/%s",
+		mode, *kind, *name, *threads, *updates, *design)
 	cells := []sweep.Cell{{
-		Key: fmt.Sprintf("cli/intset/%s/%s/%s/t%d/u%d/%s",
-			mode, *kind, *name, *threads, *updates, *design),
+		Key:  key,
 		Spec: spec,
 		Seed: *seed,
-		Run: func() (any, *obs.Delta, error) {
+		Run: func() (any, *obs.Delta, *prof.Profile, error) {
 			c := cfg
 			c.Obs = rec
+			c.Prof = pp
 			var payload any
 			var err error
 			if *hytm {
@@ -120,13 +129,18 @@ func main() {
 				payload, err = intset.Run(c)
 			}
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			var dl *obs.Delta
 			if rec != nil {
 				dl = rec.Delta()
 			}
-			return payload, dl, nil
+			var pf *prof.Profile
+			if pp != nil {
+				pf = pp.Profile()
+				pf.Label = key
+			}
+			return payload, dl, pf, nil
 		},
 	}}
 	sched := &sweep.Scheduler{Jobs: sw.Jobs, Cache: cache}
@@ -159,6 +173,13 @@ func main() {
 		Executed: stats.Executed,
 		Cached:   stats.Cached,
 		Jobs:     sw.Jobs,
+	}
+	if out.Profile != nil {
+		record.Profile = out.Profile.Info()
+		if err := pr.Write(out.Profile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)

@@ -37,6 +37,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/stm"
 	"repro/internal/sweep"
 	"repro/internal/vtime"
@@ -89,9 +90,9 @@ func main() {
 		cells = append(cells, sweep.Cell{
 			Key:  fmt.Sprintf("cli/layout/%s/b%d/t%d/n%d/s%d/%s", name, *size, *threads, *blocks, *shift, *mode),
 			Spec: spec,
-			Run: func() (any, *obs.Delta, error) {
+			Run: func() (any, *obs.Delta, *prof.Profile, error) {
 				r, err := analyze(p)
-				return r, nil, err
+				return r, nil, nil, err
 			},
 		})
 	}

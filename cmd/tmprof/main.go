@@ -1,0 +1,143 @@
+// Command tmprof inspects and compares virtual-cycle profiles written
+// by the tm* binaries' -profile flag (the canonical JSON form).
+//
+// Usage:
+//
+//	tmprof top [-n 20] profile.json        flat per-frame self/cum table
+//	tmprof folded profile.json             folded-stacks text (flamegraph input)
+//	tmprof pprof [-o out.pb.gz] profile.json   gzipped pprof profile.proto
+//	tmprof diff [-n 20] a.json b.json      per-region virtual-cycle deltas
+//
+// Every transformation is deterministic: the same input profile always
+// produces byte-identical output, so artifacts can be diffed in CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/prof"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tmprof top [-n N] profile.json        flat per-frame self/cum cycles
+  tmprof folded profile.json            folded-stacks text
+  tmprof pprof [-o FILE] profile.json   gzipped pprof profile.proto (stdout default)
+  tmprof diff [-n N] a.json b.json      per-region cycle deltas between two profiles`)
+	os.Exit(2)
+}
+
+func load(path string) *prof.Profile {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	p, err := prof.ReadJSON(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return p
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "top":
+		fs := flag.NewFlagSet("top", flag.ExitOnError)
+		n := fs.Int("n", 20, "rows to print (0 = all)")
+		fs.Parse(args)
+		if fs.NArg() != 1 {
+			usage()
+		}
+		p := load(fs.Arg(0))
+		stats := p.FrameStats()
+		if *n > 0 && len(stats) > *n {
+			stats = stats[:*n]
+		}
+		if p.Label != "" {
+			fmt.Printf("profile %s: %d virtual cycles, %d samples\n", p.Label, p.TotalCycles, len(p.Samples))
+		} else {
+			fmt.Printf("profile: %d virtual cycles, %d samples\n", p.TotalCycles, len(p.Samples))
+		}
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintln(tw, "self\tself%\tcum\tcum%\tframe\t")
+		for _, s := range stats {
+			fmt.Fprintf(tw, "%d\t%s\t%d\t%s\t%s\t\n",
+				s.Self, pct(s.Self, p.TotalCycles), s.Cum, pct(s.Cum, p.TotalCycles), s.Frame)
+		}
+		tw.Flush()
+
+	case "folded":
+		fs := flag.NewFlagSet("folded", flag.ExitOnError)
+		fs.Parse(args)
+		if fs.NArg() != 1 {
+			usage()
+		}
+		if err := load(fs.Arg(0)).WriteFolded(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+
+	case "pprof":
+		fs := flag.NewFlagSet("pprof", flag.ExitOnError)
+		out := fs.String("o", "", "output file (default stdout)")
+		fs.Parse(args)
+		if fs.NArg() != 1 {
+			usage()
+		}
+		p := load(fs.Arg(0))
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := p.WritePprof(w); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+
+	case "diff":
+		fs := flag.NewFlagSet("diff", flag.ExitOnError)
+		n := fs.Int("n", 20, "rows to print (0 = all)")
+		fs.Parse(args)
+		if fs.NArg() != 2 {
+			usage()
+		}
+		a, b := load(fs.Arg(0)), load(fs.Arg(1))
+		if a.Label == "" {
+			a.Label = fs.Arg(0)
+		}
+		if b.Label == "" {
+			b.Label = fs.Arg(1)
+		}
+		if err := prof.Diff(a, b).WriteText(os.Stdout, *n); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+
+	default:
+		usage()
+	}
+}
+
+// pct formats v as a percentage of total, "-" when total is zero.
+func pct(v, total uint64) string {
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(v)/float64(total))
+}

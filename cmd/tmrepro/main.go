@@ -27,6 +27,7 @@ import (
 	"repro/cmd/internal/cliflags"
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -45,6 +46,7 @@ func main() {
 	sw := cliflags.AddSweep(flag.CommandLine)
 	outp := cliflags.AddOutput(flag.CommandLine)
 	cliflags.AddSanitize(flag.CommandLine)
+	pr := cliflags.AddProfile(flag.CommandLine)
 	flag.Parse()
 	if *quick {
 		*full = false
@@ -73,6 +75,7 @@ func main() {
 
 	spec := rob.Spec(*full, *reps, *seed)
 	spec.Obs = outp.NewRecorder()
+	spec.Profile = pr.Enabled()
 	cache, err := sw.Open()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -146,6 +149,20 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", watch.Elapsed())
 
+	if pr.Enabled() {
+		var profiles []*prof.Profile
+		for _, r := range runs {
+			if r.Profile != nil {
+				profiles = append(profiles, r.Profile)
+			}
+		}
+		merged := prof.Merge(profiles...)
+		merged.Label = strings.Join(ids, ",")
+		if err := pr.Write(merged); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if err := outp.WriteRecords(records); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

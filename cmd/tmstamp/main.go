@@ -5,13 +5,15 @@
 // Usage:
 //
 //	tmstamp -app yada -alloc glibc -threads 8 [-scale ref] [-cachetx]
-//	        [-shift 5] [-profile] [-seed 1] [-cache DIR]
+//	        [-shift 5] [-alloc-profile] [-profile FILE] [-seed 1] [-cache DIR]
 //
 // It prints the modelled execution time, transaction statistics,
-// allocator activity, cache behaviour and (with -profile) the Table
-// 5-style allocation characterization. The run executes as one sweep
+// allocator activity, cache behaviour and (with -alloc-profile) the
+// Table 5-style allocation characterization; -profile FILE writes the
+// virtual-cycle attribution profile. The run executes as one sweep
 // cell, so -cache memoizes it by configuration hash; tracing (-trace /
-// -metrics) forces a live run, since a cache hit cannot replay events.
+// -metrics) and profiling force a live run, since a cache hit cannot
+// replay events.
 package main
 
 import (
@@ -37,6 +39,7 @@ import (
 
 	"repro/cmd/internal/cliflags"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/stamp"
 	"repro/internal/stm"
 	"repro/internal/sweep"
@@ -52,13 +55,14 @@ func main() {
 		variant = flag.String("variant", "high", "contention variant for kmeans/vacation: high or low")
 		shift   = flag.Uint("shift", 0, "ORT shift amount (0 = default 5)")
 		cacheTx = flag.Bool("cachetx", false, "enable the STM-level tx-object cache (paper §6.2)")
-		profile = flag.Bool("profile", false, "print the Table 5 allocation profile")
+		profile = flag.Bool("alloc-profile", false, "print the Table 5 allocation profile")
 		seed    = flag.Uint64("seed", 0, "workload seed (0 = default)")
 	)
 	rob := cliflags.AddRobustness(flag.CommandLine)
 	sw := cliflags.AddSweep(flag.CommandLine)
 	outp := cliflags.AddOutput(flag.CommandLine)
 	cliflags.AddSanitize(flag.CommandLine)
+	pr := cliflags.AddProfile(flag.CommandLine)
 	flag.Parse()
 	if *app == "" {
 		flag.Usage()
@@ -95,31 +99,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if rec != nil {
-		cache = nil // a cache hit could not replay the trace
+	if rec != nil || pr.Enabled() {
+		cache = nil // a cache hit could not replay the trace or the profile
+	}
+	var pp *prof.Profiler
+	if pr.Enabled() {
+		pp = prof.New()
+		pp.SetRecorder(rec)
 	}
 	spec, err := json.Marshal(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	key := fmt.Sprintf("cli/stamp/%s/%s/t%d/sc%d/v%d/sh%d/c%v/p%v",
+		*app, *alloc, *threads, sc, va, *shift, *cacheTx, *profile)
 	cells := []sweep.Cell{{
-		Key: fmt.Sprintf("cli/stamp/%s/%s/t%d/sc%d/v%d/sh%d/c%v/p%v",
-			*app, *alloc, *threads, sc, va, *shift, *cacheTx, *profile),
+		Key:  key,
 		Spec: spec,
 		Seed: *seed,
-		Run: func() (any, *obs.Delta, error) {
+		Run: func() (any, *obs.Delta, *prof.Profile, error) {
 			c := cfg
 			c.Obs = rec
+			c.Prof = pp
 			res, err := stamp.Run(c)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			var d *obs.Delta
 			if rec != nil {
 				d = rec.Delta()
 			}
-			return res, d, nil
+			var pf *prof.Profile
+			if pp != nil {
+				pf = pp.Profile()
+				pf.Label = key
+			}
+			return res, d, pf, nil
 		},
 	}}
 	sched := &sweep.Scheduler{Jobs: sw.Jobs, Cache: cache}
@@ -136,6 +152,12 @@ func main() {
 	if err := json.Unmarshal(out.Payload, &res); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if out.Profile != nil {
+		if err := pr.Write(out.Profile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	switch res.Status {
@@ -210,6 +232,9 @@ func main() {
 			Executed: stats.Executed,
 			Cached:   stats.Cached,
 			Jobs:     sw.Jobs,
+		}
+		if out.Profile != nil {
+			record.Profile = out.Profile.Info()
 		}
 		record.Tables = []obs.Table{{
 			Title:   "Summary",

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/vtime"
 )
 
@@ -216,6 +217,23 @@ func Observe(a Allocator, r *obs.Recorder) {
 	}
 	if o, ok := a.(Observable); ok {
 		o.SetObserver(r)
+	}
+}
+
+// Profiled is implemented by allocators that attribute their internal
+// phases (entry points, arena/superblock/central-store metadata work)
+// to profiler regions. All four models implement it.
+type Profiled interface {
+	SetProfiler(p *prof.Profiler)
+}
+
+// Profile attaches p to a if the allocator supports cycle attribution.
+func Profile(a Allocator, p *prof.Profiler) {
+	if p == nil {
+		return
+	}
+	if pr, ok := a.(Profiled); ok {
+		pr.SetProfiler(p)
 	}
 }
 

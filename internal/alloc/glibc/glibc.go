@@ -27,6 +27,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/vtime"
 )
 
@@ -72,6 +73,7 @@ type Glibc struct {
 	arenas   []*arena
 	attached []*arena // per-thread last-used arena
 	stats    []alloc.ThreadStats
+	prof     *prof.Profiler
 
 	mmaps map[mem.Addr]uint64 // user addr -> region size (direct maps)
 }
@@ -119,6 +121,9 @@ func (g *Glibc) SetInjector(inj alloc.Injector) {
 	}
 }
 
+// SetProfiler implements alloc.Profiled.
+func (g *Glibc) SetProfiler(p *prof.Profiler) { g.prof = p }
+
 // newArena maps a fresh arena, or returns nil when the simulated OS is
 // out of memory.
 func (g *Glibc) newArena(st *alloc.ThreadStats) *arena {
@@ -155,6 +160,10 @@ func chunkSize(req uint64) uint64 {
 // (8 x threads, as on 64-bit Linux) the thread blocks on the next arena
 // instead of creating more.
 func (g *Glibc) lockArena(th *vtime.Thread, st *alloc.ThreadStats) *arena {
+	if p := g.prof; p != nil {
+		p.Begin(th, "glibc/arena")
+		defer p.End(th)
+	}
 	tid := th.ID()
 	a := g.attached[tid]
 	if a.lock.TryLock(th, st) {
@@ -190,6 +199,10 @@ func (g *Glibc) lockArena(th *vtime.Thread, st *alloc.ThreadStats) *arena {
 
 // Malloc implements alloc.Allocator.
 func (g *Glibc) Malloc(th *vtime.Thread, size uint64) mem.Addr {
+	if p := g.prof; p != nil {
+		p.Begin(th, "glibc/malloc")
+		defer p.End(th)
+	}
 	st := &g.stats[th.ID()]
 	var a mem.Addr
 	if st.Rec == nil {
@@ -280,6 +293,10 @@ func (g *Glibc) mmapChunk(th *vtime.Thread, st *alloc.ThreadStats, size uint64) 
 func (g *Glibc) Free(th *vtime.Thread, addr mem.Addr) {
 	if addr == 0 {
 		return
+	}
+	if p := g.prof; p != nil {
+		p.Begin(th, "glibc/free")
+		defer p.End(th)
 	}
 	if sh := g.space.Sanitizer(); sh != nil {
 		sh.OnFree(addr, th.ID(), th.Clock())

@@ -27,6 +27,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/vtime"
 )
 
@@ -105,6 +106,7 @@ type Hoard struct {
 	global  *heap
 	caches  []localCache
 	stats   []alloc.ThreadStats
+	prof    *prof.Profiler
 
 	sbMap map[mem.Addr]*superblock // superblock base -> superblock
 	big   map[mem.Addr]uint64      // direct maps: user addr -> region size
@@ -148,6 +150,9 @@ func (h *Hoard) SetObserver(r *obs.Recorder) {
 	}
 }
 
+// SetProfiler implements alloc.Profiled.
+func (h *Hoard) SetProfiler(p *prof.Profiler) { h.prof = p }
+
 // SetInjector implements alloc.Injectable.
 func (h *Hoard) SetInjector(inj alloc.Injector) {
 	for i := range h.stats {
@@ -177,6 +182,10 @@ func (h *Hoard) Malloc(th *vtime.Thread, size uint64) mem.Addr {
 }
 
 func (h *Hoard) malloc(th *vtime.Thread, st *alloc.ThreadStats, size uint64) mem.Addr {
+	if p := h.prof; p != nil {
+		p.Begin(th, "hoard/malloc")
+		defer p.End(th)
+	}
 	st.Mallocs++
 	st.BytesRequested += size
 	th.Tick(th.Cost().AllocOp)
@@ -213,6 +222,10 @@ func (h *Hoard) malloc(th *vtime.Thread, st *alloc.ThreadStats, size uint64) mem
 // refillCache moves up to cacheRefill blocks of class ci from the
 // thread's heap into its local cache under one heap-lock acquisition.
 func (h *Hoard) refillCache(th *vtime.Thread, st *alloc.ThreadStats, ci int) {
+	if p := h.prof; p != nil {
+		p.Begin(th, "hoard/superblock")
+		defer p.End(th)
+	}
 	hp := h.heapFor(th.ID())
 	cache := &h.caches[th.ID()].lists[ci]
 	hp.lock.Lock(th, st)
@@ -237,6 +250,10 @@ func (h *Hoard) refillCache(th *vtime.Thread, st *alloc.ThreadStats, ci int) {
 }
 
 func (h *Hoard) slowMalloc(th *vtime.Thread, st *alloc.ThreadStats, ci int) mem.Addr {
+	if p := h.prof; p != nil {
+		p.Begin(th, "hoard/superblock")
+		defer p.End(th)
+	}
 	hp := h.heapFor(th.ID())
 	hp.lock.Lock(th, st)
 	sb := h.usableSuperblock(th, hp, st, ci)
@@ -365,6 +382,10 @@ func (h *Hoard) Free(th *vtime.Thread, addr mem.Addr) {
 }
 
 func (h *Hoard) free(th *vtime.Thread, st *alloc.ThreadStats, addr mem.Addr) {
+	if p := h.prof; p != nil {
+		p.Begin(th, "hoard/free")
+		defer p.End(th)
+	}
 	th.Tick(th.Cost().AllocOp)
 
 	if sz, ok := h.big[addr]; ok {
@@ -407,6 +428,10 @@ func (h *Hoard) free(th *vtime.Thread, st *alloc.ThreadStats, addr mem.Addr) {
 // flushCache returns half of an over-full local cache list to the
 // superblocks the blocks were carved from.
 func (h *Hoard) flushCache(th *vtime.Thread, st *alloc.ThreadStats, ci int) {
+	if p := h.prof; p != nil {
+		p.Begin(th, "hoard/superblock")
+		defer p.End(th)
+	}
 	cache := &h.caches[th.ID()].lists[ci]
 	for cache.Len() > cacheCap/2 {
 		a := cache.Pop(th)

@@ -24,6 +24,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/vtime"
 )
 
@@ -98,6 +99,7 @@ type TBB struct {
 	classes *alloc.SizeClasses
 	heaps   []*heap
 	stats   []alloc.ThreadStats
+	prof    *prof.Profiler
 
 	sbMap map[mem.Addr]*superblock
 
@@ -144,6 +146,9 @@ func (t *TBB) SetObserver(r *obs.Recorder) {
 	}
 }
 
+// SetProfiler implements alloc.Profiled.
+func (t *TBB) SetProfiler(p *prof.Profiler) { t.prof = p }
+
 // SetInjector implements alloc.Injectable.
 func (t *TBB) SetInjector(inj alloc.Injector) {
 	for i := range t.stats {
@@ -169,6 +174,10 @@ func (t *TBB) Malloc(th *vtime.Thread, size uint64) mem.Addr {
 }
 
 func (t *TBB) malloc(th *vtime.Thread, st *alloc.ThreadStats, size uint64) mem.Addr {
+	if p := t.prof; p != nil {
+		p.Begin(th, "tbb/malloc")
+		defer p.End(th)
+	}
 	tid := th.ID()
 	st.Mallocs++
 	st.BytesRequested += size
@@ -254,6 +263,10 @@ func (t *TBB) drainPublic(th *vtime.Thread, st *alloc.ThreadStats, sb *superbloc
 // carves one from the current 1 MiB chunk; nil when the simulated OS
 // is out of memory.
 func (t *TBB) newSuperblock(th *vtime.Thread, st *alloc.ThreadStats, ci int) *superblock {
+	if p := t.prof; p != nil {
+		p.Begin(th, "tbb/superblock")
+		defer p.End(th)
+	}
 	t.globalLock.Lock(th, st)
 	if n := len(t.spare); n > 0 {
 		sb := t.spare[n-1]
@@ -317,6 +330,10 @@ func (t *TBB) Free(th *vtime.Thread, addr mem.Addr) {
 }
 
 func (t *TBB) free(th *vtime.Thread, st *alloc.ThreadStats, addr mem.Addr) {
+	if p := t.prof; p != nil {
+		p.Begin(th, "tbb/free")
+		defer p.End(th)
+	}
 	tid := th.ID()
 	th.Tick(th.Cost().AllocOp)
 

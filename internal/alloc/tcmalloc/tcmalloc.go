@@ -24,6 +24,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/vtime"
 )
 
@@ -97,6 +98,7 @@ type TCMalloc struct {
 	caches  []threadCache
 	central []centralList
 	stats   []alloc.ThreadStats
+	prof    *prof.Profiler
 
 	pageMap map[uint64]*span // page id -> span
 
@@ -146,8 +148,15 @@ func (t *TCMalloc) SetInjector(inj alloc.Injector) {
 	}
 }
 
+// SetProfiler implements alloc.Profiled.
+func (t *TCMalloc) SetProfiler(p *prof.Profiler) { t.prof = p }
+
 // Malloc implements alloc.Allocator.
 func (t *TCMalloc) Malloc(th *vtime.Thread, size uint64) mem.Addr {
+	if p := t.prof; p != nil {
+		p.Begin(th, "tcmalloc/malloc")
+		defer p.End(th)
+	}
 	st := &t.stats[th.ID()]
 	var a mem.Addr
 	if st.Rec == nil {
@@ -194,6 +203,10 @@ func (t *TCMalloc) malloc(th *vtime.Thread, st *alloc.ThreadStats, size uint64) 
 // the n-th refill of a class moves n blocks (capped). The first block is
 // returned; the rest land in the thread cache.
 func (t *TCMalloc) refill(th *vtime.Thread, st *alloc.ThreadStats, ci int) mem.Addr {
+	if p := t.prof; p != nil {
+		p.Begin(th, "tcmalloc/central")
+		defer p.End(th)
+	}
 	tc := &t.caches[th.ID()]
 	tc.fetch[ci]++
 	if tc.fetch[ci] > batchCap {
@@ -254,6 +267,10 @@ func (t *TCMalloc) growCentral(th *vtime.Thread, st *alloc.ThreadStats, ci int) 
 // registers its pages in the page map; nil when the simulated OS is
 // out of memory.
 func (t *TCMalloc) newSpan(th *vtime.Thread, st *alloc.ThreadStats, bytes uint64, class int) *span {
+	if p := t.prof; p != nil {
+		p.Begin(th, "tcmalloc/pageheap")
+		defer p.End(th)
+	}
 	t.heapLock.Lock(th, st)
 	if t.chunkCur+mem.Addr(bytes) > t.chunkEnd {
 		sz := uint64(chunkSize)
@@ -286,6 +303,10 @@ func (t *TCMalloc) newSpan(th *vtime.Thread, st *alloc.ThreadStats, bytes uint64
 func (t *TCMalloc) Free(th *vtime.Thread, addr mem.Addr) {
 	if addr == 0 {
 		return
+	}
+	if p := t.prof; p != nil {
+		p.Begin(th, "tcmalloc/free")
+		defer p.End(th)
 	}
 	if sh := t.space.Sanitizer(); sh != nil {
 		sh.OnFree(addr, th.ID(), th.Clock())
@@ -337,6 +358,10 @@ func (t *TCMalloc) free(th *vtime.Thread, st *alloc.ThreadStats, addr mem.Addr) 
 // trim returns half of an over-long thread-cache list to the central
 // cache.
 func (t *TCMalloc) trim(th *vtime.Thread, st *alloc.ThreadStats, ci int) {
+	if p := t.prof; p != nil {
+		p.Begin(th, "tcmalloc/central")
+		defer p.End(th)
+	}
 	tc := &t.caches[th.ID()]
 	c := &t.central[ci]
 	st.Rec.Transfer("tcmalloc:cache-trim", th.ID(), th.Clock(), uint64(tc.lists[ci].Len()-cacheTrim/2))

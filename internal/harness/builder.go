@@ -7,6 +7,7 @@ import (
 	"repro/internal/htm"
 	"repro/internal/intset"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/stamp"
 	"repro/internal/stm"
@@ -68,31 +69,43 @@ type CellHealth struct {
 
 // addCell registers one cell: key names it, spec (serialized
 // canonically) plus the derived seed identify it for caching, and run
-// executes it against a private per-cell recorder (nil when the session
-// is unobserved).
-func addCell[T any](b *Builder, key string, spec any, seed uint64, run func(rec *obs.Recorder) (any, error)) Handle[T] {
+// executes it against a private per-cell recorder and profiler (each
+// nil when the session is unobserved/unprofiled).
+func addCell[T any](b *Builder, key string, spec any, seed uint64, run func(rec *obs.Recorder, pp *prof.Profiler) (any, error)) Handle[T] {
 	raw, err := json.Marshal(spec)
 	if err != nil {
 		panic(fmt.Errorf("harness: encode spec of cell %s: %w", key, err))
 	}
 	parent := b.spec.Obs
+	profiled := b.spec.Profile
 	b.cells = append(b.cells, sweep.Cell{
 		Key:  key,
 		Spec: raw,
 		Seed: seed,
-		Run: func() (any, *obs.Delta, error) {
+		Run: func() (any, *obs.Delta, *prof.Profile, error) {
 			var rec *obs.Recorder
 			if parent != nil {
 				rec = parent.Sibling()
 			}
-			payload, err := run(rec)
+			var pp *prof.Profiler
+			if profiled {
+				pp = prof.New()
+				pp.SetRecorder(rec)
+			}
+			payload, err := run(rec, pp)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
-			if rec == nil {
-				return payload, nil, nil
+			var delta *obs.Delta
+			if rec != nil {
+				delta = rec.Delta()
 			}
-			return payload, rec.Delta(), nil
+			var pf *prof.Profile
+			if pp != nil {
+				pf = pp.Profile()
+				pf.Label = key
+			}
+			return payload, delta, pf, nil
 		},
 	})
 	return Handle[T]{b: b, idx: len(b.cells) - 1}
@@ -132,9 +145,10 @@ func (b *Builder) Intset(cfg intset.Config, rep int) Handle[IntsetCell] {
 	cfg = b.applyIntset(cfg)
 	key := intsetKey("intset", cfg, rep)
 	cfg.Seed = sweep.DeriveSeed(b.spec.seed(), key)
-	return addCell[IntsetCell](b, key, cfg, cfg.Seed, func(rec *obs.Recorder) (any, error) {
+	return addCell[IntsetCell](b, key, cfg, cfg.Seed, func(rec *obs.Recorder, pp *prof.Profiler) (any, error) {
 		c := cfg
 		c.Obs = rec
+		c.Prof = pp
 		res, err := intset.Run(c)
 		if err != nil {
 			return nil, err
@@ -239,9 +253,10 @@ func (b *Builder) stampCell(cfg stamp.Config, rep int) (stamp.Config, string) {
 // Stamp declares one timed STAMP cell.
 func (b *Builder) Stamp(cfg stamp.Config, rep int) Handle[StampCell] {
 	cfg, key := b.stampCell(cfg, rep)
-	return addCell[StampCell](b, key, cfg, cfg.Seed, func(rec *obs.Recorder) (any, error) {
+	return addCell[StampCell](b, key, cfg, cfg.Seed, func(rec *obs.Recorder, pp *prof.Profiler) (any, error) {
 		c := cfg
 		c.Obs = rec
+		c.Prof = pp
 		res, err := stamp.Run(c)
 		if err != nil {
 			return nil, err
@@ -271,9 +286,10 @@ func (b *Builder) StampProbeCell(cfg stamp.Config) Handle[StampProbe] {
 	cfg = b.applyStamp(cfg)
 	key := "probe/" + stampKey(cfg, 0)
 	cfg.Seed = sweep.DeriveSeed(b.spec.seed(), key)
-	return addCell[StampProbe](b, key, cfg, cfg.Seed, func(rec *obs.Recorder) (any, error) {
+	return addCell[StampProbe](b, key, cfg, cfg.Seed, func(rec *obs.Recorder, pp *prof.Profiler) (any, error) {
 		c := cfg
 		c.Obs = rec
+		c.Prof = pp
 		res, err := stamp.Run(c)
 		if err != nil {
 			return nil, err
@@ -322,7 +338,7 @@ func (b *Builder) Threadtest(cfg threadtest.Config, rep int) Handle[ThreadtestCe
 	key := fmt.Sprintf("threadtest/%s/t%d/b%d/o%d/w%d/r%d",
 		cfg.Allocator, cfg.Threads, cfg.BlockSize, cfg.OpsPerThread, cfg.TouchWords, rep)
 	seed := sweep.DeriveSeed(b.spec.seed(), key)
-	return addCell[ThreadtestCell](b, key, cfg, seed, func(*obs.Recorder) (any, error) {
+	return addCell[ThreadtestCell](b, key, cfg, seed, func(*obs.Recorder, *prof.Profiler) (any, error) {
 		res, err := threadtest.Run(cfg)
 		if err != nil {
 			return nil, err
@@ -365,7 +381,7 @@ func (b *Builder) HyTM(cfg intset.Config, rep int) Handle[HyTMCell] {
 	cfg.Obs = nil
 	key := intsetKey("hytm", cfg, rep)
 	cfg.Seed = sweep.DeriveSeed(b.spec.seed(), key)
-	return addCell[HyTMCell](b, key, cfg, cfg.Seed, func(rec *obs.Recorder) (any, error) {
+	return addCell[HyTMCell](b, key, cfg, cfg.Seed, func(rec *obs.Recorder, _ *prof.Profiler) (any, error) {
 		c := cfg
 		c.Obs = rec
 		res, err := intset.RunHyTM(c)
@@ -391,7 +407,7 @@ func (b *Builder) Static(fn func() (*Result, error)) Handle[Result] {
 	key := "static/" + b.id
 	spec := staticSpec{ID: b.id, Full: b.spec.Full}
 	seed := sweep.DeriveSeed(b.spec.seed(), key)
-	return addCell[Result](b, key, spec, seed, func(*obs.Recorder) (any, error) {
+	return addCell[Result](b, key, spec, seed, func(*obs.Recorder, *prof.Profiler) (any, error) {
 		return fn()
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/stm"
 	"repro/internal/sweep"
 )
@@ -34,6 +35,7 @@ type ExperimentRun struct {
 	Err        error
 	Health     *Health
 	Sweep      *obs.SweepInfo // cell accounting for the run record
+	Profile    *prof.Profile  // merged cycle attribution; nil when unprofiled
 }
 
 // jobs returns the normalized pool width.
@@ -87,8 +89,8 @@ func (s *Session) Run(ids []string) ([]*ExperimentRun, sweep.Stats) {
 	}
 
 	cache := s.Cache
-	if s.Spec.Obs != nil {
-		cache = nil // observability implies execution
+	if s.Spec.Obs != nil || s.Spec.Profile {
+		cache = nil // observability and profiling imply execution
 	}
 	sched := sweep.Scheduler{Jobs: s.jobs(), Cache: cache}
 	outs, stats := sched.Run(cells)
@@ -98,10 +100,12 @@ func (s *Session) Run(ids []string) ([]*ExperimentRun, sweep.Stats) {
 	// merged trace is identical to what a serial no-dedup run would
 	// produce up to that sharing.
 	merged := make(map[*obs.Delta]bool)
+	profiled := make(map[*prof.Profile]bool)
 	for _, p := range plans {
 		p.b.outs = outs[p.lo:p.hi]
 		sw := &obs.SweepInfo{CellSet: sweep.CellSetHash(p.b.cells), Cells: len(p.b.cells)}
 		var firstErr error
+		var profiles []*prof.Profile
 		for _, o := range p.b.outs {
 			switch {
 			case o.Err != nil:
@@ -118,10 +122,21 @@ func (s *Session) Run(ids []string) ([]*ExperimentRun, sweep.Stats) {
 				merged[o.Delta] = true
 				s.Spec.Obs.Apply(o.Delta)
 			}
+			if o.Profile != nil && !profiled[o.Profile] {
+				profiled[o.Profile] = true
+				profiles = append(profiles, o.Profile)
+			}
 			var ch CellHealth
 			if json.Unmarshal(o.Payload, &ch) == nil {
 				p.run.Health.Note(ch.Status, ch.Failure)
 			}
+		}
+		if len(profiles) > 0 {
+			// Deduplicated cells share one Outcome (and Profile pointer):
+			// like deltas, each distinct profile merges exactly once, at
+			// its first reference, in cell-index order.
+			p.run.Profile = prof.Merge(profiles...)
+			p.run.Profile.Label = p.run.ID
 		}
 		p.run.Sweep = sw
 		if firstErr != nil {
@@ -203,6 +218,9 @@ func (s *Session) Record(run *ExperimentRun) *obs.RunRecord {
 			rec.Series = append(rec.Series, obs.Series{Label: sr.Label, X: sr.X, Y: sr.Y, Err: sr.Err})
 		}
 		rec.Notes = r.Notes
+	}
+	if run.Profile != nil {
+		rec.Profile = run.Profile.Info()
 	}
 	rec.Attach(s.Spec.Obs)
 	return rec

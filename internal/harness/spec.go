@@ -28,8 +28,9 @@ type Spec struct {
 	Fault    string  // fault-plan spec (internal/fault grammar); "" disables
 	Deadline *uint64 // virtual-cycle watchdog bound per workload phase; nil = none
 
-	Obs    *obs.Recorder // observability sink; nil disables
-	Health *Health       // aggregated run status; nil = one is created per experiment
+	Obs     *obs.Recorder // observability sink; nil disables
+	Profile bool          // per-cell cycle-attribution profiling
+	Health  *Health       // aggregated run status; nil = one is created per experiment
 }
 
 // DefaultSeed is the suite's base seed when Spec.Seed is nil.

@@ -19,6 +19,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/stm"
 	"repro/internal/txstruct"
@@ -81,6 +82,10 @@ type Config struct {
 	// memory. The field is part of the spec, so seeded and clean runs
 	// hash to different cells.
 	SeedUAF bool
+	// Prof, when non-nil, attributes every virtual cycle of the run to
+	// (thread, region-stack, allocator) buckets. Excluded from spec
+	// hashing — profiling never changes what a cell computes.
+	Prof *prof.Profiler `json:"-"`
 }
 
 func (c *Config) fill() {
@@ -156,9 +161,13 @@ func Run(cfg Config) (res Result, err error) {
 		}
 	}()
 	cache := cachesim.New(cachesim.DefaultCores)
-	engine := vtime.NewEngine(space, cfg.Threads, vtime.Config{
+	engineCfg := vtime.Config{
 		Cache: cache, Obs: cfg.Obs, Deadline: cfg.Deadline,
-	})
+	}
+	if cfg.Prof != nil {
+		engineCfg.Prof = cfg.Prof
+	}
+	engine := vtime.NewEngine(space, cfg.Threads, engineCfg)
 	stmCfg := stm.Config{
 		Shift:          cfg.Shift,
 		Design:         cfg.Design,
@@ -167,12 +176,14 @@ func Run(cfg Config) (res Result, err error) {
 		Obs:            cfg.Obs,
 		CM:             cfg.CM,
 		RetryCap:       cfg.RetryCap,
+		Prof:           cfg.Prof,
 	}
 	if plan != nil {
 		stmCfg.Fault = plan
 	}
 	st := stm.New(space, stmCfg)
 	alloc.Observe(allocator, cfg.Obs)
+	alloc.Profile(allocator, cfg.Prof)
 	cfg.Obs.BeginPhase(fmt.Sprintf("intset/%s/%s/t%d/u%d",
 		cfg.Kind, cfg.Allocator, cfg.Threads, cfg.UpdatePct))
 
@@ -182,6 +193,10 @@ func Run(cfg Config) (res Result, err error) {
 	// Initialization: the main thread (thread 0) allocates and inserts
 	// every initial node.
 	engine.Run(func(th *vtime.Thread) {
+		if p := cfg.Prof; p != nil {
+			p.Begin(th, "intset/init")
+			defer p.End(th)
+		}
 		if th.ID() != 0 {
 			return
 		}
@@ -221,6 +236,10 @@ func Run(cfg Config) (res Result, err error) {
 	txBase := st.Stats()
 
 	engine.Run(func(th *vtime.Thread) {
+		if p := cfg.Prof; p != nil {
+			p.Begin(th, "intset/run")
+			defer p.End(th)
+		}
 		if cfg.SeedUAF && th.ID() == 0 {
 			var p mem.Addr
 			st.Atomic(th, func(tx *stm.Tx) { p = tx.Malloc(64); tx.Store(p, 0xdead) })

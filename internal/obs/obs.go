@@ -33,6 +33,7 @@ const (
 	KindFault                   // an injected or detected fault (OOM, bad free, storm, stall)
 	KindIrrevocable             // a transaction ran irrevocably under the fallback lock
 	KindWatchdog                // the harness watchdog fired (deadline / captured panic)
+	KindRegion                  // a closed profiler region (dur = region span)
 	kindCount
 )
 
@@ -58,6 +59,8 @@ func (k Kind) String() string {
 		return "irrevocable"
 	case KindWatchdog:
 		return "watchdog"
+	case KindRegion:
+		return "region"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -77,6 +80,8 @@ func (k Kind) Cat() string {
 		return "stm"
 	case KindWatchdog:
 		return "harness"
+	case KindRegion:
+		return "prof"
 	}
 	return "obs"
 }
@@ -419,6 +424,17 @@ func (r *Recorder) Watchdog(label string, tid int, clock uint64) {
 	}
 	r.reg.Counter(`watchdog_trips_total{trigger="` + label + `"}`).Inc()
 	r.push(tid, Event{Kind: KindWatchdog, TS: clock, Label: label})
+}
+
+// Region records one closed profiler region spanning [start, end] —
+// the bridge that puts prof's phase structure on the trace's
+// per-thread tracks. Emitted only when a run is both traced and
+// profiled (prof.Profiler.SetRecorder).
+func (r *Recorder) Region(tid int, start, end uint64, name string) {
+	if r == nil {
+		return
+	}
+	r.push(tid, Event{Kind: KindRegion, TS: start, Dur: end - start, Label: name})
 }
 
 // Gauge sets a named gauge (convenience passthrough).

@@ -71,6 +71,18 @@ type SweepInfo struct {
 	Jobs     int    `json:"jobs,omitempty"` // host goroutine pool width used
 }
 
+// ProfileInfo summarizes the cycle-attribution profile captured for a
+// run (the full profile is its own artifact; the record carries only
+// its identity and extent). It lives here rather than in internal/prof
+// because prof builds on obs; the prof package fills it in.
+type ProfileInfo struct {
+	Schema      string `json:"schema"`       // profile artifact schema (tmprof/profile/v1)
+	Samples     int    `json:"samples"`      // (thread, region-stack) buckets
+	Frames      int    `json:"frames"`       // distinct region frames
+	Threads     int    `json:"threads"`      // logical threads attributed
+	TotalCycles uint64 `json:"total_cycles"` // sum over all buckets == summed thread clocks
+}
+
 // RunRecord is the machine-readable artifact of one experiment run —
 // what BENCH_<exp>.json files hold. Everything in it derives from
 // virtual time and fixed seeds, so records are reproducible
@@ -90,6 +102,7 @@ type RunRecord struct {
 	Metrics       *Snapshot    `json:"metrics,omitempty"`
 	Stripes       []StripeJSON `json:"stripe_heatmap,omitempty"`
 	Trace         *TraceInfo   `json:"trace,omitempty"`
+	Profile       *ProfileInfo `json:"profile,omitempty"` // cycle-attribution summary (v2, PR 5)
 }
 
 // NewRunRecord returns a record stamped with the current schema.

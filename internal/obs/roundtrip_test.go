@@ -70,6 +70,13 @@ func fullRecord() *RunRecord {
 			ByKind:  map[string]int{"tx_commit": 100, "malloc": 28},
 			Phases:  []string{"init", "measure"},
 		},
+		Profile: &ProfileInfo{
+			Schema:      "tmprof/profile/v1",
+			Samples:     96,
+			Frames:      24,
+			Threads:     8,
+			TotalCycles: 1 << 30,
+		},
 	}
 }
 

@@ -89,6 +89,8 @@ func chromeEvent(ev Event) string {
 		args = fmt.Sprintf(`"consec_aborts":%d`, ev.A)
 	case KindWatchdog:
 		args = fmt.Sprintf(`"trigger":%q`, ev.Label)
+	case KindRegion:
+		args = fmt.Sprintf(`"region":%q`, ev.Label)
 	default:
 		return head + "}"
 	}

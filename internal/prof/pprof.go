@@ -1,0 +1,397 @@
+package prof
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// This file encodes a Profile as a gzipped pprof profile.proto — the
+// format `go tool pprof` and the pprof web UI consume — using a small
+// hand-rolled protobuf writer (the repository is stdlib-only). Only the
+// message subset a profile needs is implemented:
+//
+//	Profile:  1 sample_type (ValueType), 2 sample (Sample),
+//	          4 location (Location), 5 function (Function),
+//	          6 string_table (string)
+//	Sample:   1 location_id (packed uint64, leaf first), 2 value
+//	          (packed int64), 3 label (Label)
+//	Label:    1 key, 3 num       (one "thread" label per sample)
+//	Location: 1 id, 4 line (Line)
+//	Line:     1 function_id
+//	Function: 1 id, 2 name
+//	ValueType: 1 type, 2 unit
+//
+// Wall-clock provenance fields (time_nanos, duration_nanos, period)
+// are deliberately omitted so the artifact stays byte-deterministic;
+// the gzip wrapper is deterministic too (zero ModTime, fixed OS byte).
+// decodePprof is the matching reader, kept in-tree so round-trip tests
+// pin the wire format without an external protobuf dependency.
+
+const (
+	wireVarint = 0
+	wireF64    = 1
+	wireBytes  = 2
+	wireF32    = 5
+)
+
+// protoBuf is a minimal protobuf wire-format writer.
+type protoBuf struct{ b []byte }
+
+func (e *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		e.b = append(e.b, byte(v)|0x80)
+		v >>= 7
+	}
+	e.b = append(e.b, byte(v))
+}
+
+func (e *protoBuf) tag(field, wire int) { e.varint(uint64(field)<<3 | uint64(wire)) }
+
+// uintField emits a varint field, omitting proto3 zero values.
+func (e *protoBuf) uintField(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	e.tag(field, wireVarint)
+	e.varint(v)
+}
+
+func (e *protoBuf) bytesField(field int, data []byte) {
+	e.tag(field, wireBytes)
+	e.varint(uint64(len(data)))
+	e.b = append(e.b, data...)
+}
+
+func (e *protoBuf) stringField(field int, s string) {
+	e.tag(field, wireBytes)
+	e.varint(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// packedField emits a repeated varint field in packed encoding.
+func (e *protoBuf) packedField(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var inner protoBuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	e.bytesField(field, inner.b)
+}
+
+// WritePprof writes the profile as a gzipped pprof profile.proto with
+// one sample type ("virtual-cycles"/"cycles") and a "thread" number
+// label carrying each sample's logical thread id.
+func (p *Profile) WritePprof(w io.Writer) error {
+	var st []string
+	strIdx := make(map[string]uint64)
+	str := func(s string) uint64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := uint64(len(st))
+		strIdx[s] = i
+		st = append(st, s)
+		return i
+	}
+	str("") // string_table[0] must be ""
+
+	var out protoBuf
+
+	var vt protoBuf
+	vt.uintField(1, str("virtual-cycles"))
+	vt.uintField(2, str("cycles"))
+	out.bytesField(1, vt.b)
+
+	// Function/location ids are assigned in first-use order over the
+	// canonically sorted sample list, so the artifact is deterministic.
+	funcIdx := make(map[string]uint64)
+	var funcs []string
+	fn := func(frame string) uint64 {
+		if id, ok := funcIdx[frame]; ok {
+			return id
+		}
+		id := uint64(len(funcs) + 1)
+		funcIdx[frame] = id
+		funcs = append(funcs, frame)
+		return id
+	}
+	threadKey := str("thread")
+
+	for _, s := range p.Samples {
+		var sm protoBuf
+		locs := make([]uint64, 0, len(s.Stack))
+		for i := len(s.Stack) - 1; i >= 0; i-- { // pprof stacks are leaf first
+			locs = append(locs, fn(s.Stack[i]))
+		}
+		sm.packedField(1, locs)
+		sm.packedField(2, []uint64{s.Cycles})
+		var lb protoBuf
+		lb.uintField(1, threadKey)
+		lb.uintField(3, uint64(s.TID))
+		sm.bytesField(3, lb.b)
+		out.bytesField(2, sm.b)
+	}
+
+	// One location per function, same id (each frame is its own
+	// synthetic call site).
+	for i, frame := range funcs {
+		id := uint64(i + 1)
+		var line protoBuf
+		line.uintField(1, id)
+		var loc protoBuf
+		loc.uintField(1, id)
+		loc.bytesField(4, line.b)
+		out.bytesField(4, loc.b)
+
+		var f protoBuf
+		f.uintField(1, id)
+		f.uintField(2, str(frame))
+		out.bytesField(5, f.b)
+	}
+
+	for _, s := range st {
+		out.stringField(6, s)
+	}
+
+	gz := gzip.NewWriter(w) // zero ModTime: output is byte-deterministic
+	if _, err := gz.Write(out.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// --- decoder (round-trip tests) ---
+
+// protoReader walks one message's fields.
+type protoReader struct{ b []byte }
+
+func (d *protoReader) varint() (uint64, error) {
+	var v uint64
+	for shift := 0; shift < 64; shift += 7 {
+		if len(d.b) == 0 {
+			return 0, fmt.Errorf("prof: truncated varint")
+		}
+		c := d.b[0]
+		d.b = d.b[1:]
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("prof: varint overflow")
+}
+
+// field consumes one field; payload is the bytes for wireBytes fields,
+// val the value for wireVarint fields.
+func (d *protoReader) field() (fieldNum int, wire int, val uint64, payload []byte, err error) {
+	tag, err := d.varint()
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	fieldNum, wire = int(tag>>3), int(tag&7)
+	switch wire {
+	case wireVarint:
+		val, err = d.varint()
+	case wireBytes:
+		var n uint64
+		if n, err = d.varint(); err == nil {
+			if n > uint64(len(d.b)) {
+				return 0, 0, 0, nil, fmt.Errorf("prof: truncated bytes field")
+			}
+			payload, d.b = d.b[:n], d.b[n:]
+		}
+	case wireF64:
+		if len(d.b) < 8 {
+			return 0, 0, 0, nil, fmt.Errorf("prof: truncated fixed64")
+		}
+		d.b = d.b[8:]
+	case wireF32:
+		if len(d.b) < 4 {
+			return 0, 0, 0, nil, fmt.Errorf("prof: truncated fixed32")
+		}
+		d.b = d.b[4:]
+	default:
+		err = fmt.Errorf("prof: unsupported wire type %d", wire)
+	}
+	return fieldNum, wire, val, payload, err
+}
+
+// packedOrSingle appends a repeated varint field's values, accepting
+// both packed and unpacked encodings.
+func packedOrSingle(vals []uint64, wire int, val uint64, payload []byte) ([]uint64, error) {
+	if wire == wireVarint {
+		return append(vals, val), nil
+	}
+	d := &protoReader{payload}
+	for len(d.b) > 0 {
+		v, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
+}
+
+// decodePprof reverses WritePprof: it reads a gzipped profile.proto and
+// reconstructs the canonical Profile (samples re-sorted, totals
+// recomputed, label empty — pprof has no label field).
+func decodePprof(r io.Reader) (*Profile, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("prof: pprof gunzip: %w", err)
+	}
+	raw, err := io.ReadAll(gz)
+	if err != nil {
+		return nil, fmt.Errorf("prof: pprof gunzip: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		return nil, err
+	}
+
+	type rawSample struct {
+		locs   []uint64
+		values []uint64
+		tid    int
+	}
+	var (
+		samples    []rawSample
+		strTable   []string
+		locFunc    = make(map[uint64]uint64) // location id -> function id
+		funcName   = make(map[uint64]uint64) // function id -> name index
+		sampleType [][2]uint64
+	)
+
+	top := &protoReader{raw}
+	for len(top.b) > 0 {
+		num, _, _, payload, err := top.field()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case 1: // sample_type
+			vt := &protoReader{payload}
+			var typ, unit uint64
+			for len(vt.b) > 0 {
+				n, _, v, _, err := vt.field()
+				if err != nil {
+					return nil, err
+				}
+				switch n {
+				case 1:
+					typ = v
+				case 2:
+					unit = v
+				}
+			}
+			sampleType = append(sampleType, [2]uint64{typ, unit})
+		case 2: // sample
+			sm := &protoReader{payload}
+			var rs rawSample
+			for len(sm.b) > 0 {
+				n, w, v, pl, err := sm.field()
+				if err != nil {
+					return nil, err
+				}
+				switch n {
+				case 1:
+					if rs.locs, err = packedOrSingle(rs.locs, w, v, pl); err != nil {
+						return nil, err
+					}
+				case 2:
+					if rs.values, err = packedOrSingle(rs.values, w, v, pl); err != nil {
+						return nil, err
+					}
+				case 3:
+					lb := &protoReader{pl}
+					for len(lb.b) > 0 {
+						ln, _, lv, _, err := lb.field()
+						if err != nil {
+							return nil, err
+						}
+						if ln == 3 { // the encoder's only num label is "thread"
+							rs.tid = int(lv)
+						}
+					}
+				}
+			}
+			samples = append(samples, rs)
+		case 4: // location
+			loc := &protoReader{payload}
+			var id, funcID uint64
+			for len(loc.b) > 0 {
+				n, _, v, pl, err := loc.field()
+				if err != nil {
+					return nil, err
+				}
+				switch n {
+				case 1:
+					id = v
+				case 4:
+					line := &protoReader{pl}
+					for len(line.b) > 0 {
+						ln, _, lv, _, err := line.field()
+						if err != nil {
+							return nil, err
+						}
+						if ln == 1 {
+							funcID = lv
+						}
+					}
+				}
+			}
+			locFunc[id] = funcID
+		case 5: // function
+			f := &protoReader{payload}
+			var id, name uint64
+			for len(f.b) > 0 {
+				n, _, v, _, err := f.field()
+				if err != nil {
+					return nil, err
+				}
+				switch n {
+				case 1:
+					id = v
+				case 2:
+					name = v
+				}
+			}
+			funcName[id] = name
+		case 6: // string_table
+			strTable = append(strTable, string(payload))
+		}
+	}
+
+	str := func(i uint64) (string, error) {
+		if i >= uint64(len(strTable)) {
+			return "", fmt.Errorf("prof: string index %d out of table range %d", i, len(strTable))
+		}
+		return strTable[i], nil
+	}
+	if len(sampleType) != 1 {
+		return nil, fmt.Errorf("prof: want 1 sample type, got %d", len(sampleType))
+	}
+	out := &Profile{Schema: Schema}
+	for _, rs := range samples {
+		if len(rs.values) != 1 {
+			return nil, fmt.Errorf("prof: sample carries %d values, want 1", len(rs.values))
+		}
+		stack := make([]string, len(rs.locs))
+		for i, loc := range rs.locs {
+			name, err := str(funcName[locFunc[loc]])
+			if err != nil {
+				return nil, err
+			}
+			stack[len(rs.locs)-1-i] = name // leaf-first wire order -> root first
+		}
+		out.Samples = append(out.Samples, Sample{TID: rs.tid, Stack: stack, Cycles: rs.values[0]})
+	}
+	sortSamples(out.Samples)
+	for _, s := range out.Samples {
+		out.TotalCycles += s.Cycles
+	}
+	return out, nil
+}

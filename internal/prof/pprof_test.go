@@ -1,0 +1,90 @@
+package prof
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// tripProfile is a non-trivial fixture: multiple threads, shared and
+// disjoint frames, deep stacks, stall leaves, and an untracked bucket.
+func tripProfile() *Profile {
+	p := &Profile{
+		Schema: Schema,
+		Label:  "fig4/glibc/t8",
+		Samples: []Sample{
+			{TID: 0, Stack: []string{UntrackedFrame}, Cycles: 11},
+			{TID: 0, Stack: []string{"intset/run", "stm/commit"}, Cycles: 420},
+			{TID: 0, Stack: []string{"intset/run", "stm/commit", "stall/L1"}, Cycles: 37},
+			{TID: 1, Stack: []string{"intset/run", "glibc/malloc"}, Cycles: 9000},
+			{TID: 1, Stack: []string{"intset/run", "glibc/malloc", "stall/memory"}, Cycles: 123456789},
+			{TID: 7, Stack: []string{"intset/init"}, Cycles: 1},
+			{TID: 7, Stack: []string{"intset/run", "stm/abort", "stall/coherence"}, Cycles: 300},
+		},
+	}
+	sortSamples(p.Samples)
+	for _, s := range p.Samples {
+		p.TotalCycles += s.Cycles
+	}
+	return p
+}
+
+// TestPprofRoundTrip pins the wire format: encoding then decoding must
+// reconstruct the exact sample set and totals. (The label is not part
+// of the pprof format and is expected to drop.)
+func TestPprofRoundTrip(t *testing.T) {
+	p := tripProfile()
+	var buf bytes.Buffer
+	if err := p.WritePprof(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodePprof(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Samples, p.Samples) {
+		t.Errorf("round-tripped samples differ:\ngot  %+v\nwant %+v", got.Samples, p.Samples)
+	}
+	if got.TotalCycles != p.TotalCycles {
+		t.Errorf("round-tripped total = %d, want %d", got.TotalCycles, p.TotalCycles)
+	}
+}
+
+// TestPprofDeterministic requires byte-identical artifacts for repeated
+// encodes — the property the CI byte-identity gates rely on.
+func TestPprofDeterministic(t *testing.T) {
+	p := tripProfile()
+	var a, b bytes.Buffer
+	if err := p.WritePprof(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WritePprof(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("repeated pprof encodes must be byte-identical")
+	}
+}
+
+// TestPprofEmpty checks the degenerate artifact still decodes.
+func TestPprofEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Profile{Schema: Schema}).WritePprof(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodePprof(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != 0 || got.TotalCycles != 0 {
+		t.Errorf("empty profile round-trip = %+v, want no samples", got)
+	}
+}
+
+// TestPprofRejectsGarbage checks the decoder fails loudly rather than
+// fabricating a profile.
+func TestPprofRejectsGarbage(t *testing.T) {
+	if _, err := decodePprof(bytes.NewReader([]byte("not gzip"))); err == nil {
+		t.Error("decoder must reject non-gzip input")
+	}
+}

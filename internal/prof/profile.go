@@ -1,0 +1,288 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Schema identifies the profile artifact format.
+const Schema = "tmprof/profile/v1"
+
+// Profile is the serializable form of a run's cycle attribution:
+// a flat, canonically ordered list of (thread, region-stack, cycles)
+// samples. TotalCycles is the sum over all samples, which by
+// construction equals the summed thread clocks of the profiled run.
+type Profile struct {
+	Schema      string   `json:"schema"`
+	Label       string   `json:"label,omitempty"`
+	TotalCycles uint64   `json:"total_cycles"`
+	Samples     []Sample `json:"samples"`
+}
+
+// Sample is one attribution bucket: the virtual cycles thread TID
+// spent with exactly this region stack open (root first, leaf last).
+type Sample struct {
+	TID    int      `json:"tid"`
+	Stack  []string `json:"stack"`
+	Cycles uint64   `json:"cycles"`
+}
+
+// stackKey is the canonical comparison/merge key for a region stack.
+// Frames never contain NUL, so the join is injective.
+func stackKey(stack []string) string { return strings.Join(stack, "\x00") }
+
+func sortSamples(samples []Sample) {
+	sort.Slice(samples, func(i, j int) bool {
+		if samples[i].TID != samples[j].TID {
+			return samples[i].TID < samples[j].TID
+		}
+		return stackKey(samples[i].Stack) < stackKey(samples[j].Stack)
+	})
+}
+
+// WriteJSON writes the profile's canonical JSON artifact form.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadJSON decodes a profile written by WriteJSON.
+func ReadJSON(r io.Reader) (*Profile, error) {
+	var p Profile
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("prof: decode profile: %w", err)
+	}
+	if p.Schema != Schema {
+		return nil, fmt.Errorf("prof: unsupported profile schema %q (want %q)", p.Schema, Schema)
+	}
+	return &p, nil
+}
+
+// WriteFolded writes the profile as folded stacks — one
+// "t<tid>;frame;frame cycles" line per sample — the format
+// flamegraph.pl and speedscope consume directly.
+func (p *Profile) WriteFolded(w io.Writer) error {
+	for _, s := range p.Samples {
+		if _, err := fmt.Fprintf(w, "t%d;%s %d\n", s.TID, strings.Join(s.Stack, ";"), s.Cycles); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Info condenses the profile into the run-record section: enough for a
+// record reader to know a profile was captured and how big it is,
+// without embedding the (potentially large) sample list in the record.
+func (p *Profile) Info() *obs.ProfileInfo {
+	if p == nil {
+		return nil
+	}
+	frames := make(map[string]bool)
+	threads := make(map[int]bool)
+	for _, s := range p.Samples {
+		threads[s.TID] = true
+		for _, f := range s.Stack {
+			frames[f] = true
+		}
+	}
+	return &obs.ProfileInfo{
+		Schema:      p.Schema,
+		Samples:     len(p.Samples),
+		Frames:      len(frames),
+		Threads:     len(threads),
+		TotalCycles: p.TotalCycles,
+	}
+}
+
+// Merge combines profiles by summing cycles per (thread, stack)
+// bucket — the deterministic reduction for per-cell profiles from a
+// sweep. Nil inputs are skipped; the result is canonically ordered.
+// Merge never mutates its inputs.
+func Merge(profiles ...*Profile) *Profile {
+	out := &Profile{Schema: Schema}
+	type key struct {
+		tid   int
+		stack string
+	}
+	cycles := make(map[key]uint64)
+	stacks := make(map[key][]string)
+	for _, p := range profiles {
+		if p == nil {
+			continue
+		}
+		if out.Label == "" {
+			out.Label = p.Label
+		}
+		for _, s := range p.Samples {
+			k := key{s.TID, stackKey(s.Stack)}
+			cycles[k] += s.Cycles
+			if _, ok := stacks[k]; !ok {
+				stacks[k] = s.Stack
+			}
+		}
+	}
+	for k, c := range cycles {
+		out.Samples = append(out.Samples, Sample{TID: k.tid, Stack: stacks[k], Cycles: c})
+	}
+	sortSamples(out.Samples)
+	for _, s := range out.Samples {
+		out.TotalCycles += s.Cycles
+	}
+	return out
+}
+
+// FrameStat aggregates one frame across the whole profile: Self is the
+// cycles charged with the frame as the innermost region, Cum the cycles
+// of every sample whose stack contains it.
+type FrameStat struct {
+	Frame     string
+	Self, Cum uint64
+}
+
+// FrameStats returns per-frame flat/cumulative totals, sorted by Self
+// descending (ties broken by frame name) — the "top" view.
+func (p *Profile) FrameStats() []FrameStat {
+	self := make(map[string]uint64)
+	cum := make(map[string]uint64)
+	for _, s := range p.Samples {
+		if len(s.Stack) == 0 {
+			continue
+		}
+		self[s.Stack[len(s.Stack)-1]] += s.Cycles
+		seen := make(map[string]bool, len(s.Stack))
+		for _, f := range s.Stack {
+			if !seen[f] {
+				seen[f] = true
+				cum[f] += s.Cycles
+			}
+		}
+	}
+	out := make([]FrameStat, 0, len(cum))
+	for f := range cum {
+		out = append(out, FrameStat{Frame: f, Self: self[f], Cum: cum[f]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Self != out[j].Self {
+			return out[i].Self > out[j].Self
+		}
+		return out[i].Frame < out[j].Frame
+	})
+	return out
+}
+
+// DiffRow is one region stack's cycle totals in two profiles
+// (aggregated across threads). Delta is B minus A.
+type DiffRow struct {
+	Stack []string
+	A, B  uint64
+	Delta int64
+}
+
+// DiffReport is the per-region comparison of two profiles. Rows
+// partition both profiles completely: summing the A column over all
+// rows yields exactly TotalA, and likewise for B — the reconciliation
+// the report's footer states.
+type DiffReport struct {
+	LabelA, LabelB string
+	TotalA, TotalB uint64
+	Rows           []DiffRow
+}
+
+// Diff compares two profiles region-stack by region-stack (cycles
+// aggregated across threads, so the report survives differing thread
+// counts), sorted by absolute delta descending. Intended for same-seed
+// runs that differ in exactly one knob — e.g. the allocator — where
+// the top rows *are* the explanation of the end-to-end gap.
+func Diff(a, b *Profile) *DiffReport {
+	rep := &DiffReport{
+		LabelA: a.Label, LabelB: b.Label,
+		TotalA: a.TotalCycles, TotalB: b.TotalCycles,
+	}
+	av := make(map[string]uint64)
+	bv := make(map[string]uint64)
+	stacks := make(map[string][]string)
+	accum := func(p *Profile, into map[string]uint64) {
+		for _, s := range p.Samples {
+			k := stackKey(s.Stack)
+			into[k] += s.Cycles
+			if _, ok := stacks[k]; !ok {
+				stacks[k] = s.Stack
+			}
+		}
+	}
+	accum(a, av)
+	accum(b, bv)
+	keys := make([]string, 0, len(stacks))
+	for k := range stacks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		rep.Rows = append(rep.Rows, DiffRow{
+			Stack: stacks[k],
+			A:     av[k],
+			B:     bv[k],
+			Delta: int64(bv[k]) - int64(av[k]),
+		})
+	}
+	sort.SliceStable(rep.Rows, func(i, j int) bool {
+		di, dj := rep.Rows[i].Delta, rep.Rows[j].Delta
+		if di < 0 {
+			di = -di
+		}
+		if dj < 0 {
+			dj = -dj
+		}
+		return di > dj
+	})
+	return rep
+}
+
+// WriteText renders the report's top-n rows (n <= 0 means all) plus
+// the reconciling totals footer.
+func (r *DiffReport) WriteText(w io.Writer, n int) error {
+	la, lb := r.LabelA, r.LabelB
+	if la == "" {
+		la = "a"
+	}
+	if lb == "" {
+		lb = "b"
+	}
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pr("%14s %14s %14s  %s\n", la, lb, "delta", "region stack")
+	var sumA, sumB uint64
+	for i, row := range r.Rows {
+		sumA += row.A
+		sumB += row.B
+		if n <= 0 || i < n {
+			pr("%14d %14d %+14d  %s\n", row.A, row.B, row.Delta, strings.Join(row.Stack, ";"))
+		}
+	}
+	if n > 0 && len(r.Rows) > n {
+		pr("%s(%d more rows)\n", strings.Repeat(" ", 46), len(r.Rows)-n)
+	}
+	pr("%14d %14d %+14d  total over %d region stacks\n",
+		sumA, sumB, int64(sumB)-int64(sumA), len(r.Rows))
+	if sumA == r.TotalA && sumB == r.TotalB {
+		pr("totals reconcile: row sums equal both profiles' total virtual cycles\n")
+	} else {
+		pr("WARNING: totals do not reconcile (profile a %d vs rows %d; profile b %d vs rows %d)\n",
+			r.TotalA, sumA, r.TotalB, sumB)
+	}
+	return err
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/stm"
 	"repro/internal/vtime"
 )
@@ -61,6 +62,10 @@ type Config struct {
 	RetryCap  uint64        // irrevocable-fallback threshold (0 = default)
 	Fault     string        // fault-plan spec (internal/fault grammar); "" disables
 	Deadline  uint64        // virtual-cycle watchdog bound per phase; 0 disables
+	// Prof, when non-nil, attributes every virtual cycle of the run to
+	// (thread, region-stack, allocator) buckets. Excluded from spec
+	// hashing — profiling never changes what a cell computes.
+	Prof *prof.Profiler `json:"-"`
 }
 
 // Result reports one run.
@@ -88,7 +93,20 @@ type World struct {
 	Scale     Scale
 	Variant   Variant
 	Seed      uint64
+	Prof      *prof.Profiler // cycle-attribution profiler; nil disables
 	prof      *profAlloc
+}
+
+// Region opens a named profiler region on th and returns its closer,
+// for use as `defer w.Region(th, "app/phase")()`. A no-op closure when
+// profiling is off, so applications can call it unconditionally.
+func (w *World) Region(th *vtime.Thread, name string) func() {
+	p := w.Prof
+	if p == nil {
+		return func() {}
+	}
+	p.Begin(th, name)
+	return func() { p.End(th) }
 }
 
 // mallocRetries and mallocRetryWait bound how long a non-transactional
@@ -249,10 +267,15 @@ func Run(cfg Config) (res Result, err error) {
 		}
 	}()
 	cache := cachesim.New(cachesim.DefaultCores)
-	engine := vtime.NewEngine(space, cfg.Threads, vtime.Config{
+	engineCfg := vtime.Config{
 		Cache: cache, Obs: cfg.Obs, Deadline: cfg.Deadline,
-	})
+	}
+	if cfg.Prof != nil {
+		engineCfg.Prof = cfg.Prof
+	}
+	engine := vtime.NewEngine(space, cfg.Threads, engineCfg)
 	alloc.Observe(base, cfg.Obs)
+	alloc.Profile(base, cfg.Prof)
 	cfg.Obs.BeginPhase(fmt.Sprintf("stamp/%s/%s/t%d", cfg.App, cfg.Allocator, cfg.Threads))
 
 	w := &World{
@@ -262,6 +285,7 @@ func Run(cfg Config) (res Result, err error) {
 		Scale:     cfg.Scale,
 		Variant:   cfg.Variant,
 		Seed:      cfg.Seed,
+		Prof:      cfg.Prof,
 		Allocator: base,
 	}
 	if cfg.Profile {
@@ -275,6 +299,7 @@ func Run(cfg Config) (res Result, err error) {
 		Obs:            cfg.Obs,
 		CM:             cfg.CM,
 		RetryCap:       cfg.RetryCap,
+		Prof:           cfg.Prof,
 	}
 	if plan != nil {
 		stmCfg.Fault = plan

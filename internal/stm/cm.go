@@ -159,6 +159,10 @@ func (tx *Tx) checkKilled() {
 // backoffBase << min(consec, backoffMaxShift) cycles, with a
 // deterministic per-thread jitter so rivals don't re-collide in phase.
 func (tx *Tx) backoff(consec uint64) {
+	if p := tx.stm.prof; p != nil {
+		p.Begin(tx.th, "stm/backoff")
+		defer p.End(tx.th)
+	}
 	shift := consec
 	if shift > backoffMaxShift {
 		shift = backoffMaxShift
@@ -205,6 +209,10 @@ func (s *STM) activeOther(tid int) bool {
 func (s *STM) runIrrevocable(tx *Tx, fn func(tx *Tx), consec uint64) {
 	th := tx.th
 	start := th.Clock()
+	if p := s.prof; p != nil {
+		p.Begin(th, "stm/irrevocable")
+		defer p.End(th)
+	}
 	s.fallback.Lock(th)
 	defer s.fallback.Unlock(th)
 	for s.activeOther(th.ID()) {

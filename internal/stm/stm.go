@@ -31,6 +31,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/vtime"
 )
 
@@ -90,6 +91,10 @@ type Config struct {
 	// with cause and aliasing ORT stripe) and metrics. The disabled
 	// path costs one nil-check per transaction boundary.
 	Obs *obs.Recorder
+	// Prof, when non-nil, attributes STM phase cycles (load, store,
+	// validate, commit, abort, backoff, quarantine) to profiler
+	// regions. Attribution never advances virtual time.
+	Prof *prof.Profiler
 	// CM selects the contention manager (default CMSuicide, the
 	// paper's setting).
 	CM CM
@@ -207,6 +212,7 @@ type STM struct {
 	cacheTx   bool
 	design    Design
 	rec       *obs.Recorder
+	prof      *prof.Profiler
 	cm        CM
 	retryCap  uint64
 	fault     FaultHook
@@ -269,6 +275,7 @@ func New(space *mem.Space, cfg Config) *STM {
 		cacheTx:   cfg.CacheTxObjects,
 		design:    cfg.Design,
 		rec:       cfg.Obs,
+		prof:      cfg.Prof,
 		cm:        cfg.CM,
 		retryCap:  cfg.RetryCap,
 		fault:     cfg.Fault,
@@ -595,6 +602,10 @@ func (tx *Tx) abortNoStripe(reason AbortReason) {
 // deferred frees. Under write-through, memory is restored from the undo
 // log before the locks go.
 func (tx *Tx) rollback(reason AbortReason) {
+	if p := tx.stm.prof; p != nil {
+		p.Begin(tx.th, "stm/abort")
+		defer p.End(tx.th)
+	}
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		tx.th.Store(tx.undo[i].addr, tx.undo[i].value)
 	}
@@ -626,6 +637,10 @@ func (tx *Tx) Restart() {
 
 // validate re-checks every read-set entry against the current ORT.
 func (tx *Tx) validate() bool {
+	if p := tx.stm.prof; p != nil {
+		p.Begin(tx.th, "stm/validate")
+		defer p.End(tx.th)
+	}
 	for _, r := range tx.readSet {
 		w := tx.th.Load(tx.stm.ortAddr(r.idx))
 		if isLocked(w) {
@@ -657,6 +672,11 @@ func (tx *Tx) Load(a mem.Addr) uint64 {
 	tx.checkKilled()
 	tx.stats.LoadsTotal++
 	tx.karma++
+	if p := tx.stm.prof; p != nil {
+		// Deferred so an abort panic unwinds the region balanced.
+		p.Begin(tx.th, "stm/load")
+		defer p.End(tx.th)
+	}
 	tx.th.Tick(tx.th.Cost().TxAccess)
 	tx.sanCheck(a, false)
 	return tx.loadWord(a)
@@ -674,6 +694,10 @@ func (tx *Tx) LoadGuard(a mem.Addr) uint64 {
 	tx.checkKilled()
 	tx.stats.LoadsTotal++
 	tx.karma++
+	if p := tx.stm.prof; p != nil {
+		p.Begin(tx.th, "stm/load")
+		defer p.End(tx.th)
+	}
 	tx.th.Tick(tx.th.Cost().TxAccess)
 	tx.sanCheckGuard(a)
 	return tx.loadWord(a)
@@ -726,6 +750,10 @@ func (tx *Tx) Store(a mem.Addr, v uint64) {
 	tx.checkKilled()
 	tx.stats.StoresTotal++
 	tx.karma++
+	if p := tx.stm.prof; p != nil {
+		p.Begin(tx.th, "stm/store")
+		defer p.End(tx.th)
+	}
 	tx.th.Tick(tx.th.Cost().TxAccess)
 	tx.sanCheck(a, true)
 	switch tx.stm.design {
@@ -796,6 +824,10 @@ func (tx *Tx) acquire(idx uint64, a mem.Addr) {
 func (tx *Tx) commit() bool {
 	tx.checkKilled()
 	s := tx.stm
+	if p := s.prof; p != nil {
+		p.Begin(tx.th, "stm/commit")
+		defer p.End(tx.th)
+	}
 	if len(tx.writeSet) == 0 && len(tx.locked) == 0 {
 		// Read-only: the snapshot is consistent by construction.
 		tx.finishCommit()
@@ -928,6 +960,10 @@ func (s *STM) reclaim(th *vtime.Thread) {
 	}
 	s.reclaiming = true
 	defer func() { s.reclaiming = false }()
+	if p := s.prof; p != nil {
+		p.Begin(th, "stm/quarantine")
+		defer p.End(th)
+	}
 	// Loop: frees yield, so commits elsewhere may quarantine more blocks
 	// (and their barred reclaims count on this one picking them up).
 	for {

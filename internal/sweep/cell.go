@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/obs"
+	"repro/internal/prof"
 )
 
 // Version is the code-relevant version folded into every cell hash.
@@ -42,9 +43,9 @@ type Cell struct {
 	// Seed is the cell's derived seed (hashed too).
 	Seed uint64
 	// Run executes the cell and returns a JSON-serializable payload
-	// plus the cell's private observability delta (nil when the run
-	// was unobserved).
-	Run func() (payload any, delta *obs.Delta, err error)
+	// plus the cell's private observability delta and cycle-attribution
+	// profile (each nil when the run was unobserved/unprofiled).
+	Run func() (payload any, delta *obs.Delta, profile *prof.Profile, err error)
 
 	hash string
 }
@@ -102,10 +103,11 @@ type Outcome struct {
 	Key     string
 	Hash    string
 	Payload json.RawMessage
-	Delta   *obs.Delta // nil for cached or unobserved cells
-	Cached  bool       // served from the on-disk cache
-	Stolen  bool       // executed by a worker that stole it from another's deque
-	Err     error      // execution or (de)serialization failure
+	Delta   *obs.Delta    // nil for cached or unobserved cells
+	Profile *prof.Profile // nil for cached or unprofiled cells
+	Cached  bool          // served from the on-disk cache
+	Stolen  bool          // executed by a worker that stole it from another's deque
+	Err     error         // execution or (de)serialization failure
 
 	cacheErr bool // the payload could not be written back to the cache
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/prof"
 )
 
 // Scheduler executes cells on a bounded pool of host goroutines with
@@ -241,7 +242,7 @@ func (s *Scheduler) run(c *Cell, stolen bool) (out Outcome) {
 		out.Stolen = false
 		return out
 	}
-	payload, delta, err := runRecovered(c)
+	payload, delta, profile, err := runRecovered(c)
 	if err != nil {
 		out.Err = err
 		return out
@@ -253,10 +254,11 @@ func (s *Scheduler) run(c *Cell, stolen bool) (out Outcome) {
 	}
 	out.Payload = raw
 	out.Delta = delta
-	// Observed cells are never cached: a cache hit could not replay the
-	// trace. Callers enforce that by not configuring a Cache, but keep
-	// the invariant locally too.
-	if delta == nil {
+	out.Profile = profile
+	// Observed or profiled cells are never cached: a cache hit could not
+	// replay the trace or the cycle attribution. Callers enforce that by
+	// not configuring a Cache, but keep the invariant locally too.
+	if delta == nil && profile == nil {
 		if err := s.Cache.Put(c, raw); err != nil {
 			out.cacheErr = true
 		}
@@ -267,10 +269,11 @@ func (s *Scheduler) run(c *Cell, stolen bool) (out Outcome) {
 // runRecovered invokes the cell with panic capture: a cell that blows
 // up (a harness bug, an injected fault tripping an unguarded path)
 // fails alone instead of tearing down the whole sweep.
-func runRecovered(c *Cell) (payload any, delta *obs.Delta, err error) {
+func runRecovered(c *Cell) (payload any, delta *obs.Delta, profile *prof.Profile, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			payload, delta, err = nil, nil, fmt.Errorf("sweep: cell %s panicked: %v", c.Key, r)
+			payload, delta, profile = nil, nil, nil
+			err = fmt.Errorf("sweep: cell %s panicked: %v", c.Key, r)
 		}
 	}()
 	return c.Run()

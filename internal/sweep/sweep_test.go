@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/prof"
 )
 
 func TestDeriveSeed(t *testing.T) {
@@ -56,7 +57,9 @@ func payloadCell(key string, seed uint64, v string) Cell {
 		Key:  key,
 		Spec: json.RawMessage(fmt.Sprintf(`{"v":%q}`, v)),
 		Seed: seed,
-		Run:  func() (any, *obs.Delta, error) { return map[string]string{"v": v}, nil, nil },
+		Run: func() (any, *obs.Delta, *prof.Profile, error) {
+			return map[string]string{"v": v}, nil, nil, nil
+		},
 	}
 }
 
@@ -131,9 +134,9 @@ func TestSchedulerOrderAndDedup(t *testing.T) {
 		return Cell{
 			Key:  key,
 			Spec: json.RawMessage(fmt.Sprintf(`{"v":%q}`, v)),
-			Run: func() (any, *obs.Delta, error) {
+			Run: func() (any, *obs.Delta, *prof.Profile, error) {
 				executed.Add(1)
-				return v, nil, nil
+				return v, nil, nil, nil
 			},
 		}
 	}
@@ -171,7 +174,7 @@ func TestSchedulerPanicIsolation(t *testing.T) {
 	cells := []Cell{
 		payloadCell("ok", 1, "fine"),
 		{Key: "boom", Spec: json.RawMessage(`{}`),
-			Run: func() (any, *obs.Delta, error) { panic("injected") }},
+			Run: func() (any, *obs.Delta, *prof.Profile, error) { panic("injected") }},
 	}
 	s := &Scheduler{Jobs: 4}
 	outs, stats := s.Run(cells)
@@ -225,7 +228,7 @@ func TestSchedulerObservedCellsNotCached(t *testing.T) {
 	cell := Cell{
 		Key:  "observed",
 		Spec: json.RawMessage(`{}`),
-		Run:  func() (any, *obs.Delta, error) { return "v", rec.Delta(), nil },
+		Run:  func() (any, *obs.Delta, *prof.Profile, error) { return "v", rec.Delta(), nil, nil },
 	}
 	s := &Scheduler{Jobs: 1, Cache: c}
 	s.Run([]Cell{cell})

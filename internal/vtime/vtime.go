@@ -49,6 +49,23 @@ type deadlineSignal struct{}
 
 func (deadlineSignal) String() string { return "vtime: virtual-time deadline exceeded" }
 
+// Profiler receives the engine's cycle-attribution callbacks. It is
+// implemented by *prof.Profiler; the engine sees only this narrow
+// interface so the profiler package can build on vtime without an
+// import cycle. Callbacks never advance virtual time — a profiled run
+// is cycle-identical to an unprofiled one.
+type Profiler interface {
+	// Stall attributes one priced memory access: cost cycles satisfied
+	// at the given hierarchy level plus inval coherence-invalidation
+	// cycles, with now the thread clock after the access was charged.
+	Stall(tid int, level cachesim.Level, cost, inval, now uint64)
+	// SyncClock flushes attribution up to now (a parallel region ended).
+	SyncClock(tid int, now uint64)
+	// ResetClock flushes attribution up to now and rebases the thread
+	// at clock zero (ResetClocks between experiment phases).
+	ResetClock(tid int, now uint64)
+}
+
 // Engine coordinates a set of logical threads over one address space
 // and one cache hierarchy.
 type Engine struct {
@@ -57,6 +74,7 @@ type Engine struct {
 	Cost    *CostModel
 	Quantum uint64
 	Obs     *obs.Recorder // scheduler-quantum tracing; nil disables
+	Prof    Profiler      // cycle attribution; nil disables
 	// Deadline, when non-zero, is the engine watchdog: a Run whose
 	// least-advanced thread passes this virtual-cycle bound is wound
 	// down (every thread is unwound at its next scheduling point) and
@@ -76,7 +94,8 @@ type Config struct {
 	Cost     *CostModel
 	Quantum  uint64
 	Obs      *obs.Recorder
-	Deadline uint64 // virtual-cycle watchdog bound; 0 disables
+	Prof     Profiler // cycle attribution; nil disables
+	Deadline uint64   // virtual-cycle watchdog bound; 0 disables
 }
 
 // NewEngine builds an engine over space for n logical threads.
@@ -88,6 +107,7 @@ func NewEngine(space *mem.Space, n int, cfg Config) *Engine {
 		Cost:     cfg.Cost,
 		Quantum:  cfg.Quantum,
 		Obs:      cfg.Obs,
+		Prof:     cfg.Prof,
 		Deadline: cfg.Deadline,
 	}
 	if e.Cost == nil {
@@ -105,6 +125,7 @@ func NewEngine(space *mem.Space, n int, cfg Config) *Engine {
 			space:  space,
 			cache:  e.Cache,
 			cost:   e.Cost,
+			prof:   cfg.Prof,
 			resume: make(chan uint64),
 			pause:  make(chan threadEvent),
 		}
@@ -235,6 +256,11 @@ func (e *Engine) Run(fn func(t *Thread)) []uint64 {
 	}
 	out := make([]uint64, n)
 	for i, t := range e.threads {
+		if t.prof != nil {
+			// Flush trailing compute cycles so the profile partitions the
+			// region's clocks exactly.
+			t.prof.SyncClock(t.id, t.clock)
+		}
 		out[i] = t.clock
 	}
 	return out
@@ -259,6 +285,9 @@ func (e *Engine) MaxClock() uint64 {
 // ResetClocks zeroes all thread clocks (between experiments).
 func (e *Engine) ResetClocks() {
 	for _, t := range e.threads {
+		if t.prof != nil {
+			t.prof.ResetClock(t.id, t.clock)
+		}
 		t.clock = 0
 	}
 }
@@ -273,6 +302,7 @@ type Thread struct {
 	space  *mem.Space
 	cache  *cachesim.Hierarchy
 	cost   *CostModel
+	prof   Profiler // nil disables cycle attribution
 
 	clock    uint64
 	deadline uint64
@@ -325,18 +355,23 @@ func (t *Thread) Yield() {
 
 // access classifies and prices one memory access.
 func (t *Thread) access(a mem.Addr, write bool) {
-	var c uint64
+	var c, inval uint64
+	lvl := cachesim.L1Hit
 	if t.cache != nil {
 		res := t.cache.Access(t.id, a, write)
+		lvl = res.Level
 		c = t.cost.accessCost(res.Level, write)
 		if res.Invalidated {
 			// Ownership upgrade: the write had to invalidate sharers.
-			c += t.cost.Inval
+			inval = t.cost.Inval
 		}
 	} else {
 		c = t.cost.L1Hit
 	}
-	t.Tick(c)
+	t.Tick(c + inval)
+	if t.prof != nil {
+		t.prof.Stall(t.id, lvl, c, inval, t.clock)
+	}
 }
 
 // Load reads the word at a, charging its latency.

@@ -116,6 +116,51 @@ cmp "$tmpdir/j1.norm" "$tmpdir/san.norm" || {
     exit 1
 }
 
+echo "== profiler byte-identity gate =="
+# The cycle profiler is pure attribution: -profile must change neither
+# stdout nor cell results (hooks read the virtual clocks, they never
+# tick them), and the same-seed profile artifact must be byte-identical
+# across pool widths. The j1 stdout from the parallel-determinism gate
+# is the profiler-off baseline.
+go run ./cmd/tmrepro -run fig1 -jobs 1 -profile "$tmpdir/p1.json" >"$tmpdir/pj1.txt"
+go run ./cmd/tmrepro -run fig1 -jobs 8 -profile "$tmpdir/p8.json" >"$tmpdir/pj8.txt"
+cmp "$tmpdir/j1.txt" "$tmpdir/pj1.txt" || {
+    echo "tmrepro stdout differs with -profile" >&2
+    exit 1
+}
+cmp "$tmpdir/pj1.txt" "$tmpdir/pj8.txt" || {
+    echo "profiled stdout differs between -jobs 1 and -jobs 8" >&2
+    exit 1
+}
+cmp "$tmpdir/p1.json" "$tmpdir/p8.json" || {
+    echo "profile artifacts differ between -jobs 1 and -jobs 8" >&2
+    exit 1
+}
+
+echo "== profiler toolchain gate =="
+# tmprof must read the artifact back, and a profile diffed against the
+# other pool width's artifact must partition both totals exactly.
+# tmvet runs again scoped to the profiler packages so a future
+# suppression elsewhere can't mask a determinism finding here.
+go run ./cmd/tmprof top "$tmpdir/p1.json" >"$tmpdir/top.txt"
+grep -q 'virtual cycles' "$tmpdir/top.txt" || {
+    echo "tmprof top produced no cycle summary" >&2
+    exit 1
+}
+go run ./cmd/tmprof diff "$tmpdir/p1.json" "$tmpdir/p8.json" >"$tmpdir/pdiff.txt"
+grep -q 'totals reconcile' "$tmpdir/pdiff.txt" || {
+    echo "tmprof diff totals failed to reconcile" >&2
+    exit 1
+}
+go run ./cmd/tmvet ./internal/prof ./cmd/tmprof
+
+echo "== benchmarks (advisory) =="
+# Proves the bench suite still runs end to end; the numbers are
+# advisory and never gate. The committed BENCH_PR5.json trajectory is
+# regenerated manually with scripts/bench.sh.
+BENCHTIME=1x scripts/bench.sh "$tmpdir/bench.json" >/dev/null 2>&1 ||
+    echo "WARNING: scripts/bench.sh failed (advisory, not gating)" >&2
+
 echo "== sanitizer detection gate =="
 # A seeded use-after-free must fail loudly under -sanitize and pass
 # silently without it — the contrast that proves the checker is both
