@@ -1,0 +1,38 @@
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/heapscope"
+)
+
+// Heap is the parsed allocator-telemetry group.
+type Heap struct {
+	Path    string
+	Cadence uint64
+}
+
+// AddHeap registers -heap and -heap-cadence on fs.
+func AddHeap(fs *flag.FlagSet) *Heap {
+	h := &Heap{}
+	fs.StringVar(&h.Path, "heap", "",
+		"write the tmheap/series/v1 allocator-state telemetry to this file")
+	fs.Uint64Var(&h.Cadence, "heap-cadence", heapscope.DefaultCadence,
+		"virtual cycles between heap snapshots")
+	return h
+}
+
+// Enabled reports whether a telemetry artifact was requested.
+func (h *Heap) Enabled() bool { return h != nil && h.Path != "" }
+
+// Write serializes the artifact to the configured path.
+func (h *Heap) Write(set *heapscope.Set) error {
+	if !h.Enabled() || set == nil {
+		return nil
+	}
+	if err := set.WriteFile(h.Path); err != nil {
+		return fmt.Errorf("write heap series %s: %w", h.Path, err)
+	}
+	return nil
+}

@@ -1,0 +1,296 @@
+// Command tmheap inspects tmheap/series/v1 allocator-telemetry
+// artifacts: the heap-state time series that tmrepro/tmintset/tmstamp
+// capture with -heap and tmlayout emits statically with -heap-geometry.
+//
+// Usage:
+//
+//	tmheap FILE              per-series summary with metric sparklines
+//	tmheap -classes FILE     per-size-class free-depth table (final sample)
+//	tmheap -heat FILE        ASCII heatmap of free-list depths over time
+//	tmheap diff FILE [FILE]  compare two allocators' series side by side
+//
+// diff takes either one artifact holding at least two series (e.g. one
+// fig4 cell captured under two allocators merged into one set) or two
+// artifacts, and pairs the first series of each.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/heapscope"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		if err := runDiff(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	var (
+		classes = flag.Bool("classes", false, "print the per-size-class free-depth table of each series' final sample")
+		heat    = flag.Bool("heat", false, "render free-list depths over time as an ASCII heatmap")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tmheap [-classes|-heat] FILE  |  tmheap diff FILE [FILE]")
+		os.Exit(2)
+	}
+	set, err := heapscope.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	switch {
+	case *classes:
+		printClasses(set)
+	case *heat:
+		printHeat(set)
+	default:
+		printSummary(set)
+	}
+}
+
+// sparkRunes renders values as a fixed-height sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+func spark(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		i := 0
+		if hi > lo {
+			i = int((x - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[i])
+	}
+	return b.String()
+}
+
+// heatRunes shade a cell by magnitude relative to the row maximum.
+var heatRunes = []byte(" .:-=+*#%@")
+
+func pick(xs []Sampleable, f func(heapscope.Sample) float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, s := range xs {
+		out[i] = f(heapscope.Sample(s))
+	}
+	return out
+}
+
+// Sampleable aliases the sample for the pick helper.
+type Sampleable = heapscope.Sample
+
+func samplesOf(sr *heapscope.Series) []Sampleable {
+	out := make([]Sampleable, len(sr.Samples))
+	copy(out, sr.Samples)
+	return out
+}
+
+func human(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+func printSummary(set *heapscope.Set) {
+	if set.Label != "" {
+		fmt.Printf("heap telemetry: %s (%d series)\n\n", set.Label, len(set.Series))
+	}
+	for _, sr := range set.Series {
+		fmt.Printf("%s — %s, cadence %d cycles, %d samples\n", sr.Label, sr.Allocator, sr.Cadence, len(sr.Samples))
+		if g := sr.Geometry; g != nil {
+			fmt.Printf("  geometry: superblock %s, blocks %d..%d bytes, %d classes\n",
+				human(g.SuperblockBytes), g.MinBlock, g.MaxBlock, len(sr.Classes))
+		}
+		if len(sr.Samples) == 0 {
+			fmt.Println()
+			continue
+		}
+		xs := samplesOf(sr)
+		last := sr.Samples[len(sr.Samples)-1]
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		row := func(name, final string, vals []float64) {
+			fmt.Fprintf(tw, "  %s\t%s\t%s\n", name, final, spark(vals))
+		}
+		row("live bytes", human(last.LiveBytes), pick(xs, func(s heapscope.Sample) float64 { return float64(s.LiveBytes) }))
+		row("reserved", human(last.ReservedBytes), pick(xs, func(s heapscope.Sample) float64 { return float64(s.ReservedBytes) }))
+		row("blowup", fmt.Sprintf("%.2fx", last.Blowup), pick(xs, func(s heapscope.Sample) float64 { return s.Blowup }))
+		row("internal frag", fmt.Sprintf("%.1f%%", last.InternalFrag*100), pick(xs, func(s heapscope.Sample) float64 { return s.InternalFrag }))
+		row("external frag", fmt.Sprintf("%.1f%%", last.ExternalFrag*100), pick(xs, func(s heapscope.Sample) float64 { return s.ExternalFrag }))
+		row("shared lines", fmt.Sprintf("%d", last.SharedLines), pick(xs, func(s heapscope.Sample) float64 { return float64(s.SharedLines) }))
+		row("line churn", fmt.Sprintf("%d", last.LineChurn), pick(xs, func(s heapscope.Sample) float64 { return float64(s.LineChurn) }))
+		row("max stripe", fmt.Sprintf("%d", last.MaxStripe), pick(xs, func(s heapscope.Sample) float64 { return float64(s.MaxStripe) }))
+		if last.Superblocks > 0 {
+			row("occupancy", fmt.Sprintf("%.1f%%", last.Occupancy*100), pick(xs, func(s heapscope.Sample) float64 { return s.Occupancy }))
+			row("superblocks", fmt.Sprintf("%d (%d empty)", last.Superblocks, last.EmptySuperblocks),
+				pick(xs, func(s heapscope.Sample) float64 { return float64(s.Superblocks) }))
+		}
+		if last.Migrations > 0 {
+			row("migrations", fmt.Sprintf("%d", last.Migrations), pick(xs, func(s heapscope.Sample) float64 { return float64(s.Migrations) }))
+		}
+		if last.Arenas > 0 {
+			row("arenas", fmt.Sprintf("%d", last.Arenas), pick(xs, func(s heapscope.Sample) float64 { return float64(s.Arenas) }))
+		}
+		tw.Flush()
+		fmt.Println()
+	}
+}
+
+func printClasses(set *heapscope.Set) {
+	for _, sr := range set.Series {
+		fmt.Printf("%s — %s\n", sr.Label, sr.Allocator)
+		if len(sr.Classes) == 0 {
+			fmt.Println("  dynamic bins (no static class table)")
+			fmt.Println()
+			continue
+		}
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  class\tfree depth (final)\tfree bytes")
+		var last heapscope.Sample
+		if len(sr.Samples) > 0 {
+			last = sr.Samples[len(sr.Samples)-1]
+		}
+		for i, sz := range sr.Classes {
+			var d uint64
+			if i < len(last.FreeDepths) {
+				d = last.FreeDepths[i]
+			}
+			fmt.Fprintf(tw, "  %d\t%d\t%s\n", sz, d, human(d*sz))
+		}
+		tw.Flush()
+		fmt.Println()
+	}
+}
+
+func printHeat(set *heapscope.Set) {
+	for _, sr := range set.Series {
+		fmt.Printf("%s — %s: free-list depth by class (rows) over samples (cols)\n", sr.Label, sr.Allocator)
+		if len(sr.Classes) == 0 || len(sr.Samples) == 0 {
+			fmt.Println("  (no class table or no samples)")
+			fmt.Println()
+			continue
+		}
+		for i, sz := range sr.Classes {
+			var hi uint64
+			for _, s := range sr.Samples {
+				if i < len(s.FreeDepths) && s.FreeDepths[i] > hi {
+					hi = s.FreeDepths[i]
+				}
+			}
+			var b strings.Builder
+			for _, s := range sr.Samples {
+				var d uint64
+				if i < len(s.FreeDepths) {
+					d = s.FreeDepths[i]
+				}
+				k := 0
+				if hi > 0 {
+					k = int(float64(d) / float64(hi) * float64(len(heatRunes)-1))
+				}
+				b.WriteByte(heatRunes[k])
+			}
+			fmt.Printf("  %8d |%s| max %d\n", sz, b.String(), hi)
+		}
+		fmt.Println()
+	}
+}
+
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var a, b *heapscope.Series
+	switch fs.NArg() {
+	case 1:
+		set, err := heapscope.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		if len(set.Series) < 2 {
+			return fmt.Errorf("tmheap diff: %s holds %d series, need 2", fs.Arg(0), len(set.Series))
+		}
+		a, b = set.Series[0], set.Series[1]
+	case 2:
+		setA, err := heapscope.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		setB, err := heapscope.ReadFile(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		if len(setA.Series) == 0 || len(setB.Series) == 0 {
+			return fmt.Errorf("tmheap diff: both artifacts must hold at least one series")
+		}
+		a, b = setA.Series[0], setB.Series[0]
+	default:
+		return fmt.Errorf("usage: tmheap diff FILE [FILE]")
+	}
+	if len(a.Samples) == 0 || len(b.Samples) == 0 {
+		return fmt.Errorf("tmheap diff: empty series (%d vs %d samples)", len(a.Samples), len(b.Samples))
+	}
+	fmt.Printf("diff: %s (%s)  vs  %s (%s)\n\n", a.Label, a.Allocator, b.Label, b.Allocator)
+	la, lb := a.Samples[len(a.Samples)-1], b.Samples[len(b.Samples)-1]
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "metric\t%s\t%s\tratio\n", a.Allocator, b.Allocator)
+	num := func(name string, va, vb float64, fmtv func(float64) string) {
+		ratio := "-"
+		if va != 0 {
+			ratio = fmt.Sprintf("%.2fx", vb/va)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", name, fmtv(va), fmtv(vb), ratio)
+	}
+	bytesFmt := func(v float64) string { return human(uint64(v)) }
+	pctFmt := func(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+	intFmt := func(v float64) string { return fmt.Sprintf("%.0f", v) }
+	num("live bytes", float64(la.LiveBytes), float64(lb.LiveBytes), bytesFmt)
+	num("reserved bytes", float64(la.ReservedBytes), float64(lb.ReservedBytes), bytesFmt)
+	num("blowup", la.Blowup, lb.Blowup, func(v float64) string { return fmt.Sprintf("%.2fx", v) })
+	num("internal frag", la.InternalFrag, lb.InternalFrag, pctFmt)
+	num("external frag", la.ExternalFrag, lb.ExternalFrag, pctFmt)
+	num("shared lines", float64(la.SharedLines), float64(lb.SharedLines), intFmt)
+	num("line churn", float64(la.LineChurn), float64(lb.LineChurn), intFmt)
+	num("max stripe", float64(la.MaxStripe), float64(lb.MaxStripe), intFmt)
+	num("free blocks", float64(la.FreeBlocks), float64(lb.FreeBlocks), intFmt)
+	num("cache bytes", float64(la.CacheBytes), float64(lb.CacheBytes), bytesFmt)
+	num("central bytes", float64(la.CentralBytes), float64(lb.CentralBytes), bytesFmt)
+	tw.Flush()
+
+	fmt.Println("\ntrajectories (full run):")
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	tra, trb := samplesOf(a), samplesOf(b)
+	tr := func(name string, f func(heapscope.Sample) float64) {
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", name, spark(pick(tra, f)), spark(pick(trb, f)))
+	}
+	fmt.Fprintf(tw, "metric\t%s\t%s\n", a.Allocator, b.Allocator)
+	tr("reserved", func(s heapscope.Sample) float64 { return float64(s.ReservedBytes) })
+	tr("blowup", func(s heapscope.Sample) float64 { return s.Blowup })
+	tr("external frag", func(s heapscope.Sample) float64 { return s.ExternalFrag })
+	tr("shared lines", func(s heapscope.Sample) float64 { return float64(s.SharedLines) })
+	tw.Flush()
+	return nil
+}

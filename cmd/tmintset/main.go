@@ -27,6 +27,7 @@ import (
 	_ "repro/internal/alloc/tcmalloc"
 
 	"repro/cmd/internal/cliflags"
+	"repro/internal/heapscope"
 	"repro/internal/intset"
 	"repro/internal/obs"
 	"repro/internal/prof"
@@ -55,6 +56,7 @@ func main() {
 	outp := cliflags.AddOutput(flag.CommandLine)
 	cliflags.AddSanitize(flag.CommandLine)
 	pr := cliflags.AddProfile(flag.CommandLine)
+	hp := cliflags.AddHeap(flag.CommandLine)
 	flag.Parse()
 
 	var d stm.Design
@@ -94,13 +96,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if rec != nil || pr.Enabled() {
-		cache = nil // a cache hit could not replay the trace or the profile
+	if rec != nil || pr.Enabled() || hp.Enabled() {
+		cache = nil // a cache hit could not replay the trace, profile or heap series
 	}
 	var pp *prof.Profiler
 	if pr.Enabled() {
 		pp = prof.New()
 		pp.SetRecorder(rec)
+	}
+	var hc *heapscope.Collector
+	if hp.Enabled() {
+		hc = heapscope.New(hp.Cadence)
 	}
 	spec, err := json.Marshal(cfg)
 	if err != nil {
@@ -117,10 +123,11 @@ func main() {
 		Key:  key,
 		Spec: spec,
 		Seed: *seed,
-		Run: func() (any, *obs.Delta, *prof.Profile, error) {
+		Run: func() (any, *obs.Delta, *prof.Profile, *heapscope.Series, error) {
 			c := cfg
 			c.Obs = rec
 			c.Prof = pp
+			c.Heap = hc
 			var payload any
 			var err error
 			if *hytm {
@@ -129,7 +136,7 @@ func main() {
 				payload, err = intset.Run(c)
 			}
 			if err != nil {
-				return nil, nil, nil, err
+				return nil, nil, nil, nil, err
 			}
 			var dl *obs.Delta
 			if rec != nil {
@@ -140,7 +147,11 @@ func main() {
 				pf = pp.Profile()
 				pf.Label = key
 			}
-			return payload, dl, pf, nil
+			var sr *heapscope.Series
+			if hc != nil {
+				sr = hc.Series(key)
+			}
+			return payload, dl, pf, sr, nil
 		},
 	}}
 	sched := &sweep.Scheduler{Jobs: sw.Jobs, Cache: cache}
@@ -177,6 +188,15 @@ func main() {
 	if out.Profile != nil {
 		record.Profile = out.Profile.Info()
 		if err := pr.Write(out.Profile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if out.Heap != nil {
+		set := heapscope.NewSet("intset/" + mode)
+		set.Add(out.Heap)
+		record.Heap = set.Info()
+		if err := hp.Write(set); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -35,6 +35,7 @@ import (
 
 	"repro/cmd/internal/cliflags"
 	"repro/internal/alloc"
+	"repro/internal/heapscope"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/prof"
@@ -62,10 +63,19 @@ func main() {
 		shift   = flag.Uint("shift", 5, "ORT shift amount")
 		mode    = flag.String("mode", "parallel", "parallel (contended, via the virtual-time engine) or solo")
 		jsonOut = flag.Bool("json", false, "emit the analysis as a machine-readable run record on stdout")
+		heapGeo = flag.Bool("heap-geometry", false, "emit each allocator's static size-class/superblock geometry as a tmheap/series/v1 artifact on stdout")
 	)
 	sw := cliflags.AddSweep(flag.CommandLine)
 	cliflags.AddSanitize(flag.CommandLine)
 	flag.Parse()
+
+	if *heapGeo {
+		if err := writeGeometry(*threads); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cache, err := sw.Open()
 	if err != nil {
@@ -90,9 +100,9 @@ func main() {
 		cells = append(cells, sweep.Cell{
 			Key:  fmt.Sprintf("cli/layout/%s/b%d/t%d/n%d/s%d/%s", name, *size, *threads, *blocks, *shift, *mode),
 			Spec: spec,
-			Run: func() (any, *obs.Delta, *prof.Profile, error) {
+			Run: func() (any, *obs.Delta, *prof.Profile, *heapscope.Series, error) {
 				r, err := analyze(p)
-				return r, nil, nil, err
+				return r, nil, nil, nil, err
 			},
 		})
 	}
@@ -170,6 +180,40 @@ cross-thread stripes: stripes holding blocks of two different threads (false con
 aliased entries:      ORT entries hit by blocks >1 stripe apart (e.g. 64MB arena aliasing)
 cross-thread lines:   64-byte cache lines holding blocks of two threads (false sharing)
 max/stripe:           worst-case blocks mapped to one versioned lock`)
+}
+
+// writeGeometry emits each allocator's static layout — size-class table
+// and superblock/arena granularity — as a tmheap/series/v1 artifact
+// with empty sample lists, so static geometry diffs with the same
+// tooling as runtime series (tmheap).
+func writeGeometry(threads int) error {
+	set := heapscope.NewSet("geometry")
+	for _, name := range alloc.Names() {
+		space := mem.NewSpace()
+		a, err := alloc.New(name, space, threads)
+		if err != nil {
+			return err
+		}
+		st, ok := alloc.InspectHeap(a)
+		if !ok {
+			continue
+		}
+		sr := &heapscope.Series{
+			Label:     "geometry/" + name,
+			Allocator: name,
+			Samples:   []heapscope.Sample{},
+			Geometry: &heapscope.Geometry{
+				SuperblockBytes: st.SuperblockBytes,
+				MinBlock:        st.MinBlock,
+				MaxBlock:        st.MaxBlock,
+			},
+		}
+		for _, cl := range st.Classes {
+			sr.Classes = append(sr.Classes, cl.Size)
+		}
+		set.Add(sr)
+	}
+	return set.WriteJSON(os.Stdout)
 }
 
 type report struct {

@@ -26,6 +26,7 @@ import (
 
 	"repro/cmd/internal/cliflags"
 	"repro/internal/harness"
+	"repro/internal/heapscope"
 	"repro/internal/obs"
 	"repro/internal/prof"
 )
@@ -47,6 +48,7 @@ func main() {
 	outp := cliflags.AddOutput(flag.CommandLine)
 	cliflags.AddSanitize(flag.CommandLine)
 	pr := cliflags.AddProfile(flag.CommandLine)
+	hp := cliflags.AddHeap(flag.CommandLine)
 	flag.Parse()
 	if *quick {
 		*full = false
@@ -76,6 +78,8 @@ func main() {
 	spec := rob.Spec(*full, *reps, *seed)
 	spec.Obs = outp.NewRecorder()
 	spec.Profile = pr.Enabled()
+	spec.Heap = hp.Enabled()
+	spec.HeapCadence = hp.Cadence
 	cache, err := sw.Open()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -159,6 +163,18 @@ func main() {
 		merged := prof.Merge(profiles...)
 		merged.Label = strings.Join(ids, ",")
 		if err := pr.Write(merged); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if hp.Enabled() {
+		set := heapscope.NewSet(strings.Join(ids, ","))
+		for _, r := range runs {
+			if r.Heap != nil {
+				set.Series = append(set.Series, r.Heap.Series...)
+			}
+		}
+		if err := hp.Write(set); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -38,6 +38,7 @@ import (
 	_ "repro/internal/stamp/yada"
 
 	"repro/cmd/internal/cliflags"
+	"repro/internal/heapscope"
 	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/stamp"
@@ -63,6 +64,7 @@ func main() {
 	outp := cliflags.AddOutput(flag.CommandLine)
 	cliflags.AddSanitize(flag.CommandLine)
 	pr := cliflags.AddProfile(flag.CommandLine)
+	hp := cliflags.AddHeap(flag.CommandLine)
 	flag.Parse()
 	if *app == "" {
 		flag.Usage()
@@ -99,13 +101,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if rec != nil || pr.Enabled() {
-		cache = nil // a cache hit could not replay the trace or the profile
+	if rec != nil || pr.Enabled() || hp.Enabled() {
+		cache = nil // a cache hit could not replay the trace, profile or heap series
 	}
 	var pp *prof.Profiler
 	if pr.Enabled() {
 		pp = prof.New()
 		pp.SetRecorder(rec)
+	}
+	var hc *heapscope.Collector
+	if hp.Enabled() {
+		hc = heapscope.New(hp.Cadence)
 	}
 	spec, err := json.Marshal(cfg)
 	if err != nil {
@@ -118,13 +124,14 @@ func main() {
 		Key:  key,
 		Spec: spec,
 		Seed: *seed,
-		Run: func() (any, *obs.Delta, *prof.Profile, error) {
+		Run: func() (any, *obs.Delta, *prof.Profile, *heapscope.Series, error) {
 			c := cfg
 			c.Obs = rec
 			c.Prof = pp
+			c.Heap = hc
 			res, err := stamp.Run(c)
 			if err != nil {
-				return nil, nil, nil, err
+				return nil, nil, nil, nil, err
 			}
 			var d *obs.Delta
 			if rec != nil {
@@ -135,7 +142,11 @@ func main() {
 				pf = pp.Profile()
 				pf.Label = key
 			}
-			return res, d, pf, nil
+			var sr *heapscope.Series
+			if hc != nil {
+				sr = hc.Series(key)
+			}
+			return res, d, pf, sr, nil
 		},
 	}}
 	sched := &sweep.Scheduler{Jobs: sw.Jobs, Cache: cache}
@@ -155,6 +166,15 @@ func main() {
 	}
 	if out.Profile != nil {
 		if err := pr.Write(out.Profile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	var heapSet *heapscope.Set
+	if out.Heap != nil {
+		heapSet = heapscope.NewSet("stamp/" + *app)
+		heapSet.Add(out.Heap)
+		if err := hp.Write(heapSet); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -235,6 +255,9 @@ func main() {
 		}
 		if out.Profile != nil {
 			record.Profile = out.Profile.Info()
+		}
+		if heapSet != nil {
+			record.Heap = heapSet.Info()
 		}
 		record.Tables = []obs.Table{{
 			Title:   "Summary",

@@ -237,6 +237,72 @@ func Profile(a Allocator, p *prof.Profiler) {
 	}
 }
 
+// HeapClass is one size-class row of a HeapState snapshot.
+type HeapClass struct {
+	Size   uint64 // block bytes served by this class
+	Free   uint64 // blocks idle on shared structures (central/global lists, arena bins, superblock free lists)
+	Cached uint64 // blocks idle in synchronization-free thread-local caches
+}
+
+// HeapState is a point-in-time view of an allocator's internal
+// structure, produced by InspectHeap. Everything is derived from the
+// allocator's own Go-side metadata — no simulated memory is touched and
+// no virtual time is charged, so inspection is invisible to the run.
+// Implementations must produce deterministic field values and Classes
+// ordering (class-table index order, or sorted sizes for dynamic bins).
+type HeapState struct {
+	// Reserved is the allocator's own footprint: bytes it has mapped from
+	// the space for heap use (arenas, superblocks, spans, big-object
+	// mmaps). It deliberately excludes non-heap regions (the STM's ORT,
+	// application statics), so blowup = Reserved / live bytes measures the
+	// allocator, not the harness.
+	Reserved uint64
+	Classes  []HeapClass
+
+	CacheBytes   uint64 // bytes idle in thread-local caches (Σ Cached·Size)
+	CentralBytes uint64 // bytes idle on shared lists (Σ Free·Size)
+
+	Superblocks      uint64 // superblocks/spans currently carved (0 if the model has none)
+	EmptySuperblocks uint64 // fully empty, unassigned or spare
+	SBUsedBlocks     uint64 // in-use blocks across class-assigned superblocks
+	SBCapacity       uint64 // block capacity across class-assigned superblocks
+	Migrations       uint64 // cumulative emptiness-threshold ownership migrations
+	Arenas           uint64 // glibc arena count (0 for other models)
+
+	// Static geometry, stable for the allocator's lifetime; tmlayout
+	// -heap-geometry emits these without running a workload.
+	SuperblockBytes uint64 // superblock/span/chunk granularity, bytes
+	MinBlock        uint64 // smallest block handed out
+	MaxBlock        uint64 // largest class-served request (larger goes to mmap)
+}
+
+// FreeBlocks returns the total idle blocks across classes (shared +
+// cached).
+func (h *HeapState) FreeBlocks() uint64 {
+	var n uint64
+	for _, c := range h.Classes {
+		n += c.Free + c.Cached
+	}
+	return n
+}
+
+// HeapInspector is implemented by allocators that can report their
+// internal state as a HeapState. All four models implement it; the
+// heapscope collector snapshots through this interface on its
+// virtual-cycle cadence.
+type HeapInspector interface {
+	InspectHeap() HeapState
+}
+
+// InspectHeap snapshots a's internals if the allocator supports
+// inspection.
+func InspectHeap(a Allocator) (HeapState, bool) {
+	if hi, ok := a.(HeapInspector); ok {
+		return hi.InspectHeap(), true
+	}
+	return HeapState{}, false
+}
+
 // CountingMutex is a virtual-time mutex that records acquisitions and
 // contention into a ThreadStats block chosen per call. All allocator
 // locks use it so that the lock-contention effects the paper profiles

@@ -24,6 +24,8 @@
 package glibc
 
 import (
+	"sort"
+
 	"repro/internal/alloc"
 	"repro/internal/mem"
 	"repro/internal/obs"
@@ -212,21 +214,21 @@ func (g *Glibc) Malloc(th *vtime.Thread, size uint64) mem.Addr {
 		a = g.malloc(th, st, size)
 		st.Rec.Alloc("glibc", th.ID(), start, th.Clock(), size, uint64(a))
 	}
-	g.sanAlloc(th, a, size)
+	g.noteAlloc(th, a, size)
 	return a
 }
 
-// sanAlloc registers a successful malloc with the space's sanitizer.
-// The usable size comes from a raw boundary-tag read: BlockSize would
-// tick virtual time, and sanitizer bookkeeping must not.
-func (g *Glibc) sanAlloc(th *vtime.Thread, a mem.Addr, size uint64) {
-	sh := g.space.Sanitizer()
-	if sh == nil || a == 0 {
+// noteAlloc registers a successful malloc with the space's observers
+// (sanitizer shadow map, heap watcher). The usable size comes from a raw
+// boundary-tag read: BlockSize would tick virtual time, and observer
+// bookkeeping must not.
+func (g *Glibc) noteAlloc(th *vtime.Thread, a mem.Addr, size uint64) {
+	if !g.space.Observed() || a == 0 {
 		return
 	}
 	word := g.space.Load(a - HeaderSize + sizeWordOff)
 	usable := (word &^ uint64(inUseBit|mmappedBit)) - HeaderSize
-	sh.OnAlloc("glibc", a, size, usable, th.ID(), th.Clock())
+	g.space.NoteAlloc("glibc", a, size, usable, th.ID(), th.Clock())
 }
 
 func (g *Glibc) malloc(th *vtime.Thread, st *alloc.ThreadStats, size uint64) mem.Addr {
@@ -298,8 +300,8 @@ func (g *Glibc) Free(th *vtime.Thread, addr mem.Addr) {
 		p.Begin(th, "glibc/free")
 		defer p.End(th)
 	}
-	if sh := g.space.Sanitizer(); sh != nil {
-		sh.OnFree(addr, th.ID(), th.Clock())
+	if g.space.Observed() {
+		g.space.NoteFree(addr, th.ID(), th.Clock())
 	}
 	st := &g.stats[th.ID()]
 	if st.Rec == nil {
@@ -374,6 +376,41 @@ func (g *Glibc) BlockSize(th *vtime.Thread, addr mem.Addr) uint64 {
 
 // ArenaCount returns how many arenas exist (contention creates them).
 func (g *Glibc) ArenaCount() int { return len(g.arenas) }
+
+// InspectHeap implements alloc.HeapInspector. Bins are dynamic (keyed by
+// chunk size), so the class rows are the union of all arenas' bin sizes
+// in sorted order; Reserved counts the full 64 MiB of every arena plus
+// direct maps — the address-space footprint the paper's blowup story is
+// about. Pure Go-side metadata: no simulated memory access, no ticks.
+func (g *Glibc) InspectHeap() alloc.HeapState {
+	free := make(map[uint64]uint64) // usable size -> idle chunks
+	for _, a := range g.arenas {
+		for csz, fl := range a.bins {
+			free[csz-HeaderSize] += uint64(fl.Len())
+		}
+	}
+	sizes := make([]uint64, 0, len(free))
+	for sz := range free {
+		sizes = append(sizes, sz)
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+
+	st := alloc.HeapState{
+		Reserved:        uint64(len(g.arenas)) * ArenaSize,
+		Arenas:          uint64(len(g.arenas)),
+		SuperblockBytes: ArenaSize,
+		MinBlock:        MinChunk - HeaderSize,
+		MaxBlock:        MmapThreshold - HeaderSize,
+	}
+	for _, region := range g.mmaps {
+		st.Reserved += region
+	}
+	for _, sz := range sizes {
+		st.Classes = append(st.Classes, alloc.HeapClass{Size: sz, Free: free[sz]})
+		st.CentralBytes += free[sz] * sz
+	}
+	return st
+}
 
 // Stats implements alloc.Allocator.
 func (g *Glibc) Stats() alloc.Stats {

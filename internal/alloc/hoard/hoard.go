@@ -110,6 +110,8 @@ type Hoard struct {
 
 	sbMap map[mem.Addr]*superblock // superblock base -> superblock
 	big   map[mem.Addr]uint64      // direct maps: user addr -> region size
+
+	migrations uint64 // emptiness-threshold superblock returns to the global heap
 }
 
 // New constructs a Hoard allocator for up to threads logical threads.
@@ -175,8 +177,8 @@ func (h *Hoard) Malloc(th *vtime.Thread, size uint64) mem.Addr {
 		a = h.malloc(th, st, size)
 		st.Rec.Alloc("hoard", th.ID(), start, th.Clock(), size, uint64(a))
 	}
-	if sh := h.space.Sanitizer(); sh != nil && a != 0 {
-		sh.OnAlloc("hoard", a, size, h.BlockSize(th, a), th.ID(), th.Clock())
+	if h.space.Observed() && a != 0 {
+		h.space.NoteAlloc("hoard", a, size, h.BlockSize(th, a), th.ID(), th.Clock())
 	}
 	return a
 }
@@ -368,8 +370,8 @@ func (h *Hoard) Free(th *vtime.Thread, addr mem.Addr) {
 	if addr == 0 {
 		return
 	}
-	if sh := h.space.Sanitizer(); sh != nil {
-		sh.OnFree(addr, th.ID(), th.Clock())
+	if h.space.Observed() {
+		h.space.NoteFree(addr, th.ID(), th.Clock())
 	}
 	st := &h.stats[th.ID()]
 	if st.Rec == nil {
@@ -489,6 +491,7 @@ func (h *Hoard) freeToSuperblock(th *vtime.Thread, st *alloc.ThreadStats, sb *su
 			h.detach(hp, sb)
 			hp.used -= sb.used
 			hp.capacity -= sb.capacity
+			h.migrations++
 			st.Rec.Transfer("hoard:sb-to-global", th.ID(), th.Clock(), sb.blockSz)
 			g := h.global
 			g.lock.Lock(th, st)
@@ -556,6 +559,50 @@ func (h *Hoard) BlockSize(_ *vtime.Thread, addr mem.Addr) uint64 {
 		return sb.blockSz
 	}
 	panic(fmt.Sprintf("hoard: BlockSize of unknown address %#x", uint64(addr)))
+}
+
+// InspectHeap implements alloc.HeapInspector. Per class, Free counts
+// idle blocks inside class-assigned superblocks (capacity − used,
+// covering both free-list entries and never-carved bump space) and
+// Cached the blocks parked in per-thread local caches; superblock
+// occupancy and the migration counter feed the emptiness-invariant
+// telemetry. Pure Go-side metadata: map iteration only feeds
+// order-independent sums, no simulated memory access, no ticks.
+func (h *Hoard) InspectHeap() alloc.HeapState {
+	st := alloc.HeapState{
+		Reserved:        uint64(len(h.sbMap)) * SuperblockSize,
+		Superblocks:     uint64(len(h.sbMap)),
+		Migrations:      h.migrations,
+		SuperblockBytes: SuperblockSize,
+		MinBlock:        MinBlock,
+		MaxBlock:        MaxBlock,
+	}
+	for _, region := range h.big {
+		st.Reserved += region
+	}
+	free := make([]uint64, h.classes.Count())
+	for _, sb := range h.sbMap {
+		if sb.class < 0 || sb.used == 0 {
+			st.EmptySuperblocks++
+		}
+		if sb.class < 0 {
+			continue
+		}
+		free[sb.class] += uint64(sb.capacity - sb.used)
+		st.SBUsedBlocks += uint64(sb.used)
+		st.SBCapacity += uint64(sb.capacity)
+	}
+	for ci := 0; ci < h.classes.Count(); ci++ {
+		var cached uint64
+		for t := range h.caches {
+			cached += uint64(h.caches[t].lists[ci].Len())
+		}
+		sz := h.classes.Size(ci)
+		st.Classes = append(st.Classes, alloc.HeapClass{Size: sz, Free: free[ci], Cached: cached})
+		st.CentralBytes += free[ci] * sz
+		st.CacheBytes += cached * sz
+	}
+	return st
 }
 
 // Stats implements alloc.Allocator.

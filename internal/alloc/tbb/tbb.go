@@ -111,6 +111,8 @@ type TBB struct {
 	chunkEnd  mem.Addr
 
 	big map[mem.Addr]uint64
+
+	migrations uint64 // retired superblocks returned to the global heap
 }
 
 // New constructs a TBB allocator for up to threads logical threads.
@@ -167,8 +169,8 @@ func (t *TBB) Malloc(th *vtime.Thread, size uint64) mem.Addr {
 		a = t.malloc(th, st, size)
 		st.Rec.Alloc("tbb", th.ID(), start, th.Clock(), size, uint64(a))
 	}
-	if sh := t.space.Sanitizer(); sh != nil && a != 0 {
-		sh.OnAlloc("tbb", a, size, t.BlockSize(th, a), th.ID(), th.Clock())
+	if t.space.Observed() && a != 0 {
+		t.space.NoteAlloc("tbb", a, size, t.BlockSize(th, a), th.ID(), th.Clock())
 	}
 	return a
 }
@@ -316,8 +318,8 @@ func (t *TBB) Free(th *vtime.Thread, addr mem.Addr) {
 	if addr == 0 {
 		return
 	}
-	if sh := t.space.Sanitizer(); sh != nil {
-		sh.OnFree(addr, th.ID(), th.Clock())
+	if t.space.Observed() {
+		t.space.NoteFree(addr, th.ID(), th.Clock())
 	}
 	st := &t.stats[th.ID()]
 	if st.Rec == nil {
@@ -404,6 +406,7 @@ func (t *TBB) retire(th *vtime.Thread, st *alloc.ThreadStats, sb *superblock) {
 	t.drainPublic(th, st, sb)
 	sb.private = alloc.FreeList{}
 	sb.owner = -1
+	t.migrations++
 	t.globalLock.Lock(th, st)
 	t.spare = append(t.spare, sb)
 	t.globalLock.Unlock(th)
@@ -445,6 +448,49 @@ func (t *TBB) BlockSize(_ *vtime.Thread, addr mem.Addr) uint64 {
 		return sb.blockSz
 	}
 	panic(fmt.Sprintf("tbb: BlockSize of unknown address %#x", uint64(addr)))
+}
+
+// InspectHeap implements alloc.HeapInspector. Per class, Cached counts
+// blocks on synchronization-free private lists plus never-carved bump
+// space (the owner-only fast path) and Free blocks on the spinlocked
+// public lists; retired superblocks on the global spare list count as
+// empty. Pure Go-side metadata: map iteration only feeds
+// order-independent sums, no simulated memory access, no ticks.
+func (t *TBB) InspectHeap() alloc.HeapState {
+	st := alloc.HeapState{
+		Reserved:        uint64(t.chunkEnd - t.chunkCur),
+		Superblocks:     uint64(len(t.sbMap)),
+		Migrations:      t.migrations,
+		SuperblockBytes: SuperblockSize,
+		MinBlock:        MinBlock,
+		MaxBlock:        LargeMax,
+	}
+	st.Reserved += uint64(len(t.sbMap)) * SuperblockSize
+	for _, region := range t.big {
+		st.Reserved += region
+	}
+	private := make([]uint64, t.classes.Count())
+	public := make([]uint64, t.classes.Count())
+	for _, sb := range t.sbMap {
+		if sb.owner < 0 || sb.used == 0 {
+			st.EmptySuperblocks++
+		}
+		if sb.owner < 0 {
+			continue
+		}
+		bumpLeft := uint64(sb.base+SuperblockSize-sb.bump) / sb.blockSz
+		private[sb.class] += uint64(sb.private.Len()) + bumpLeft
+		public[sb.class] += uint64(sb.public.Len())
+		st.SBUsedBlocks += uint64(sb.used)
+		st.SBCapacity += uint64(sb.capacity)
+	}
+	for ci := 0; ci < t.classes.Count(); ci++ {
+		sz := t.classes.Size(ci)
+		st.Classes = append(st.Classes, alloc.HeapClass{Size: sz, Free: public[ci], Cached: private[ci]})
+		st.CentralBytes += public[ci] * sz
+		st.CacheBytes += private[ci] * sz
+	}
+	return st
 }
 
 // Stats implements alloc.Allocator.

@@ -166,8 +166,8 @@ func (t *TCMalloc) Malloc(th *vtime.Thread, size uint64) mem.Addr {
 		a = t.malloc(th, st, size)
 		st.Rec.Alloc("tcmalloc", th.ID(), start, th.Clock(), size, uint64(a))
 	}
-	if sh := t.space.Sanitizer(); sh != nil && a != 0 {
-		sh.OnAlloc("tcmalloc", a, size, t.BlockSize(th, a), th.ID(), th.Clock())
+	if t.space.Observed() && a != 0 {
+		t.space.NoteAlloc("tcmalloc", a, size, t.BlockSize(th, a), th.ID(), th.Clock())
 	}
 	return a
 }
@@ -308,8 +308,8 @@ func (t *TCMalloc) Free(th *vtime.Thread, addr mem.Addr) {
 		p.Begin(th, "tcmalloc/free")
 		defer p.End(th)
 	}
-	if sh := t.space.Sanitizer(); sh != nil {
-		sh.OnFree(addr, th.ID(), th.Clock())
+	if t.space.Observed() {
+		t.space.NoteFree(addr, th.ID(), th.Clock())
 	}
 	st := &t.stats[th.ID()]
 	if st.Rec == nil {
@@ -418,6 +418,42 @@ func (t *TCMalloc) BlockSize(_ *vtime.Thread, addr mem.Addr) uint64 {
 		return sp.bytes
 	}
 	return t.classes.Size(sp.class)
+}
+
+// InspectHeap implements alloc.HeapInspector. Per class, Cached counts
+// blocks idle in thread caches and Free blocks on the central list —
+// the thread-cache vs central-list byte balance. Spans are registered
+// per page in the page map, so reserved bytes dedup span pointers; the
+// uncarved tail of the current OS chunk rides along. Pure Go-side
+// metadata: map iteration only feeds order-independent sums, no
+// simulated memory access, no ticks.
+func (t *TCMalloc) InspectHeap() alloc.HeapState {
+	st := alloc.HeapState{
+		Reserved:        uint64(t.chunkEnd - t.chunkCur),
+		SuperblockBytes: PageSize,
+		MinBlock:        MinBlock,
+		MaxBlock:        SmallMax,
+	}
+	seen := make(map[*span]bool)
+	for _, sp := range t.pageMap {
+		if !seen[sp] {
+			seen[sp] = true
+			st.Reserved += sp.bytes
+			st.Superblocks++
+		}
+	}
+	for ci := 0; ci < t.classes.Count(); ci++ {
+		var cached uint64
+		for i := range t.caches {
+			cached += uint64(t.caches[i].lists[ci].Len())
+		}
+		central := uint64(t.central[ci].free.Len())
+		sz := t.classes.Size(ci)
+		st.Classes = append(st.Classes, alloc.HeapClass{Size: sz, Free: central, Cached: cached})
+		st.CentralBytes += central * sz
+		st.CacheBytes += cached * sz
+	}
+	return st
 }
 
 // Stats implements alloc.Allocator.

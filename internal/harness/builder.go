@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/heapscope"
 	"repro/internal/htm"
 	"repro/internal/intset"
 	"repro/internal/obs"
@@ -69,20 +70,23 @@ type CellHealth struct {
 
 // addCell registers one cell: key names it, spec (serialized
 // canonically) plus the derived seed identify it for caching, and run
-// executes it against a private per-cell recorder and profiler (each
-// nil when the session is unobserved/unprofiled).
-func addCell[T any](b *Builder, key string, spec any, seed uint64, run func(rec *obs.Recorder, pp *prof.Profiler) (any, error)) Handle[T] {
+// executes it against a private per-cell recorder, profiler and heap
+// collector (each nil when the session is unobserved/unprofiled/
+// unwatched).
+func addCell[T any](b *Builder, key string, spec any, seed uint64, run func(rec *obs.Recorder, pp *prof.Profiler, hc *heapscope.Collector) (any, error)) Handle[T] {
 	raw, err := json.Marshal(spec)
 	if err != nil {
 		panic(fmt.Errorf("harness: encode spec of cell %s: %w", key, err))
 	}
 	parent := b.spec.Obs
 	profiled := b.spec.Profile
+	watched := b.spec.Heap
+	cadence := b.spec.HeapCadence
 	b.cells = append(b.cells, sweep.Cell{
 		Key:  key,
 		Spec: raw,
 		Seed: seed,
-		Run: func() (any, *obs.Delta, *prof.Profile, error) {
+		Run: func() (any, *obs.Delta, *prof.Profile, *heapscope.Series, error) {
 			var rec *obs.Recorder
 			if parent != nil {
 				rec = parent.Sibling()
@@ -92,9 +96,13 @@ func addCell[T any](b *Builder, key string, spec any, seed uint64, run func(rec 
 				pp = prof.New()
 				pp.SetRecorder(rec)
 			}
-			payload, err := run(rec, pp)
+			var hc *heapscope.Collector
+			if watched {
+				hc = heapscope.New(cadence)
+			}
+			payload, err := run(rec, pp, hc)
 			if err != nil {
-				return nil, nil, nil, err
+				return nil, nil, nil, nil, err
 			}
 			var delta *obs.Delta
 			if rec != nil {
@@ -105,7 +113,11 @@ func addCell[T any](b *Builder, key string, spec any, seed uint64, run func(rec 
 				pf = pp.Profile()
 				pf.Label = key
 			}
-			return payload, delta, pf, nil
+			var hp *heapscope.Series
+			if hc != nil {
+				hp = hc.Series(key)
+			}
+			return payload, delta, pf, hp, nil
 		},
 	})
 	return Handle[T]{b: b, idx: len(b.cells) - 1}
@@ -145,10 +157,11 @@ func (b *Builder) Intset(cfg intset.Config, rep int) Handle[IntsetCell] {
 	cfg = b.applyIntset(cfg)
 	key := intsetKey("intset", cfg, rep)
 	cfg.Seed = sweep.DeriveSeed(b.spec.seed(), key)
-	return addCell[IntsetCell](b, key, cfg, cfg.Seed, func(rec *obs.Recorder, pp *prof.Profiler) (any, error) {
+	return addCell[IntsetCell](b, key, cfg, cfg.Seed, func(rec *obs.Recorder, pp *prof.Profiler, hc *heapscope.Collector) (any, error) {
 		c := cfg
 		c.Obs = rec
 		c.Prof = pp
+		c.Heap = hc
 		res, err := intset.Run(c)
 		if err != nil {
 			return nil, err
@@ -253,10 +266,11 @@ func (b *Builder) stampCell(cfg stamp.Config, rep int) (stamp.Config, string) {
 // Stamp declares one timed STAMP cell.
 func (b *Builder) Stamp(cfg stamp.Config, rep int) Handle[StampCell] {
 	cfg, key := b.stampCell(cfg, rep)
-	return addCell[StampCell](b, key, cfg, cfg.Seed, func(rec *obs.Recorder, pp *prof.Profiler) (any, error) {
+	return addCell[StampCell](b, key, cfg, cfg.Seed, func(rec *obs.Recorder, pp *prof.Profiler, hc *heapscope.Collector) (any, error) {
 		c := cfg
 		c.Obs = rec
 		c.Prof = pp
+		c.Heap = hc
 		res, err := stamp.Run(c)
 		if err != nil {
 			return nil, err
@@ -286,10 +300,11 @@ func (b *Builder) StampProbeCell(cfg stamp.Config) Handle[StampProbe] {
 	cfg = b.applyStamp(cfg)
 	key := "probe/" + stampKey(cfg, 0)
 	cfg.Seed = sweep.DeriveSeed(b.spec.seed(), key)
-	return addCell[StampProbe](b, key, cfg, cfg.Seed, func(rec *obs.Recorder, pp *prof.Profiler) (any, error) {
+	return addCell[StampProbe](b, key, cfg, cfg.Seed, func(rec *obs.Recorder, pp *prof.Profiler, hc *heapscope.Collector) (any, error) {
 		c := cfg
 		c.Obs = rec
 		c.Prof = pp
+		c.Heap = hc
 		res, err := stamp.Run(c)
 		if err != nil {
 			return nil, err
@@ -338,7 +353,7 @@ func (b *Builder) Threadtest(cfg threadtest.Config, rep int) Handle[ThreadtestCe
 	key := fmt.Sprintf("threadtest/%s/t%d/b%d/o%d/w%d/r%d",
 		cfg.Allocator, cfg.Threads, cfg.BlockSize, cfg.OpsPerThread, cfg.TouchWords, rep)
 	seed := sweep.DeriveSeed(b.spec.seed(), key)
-	return addCell[ThreadtestCell](b, key, cfg, seed, func(*obs.Recorder, *prof.Profiler) (any, error) {
+	return addCell[ThreadtestCell](b, key, cfg, seed, func(*obs.Recorder, *prof.Profiler, *heapscope.Collector) (any, error) {
 		res, err := threadtest.Run(cfg)
 		if err != nil {
 			return nil, err
@@ -381,7 +396,7 @@ func (b *Builder) HyTM(cfg intset.Config, rep int) Handle[HyTMCell] {
 	cfg.Obs = nil
 	key := intsetKey("hytm", cfg, rep)
 	cfg.Seed = sweep.DeriveSeed(b.spec.seed(), key)
-	return addCell[HyTMCell](b, key, cfg, cfg.Seed, func(rec *obs.Recorder, _ *prof.Profiler) (any, error) {
+	return addCell[HyTMCell](b, key, cfg, cfg.Seed, func(rec *obs.Recorder, _ *prof.Profiler, _ *heapscope.Collector) (any, error) {
 		c := cfg
 		c.Obs = rec
 		res, err := intset.RunHyTM(c)
@@ -407,7 +422,7 @@ func (b *Builder) Static(fn func() (*Result, error)) Handle[Result] {
 	key := "static/" + b.id
 	spec := staticSpec{ID: b.id, Full: b.spec.Full}
 	seed := sweep.DeriveSeed(b.spec.seed(), key)
-	return addCell[Result](b, key, spec, seed, func(*obs.Recorder, *prof.Profiler) (any, error) {
+	return addCell[Result](b, key, spec, seed, func(*obs.Recorder, *prof.Profiler, *heapscope.Collector) (any, error) {
 		return fn()
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/heapscope"
 	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/stm"
@@ -36,6 +37,7 @@ type ExperimentRun struct {
 	Health     *Health
 	Sweep      *obs.SweepInfo // cell accounting for the run record
 	Profile    *prof.Profile  // merged cycle attribution; nil when unprofiled
+	Heap       *heapscope.Set // per-cell telemetry series; nil when unwatched
 }
 
 // jobs returns the normalized pool width.
@@ -89,8 +91,8 @@ func (s *Session) Run(ids []string) ([]*ExperimentRun, sweep.Stats) {
 	}
 
 	cache := s.Cache
-	if s.Spec.Obs != nil || s.Spec.Profile {
-		cache = nil // observability and profiling imply execution
+	if s.Spec.Obs != nil || s.Spec.Profile || s.Spec.Heap {
+		cache = nil // observability, profiling and heap telemetry imply execution
 	}
 	sched := sweep.Scheduler{Jobs: s.jobs(), Cache: cache}
 	outs, stats := sched.Run(cells)
@@ -101,11 +103,13 @@ func (s *Session) Run(ids []string) ([]*ExperimentRun, sweep.Stats) {
 	// produce up to that sharing.
 	merged := make(map[*obs.Delta]bool)
 	profiled := make(map[*prof.Profile]bool)
+	watched := make(map[*heapscope.Series]bool)
 	for _, p := range plans {
 		p.b.outs = outs[p.lo:p.hi]
 		sw := &obs.SweepInfo{CellSet: sweep.CellSetHash(p.b.cells), Cells: len(p.b.cells)}
 		var firstErr error
 		var profiles []*prof.Profile
+		var heapSet *heapscope.Set
 		for _, o := range p.b.outs {
 			switch {
 			case o.Err != nil:
@@ -126,6 +130,16 @@ func (s *Session) Run(ids []string) ([]*ExperimentRun, sweep.Stats) {
 				profiled[o.Profile] = true
 				profiles = append(profiles, o.Profile)
 			}
+			if o.Heap != nil && !watched[o.Heap] {
+				// Deduplicated cells share one Outcome (and Series
+				// pointer): each distinct series is collected exactly
+				// once, at its first reference, in cell-index order.
+				watched[o.Heap] = true
+				if heapSet == nil {
+					heapSet = heapscope.NewSet(p.run.ID)
+				}
+				heapSet.Add(o.Heap)
+			}
 			var ch CellHealth
 			if json.Unmarshal(o.Payload, &ch) == nil {
 				p.run.Health.Note(ch.Status, ch.Failure)
@@ -138,6 +152,7 @@ func (s *Session) Run(ids []string) ([]*ExperimentRun, sweep.Stats) {
 			p.run.Profile = prof.Merge(profiles...)
 			p.run.Profile.Label = p.run.ID
 		}
+		p.run.Heap = heapSet
 		p.run.Sweep = sw
 		if firstErr != nil {
 			p.run.Err = firstErr
@@ -221,6 +236,9 @@ func (s *Session) Record(run *ExperimentRun) *obs.RunRecord {
 	}
 	if run.Profile != nil {
 		rec.Profile = run.Profile.Info()
+	}
+	if run.Heap != nil {
+		rec.Heap = run.Heap.Info()
 	}
 	rec.Attach(s.Spec.Obs)
 	return rec

@@ -31,6 +31,9 @@ type Spec struct {
 	Obs     *obs.Recorder // observability sink; nil disables
 	Profile bool          // per-cell cycle-attribution profiling
 	Health  *Health       // aggregated run status; nil = one is created per experiment
+
+	Heap        bool   // per-cell allocator-state telemetry (heapscope)
+	HeapCadence uint64 // snapshot interval in virtual cycles; 0 = heapscope.DefaultCadence
 }
 
 // DefaultSeed is the suite's base seed when Spec.Seed is nil.

@@ -17,6 +17,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/cachesim"
 	"repro/internal/fault"
+	"repro/internal/heapscope"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/prof"
@@ -86,6 +87,10 @@ type Config struct {
 	// (thread, region-stack, allocator) buckets. Excluded from spec
 	// hashing — profiling never changes what a cell computes.
 	Prof *prof.Profiler `json:"-"`
+	// Heap, when non-nil, collects allocator-state telemetry on a
+	// virtual-cycle cadence. Excluded from spec hashing — snapshots are
+	// pure observers and never change what a cell computes.
+	Heap *heapscope.Collector `json:"-"`
 }
 
 func (c *Config) fill() {
@@ -167,6 +172,11 @@ func Run(cfg Config) (res Result, err error) {
 	if cfg.Prof != nil {
 		engineCfg.Prof = cfg.Prof
 	}
+	if cfg.Heap != nil {
+		cfg.Heap.Attach(allocator, space)
+		cfg.Heap.SetRecorder(cfg.Obs)
+		engineCfg.Heap = cfg.Heap
+	}
 	engine := vtime.NewEngine(space, cfg.Threads, engineCfg)
 	stmCfg := stm.Config{
 		Shift:          cfg.Shift,
@@ -231,6 +241,9 @@ func Run(cfg Config) (res Result, err error) {
 	}
 
 	// The measurement covers only the parallel phase.
+	if cfg.Heap != nil {
+		cfg.Heap.Phase("run", engine.MaxClock())
+	}
 	engine.ResetClocks()
 	missBase := cache.TotalStats()
 	txBase := st.Stats()
@@ -266,6 +279,9 @@ func Run(cfg Config) (res Result, err error) {
 	})
 
 	cycles := engine.MaxClock()
+	if cfg.Heap != nil {
+		cfg.Heap.Finish(cycles)
+	}
 	total := cache.TotalStats()
 	phase := cachesim.CoreStats{
 		Accesses: total.Accesses - missBase.Accesses,

@@ -122,6 +122,11 @@ type Space struct {
 	// sanitizer mode is on (see shadow.go). Set at construction or via
 	// EnableSanitizer, before the space is shared across sim threads.
 	shadow *Shadow
+
+	// watcher is the heap-telemetry observer, nil unless a collector is
+	// attached (see watch.go). Set via SetHeapWatcher before the space is
+	// shared across sim threads.
+	watcher HeapWatcher
 }
 
 // NewSpace returns an empty address space. When the process-wide

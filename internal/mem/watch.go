@@ -1,0 +1,78 @@
+package mem
+
+// Heap watcher: a pure observer of the allocator-block lifecycle.
+//
+// The sanitizer's shadow map (shadow.go) and the heapscope telemetry
+// collector both need the same three notifications — a block was handed
+// out, a block was freed, a block was revived from a transaction-local
+// cache — raised from the same allocator call sites with the same
+// semantics (the first free wins; a reuse revives the original block).
+// Space.NoteAlloc/NoteFree/NoteReuse are the single fan-out point, so an
+// allocator model carries one notification call per event rather than
+// one per observer.
+//
+// Like the shadow map, a watcher is pure metadata: it must never touch
+// simulated memory through a thread handle, never advance virtual time,
+// and never alter allocator behaviour, so an observed run is
+// byte-identical to an unobserved one.
+
+// HeapWatcher observes allocator block lifecycle events. Implementations
+// are driven only from simulated threads, which the virtual-time engine
+// serializes, so they need no internal locking.
+type HeapWatcher interface {
+	// OnHeapAlloc reports a successful malloc: base is the user address,
+	// req the requested bytes, usable the size-class block size actually
+	// dedicated to the request.
+	OnHeapAlloc(allocator string, base Addr, req, usable uint64, tid int, clock uint64)
+	// OnHeapFree reports a free of the block at base. Unknown bases and
+	// repeated frees of the same block may be delivered (the allocator
+	// notifies before validating); implementations ignore them.
+	OnHeapFree(base Addr, tid int, clock uint64)
+	// OnHeapReuse reports a block revived from a transaction-local free
+	// cache without the allocator seeing a free/malloc pair.
+	OnHeapReuse(base Addr, tid int, clock uint64)
+}
+
+// SetHeapWatcher attaches w (nil detaches). Set before the space is
+// shared across simulated threads.
+func (s *Space) SetHeapWatcher(w HeapWatcher) { s.watcher = w }
+
+// HeapWatcherAttached returns the attached watcher, or nil.
+func (s *Space) HeapWatcherAttached() HeapWatcher { return s.watcher }
+
+// Observed reports whether any block-lifecycle observer (sanitizer
+// shadow map or heap watcher) is attached. Allocators consult it before
+// computing notification arguments (e.g. a raw boundary-tag read) so the
+// unobserved path stays one branch.
+func (s *Space) Observed() bool { return s.shadow != nil || s.watcher != nil }
+
+// NoteAlloc fans a successful malloc out to the attached observers.
+func (s *Space) NoteAlloc(allocator string, base Addr, req, usable uint64, tid int, clock uint64) {
+	if s.shadow != nil {
+		s.shadow.OnAlloc(allocator, base, req, usable, tid, clock)
+	}
+	if s.watcher != nil {
+		s.watcher.OnHeapAlloc(allocator, base, req, usable, tid, clock)
+	}
+}
+
+// NoteFree fans a free out to the attached observers.
+func (s *Space) NoteFree(base Addr, tid int, clock uint64) {
+	if s.shadow != nil {
+		s.shadow.OnFree(base, tid, clock)
+	}
+	if s.watcher != nil {
+		s.watcher.OnHeapFree(base, tid, clock)
+	}
+}
+
+// NoteReuse fans a transaction-cache block revival out to the attached
+// observers.
+func (s *Space) NoteReuse(base Addr, tid int, clock uint64) {
+	if s.shadow != nil {
+		s.shadow.OnReuse(base, tid, clock)
+	}
+	if s.watcher != nil {
+		s.watcher.OnHeapReuse(base, tid, clock)
+	}
+}

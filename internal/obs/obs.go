@@ -34,6 +34,7 @@ const (
 	KindIrrevocable             // a transaction ran irrevocably under the fallback lock
 	KindWatchdog                // the harness watchdog fired (deadline / captured panic)
 	KindRegion                  // a closed profiler region (dur = region span)
+	KindCounter                 // one periodic counter sample (heap telemetry; value in A)
 	kindCount
 )
 
@@ -61,6 +62,8 @@ func (k Kind) String() string {
 		return "watchdog"
 	case KindRegion:
 		return "region"
+	case KindCounter:
+		return "counter"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -82,6 +85,8 @@ func (k Kind) Cat() string {
 		return "harness"
 	case KindRegion:
 		return "prof"
+	case KindCounter:
+		return "heap"
 	}
 	return "obs"
 }
@@ -435,6 +440,18 @@ func (r *Recorder) Region(tid int, start, end uint64, name string) {
 		return
 	}
 	r.push(tid, Event{Kind: KindRegion, TS: start, Dur: end - start, Label: name})
+}
+
+// Counter records one sampled value of the named counter track at
+// virtual cycle ts — the heapscope bridge that renders allocator-state
+// series as Perfetto counter tracks ("C" phase) alongside the event
+// spans. Counter samples are attributed to thread 0's ring: they
+// describe whole-heap state, not one thread's activity.
+func (r *Recorder) Counter(name string, ts uint64, v uint64) {
+	if r == nil {
+		return
+	}
+	r.push(0, Event{Kind: KindCounter, TS: ts, A: v, Label: name})
 }
 
 // Gauge sets a named gauge (convenience passthrough).

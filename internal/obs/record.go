@@ -83,6 +83,21 @@ type ProfileInfo struct {
 	TotalCycles uint64 `json:"total_cycles"` // sum over all buckets == summed thread clocks
 }
 
+// HeapInfo summarizes the allocator-state telemetry series captured for
+// a run (the full tmheap/series/v1 artifact is its own file; the record
+// carries only its identity and extent). It lives here rather than in
+// internal/heapscope because heapscope builds on obs; the heapscope
+// package fills it in. Kept flat (scalars and one string list, no
+// nested objects) so byte-identity tooling can strip the whole block
+// with a line-range filter.
+type HeapInfo struct {
+	Schema     string   `json:"schema"`     // series artifact schema (tmheap/series/v1)
+	Series     int      `json:"series"`     // per-cell series captured
+	Samples    int      `json:"samples"`    // snapshots across all series
+	Cadence    uint64   `json:"cadence"`    // virtual cycles between snapshots
+	Allocators []string `json:"allocators"` // distinct allocators observed, first-seen order
+}
+
 // RunRecord is the machine-readable artifact of one experiment run —
 // what BENCH_<exp>.json files hold. Everything in it derives from
 // virtual time and fixed seeds, so records are reproducible
@@ -103,6 +118,7 @@ type RunRecord struct {
 	Stripes       []StripeJSON `json:"stripe_heatmap,omitempty"`
 	Trace         *TraceInfo   `json:"trace,omitempty"`
 	Profile       *ProfileInfo `json:"profile,omitempty"` // cycle-attribution summary (v2, PR 5)
+	Heap          *HeapInfo    `json:"heap,omitempty"`    // allocator-state telemetry summary (v2, PR 6)
 }
 
 // NewRunRecord returns a record stamped with the current schema.

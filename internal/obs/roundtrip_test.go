@@ -77,6 +77,13 @@ func fullRecord() *RunRecord {
 			Threads:     8,
 			TotalCycles: 1 << 30,
 		},
+		Heap: &HeapInfo{
+			Schema:     "tmheap/series/v1",
+			Series:     4,
+			Samples:    64,
+			Cadence:    1 << 20,
+			Allocators: []string{"glibc", "hoard"},
+		},
 	}
 }
 

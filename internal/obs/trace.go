@@ -63,6 +63,12 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 }
 
 func chromeEvent(ev Event) string {
+	if ev.Kind == KindCounter {
+		// Counter samples render as Perfetto counter tracks: phase "C",
+		// track name = the counter label, sampled value in args.
+		return fmt.Sprintf(`{"name":%q,"cat":%q,"ph":"C","ts":%d,"pid":%d,"tid":%d,"args":{"value":%d}}`,
+			ev.Label, ev.Kind.Cat(), ev.TS, ev.Epoch, ev.TID, ev.A)
+	}
 	head := fmt.Sprintf(`{"name":%q,"cat":%q,"ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d`,
 		ev.Kind.String(), ev.Kind.Cat(), ev.TS, ev.Dur, ev.Epoch, ev.TID)
 	var args string

@@ -17,6 +17,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/cachesim"
 	"repro/internal/fault"
+	"repro/internal/heapscope"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/prof"
@@ -66,6 +67,10 @@ type Config struct {
 	// (thread, region-stack, allocator) buckets. Excluded from spec
 	// hashing — profiling never changes what a cell computes.
 	Prof *prof.Profiler `json:"-"`
+	// Heap, when non-nil, collects allocator-state telemetry on a
+	// virtual-cycle cadence. Excluded from spec hashing — snapshots are
+	// pure observers and never change what a cell computes.
+	Heap *heapscope.Collector `json:"-"`
 }
 
 // Result reports one run.
@@ -273,6 +278,11 @@ func Run(cfg Config) (res Result, err error) {
 	if cfg.Prof != nil {
 		engineCfg.Prof = cfg.Prof
 	}
+	if cfg.Heap != nil {
+		cfg.Heap.Attach(base, space)
+		cfg.Heap.SetRecorder(cfg.Obs)
+		engineCfg.Heap = cfg.Heap
+	}
 	engine := vtime.NewEngine(space, cfg.Threads, engineCfg)
 	alloc.Observe(base, cfg.Obs)
 	alloc.Profile(base, cfg.Prof)
@@ -320,6 +330,9 @@ func Run(cfg Config) (res Result, err error) {
 	}
 
 	// Timed parallel phase.
+	if cfg.Heap != nil {
+		cfg.Heap.Phase("run", initCycles)
+	}
 	engine.ResetClocks()
 	txBase := w.STM.Stats()
 	cacheBase := cache.TotalStats()
@@ -331,6 +344,9 @@ func Run(cfg Config) (res Result, err error) {
 		w.prof.parallel = false
 	}
 	cycles := engine.MaxClock()
+	if cfg.Heap != nil {
+		cfg.Heap.Finish(cycles)
+	}
 	txAfter := w.STM.Stats()
 
 	status, failure := obs.StatusOK, ""

@@ -82,18 +82,19 @@ func (tx *Tx) sanReport(d *mem.Diag) {
 // sanMarkFreed poisons a block released through an STM-level path the
 // allocator does not see at this moment (quarantine entry, tx-cache
 // park), recording the free's virtual-time provenance now rather than
-// at eventual allocator release.
+// at eventual allocator release. The note fans out to all attached
+// observers (shadow map and heap watcher alike).
 func (tx *Tx) sanMarkFreed(a mem.Addr) {
-	if sh := tx.stm.space.Sanitizer(); sh != nil {
-		sh.OnFree(a, tx.th.ID(), tx.th.Clock())
+	if tx.stm.space.Observed() {
+		tx.stm.space.NoteFree(a, tx.th.ID(), tx.th.Clock())
 	}
 }
 
 // sanMarkReused re-arms a block handed out from the thread-local
 // tx-object cache (the allocator sees neither the free nor the malloc).
 func (tx *Tx) sanMarkReused(a mem.Addr) {
-	if sh := tx.stm.space.Sanitizer(); sh != nil {
-		sh.OnReuse(a, tx.th.ID(), tx.th.Clock())
+	if tx.stm.space.Observed() {
+		tx.stm.space.NoteReuse(a, tx.th.ID(), tx.th.Clock())
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/heapscope"
 	"repro/internal/obs"
 	"repro/internal/prof"
 )
@@ -43,9 +44,10 @@ type Cell struct {
 	// Seed is the cell's derived seed (hashed too).
 	Seed uint64
 	// Run executes the cell and returns a JSON-serializable payload
-	// plus the cell's private observability delta and cycle-attribution
-	// profile (each nil when the run was unobserved/unprofiled).
-	Run func() (payload any, delta *obs.Delta, profile *prof.Profile, err error)
+	// plus the cell's private observability delta, cycle-attribution
+	// profile and allocator-state telemetry series (each nil when the
+	// run was unobserved/unprofiled/unwatched).
+	Run func() (payload any, delta *obs.Delta, profile *prof.Profile, heap *heapscope.Series, err error)
 
 	hash string
 }
@@ -103,11 +105,12 @@ type Outcome struct {
 	Key     string
 	Hash    string
 	Payload json.RawMessage
-	Delta   *obs.Delta    // nil for cached or unobserved cells
-	Profile *prof.Profile // nil for cached or unprofiled cells
-	Cached  bool          // served from the on-disk cache
-	Stolen  bool          // executed by a worker that stole it from another's deque
-	Err     error         // execution or (de)serialization failure
+	Delta   *obs.Delta        // nil for cached or unobserved cells
+	Profile *prof.Profile     // nil for cached or unprofiled cells
+	Heap    *heapscope.Series // nil for cached or unwatched cells
+	Cached  bool              // served from the on-disk cache
+	Stolen  bool              // executed by a worker that stole it from another's deque
+	Err     error             // execution or (de)serialization failure
 
 	cacheErr bool // the payload could not be written back to the cache
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/heapscope"
 	"repro/internal/obs"
 	"repro/internal/prof"
 )
@@ -242,7 +243,7 @@ func (s *Scheduler) run(c *Cell, stolen bool) (out Outcome) {
 		out.Stolen = false
 		return out
 	}
-	payload, delta, profile, err := runRecovered(c)
+	payload, delta, profile, heap, err := runRecovered(c)
 	if err != nil {
 		out.Err = err
 		return out
@@ -255,10 +256,12 @@ func (s *Scheduler) run(c *Cell, stolen bool) (out Outcome) {
 	out.Payload = raw
 	out.Delta = delta
 	out.Profile = profile
-	// Observed or profiled cells are never cached: a cache hit could not
-	// replay the trace or the cycle attribution. Callers enforce that by
-	// not configuring a Cache, but keep the invariant locally too.
-	if delta == nil && profile == nil {
+	out.Heap = heap
+	// Observed, profiled or heap-watched cells are never cached: a cache
+	// hit could not replay the trace, the cycle attribution or the heap
+	// series. Callers enforce that by not configuring a Cache, but keep
+	// the invariant locally too.
+	if delta == nil && profile == nil && heap == nil {
 		if err := s.Cache.Put(c, raw); err != nil {
 			out.cacheErr = true
 		}
@@ -269,10 +272,10 @@ func (s *Scheduler) run(c *Cell, stolen bool) (out Outcome) {
 // runRecovered invokes the cell with panic capture: a cell that blows
 // up (a harness bug, an injected fault tripping an unguarded path)
 // fails alone instead of tearing down the whole sweep.
-func runRecovered(c *Cell) (payload any, delta *obs.Delta, profile *prof.Profile, err error) {
+func runRecovered(c *Cell) (payload any, delta *obs.Delta, profile *prof.Profile, heap *heapscope.Series, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			payload, delta, profile = nil, nil, nil
+			payload, delta, profile, heap = nil, nil, nil, nil
 			err = fmt.Errorf("sweep: cell %s panicked: %v", c.Key, r)
 		}
 	}()

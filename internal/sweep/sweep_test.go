@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/heapscope"
 	"repro/internal/obs"
 	"repro/internal/prof"
 )
@@ -57,8 +58,8 @@ func payloadCell(key string, seed uint64, v string) Cell {
 		Key:  key,
 		Spec: json.RawMessage(fmt.Sprintf(`{"v":%q}`, v)),
 		Seed: seed,
-		Run: func() (any, *obs.Delta, *prof.Profile, error) {
-			return map[string]string{"v": v}, nil, nil, nil
+		Run: func() (any, *obs.Delta, *prof.Profile, *heapscope.Series, error) {
+			return map[string]string{"v": v}, nil, nil, nil, nil
 		},
 	}
 }
@@ -134,9 +135,9 @@ func TestSchedulerOrderAndDedup(t *testing.T) {
 		return Cell{
 			Key:  key,
 			Spec: json.RawMessage(fmt.Sprintf(`{"v":%q}`, v)),
-			Run: func() (any, *obs.Delta, *prof.Profile, error) {
+			Run: func() (any, *obs.Delta, *prof.Profile, *heapscope.Series, error) {
 				executed.Add(1)
-				return v, nil, nil, nil
+				return v, nil, nil, nil, nil
 			},
 		}
 	}
@@ -174,7 +175,7 @@ func TestSchedulerPanicIsolation(t *testing.T) {
 	cells := []Cell{
 		payloadCell("ok", 1, "fine"),
 		{Key: "boom", Spec: json.RawMessage(`{}`),
-			Run: func() (any, *obs.Delta, *prof.Profile, error) { panic("injected") }},
+			Run: func() (any, *obs.Delta, *prof.Profile, *heapscope.Series, error) { panic("injected") }},
 	}
 	s := &Scheduler{Jobs: 4}
 	outs, stats := s.Run(cells)
@@ -228,7 +229,9 @@ func TestSchedulerObservedCellsNotCached(t *testing.T) {
 	cell := Cell{
 		Key:  "observed",
 		Spec: json.RawMessage(`{}`),
-		Run:  func() (any, *obs.Delta, *prof.Profile, error) { return "v", rec.Delta(), nil, nil },
+		Run: func() (any, *obs.Delta, *prof.Profile, *heapscope.Series, error) {
+			return "v", rec.Delta(), nil, nil, nil
+		},
 	}
 	s := &Scheduler{Jobs: 1, Cache: c}
 	s.Run([]Cell{cell})

@@ -66,6 +66,20 @@ type Profiler interface {
 	ResetClock(tid int, now uint64)
 }
 
+// HeapSampler receives the engine's heap-telemetry callback. It is
+// implemented by *heapscope.Collector; the engine sees only this narrow
+// interface so heapscope can build on vtime without an import cycle.
+// Sample is called from the scheduler loop — never from a simulated
+// thread — and must be a pure observer: no virtual-time ticks, no
+// simulated memory traffic, so a sampled run is cycle-identical to an
+// unsampled one.
+type HeapSampler interface {
+	// Sample offers the current scheduling instant: now is the clock of
+	// the min-clock runnable thread, which is monotone non-decreasing
+	// within one Run, making it a deterministic sampling axis.
+	Sample(now uint64)
+}
+
 // Engine coordinates a set of logical threads over one address space
 // and one cache hierarchy.
 type Engine struct {
@@ -75,6 +89,7 @@ type Engine struct {
 	Quantum uint64
 	Obs     *obs.Recorder // scheduler-quantum tracing; nil disables
 	Prof    Profiler      // cycle attribution; nil disables
+	Heap    HeapSampler   // heap-state telemetry; nil disables
 	// Deadline, when non-zero, is the engine watchdog: a Run whose
 	// least-advanced thread passes this virtual-cycle bound is wound
 	// down (every thread is unwound at its next scheduling point) and
@@ -94,8 +109,9 @@ type Config struct {
 	Cost     *CostModel
 	Quantum  uint64
 	Obs      *obs.Recorder
-	Prof     Profiler // cycle attribution; nil disables
-	Deadline uint64   // virtual-cycle watchdog bound; 0 disables
+	Prof     Profiler    // cycle attribution; nil disables
+	Heap     HeapSampler // heap-state telemetry; nil disables
+	Deadline uint64      // virtual-cycle watchdog bound; 0 disables
 }
 
 // NewEngine builds an engine over space for n logical threads.
@@ -108,6 +124,7 @@ func NewEngine(space *mem.Space, n int, cfg Config) *Engine {
 		Quantum:  cfg.Quantum,
 		Obs:      cfg.Obs,
 		Prof:     cfg.Prof,
+		Heap:     cfg.Heap,
 		Deadline: cfg.Deadline,
 	}
 	if e.Cost == nil {
@@ -188,6 +205,14 @@ func (e *Engine) Run(fn func(t *Thread)) []uint64 {
 			if cur == nil || t.clock < cur.clock {
 				cur = t
 			}
+		}
+		// Heap-telemetry cadence: cur.clock is the global min runnable
+		// clock, monotone within this Run, so sampling here is a pure
+		// function of virtual time — independent of host scheduling and of
+		// the sweep pool width. The sampler must not touch e.rng, tick
+		// clocks, or access simulated memory.
+		if e.Heap != nil {
+			e.Heap.Sample(cur.clock)
 		}
 		// Engine watchdog: the least-advanced runnable thread is past the
 		// deadline, so every thread is — wind the region down. Each

@@ -154,9 +154,77 @@ grep -q 'totals reconcile' "$tmpdir/pdiff.txt" || {
 }
 go run ./cmd/tmvet ./internal/prof ./cmd/tmprof
 
+echo "== heapscope byte-identity gate =="
+# Heap telemetry is a pure observer: -heap must leave stdout and every
+# run-record field except the flat "heap" summary block untouched, and
+# the tmheap/series/v1 artifact must be byte-identical across pool
+# widths. strip_heap removes that block (it is the record's last field,
+# so the preceding line's trailing comma is normalized away on both
+# sides) and zeroes jobs provenance, the same normalization the
+# parallel-determinism gate applies.
+strip_heap() {
+    sed -e 's/"jobs": *[0-9]*/"jobs": 0/' \
+        -e '/^  "heap": {/,/^  }[,]\{0,1\}$/d' \
+        -e 's/,$//' "$1"
+}
+go run ./cmd/tmrepro -run fig1 -jobs 1 -heap "$tmpdir/h1.json" -out "$tmpdir/hout1" >"$tmpdir/hj1.txt"
+go run ./cmd/tmrepro -run fig1 -jobs 8 -heap "$tmpdir/h8.json" -out "$tmpdir/hout8" >"$tmpdir/hj8.txt"
+cmp "$tmpdir/j1.txt" "$tmpdir/hj1.txt" || {
+    echo "tmrepro stdout differs with -heap" >&2
+    exit 1
+}
+cmp "$tmpdir/h1.json" "$tmpdir/h8.json" || {
+    echo "heap series artifacts differ between -jobs 1 and -jobs 8" >&2
+    exit 1
+}
+strip_heap "$tmpdir/j1/BENCH_fig1.json" >"$tmpdir/hbase.norm"
+strip_heap "$tmpdir/hout1/BENCH_fig1.json" >"$tmpdir/hj1.norm"
+cmp "$tmpdir/hbase.norm" "$tmpdir/hj1.norm" || {
+    echo "run records differ with -heap beyond the heap summary block" >&2
+    exit 1
+}
+grep -q '"heap": {' "$tmpdir/hout1/BENCH_fig1.json" || {
+    echo "-heap run record carries no heap summary" >&2
+    exit 1
+}
+
+echo "== heapscope toolchain gate =="
+# The sanitizer's shadow map and the heap watcher share the Space
+# fan-out, so they must compose; tmheap must read the artifact back,
+# diff two allocators' series, and tmlayout -heap-geometry must emit
+# static geometry in the same schema.
+go run ./cmd/tmrepro -run fig1 -jobs 8 -sanitize -heap "$tmpdir/hsan.json" >"$tmpdir/hsan.txt"
+cmp "$tmpdir/j1.txt" "$tmpdir/hsan.txt" || {
+    echo "tmrepro stdout differs with -sanitize -heap" >&2
+    exit 1
+}
+cmp "$tmpdir/h1.json" "$tmpdir/hsan.json" || {
+    echo "heap series artifact differs under -sanitize" >&2
+    exit 1
+}
+go run ./cmd/tmheap "$tmpdir/h1.json" >"$tmpdir/hsum.txt"
+grep -q 'heap telemetry' "$tmpdir/hsum.txt" || {
+    echo "tmheap summary carries no telemetry header" >&2
+    exit 1
+}
+go run ./cmd/tmheap diff "$tmpdir/h1.json" >"$tmpdir/hdiff.txt"
+grep -q 'blowup' "$tmpdir/hdiff.txt" || {
+    echo "tmheap diff produced no blowup row" >&2
+    exit 1
+}
+go run ./cmd/tmlayout -heap-geometry >"$tmpdir/geo.json"
+grep -q '"schema": "tmheap/series/v1"' "$tmpdir/geo.json" || {
+    echo "tmlayout -heap-geometry emitted the wrong schema" >&2
+    exit 1
+}
+go run ./cmd/tmheap "$tmpdir/geo.json" >/dev/null || {
+    echo "tmheap failed to read the -heap-geometry artifact" >&2
+    exit 1
+}
+
 echo "== benchmarks (advisory) =="
 # Proves the bench suite still runs end to end; the numbers are
-# advisory and never gate. The committed BENCH_PR5.json trajectory is
+# advisory and never gate. The committed BENCH_PR6.json trajectory is
 # regenerated manually with scripts/bench.sh.
 BENCHTIME=1x scripts/bench.sh "$tmpdir/bench.json" >/dev/null 2>&1 ||
     echo "WARNING: scripts/bench.sh failed (advisory, not gating)" >&2
