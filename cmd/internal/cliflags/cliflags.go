@@ -29,6 +29,8 @@ type Robustness struct {
 	RetryCap uint64
 	Fault    string
 	Deadline uint64
+	Pmem     bool
+	Crash    string
 }
 
 // AddRobustness registers -cm, -retry-cap, -fault and -deadline on fs.
@@ -52,6 +54,19 @@ func AddRobustness(fs *flag.FlagSet) *Robustness {
 		return nil
 	})
 	fs.Uint64Var(&r.Deadline, "deadline", 0, "virtual-cycle watchdog bound per workload phase (0 = none)")
+	fs.BoolVar(&r.Pmem, "pmem", false,
+		"durable simulated heap: redo-logged commits with priced flush/fence and a recovery verdict in run records")
+	fs.Func("crash", "crash-injection clauses (crash@N, crash%P, crashphase:<commit|apply|malloc>); implies -pmem", func(v string) error {
+		plan, err := fault.Parse(v, 1)
+		if err != nil {
+			return err
+		}
+		if !plan.HasCrash() {
+			return fmt.Errorf("spec %q contains no crash clause", v)
+		}
+		r.Crash = v
+		return nil
+	})
 	return r
 }
 
@@ -59,7 +74,7 @@ func AddRobustness(fs *flag.FlagSet) *Robustness {
 // binary's own scale flags, mapping the CLI's zero-means-default
 // conventions onto the spec's explicit nil-or-override pointers.
 func (r *Robustness) Spec(full bool, reps int, seed uint64) *harness.Spec {
-	s := &harness.Spec{Full: full, CM: r.CM, Fault: r.Fault}
+	s := &harness.Spec{Full: full, CM: r.CM, Fault: r.Fault, Pmem: r.Pmem, Crash: r.Crash}
 	if reps > 0 {
 		s.Reps = &reps
 	}

@@ -88,6 +88,8 @@ func main() {
 		RetryCap:     rob.RetryCap,
 		Fault:        rob.Fault,
 		Deadline:     rob.Deadline,
+		Pmem:         rob.Pmem,
+		Crash:        rob.Crash,
 		SeedUAF:      *seedUAF,
 	}
 
@@ -98,6 +100,9 @@ func main() {
 	}
 	if rec != nil || pr.Enabled() || hp.Enabled() {
 		cache = nil // a cache hit could not replay the trace, profile or heap series
+	}
+	if rob.Crash != "" {
+		cache = nil // a crash cell's verdict must come from recovery actually running
 	}
 	var pp *prof.Profiler
 	if pr.Enabled() {
@@ -238,6 +243,16 @@ func main() {
 		fmt.Fprintf(tw, "mode\tSTM %s, shift %d, CM %s\n", d, res.Config.Shift, rob.CM)
 		if res.Status != "" && res.Status != obs.StatusOK {
 			fmt.Fprintf(tw, "status\t%s: %s\n", res.Status, res.Failure)
+		}
+		if r := res.Recovery; r != nil {
+			if r.Crashed {
+				fmt.Fprintf(tw, "durability\tcrash at cycle %d (%s phase); recovery %s: %d logs replayed, %d torn, %d/%d meta words repaired\n",
+					r.CrashCycle, r.CrashPhase, r.Verdict, r.Replayed, r.TornLogs, r.TornMeta, r.MetaWords)
+			} else {
+				fmt.Fprintf(tw, "durability\t%d flushes, %d fences, %d log appends, %d metadata records\n",
+					r.Flushes, r.Fences, r.LogAppends, r.MetaRecs)
+			}
+			record.Recovery = r
 		}
 		fmt.Fprintf(tw, "throughput\t%.0f tx per modelled second\n", res.Throughput)
 		fmt.Fprintf(tw, "time\t%.4f ms for %d ops\n", res.Seconds*1e3, res.Ops)

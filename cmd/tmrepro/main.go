@@ -115,6 +115,10 @@ func main() {
 		if s := r.Health.Status(); s != "" && s != obs.StatusOK {
 			fmt.Fprintf(os.Stderr, "%s status: %s (%s)\n", r.ID, s, r.Health.Failure())
 		}
+		if rc := r.Recovery; rc != nil && rc.Crashed {
+			fmt.Fprintf(os.Stderr, "%s durability: crash at cycle %d (%s phase); recovery %s\n",
+				r.ID, rc.CrashCycle, rc.CrashPhase, rc.Verdict)
+		}
 
 		writers := []io.Writer{os.Stdout}
 		if *out != "" {

@@ -94,6 +94,8 @@ func main() {
 		RetryCap:  rob.RetryCap,
 		Fault:     rob.Fault,
 		Deadline:  rob.Deadline,
+		Pmem:      rob.Pmem,
+		Crash:     rob.Crash,
 	}
 
 	cache, err := sw.Open()
@@ -103,6 +105,9 @@ func main() {
 	}
 	if rec != nil || pr.Enabled() || hp.Enabled() {
 		cache = nil // a cache hit could not replay the trace, profile or heap series
+	}
+	if rob.Crash != "" {
+		cache = nil // a crash cell's verdict must come from recovery actually running
 	}
 	var pp *prof.Profiler
 	if pr.Enabled() {
@@ -210,6 +215,15 @@ func main() {
 		res.Alloc.RemoteFrees, res.Alloc.OSMaps)
 	fmt.Fprintf(tw, "cache\t%.2f%% L1D miss, %d coherence misses, %d false-sharing misses\n",
 		res.L1Miss*100, res.Cache.CohMisses, res.Cache.FalseShare)
+	if r := res.Recovery; r != nil {
+		if r.Crashed {
+			fmt.Fprintf(tw, "durability\tcrash at cycle %d (%s phase); recovery %s: %d logs replayed, %d torn, %d/%d meta words repaired\n",
+				r.CrashCycle, r.CrashPhase, r.Verdict, r.Replayed, r.TornLogs, r.TornMeta, r.MetaWords)
+		} else {
+			fmt.Fprintf(tw, "durability\t%d flushes, %d fences, %d log appends, %d metadata records\n",
+				r.Flushes, r.Fences, r.LogAppends, r.MetaRecs)
+		}
+	}
 	tw.Flush()
 
 	if res.Profile != nil {
@@ -258,6 +272,9 @@ func main() {
 		}
 		if heapSet != nil {
 			record.Heap = heapSet.Info()
+		}
+		if res.Recovery != nil {
+			record.Recovery = res.Recovery
 		}
 		record.Tables = []obs.Table{{
 			Title:   "Summary",

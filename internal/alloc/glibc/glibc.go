@@ -76,6 +76,7 @@ type Glibc struct {
 	attached []*arena // per-thread last-used arena
 	stats    []alloc.ThreadStats
 	prof     *prof.Profiler
+	journal  alloc.MetaJournal
 
 	mmaps map[mem.Addr]uint64 // user addr -> region size (direct maps)
 }
@@ -90,7 +91,7 @@ func New(space *mem.Space, threads int) *Glibc {
 		stats:    make([]alloc.ThreadStats, threads),
 		mmaps:    make(map[mem.Addr]uint64),
 	}
-	main := g.newArena(nil)
+	main := g.newArena(nil, nil)
 	if main == nil {
 		panic("glibc: cannot map the main arena")
 	}
@@ -126,9 +127,18 @@ func (g *Glibc) SetInjector(inj alloc.Injector) {
 // SetProfiler implements alloc.Profiled.
 func (g *Glibc) SetProfiler(p *prof.Profiler) { g.prof = p }
 
+// SetJournal implements alloc.Journaled. The main arena already exists
+// when a durable layer attaches, so journal it retroactively.
+func (g *Glibc) SetJournal(j alloc.MetaJournal) {
+	g.journal = j
+	for _, a := range g.arenas {
+		j.JournalMeta(nil, "arena", a.base, ArenaSize, uint64(a.index))
+	}
+}
+
 // newArena maps a fresh arena, or returns nil when the simulated OS is
-// out of memory.
-func (g *Glibc) newArena(st *alloc.ThreadStats) *arena {
+// out of memory. th is nil only at construction time.
+func (g *Glibc) newArena(th *vtime.Thread, st *alloc.ThreadStats) *arena {
 	base, err := g.space.Map(ArenaSize, ArenaAlign)
 	if err != nil {
 		return nil
@@ -144,6 +154,9 @@ func (g *Glibc) newArena(st *alloc.ThreadStats) *arena {
 		index: len(g.arenas),
 	}
 	g.arenas = append(g.arenas, a)
+	if g.journal != nil {
+		g.journal.JournalMeta(th, "arena", a.base, ArenaSize, uint64(a.index))
+	}
 	return a
 }
 
@@ -182,7 +195,7 @@ func (g *Glibc) lockArena(th *vtime.Thread, st *alloc.ThreadStats) *arena {
 	}
 	fresh := (*arena)(nil)
 	if len(g.arenas) < 8*g.threads {
-		fresh = g.newArena(st)
+		fresh = g.newArena(th, st)
 	}
 	if fresh == nil {
 		// Arena cap hit, or the simulated OS refused the mapping: block
@@ -253,7 +266,7 @@ func (g *Glibc) malloc(th *vtime.Thread, st *alloc.ThreadStats, size uint64) mem
 		if a.top+mem.Addr(csz) > a.end {
 			// Arena exhausted: fall over to a brand-new arena.
 			a.lock.Unlock(th)
-			a = g.newArena(st)
+			a = g.newArena(th, st)
 			if a == nil {
 				st.MallocFailed(th, size)
 				return 0

@@ -1,0 +1,102 @@
+package glibc
+
+import (
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/mem"
+	"repro/internal/vtime"
+)
+
+// Crash recovery. Glibc is the only model with in-band metadata — a
+// 16-byte boundary tag ahead of every block whose size word carries the
+// in-use and mmapped bits, and a free-list link in the first chunk word
+// of every binned chunk. None of those words are ever flushed on the
+// hot path, so they tear worst of the four models (the durable twin of
+// the paper's per-block-metadata story): recovery rewrites every size
+// word from journaled truth and relinks every freed chunk into a
+// canonical exact-fit bin.
+
+// RecoverHeap implements alloc.Recoverer. It consults only the passed
+// state plus layout constants: journaled "arena" records locate the
+// arenas (a live block outside every arena is a direct mapping), the
+// block journal supplies base/usable for every chunk.
+func (g *Glibc) RecoverHeap(th *vtime.Thread, st *alloc.RecoverState) alloc.RecoverReport {
+	rep := alloc.RecoverReport{NodeOffset: HeaderSize}
+	arenas := make([]mem.Addr, 0, 8)
+	for _, m := range st.Meta {
+		if m.Kind == "arena" {
+			arenas = append(arenas, m.Base)
+		}
+	}
+	inArena := func(a mem.Addr) bool {
+		base := a &^ arenaMask
+		for _, ab := range arenas {
+			if ab == base {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Repair every boundary tag: size word = chunk size with the in-use
+	// bit for live blocks (plus mmapped for direct maps), cleared for
+	// freed ones.
+	repair := func(b alloc.RecordedBlock, live bool) {
+		c := b.Base - HeaderSize
+		want := b.Usable + HeaderSize
+		if live {
+			want |= inUseBit
+			if !inArena(b.Base) {
+				want |= mmappedBit
+			}
+		}
+		rep.MetaWords++
+		if old := th.Load(c + sizeWordOff); old != want {
+			rep.TornMeta++
+			th.Store(c+sizeWordOff, want)
+		}
+	}
+	for _, b := range st.Live {
+		repair(b, true)
+	}
+	for _, b := range st.Freed {
+		repair(b, false)
+	}
+
+	// Rebuild the exact-fit bins: freed chunks grouped by (arena, chunk
+	// size), each group relinked into one canonical chain. The link
+	// words double as the chunks' first words, so scan them as metadata
+	// too (RebuildChain counts the torn ones).
+	type binKey struct {
+		arena mem.Addr
+		csz   uint64
+	}
+	bins := map[binKey][]mem.Addr{}
+	for _, b := range st.Freed {
+		k := binKey{arena: b.Base &^ arenaMask, csz: b.Usable + HeaderSize}
+		bins[k] = append(bins[k], b.Base-HeaderSize)
+	}
+	keys := make([]binKey, 0, len(bins))
+	for k := range bins {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].arena != keys[j].arena {
+			return keys[i].arena < keys[j].arena
+		}
+		return keys[i].csz < keys[j].csz
+	})
+	freed := st.FreedSet()
+	inSet := func(node mem.Addr) bool { return freed(node + HeaderSize) }
+	for _, k := range keys {
+		chunks := bins[k]
+		head, torn := alloc.RebuildChain(th, chunks, inSet)
+		rep.Chains++
+		rep.FreeBlocks += len(chunks)
+		rep.MetaWords += uint64(len(chunks))
+		rep.TornMeta += torn
+		rep.Heads = append(rep.Heads, head)
+	}
+	return rep
+}

@@ -111,6 +111,8 @@ type Hoard struct {
 	sbMap map[mem.Addr]*superblock // superblock base -> superblock
 	big   map[mem.Addr]uint64      // direct maps: user addr -> region size
 
+	journal alloc.MetaJournal
+
 	migrations uint64 // emptiness-threshold superblock returns to the global heap
 }
 
@@ -154,6 +156,9 @@ func (h *Hoard) SetObserver(r *obs.Recorder) {
 
 // SetProfiler implements alloc.Profiled.
 func (h *Hoard) SetProfiler(p *prof.Profiler) { h.prof = p }
+
+// SetJournal implements alloc.Journaled.
+func (h *Hoard) SetJournal(j alloc.MetaJournal) { h.journal = j }
 
 // SetInjector implements alloc.Injectable.
 func (h *Hoard) SetInjector(inj alloc.Injector) {
@@ -319,6 +324,9 @@ func (h *Hoard) fetchFromGlobal(th *vtime.Thread, hp *heap, st *alloc.ThreadStat
 		sb := g.spare[len(g.spare)-1]
 		g.spare = g.spare[:len(g.spare)-1]
 		h.assignClass(sb, ci)
+		if h.journal != nil {
+			h.journal.JournalMeta(th, "sb-class", sb.base, sb.blockSz, uint64(ci))
+		}
 		sb.owner = hp
 		st.Rec.Transfer("hoard:sb-from-global", th.ID(), th.Clock(), sb.blockSz)
 		return sb
@@ -338,6 +346,9 @@ func (h *Hoard) newSuperblock(th *vtime.Thread, hp *heap, st *alloc.ThreadStats,
 	sb := &superblock{base: base, owner: hp}
 	h.assignClass(sb, ci)
 	h.sbMap[base] = sb
+	if h.journal != nil {
+		h.journal.JournalMeta(th, "superblock", base, sb.blockSz, uint64(ci))
+	}
 	return sb
 }
 

@@ -1,0 +1,44 @@
+package hoard
+
+import (
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/mem"
+	"repro/internal/vtime"
+)
+
+// Crash recovery. Hoard keeps no in-band headers — blocks carry no
+// boundary tags, and superblock identity is pure address arithmetic
+// (64 KiB alignment) backed by journaled "superblock"/"sb-class"
+// structural records — so the only durable metadata that can tear is
+// the free-list link word at the head of each freed block. Recovery
+// relinks every freed block into one canonical chain per superblock.
+
+// RecoverHeap implements alloc.Recoverer. Freed blocks group by their
+// superblock (the 64 KiB-aligned region containing them); direct-mapped
+// big blocks never appear freed (their free unmaps the region).
+func (h *Hoard) RecoverHeap(th *vtime.Thread, st *alloc.RecoverState) alloc.RecoverReport {
+	var rep alloc.RecoverReport
+	groups := map[mem.Addr][]mem.Addr{}
+	for _, b := range st.Freed {
+		sb := b.Base &^ sbMask
+		groups[sb] = append(groups[sb], b.Base)
+	}
+	bases := make([]mem.Addr, 0, len(groups))
+	for sb := range groups {
+		bases = append(bases, sb)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	inSet := st.FreedSet()
+	for _, sb := range bases {
+		blocks := groups[sb]
+		head, torn := alloc.RebuildChain(th, blocks, inSet)
+		rep.Chains++
+		rep.FreeBlocks += len(blocks)
+		rep.MetaWords += uint64(len(blocks))
+		rep.TornMeta += torn
+		rep.Heads = append(rep.Heads, head)
+	}
+	return rep
+}

@@ -1,0 +1,175 @@
+package alloc
+
+import (
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/vtime"
+)
+
+// Durable-heap seam: metadata journaling and crash recovery.
+//
+// Under a durable memory (internal/pmem) the allocator's in-band
+// metadata — glibc boundary tags, free-list link words — lives in
+// persistent memory and can tear: a crash preserves only the cache
+// lines that were flushed and fenced. The journal is the allocator's
+// out-of-band insurance: models append one record per structural event
+// (arena/superblock/span creation, class assignment) so that recovery
+// can rebuild every free list from journaled truth plus compile-time
+// layout constants, without consulting the crashed instance's host-side
+// maps (which model DRAM and are lost with it).
+//
+// The block-lifecycle half of the journal needs no allocator changes:
+// pmem receives every malloc/free through the Space observer fan-out
+// (mem.PersistTracker). Only the structural records below and the
+// per-model RecoverHeap repair pass are new seams.
+
+// MetaJournal receives allocator structural-metadata records. The
+// append is priced on the calling thread (one LogAppend per record —
+// a write-combining store into the journal region); internal/pmem
+// implements it structurally so models never import pmem.
+type MetaJournal interface {
+	// JournalMeta appends one structural record. kind names the event
+	// ("arena", "superblock", "span", ...), base its region; a and b are
+	// kind-specific operands (sizes, class indices). th may be nil for
+	// construction-time events raised before any simulated thread exists.
+	JournalMeta(th *vtime.Thread, kind string, base mem.Addr, a, b uint64)
+}
+
+// Journaled is implemented by allocators that journal their structural
+// metadata. All four models implement it.
+type Journaled interface {
+	SetJournal(j MetaJournal)
+}
+
+// Journal attaches j to a if the allocator supports metadata
+// journaling, reporting whether it does.
+func Journal(a Allocator, j MetaJournal) bool {
+	if j == nil {
+		return false
+	}
+	if m, ok := a.(Journaled); ok {
+		m.SetJournal(j)
+		return true
+	}
+	return false
+}
+
+// RecordedBlock is one journaled heap block handed to recovery: its
+// user base address, the requested size and the usable (size-class)
+// bytes the allocator dedicated to it.
+type RecordedBlock struct {
+	Base   mem.Addr
+	Req    uint64
+	Usable uint64
+}
+
+// MetaRec is one journaled structural record, as appended via
+// JournalMeta.
+type MetaRec struct {
+	Kind string
+	Base mem.Addr
+	A, B uint64
+}
+
+// RecoverState is the journaled truth recovery hands to a model's
+// RecoverHeap: which blocks were live and which were freed at the
+// crash (both sorted by base address), plus the structural records in
+// append order. Blocks in regions returned to the simulated OS are
+// already excluded.
+type RecoverState struct {
+	Live  []RecordedBlock
+	Freed []RecordedBlock
+	Meta  []MetaRec
+}
+
+// FreedSet reports whether a is the base of a freed block (for use as
+// a RebuildChain / WalkChain membership predicate).
+func (st *RecoverState) FreedSet() func(mem.Addr) bool {
+	return func(a mem.Addr) bool {
+		i := sort.Search(len(st.Freed), func(i int) bool { return st.Freed[i].Base >= a })
+		return i < len(st.Freed) && st.Freed[i].Base == a
+	}
+}
+
+// RecoverReport summarizes a model's metadata repair pass.
+type RecoverReport struct {
+	// TornMeta counts metadata words whose durable content disagreed
+	// with journaled truth and were rewritten; MetaWords the words
+	// scanned. Their ratio is the "how badly does this layout tear"
+	// metric.
+	TornMeta  uint64
+	MetaWords uint64
+	// Chains and FreeBlocks count the rebuilt free lists and the blocks
+	// linked into them; Heads are the rebuilt chain heads, in a
+	// deterministic order, for the closure walk.
+	Chains     int
+	FreeBlocks int
+	Heads      []mem.Addr
+	// NodeOffset translates a chain node address to the block's user
+	// address (user = node + NodeOffset): glibc chains link chunk bases,
+	// one boundary tag below the user pointer; the header-less models
+	// link user bases directly.
+	NodeOffset uint64
+}
+
+// Recoverer is implemented by allocators that can verify and repair
+// their durable metadata after a crash. RecoverHeap must rely only on
+// the passed state and compile-time layout constants — never on the
+// instance's host-side maps, which did not survive the crash — and
+// prices its scan/repair traffic on th. All four models implement it.
+type Recoverer interface {
+	RecoverHeap(th *vtime.Thread, st *RecoverState) RecoverReport
+}
+
+// RecoverHeap runs a's metadata repair pass if the allocator supports
+// recovery, reporting whether it does.
+func RecoverHeap(a Allocator, th *vtime.Thread, st *RecoverState) (RecoverReport, bool) {
+	if r, ok := a.(Recoverer); ok {
+		return r.RecoverHeap(th, st), true
+	}
+	return RecoverReport{}, false
+}
+
+// RebuildChain rewrites the free-list link words of one logical free
+// list into a canonical chain: blocks sorted ascending, each block's
+// word 0 pointing at the next, the last at 0, head the lowest address
+// (so LIFO pops ascend, matching a fresh carve). Before rewriting it
+// scans each existing link word and counts as torn any value that is
+// neither 0 nor a member of the list (per inSet) — durable images of a
+// healthy chain contain only member links and tails, so anything else
+// is a torn line or leftover user data. blocks is sorted in place.
+func RebuildChain(th *vtime.Thread, blocks []mem.Addr, inSet func(mem.Addr) bool) (head mem.Addr, torn uint64) {
+	if len(blocks) == 0 {
+		return 0, 0
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	for i, b := range blocks {
+		var next mem.Addr
+		if i+1 < len(blocks) {
+			next = blocks[i+1]
+		}
+		old := th.Load(b)
+		if old != 0 && !inSet(mem.Addr(old)) {
+			torn++
+		}
+		if old != uint64(next) {
+			th.Store(b, uint64(next))
+		}
+	}
+	return blocks[0], torn
+}
+
+// WalkChain follows free-list links from head, reporting how many
+// blocks it visited and whether the chain is closed: every visited
+// block satisfies member and the walk terminates at 0 within max
+// steps (a cycle or an escape from the member set reports false).
+func WalkChain(th *vtime.Thread, head mem.Addr, member func(mem.Addr) bool, max int) (n int, ok bool) {
+	for a := head; a != 0; a = mem.Addr(th.Load(a)) {
+		if !member(a) || n >= max {
+			return n, false
+		}
+		n++
+	}
+	return n, true
+}

@@ -1,0 +1,42 @@
+package tbb
+
+import (
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/mem"
+	"repro/internal/vtime"
+)
+
+// Crash recovery. Like Hoard, TBB keeps no in-band block headers —
+// superblock identity is 16 KiB address alignment backed by journaled
+// "superblock"/"sb-class" records — so only free-list link words can
+// tear. The volatile split between a superblock's private and public
+// lists is gone with the crash; recovery merges both into one canonical
+// chain per superblock (the next owner drains it like a public list).
+
+// RecoverHeap implements alloc.Recoverer.
+func (t *TBB) RecoverHeap(th *vtime.Thread, st *alloc.RecoverState) alloc.RecoverReport {
+	var rep alloc.RecoverReport
+	groups := map[mem.Addr][]mem.Addr{}
+	for _, b := range st.Freed {
+		sb := b.Base &^ sbMask
+		groups[sb] = append(groups[sb], b.Base)
+	}
+	bases := make([]mem.Addr, 0, len(groups))
+	for sb := range groups {
+		bases = append(bases, sb)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	inSet := st.FreedSet()
+	for _, sb := range bases {
+		blocks := groups[sb]
+		head, torn := alloc.RebuildChain(th, blocks, inSet)
+		rep.Chains++
+		rep.FreeBlocks += len(blocks)
+		rep.MetaWords += uint64(len(blocks))
+		rep.TornMeta += torn
+		rep.Heads = append(rep.Heads, head)
+	}
+	return rep
+}

@@ -112,6 +112,8 @@ type TBB struct {
 
 	big map[mem.Addr]uint64
 
+	journal alloc.MetaJournal
+
 	migrations uint64 // retired superblocks returned to the global heap
 }
 
@@ -150,6 +152,9 @@ func (t *TBB) SetObserver(r *obs.Recorder) {
 
 // SetProfiler implements alloc.Profiled.
 func (t *TBB) SetProfiler(p *prof.Profiler) { t.prof = p }
+
+// SetJournal implements alloc.Journaled.
+func (t *TBB) SetJournal(j alloc.MetaJournal) { t.journal = j }
 
 // SetInjector implements alloc.Injectable.
 func (t *TBB) SetInjector(inj alloc.Injector) {
@@ -275,6 +280,9 @@ func (t *TBB) newSuperblock(th *vtime.Thread, st *alloc.ThreadStats, ci int) *su
 		t.spare = t.spare[:n-1]
 		t.globalLock.Unlock(th)
 		t.assign(sb, th.ID(), ci)
+		if t.journal != nil {
+			t.journal.JournalMeta(th, "sb-class", sb.base, sb.blockSz, uint64(ci))
+		}
 		return sb
 	}
 	t.globalLock.Unlock(th)
@@ -297,6 +305,9 @@ func (t *TBB) newSuperblock(th *vtime.Thread, st *alloc.ThreadStats, ci int) *su
 	sb := &superblock{base: base}
 	t.assign(sb, th.ID(), ci)
 	t.sbMap[base] = sb
+	if t.journal != nil {
+		t.journal.JournalMeta(th, "superblock", base, sb.blockSz, uint64(ci))
+	}
 	return sb
 }
 

@@ -1,0 +1,72 @@
+package tcmalloc
+
+import (
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/mem"
+	"repro/internal/vtime"
+)
+
+// Crash recovery. TCMalloc keeps the least in-band metadata of the four
+// models: no block headers and no superblock headers — the page map is
+// pure host-side state, rebuilt from journaled "span" records — so only
+// free-list link words can tear. The volatile split between thread
+// caches and the central lists is gone with the crash; recovery merges
+// every freed block into one canonical central chain per size class.
+
+// RecoverHeap implements alloc.Recoverer. A freed block resolves to its
+// size class through the journaled span covering it; freed large blocks
+// never appear (their free unmaps the span).
+func (t *TCMalloc) RecoverHeap(th *vtime.Thread, st *alloc.RecoverState) alloc.RecoverReport {
+	var rep alloc.RecoverReport
+	type spanRec struct {
+		base  mem.Addr
+		bytes uint64
+		class int
+	}
+	spans := make([]spanRec, 0, len(st.Meta))
+	for _, m := range st.Meta {
+		if m.Kind == "span" {
+			spans = append(spans, spanRec{base: m.Base, bytes: m.A, class: int(m.B) - 1})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].base < spans[j].base })
+	classOf := func(a mem.Addr) (int, bool) {
+		i := sort.Search(len(spans), func(i int) bool { return spans[i].base > a })
+		if i == 0 {
+			return 0, false
+		}
+		sp := spans[i-1]
+		if a >= sp.base+mem.Addr(sp.bytes) || sp.class < 0 {
+			return 0, false
+		}
+		return sp.class, true
+	}
+
+	groups := map[int][]mem.Addr{}
+	for _, b := range st.Freed {
+		if ci, ok := classOf(b.Base); ok {
+			groups[ci] = append(groups[ci], b.Base)
+		}
+		// A freed block outside every journaled span stays unchained and
+		// surfaces as resurrection risk in the verifier — recovery must
+		// not guess a class for it.
+	}
+	cis := make([]int, 0, len(groups))
+	for ci := range groups {
+		cis = append(cis, ci)
+	}
+	sort.Ints(cis)
+	inSet := st.FreedSet()
+	for _, ci := range cis {
+		blocks := groups[ci]
+		head, torn := alloc.RebuildChain(th, blocks, inSet)
+		rep.Chains++
+		rep.FreeBlocks += len(blocks)
+		rep.MetaWords += uint64(len(blocks))
+		rep.TornMeta += torn
+		rep.Heads = append(rep.Heads, head)
+	}
+	return rep
+}

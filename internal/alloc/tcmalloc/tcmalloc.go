@@ -102,6 +102,8 @@ type TCMalloc struct {
 
 	pageMap map[uint64]*span // page id -> span
 
+	journal alloc.MetaJournal
+
 	heapLock alloc.CountingMutex
 	chunkCur mem.Addr
 	chunkEnd mem.Addr
@@ -150,6 +152,9 @@ func (t *TCMalloc) SetInjector(inj alloc.Injector) {
 
 // SetProfiler implements alloc.Profiled.
 func (t *TCMalloc) SetProfiler(p *prof.Profiler) { t.prof = p }
+
+// SetJournal implements alloc.Journaled.
+func (t *TCMalloc) SetJournal(j alloc.MetaJournal) { t.journal = j }
 
 // Malloc implements alloc.Allocator.
 func (t *TCMalloc) Malloc(th *vtime.Thread, size uint64) mem.Addr {
@@ -293,6 +298,11 @@ func (t *TCMalloc) newSpan(th *vtime.Thread, st *alloc.ThreadStats, bytes uint64
 	sp := &span{base: base, bytes: bytes, class: class}
 	for p := base; p < base+mem.Addr(bytes); p += PageSize {
 		t.pageMap[uint64(p)>>PageShift] = sp
+	}
+	if t.journal != nil {
+		// class is -1 for a large span; journal it off-by-one so the
+		// record stays unsigned (0 = large).
+		t.journal.JournalMeta(th, "span", base, bytes, uint64(class+1))
 	}
 	return sp
 }

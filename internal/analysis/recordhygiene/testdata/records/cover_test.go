@@ -1,7 +1,7 @@
 package records
 
 // The fixture's "round-trip test": mentioning a field here marks it
-// covered. Untested and Exempt are deliberately absent.
+// covered. Untested, Exempt and Missed are deliberately absent.
 func roundTrip() RunRecord {
 	rec := RunRecord{
 		Schema:  "v1",
@@ -9,6 +9,11 @@ func roundTrip() RunRecord {
 		Sweep:   &Sweep{Cells: 2},
 		Rows:    []Row{{Label: "a"}},
 		NoTag:   3,
+		Recovery: &Recovery{
+			Verdict: "ok",
+			Torn:    4,
+			Untag:   true,
+		},
 	}
 	return rec
 }

@@ -5,11 +5,12 @@ package records
 
 // RunRecord mimics the real artifact schema.
 type RunRecord struct {
-	Schema  string  `json:"schema"`
-	Summary Summary `json:"summary"`
-	Sweep   *Sweep  `json:"sweep,omitempty"`
-	Rows    []Row   `json:"rows,omitempty"`
-	NoTag   int     // want "schema field RunRecord.NoTag has no json tag"
+	Schema   string    `json:"schema"`
+	Summary  Summary   `json:"summary"`
+	Sweep    *Sweep    `json:"sweep,omitempty"`
+	Rows     []Row     `json:"rows,omitempty"`
+	Recovery *Recovery `json:"recovery,omitempty"`
+	NoTag    int       // want "schema field RunRecord.NoTag has no json tag"
 	//tmvet:allow recordhygiene: fixture demonstrates a deliberately untested field
 	Exempt int `json:"exempt"`
 
@@ -30,6 +31,17 @@ type Sweep struct {
 // Row is reached through a slice field.
 type Row struct {
 	Label string `json:"label"`
+}
+
+// Recovery mimics the durability verdict block: a late schema addition
+// reached through an optional pointer field. The closure must still
+// pull it in, and a field added here without a matching mention in the
+// round-trip test is exactly the drift the analyzer exists to catch.
+type Recovery struct {
+	Verdict string `json:"verdict"`
+	Torn    int    `json:"torn"`
+	Missed  int    `json:"missed"` // want "schema field Recovery.Missed is not mentioned in any _test.go file"
+	Untag   bool   // want "schema field Recovery.Untag has no json tag"
 }
 
 // Unrelated is not reachable from RunRecord, so its bare field is out

@@ -20,10 +20,25 @@
 //	             window [F, T) (an abort storm)
 //	quota@B      cap the simulated address space at B bytes (k/m/g
 //	             suffixes: kilo/mega/giga)
+//	crash@N[xK]  crash (halt the simulation) at the first durable-memory
+//	             checkpoint at or after virtual cycle N; with xK, at the
+//	             K-th such checkpoint
+//	crash%P      crash at each durable-memory checkpoint with
+//	             probability P percent (one-shot)
+//	crashphase:<commit|apply|malloc>[@N]
+//	             crash at the N-th (default first) checkpoint of the
+//	             named commit phase: "commit" is the redo-log commit
+//	             marker, "apply" the post-write-back apply/truncate
+//	             point, "malloc" an allocator metadata-journal append
 //
 // Counts and cycle values accept k/m/g suffixes too (e.g. "lat@1k:5k").
-// A Plan is stateful (it counts Mallocs); construct a fresh Plan — or
-// call Reset — for each run so repetitions stay identical.
+// Crash clauses only fire on runs with a durable memory attached (the
+// -pmem/-crash CLI flags); they are consulted at pmem checkpoints via
+// Plan.Crash and at most one fires per plan.
+//
+// A Plan is stateful (it counts Mallocs and checkpoints); use Clone (or
+// CloneSeeded) to run the same parsed spec again — or call Reset — so
+// repetitions stay identical.
 package fault
 
 import (
@@ -54,6 +69,21 @@ type stall struct {
 	fired  bool
 }
 
+// crashAt fires at the nth durable-memory checkpoint at or after
+// virtual cycle at; seen counts qualifying checkpoints.
+type crashAt struct {
+	at   uint64
+	nth  uint64
+	seen uint64
+}
+
+// crashPhase fires at the nth checkpoint of the named commit phase.
+type crashPhase struct {
+	phase string
+	nth   uint64
+	seen  uint64
+}
+
 // Plan is a parsed, seeded fault plan. It implements alloc.Injector
 // (structurally — this package does not import alloc) and the stm
 // layer's fault hooks. Methods are safe for use from engine threads:
@@ -63,18 +93,22 @@ type Plan struct {
 	spec string
 	seed uint64
 
-	oomAt   []window
-	oomPct  uint64 // percent 0..100
-	latAt   []window
-	latPct  uint64
-	latency uint64 // cycles per latency spike
-	stalls  []stall
-	storms  []window // virtual-time windows, not counts
-	quota   uint64
+	oomAt    []window
+	oomPct   uint64 // percent 0..100
+	latAt    []window
+	latPct   uint64
+	latency  uint64 // cycles per latency spike
+	stalls   []stall
+	storms   []window // virtual-time windows, not counts
+	quota    uint64
+	crashes  []crashAt
+	crashPct uint64
+	phases   []crashPhase
 
 	mu      sync.Mutex
 	rng     uint64
 	mallocN uint64 // Mallocs seen
+	crashed bool   // a crash clause fired (one-shot across all clauses)
 	stats   Stats
 	rec     *obs.Recorder
 }
@@ -86,6 +120,7 @@ type Stats struct {
 	Stalls   uint64 // thread stalls delivered
 	Aborted  uint64 // transactions killed by abort storms
 	MallocsN uint64 // Mallocs observed (fired or not)
+	Crashes  uint64 // crash points fired (0 or 1)
 }
 
 // Parse builds a Plan from a spec string and a seed. An empty spec
@@ -118,6 +153,11 @@ func MustParse(spec string, seed uint64) *Plan {
 }
 
 func (p *Plan) parseClause(clause string) error {
+	// crashphase uses ':' rather than the count/percent separators, so it
+	// is dispatched before the @/% split.
+	if rest, ok := strings.CutPrefix(clause, "crashphase:"); ok {
+		return p.parseCrashPhase(rest)
+	}
 	kind, rest, ok := cutAny(clause, "@%")
 	if !ok {
 		return fmt.Errorf("missing @ or %%")
@@ -216,8 +256,56 @@ func (p *Plan) parseClause(clause string) error {
 		}
 		p.quota = b
 		return nil
+	case "crash":
+		if pct {
+			v, err := parsePct(rest)
+			if err != nil {
+				return err
+			}
+			p.crashPct = v
+			return nil
+		}
+		at, span := rest, ""
+		if i := strings.IndexByte(rest, 'x'); i >= 0 {
+			at, span = rest[:i], rest[i+1:]
+		}
+		n, err := parseAmount(at)
+		if err != nil {
+			return err
+		}
+		c := crashAt{at: n, nth: 1}
+		if span != "" {
+			k, err := parseAmount(span)
+			if err != nil || k == 0 {
+				return fmt.Errorf("bad repeat count %q", span)
+			}
+			c.nth = k
+		}
+		p.crashes = append(p.crashes, c)
+		return nil
 	}
 	return fmt.Errorf("unknown fault kind %q", kind)
+}
+
+// parseCrashPhase parses the remainder of a crashphase:<phase>[@N]
+// clause.
+func (p *Plan) parseCrashPhase(rest string) error {
+	phase, at, hasAt := strings.Cut(rest, "@")
+	switch phase {
+	case "commit", "apply", "malloc":
+	default:
+		return fmt.Errorf("fault: crashphase: unknown phase %q (want commit, apply or malloc)", phase)
+	}
+	c := crashPhase{phase: phase, nth: 1}
+	if hasAt {
+		n, err := parseAmount(at)
+		if err != nil || n == 0 {
+			return fmt.Errorf("fault: crashphase: bad checkpoint index %q (1-based)", at)
+		}
+		c.nth = n
+	}
+	p.phases = append(p.phases, c)
+	return nil
 }
 
 // cutAny splits s at the first occurrence of any byte in seps, keeping
@@ -290,6 +378,66 @@ func (p *Plan) Reset() {
 	for i := range p.stalls {
 		p.stalls[i].fired = false
 	}
+	p.crashed = false
+	for i := range p.crashes {
+		p.crashes[i].seen = 0
+	}
+	for i := range p.phases {
+		p.phases[i].seen = 0
+	}
+}
+
+// Clone returns an independent plan with the same parsed clauses, spec
+// and seed, rewound to its post-Parse state. It replaces re-parsing the
+// spec string when the same plan drives several runs (harness cells):
+// the clone carries no shared state, so concurrent cells cannot perturb
+// each other's fault schedules.
+func (p *Plan) Clone() *Plan {
+	if p == nil {
+		return nil
+	}
+	return p.CloneSeeded(p.seed)
+}
+
+// CloneSeeded is Clone with a different PRNG seed — the harness derives
+// one per cell so probabilistic clauses decorrelate across cells while
+// each cell stays reproducible.
+func (p *Plan) CloneSeeded(seed uint64) *Plan {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	q := &Plan{
+		spec:     p.spec,
+		seed:     seed,
+		oomAt:    append([]window(nil), p.oomAt...),
+		oomPct:   p.oomPct,
+		latAt:    append([]window(nil), p.latAt...),
+		latPct:   p.latPct,
+		latency:  p.latency,
+		stalls:   append([]stall(nil), p.stalls...),
+		storms:   append([]window(nil), p.storms...),
+		quota:    p.quota,
+		crashes:  append([]crashAt(nil), p.crashes...),
+		crashPct: p.crashPct,
+		phases:   append([]crashPhase(nil), p.phases...),
+	}
+	p.mu.Unlock()
+	q.Reset()
+	return q
+}
+
+// Join concatenates spec fragments into one comma-separated spec,
+// skipping empty fragments (the -fault and -crash flags merge through
+// it, since crash clauses share the plan grammar).
+func Join(specs ...string) string {
+	var parts []string
+	for _, s := range specs {
+		if strings.TrimSpace(s) != "" {
+			parts = append(parts, s)
+		}
+	}
+	return strings.Join(parts, ",")
 }
 
 // SetObserver streams delivered faults into r (nil disables).
@@ -305,7 +453,16 @@ func (p *Plan) Seed() uint64 { return p.seed }
 func (p *Plan) Empty() bool {
 	return p == nil || (len(p.oomAt) == 0 && p.oomPct == 0 &&
 		len(p.latAt) == 0 && p.latPct == 0 &&
-		len(p.stalls) == 0 && len(p.storms) == 0 && p.quota == 0)
+		len(p.stalls) == 0 && len(p.storms) == 0 && p.quota == 0 &&
+		!p.HasCrash())
+}
+
+// HasCrash reports whether the plan contains any crash clause. Crash
+// clauses require a durable memory (pmem) to deliver their checkpoints;
+// callers use this to reject a crash spec on a non-durable run instead
+// of silently never crashing.
+func (p *Plan) HasCrash() bool {
+	return p != nil && (len(p.crashes) > 0 || p.crashPct > 0 || len(p.phases) > 0)
 }
 
 // Stats returns the faults delivered so far.
@@ -395,6 +552,51 @@ func (p *Plan) TxBegin(tid int, clock uint64) (stallCycles uint64, storm bool) {
 		}
 	}
 	return stallCycles, storm
+}
+
+// Crash is the durable-memory checkpoint hook: called by pmem with the
+// thread id, its virtual clock and the checkpoint's commit phase
+// ("commit", "apply", "malloc", or a non-phase tag like "flush"), it
+// reports whether the simulation must crash here. At most one crash
+// fires per plan; after it the plan never fires again (the machine is
+// down).
+func (p *Plan) Crash(tid int, clock uint64, phase string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.crashed {
+		return false
+	}
+	fire := false
+	for i := range p.crashes {
+		c := &p.crashes[i]
+		if clock >= c.at {
+			c.seen++
+			if c.seen >= c.nth {
+				fire = true
+			}
+		}
+	}
+	for i := range p.phases {
+		c := &p.phases[i]
+		if c.phase == phase {
+			c.seen++
+			if c.seen >= c.nth {
+				fire = true
+			}
+		}
+	}
+	if !fire && p.roll(p.crashPct) {
+		fire = true
+	}
+	if !fire {
+		return false
+	}
+	p.crashed = true
+	p.stats.Crashes++
+	if p.rec != nil {
+		p.rec.Fault("crash", tid, clock, 0)
+	}
+	return true
 }
 
 // Quota returns the address-space byte cap the plan requests (0: none).

@@ -127,10 +127,11 @@ func addCell[T any](b *Builder, key string, spec any, seed uint64, run func(rec 
 
 // IntsetCell is the payload of one synthetic-benchmark run.
 type IntsetCell struct {
-	Throughput  float64 `json:"thr"`
-	AbortRate   float64 `json:"abort_rate"`
-	L1Miss      float64 `json:"l1_miss"`
-	FalseAborts uint64  `json:"false_aborts"`
+	Throughput  float64           `json:"thr"`
+	AbortRate   float64           `json:"abort_rate"`
+	L1Miss      float64           `json:"l1_miss"`
+	FalseAborts uint64            `json:"false_aborts"`
+	Recovery    *obs.RecoveryInfo `json:"recovery,omitempty"` // durable-memory verdict; nil when pmem is off
 	CellHealth
 }
 
@@ -149,6 +150,8 @@ func (b *Builder) applyIntset(cfg intset.Config) intset.Config {
 	cfg.RetryCap = b.spec.retryCap()
 	cfg.Fault = b.spec.Fault
 	cfg.Deadline = b.spec.deadline()
+	cfg.Pmem = b.spec.Pmem
+	cfg.Crash = b.spec.Crash
 	return cfg
 }
 
@@ -157,11 +160,13 @@ func (b *Builder) Intset(cfg intset.Config, rep int) Handle[IntsetCell] {
 	cfg = b.applyIntset(cfg)
 	key := intsetKey("intset", cfg, rep)
 	cfg.Seed = sweep.DeriveSeed(b.spec.seed(), key)
+	sp := b.spec
 	return addCell[IntsetCell](b, key, cfg, cfg.Seed, func(rec *obs.Recorder, pp *prof.Profiler, hc *heapscope.Collector) (any, error) {
 		c := cfg
 		c.Obs = rec
 		c.Prof = pp
 		c.Heap = hc
+		c.Plan = sp.cellPlan(c.Seed)
 		res, err := intset.Run(c)
 		if err != nil {
 			return nil, err
@@ -171,6 +176,7 @@ func (b *Builder) Intset(cfg intset.Config, rep int) Handle[IntsetCell] {
 			AbortRate:   res.Tx.AbortRate(),
 			L1Miss:      res.L1Miss,
 			FalseAborts: res.Tx.FalseAborts,
+			Recovery:    res.Recovery,
 			CellHealth:  CellHealth{Status: res.Status, Failure: res.Failure},
 		}, nil
 	})
@@ -228,7 +234,8 @@ func (s IntsetSweep) L1() sim.Summary {
 
 // StampCell is the payload of one timed STAMP run.
 type StampCell struct {
-	Ms float64 `json:"ms"` // parallel-phase time in modelled milliseconds
+	Ms       float64           `json:"ms"`                 // parallel-phase time in modelled milliseconds
+	Recovery *obs.RecoveryInfo `json:"recovery,omitempty"` // durable-memory verdict; nil when pmem is off
 	CellHealth
 }
 
@@ -253,6 +260,8 @@ func (b *Builder) applyStamp(cfg stamp.Config) stamp.Config {
 	cfg.RetryCap = b.spec.retryCap()
 	cfg.Fault = b.spec.Fault
 	cfg.Deadline = b.spec.deadline()
+	cfg.Pmem = b.spec.Pmem
+	cfg.Crash = b.spec.Crash
 	return cfg
 }
 
@@ -266,17 +275,20 @@ func (b *Builder) stampCell(cfg stamp.Config, rep int) (stamp.Config, string) {
 // Stamp declares one timed STAMP cell.
 func (b *Builder) Stamp(cfg stamp.Config, rep int) Handle[StampCell] {
 	cfg, key := b.stampCell(cfg, rep)
+	sp := b.spec
 	return addCell[StampCell](b, key, cfg, cfg.Seed, func(rec *obs.Recorder, pp *prof.Profiler, hc *heapscope.Collector) (any, error) {
 		c := cfg
 		c.Obs = rec
 		c.Prof = pp
 		c.Heap = hc
+		c.Plan = sp.cellPlan(c.Seed)
 		res, err := stamp.Run(c)
 		if err != nil {
 			return nil, err
 		}
 		return StampCell{
 			Ms:         res.Seconds * 1e3,
+			Recovery:   res.Recovery,
 			CellHealth: CellHealth{Status: res.Status, Failure: res.Failure},
 		}, nil
 	})
@@ -300,11 +312,13 @@ func (b *Builder) StampProbeCell(cfg stamp.Config) Handle[StampProbe] {
 	cfg = b.applyStamp(cfg)
 	key := "probe/" + stampKey(cfg, 0)
 	cfg.Seed = sweep.DeriveSeed(b.spec.seed(), key)
+	sp := b.spec
 	return addCell[StampProbe](b, key, cfg, cfg.Seed, func(rec *obs.Recorder, pp *prof.Profiler, hc *heapscope.Collector) (any, error) {
 		c := cfg
 		c.Obs = rec
 		c.Prof = pp
 		c.Heap = hc
+		c.Plan = sp.cellPlan(c.Seed)
 		res, err := stamp.Run(c)
 		if err != nil {
 			return nil, err

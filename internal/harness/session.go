@@ -35,9 +35,10 @@ type ExperimentRun struct {
 	Result     *Result     // nil when Err is set
 	Err        error
 	Health     *Health
-	Sweep      *obs.SweepInfo // cell accounting for the run record
-	Profile    *prof.Profile  // merged cycle attribution; nil when unprofiled
-	Heap       *heapscope.Set // per-cell telemetry series; nil when unwatched
+	Sweep      *obs.SweepInfo    // cell accounting for the run record
+	Profile    *prof.Profile     // merged cycle attribution; nil when unprofiled
+	Heap       *heapscope.Set    // per-cell telemetry series; nil when unwatched
+	Recovery   *obs.RecoveryInfo // worst durable-memory verdict across cells; nil when pmem is off
 }
 
 // jobs returns the normalized pool width.
@@ -94,6 +95,12 @@ func (s *Session) Run(ids []string) ([]*ExperimentRun, sweep.Stats) {
 	if s.Spec.Obs != nil || s.Spec.Profile || s.Spec.Heap {
 		cache = nil // observability, profiling and heap telemetry imply execution
 	}
+	if s.Spec.Crash != "" {
+		// Crash cells bypass the cache: the acceptance gate is that
+		// recovery actually runs and re-verifies its invariants, so a
+		// cached verdict would be an unverified claim.
+		cache = nil
+	}
 	sched := sweep.Scheduler{Jobs: s.jobs(), Cache: cache}
 	outs, stats := sched.Run(cells)
 
@@ -143,6 +150,17 @@ func (s *Session) Run(ids []string) ([]*ExperimentRun, sweep.Stats) {
 			var ch CellHealth
 			if json.Unmarshal(o.Payload, &ch) == nil {
 				p.run.Health.Note(ch.Status, ch.Failure)
+			}
+			var rc struct {
+				Recovery *obs.RecoveryInfo `json:"recovery"`
+			}
+			if json.Unmarshal(o.Payload, &rc) == nil && rc.Recovery != nil {
+				// Keep the worst verdict (first cell wins ties), so the run
+				// record surfaces the most damaged recovery of the sweep.
+				cur := p.run.Recovery
+				if cur == nil || statusRank(rc.Recovery.Verdict) > statusRank(cur.Verdict) {
+					p.run.Recovery = rc.Recovery
+				}
 			}
 		}
 		if len(profiles) > 0 {
@@ -215,6 +233,12 @@ func (s *Session) Record(run *ExperimentRun) *obs.RunRecord {
 	if s.Spec.Deadline != nil {
 		extra["deadline"] = fmt.Sprintf("%d", *s.Spec.Deadline)
 	}
+	if s.Spec.Pmem {
+		extra["pmem"] = "on"
+	}
+	if s.Spec.Crash != "" {
+		extra["crash"] = s.Spec.Crash
+	}
 	if len(extra) > 0 {
 		cfg.Extra = extra
 	}
@@ -239,6 +263,10 @@ func (s *Session) Record(run *ExperimentRun) *obs.RunRecord {
 	}
 	if run.Heap != nil {
 		rec.Heap = run.Heap.Info()
+	}
+	if run.Recovery != nil {
+		r := *run.Recovery
+		rec.Recovery = &r
 	}
 	rec.Attach(s.Spec.Obs)
 	return rec

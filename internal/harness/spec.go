@@ -28,6 +28,13 @@ type Spec struct {
 	Fault    string  // fault-plan spec (internal/fault grammar); "" disables
 	Deadline *uint64 // virtual-cycle watchdog bound per workload phase; nil = none
 
+	Pmem  bool   // durable heap on every workload cell: redo-logged commits, priced flush/fence
+	Crash string // crash-injection clauses (fault crash grammar); "" disables; implies Pmem
+
+	// plan is the Fault+Crash spec parsed once by Validate; cells take
+	// per-seed clones (fault.Plan.CloneSeeded) instead of re-parsing.
+	plan *fault.Plan
+
 	Obs     *obs.Recorder // observability sink; nil disables
 	Profile bool          // per-cell cycle-attribution profiling
 	Health  *Health       // aggregated run status; nil = one is created per experiment
@@ -51,12 +58,28 @@ func (s *Spec) Validate() error {
 	if s.Reps != nil && *s.Reps < 1 {
 		return fmt.Errorf("harness: reps override must be >= 1, got %d", *s.Reps)
 	}
-	if s.Fault != "" {
-		if _, err := fault.Parse(s.Fault, 1); err != nil {
+	if spec := fault.Join(s.Fault, s.Crash); spec != "" {
+		plan, err := fault.Parse(spec, 1)
+		if err != nil {
 			return fmt.Errorf("harness: invalid fault plan: %w", err)
 		}
+		if s.Crash != "" && !plan.HasCrash() {
+			return fmt.Errorf("harness: crash spec %q contains no crash clause", s.Crash)
+		}
+		s.plan = plan
 	}
 	return nil
+}
+
+// cellPlan hands one cell its own deterministic instance of the parsed
+// fault plan: a clone re-seeded with the cell's derived seed, so plans
+// never share mutable trigger state across cells and cells never
+// re-parse the spec.
+func (s *Spec) cellPlan(seed uint64) *fault.Plan {
+	if s.plan == nil {
+		return nil
+	}
+	return s.plan.CloneSeeded(seed)
 }
 
 // reps resolves the effective repetition count.

@@ -20,6 +20,7 @@ import (
 	"repro/internal/heapscope"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/pmem"
 	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/stm"
@@ -76,6 +77,13 @@ type Config struct {
 	RetryCap     uint64        // irrevocable-fallback threshold (0 = default)
 	Fault        string        // fault-plan spec (internal/fault grammar); "" disables
 	Deadline     uint64        // virtual-cycle watchdog bound per phase; 0 disables
+	Pmem         bool          // durable heap: redo-logged commits, priced flush/fence
+	Crash        string        // crash-injection clauses (fault grammar); implies Pmem
+	// Plan, when non-nil, is a pre-parsed (and freshly cloned) fault
+	// plan that replaces parsing Fault/Crash — harness cells parse the
+	// spec once and hand each run its own clone. Excluded from spec
+	// hashing: the strings above already identify the plan.
+	Plan *fault.Plan `json:"-"`
 	// SeedUAF plants a use-after-free at the start of the measurement
 	// phase: thread 0 allocates and stores, frees, then reads the stale
 	// pointer in a fresh transaction. Under the sanitizer the run fails
@@ -133,6 +141,10 @@ type Result struct {
 	AllocStats alloc.Stats
 	Status     string // obs.StatusOK / StatusDegraded / StatusFailed
 	Failure    string // watchdog / panic detail when Status is not ok
+	// Recovery carries the durable-memory verdict: flush/fence/log
+	// traffic for every Pmem run, plus the crash point and invariant
+	// sweep when a crash clause fired. Nil when Pmem is off.
+	Recovery *obs.RecoveryInfo
 }
 
 // Run executes the benchmark described by cfg and returns its result.
@@ -147,15 +159,24 @@ func Run(cfg Config) (res Result, err error) {
 	if err != nil {
 		return Result{}, err
 	}
-	var plan *fault.Plan
-	if cfg.Fault != "" {
-		plan, err = fault.Parse(cfg.Fault, cfg.Seed)
-		if err != nil {
-			return Result{}, err
+	plan := cfg.Plan
+	if plan == nil {
+		if spec := fault.Join(cfg.Fault, cfg.Crash); spec != "" {
+			plan, err = fault.Parse(spec, cfg.Seed)
+			if err != nil {
+				return Result{}, err
+			}
 		}
+	}
+	if plan != nil {
 		plan.SetObserver(cfg.Obs)
 		plan.ApplyQuota(space)
 		alloc.Inject(allocator, plan)
+	}
+	var durable *pmem.Pmem
+	if cfg.Pmem || cfg.Crash != "" || (plan != nil && plan.HasCrash()) {
+		durable = pmem.Attach(space, plan)
+		alloc.Journal(allocator, durable)
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -190,6 +211,10 @@ func Run(cfg Config) (res Result, err error) {
 	}
 	if plan != nil {
 		stmCfg.Fault = plan
+	}
+	if durable != nil {
+		durable.SetStopper(engine)
+		stmCfg.Durable = durable
 	}
 	st := stm.New(space, stmCfg)
 	alloc.Observe(allocator, cfg.Obs)
@@ -240,6 +265,19 @@ func Run(cfg Config) (res Result, err error) {
 		}, nil
 	}
 
+	// Durable baseline: everything the init phase built — the initial
+	// set, the allocator's arenas and free lists — persists before the
+	// measurement begins, so a crash can only tear measurement-phase
+	// state. The checkpoint itself passes crash checkpoints, so a
+	// crash@ point can land inside it; the StopSignal is swallowed like
+	// the engine does and recovery below handles it.
+	if durable != nil && !durable.Crashed() {
+		func() {
+			defer swallowStop()
+			durable.Checkpoint(vtime.Solo(space, 0, nil))
+		}()
+	}
+
 	// The measurement covers only the parallel phase.
 	if cfg.Heap != nil {
 		cfg.Heap.Phase("run", engine.MaxClock())
@@ -248,7 +286,7 @@ func Run(cfg Config) (res Result, err error) {
 	missBase := cache.TotalStats()
 	txBase := st.Stats()
 
-	engine.Run(func(th *vtime.Thread) {
+	measure := func(th *vtime.Thread) {
 		if p := cfg.Prof; p != nil {
 			p.Begin(th, "intset/run")
 			defer p.End(th)
@@ -276,7 +314,10 @@ func Run(cfg Config) (res Result, err error) {
 				lastInserted = -1
 			}
 		}
-	})
+	}
+	if !engine.Stopped() {
+		engine.Run(measure)
+	}
 
 	cycles := engine.MaxClock()
 	if cfg.Heap != nil {
@@ -294,12 +335,18 @@ func Run(cfg Config) (res Result, err error) {
 	}
 	ops := uint64(cfg.Threads) * uint64(cfg.OpsPerThread)
 	secs := vtime.Seconds(cycles)
+	thr := 0.0
+	if secs > 0 {
+		// A crash during initialization leaves no measured cycles; report
+		// zero throughput rather than dividing by zero.
+		thr = float64(ops) / secs
+	}
 	res = Result{
 		Config:     cfg,
 		Cycles:     cycles,
 		Seconds:    secs,
 		Ops:        ops,
-		Throughput: float64(ops) / secs,
+		Throughput: thr,
 		Tx:         st.Stats().Sub(txBase),
 		L1Miss:     phase.L1MissRatio(),
 		CacheTotal: phase,
@@ -310,5 +357,32 @@ func Run(cfg Config) (res Result, err error) {
 		res.Status = obs.StatusDegraded
 		res.Failure = fmt.Sprintf("virtual-time deadline %d exceeded in the parallel phase", cfg.Deadline)
 	}
+	if durable != nil {
+		if durable.Crashed() {
+			// The machine went down at the injected point: recover on a
+			// fresh solo thread and let the invariant sweep's verdict
+			// become the run's health.
+			info := durable.Recover(vtime.Solo(space, 0, nil), allocator)
+			res.Recovery = info
+			res.Status = info.Verdict
+			if info.Verdict != obs.StatusOK {
+				res.Failure = fmt.Sprintf("crash recovery %s at cycle %d phase %s (lost=%d resurrected=%d chain_breaks=%d shadow_bad=%d)",
+					info.Verdict, info.CrashCycle, info.CrashPhase,
+					info.LostWrites, info.Resurrected, info.ChainBreaks, info.ShadowBad)
+			}
+		} else {
+			res.Recovery = durable.Info()
+		}
+	}
 	return res, nil
+}
+
+// swallowStop absorbs the simulated-crash panic on a solo (engineless)
+// thread, mirroring what the engine does for its workers.
+func swallowStop() {
+	if r := recover(); r != nil {
+		if _, ok := r.(vtime.StopSignal); !ok {
+			panic(r)
+		}
+	}
 }

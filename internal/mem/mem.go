@@ -127,6 +127,11 @@ type Space struct {
 	// attached (see watch.go). Set via SetHeapWatcher before the space is
 	// shared across sim threads.
 	watcher HeapWatcher
+
+	// ptrack is the durable-memory tracker, nil unless a pmem instance
+	// is attached (see persist.go). Set via SetPersistTracker before the
+	// space is shared across sim threads.
+	ptrack PersistTracker
 }
 
 // NewSpace returns an empty address space. When the process-wide
@@ -260,6 +265,9 @@ func (s *Space) Unmap(base Addr) error {
 	}
 	s.unmapCalls.Add(1)
 	s.reserved.Add(^uint64(r.Size - 1))
+	if s.ptrack != nil {
+		s.ptrack.OnUnmap(r.Base, r.Size)
+	}
 	return nil
 }
 
@@ -338,6 +346,9 @@ func (s *Space) Store(a Addr, v uint64) {
 		panic(Fault{Addr: a, Write: true})
 	}
 	atomic.StoreUint64(&p.words[(uint64(a)&pageMask)>>3], v)
+	if s.ptrack != nil {
+		s.ptrack.OnStore(a)
+	}
 }
 
 // CompareAndSwap atomically replaces the word at a with new if it equals
@@ -347,7 +358,11 @@ func (s *Space) CompareAndSwap(a Addr, old, new uint64) bool {
 	if p == nil {
 		panic(Fault{Addr: a, Write: true})
 	}
-	return atomic.CompareAndSwapUint64(&p.words[(uint64(a)&pageMask)>>3], old, new)
+	ok := atomic.CompareAndSwapUint64(&p.words[(uint64(a)&pageMask)>>3], old, new)
+	if ok && s.ptrack != nil {
+		s.ptrack.OnStore(a)
+	}
+	return ok
 }
 
 // Stats returns current usage counters.

@@ -41,10 +41,12 @@ func (s *Space) SetHeapWatcher(w HeapWatcher) { s.watcher = w }
 func (s *Space) HeapWatcherAttached() HeapWatcher { return s.watcher }
 
 // Observed reports whether any block-lifecycle observer (sanitizer
-// shadow map or heap watcher) is attached. Allocators consult it before
-// computing notification arguments (e.g. a raw boundary-tag read) so the
-// unobserved path stays one branch.
-func (s *Space) Observed() bool { return s.shadow != nil || s.watcher != nil }
+// shadow map, heap watcher or persist tracker) is attached. Allocators
+// consult it before computing notification arguments (e.g. a raw
+// boundary-tag read) so the unobserved path stays one branch.
+func (s *Space) Observed() bool {
+	return s.shadow != nil || s.watcher != nil || s.ptrack != nil
+}
 
 // NoteAlloc fans a successful malloc out to the attached observers.
 func (s *Space) NoteAlloc(allocator string, base Addr, req, usable uint64, tid int, clock uint64) {
@@ -53,6 +55,9 @@ func (s *Space) NoteAlloc(allocator string, base Addr, req, usable uint64, tid i
 	}
 	if s.watcher != nil {
 		s.watcher.OnHeapAlloc(allocator, base, req, usable, tid, clock)
+	}
+	if s.ptrack != nil {
+		s.ptrack.OnHeapAlloc(allocator, base, req, usable, tid, clock)
 	}
 }
 
@@ -64,6 +69,9 @@ func (s *Space) NoteFree(base Addr, tid int, clock uint64) {
 	if s.watcher != nil {
 		s.watcher.OnHeapFree(base, tid, clock)
 	}
+	if s.ptrack != nil {
+		s.ptrack.OnHeapFree(base, tid, clock)
+	}
 }
 
 // NoteReuse fans a transaction-cache block revival out to the attached
@@ -74,5 +82,8 @@ func (s *Space) NoteReuse(base Addr, tid int, clock uint64) {
 	}
 	if s.watcher != nil {
 		s.watcher.OnHeapReuse(base, tid, clock)
+	}
+	if s.ptrack != nil {
+		s.ptrack.OnHeapReuse(base, tid, clock)
 	}
 }

@@ -98,27 +98,65 @@ type HeapInfo struct {
 	Allocators []string `json:"allocators"` // distinct allocators observed, first-seen order
 }
 
+// RecoveryInfo is the verdict of the durable-memory layer for a run:
+// flush/fence/log traffic when the run completed normally, plus the
+// crash point and the recovery invariant sweep when a deterministic
+// crash was injected. It lives here rather than in internal/pmem
+// because pmem builds on obs; the pmem package fills it in. Kept flat
+// (scalars only, no nested objects) so byte-identity tooling can strip
+// the whole block with a line-range filter.
+type RecoveryInfo struct {
+	// Verdict is "ok", "degraded" (metadata repaired with caveats:
+	// free-list closure or shadow-map disagreement) or "failed" (a
+	// durability invariant broke: lost committed writes or resurrected
+	// blocks).
+	Verdict string `json:"verdict"`
+	// Crashed reports whether a crash clause fired; CrashCycle and
+	// CrashPhase locate it (virtual cycle, commit-phase name).
+	Crashed    bool   `json:"crashed"`
+	CrashCycle uint64 `json:"crash_cycle,omitempty"`
+	CrashPhase string `json:"crash_phase,omitempty"`
+	// Durable-traffic counters for the whole run (both phases).
+	Flushes    uint64 `json:"flushes"`
+	Fences     uint64 `json:"fences"`
+	LogAppends uint64 `json:"log_appends"`
+	MetaRecs   uint64 `json:"meta_recs,omitempty"` // allocator structural journal records
+	// Recovery outcome (crash runs only).
+	TornLogs   int    `json:"torn_logs,omitempty"`   // populated-but-uncommitted redo logs discarded
+	Replayed   int    `json:"replayed,omitempty"`    // committed-but-untruncated redo logs re-applied
+	LiveBlocks int    `json:"live_blocks,omitempty"` // journaled blocks live after recovery
+	FreeBlocks int    `json:"free_blocks,omitempty"` // blocks relinked into rebuilt free chains
+	TornMeta   uint64 `json:"torn_meta,omitempty"`   // allocator metadata words rewritten from journaled truth
+	MetaWords  uint64 `json:"meta_words,omitempty"`  // allocator metadata words scanned
+	// Invariant-sweep failure counters (zero on a clean recovery).
+	LostWrites  int `json:"lost_writes,omitempty"`  // committed stores missing from the recovered heap
+	Resurrected int `json:"resurrected,omitempty"`  // freed blocks that came back live
+	ChainBreaks int `json:"chain_breaks,omitempty"` // free chains failing the closure walk
+	ShadowBad   int `json:"shadow_bad,omitempty"`   // shadow-map states disagreeing post-resync
+}
+
 // RunRecord is the machine-readable artifact of one experiment run —
 // what BENCH_<exp>.json files hold. Everything in it derives from
 // virtual time and fixed seeds, so records are reproducible
 // byte-for-byte.
 type RunRecord struct {
-	Schema        string       `json:"schema"`
-	SchemaVersion int          `json:"schema_version,omitempty"` // 0/absent means 1 (v1 files predate it)
-	Experiment    string       `json:"experiment"`
-	Title         string       `json:"title,omitempty"`
-	Status        string       `json:"status,omitempty"`  // "" is StatusOK (pre-robustness records)
-	Failure       string       `json:"failure,omitempty"` // watchdog / panic detail for non-ok statuses
-	Config        RunConfig    `json:"config"`
-	Sweep         *SweepInfo   `json:"sweep,omitempty"` // scheduler provenance (v2)
-	Tables        []Table      `json:"tables,omitempty"`
-	Series        []Series     `json:"series,omitempty"`
-	Notes         []string     `json:"notes,omitempty"`
-	Metrics       *Snapshot    `json:"metrics,omitempty"`
-	Stripes       []StripeJSON `json:"stripe_heatmap,omitempty"`
-	Trace         *TraceInfo   `json:"trace,omitempty"`
-	Profile       *ProfileInfo `json:"profile,omitempty"` // cycle-attribution summary (v2, PR 5)
-	Heap          *HeapInfo    `json:"heap,omitempty"`    // allocator-state telemetry summary (v2, PR 6)
+	Schema        string        `json:"schema"`
+	SchemaVersion int           `json:"schema_version,omitempty"` // 0/absent means 1 (v1 files predate it)
+	Experiment    string        `json:"experiment"`
+	Title         string        `json:"title,omitempty"`
+	Status        string        `json:"status,omitempty"`  // "" is StatusOK (pre-robustness records)
+	Failure       string        `json:"failure,omitempty"` // watchdog / panic detail for non-ok statuses
+	Config        RunConfig     `json:"config"`
+	Sweep         *SweepInfo    `json:"sweep,omitempty"` // scheduler provenance (v2)
+	Tables        []Table       `json:"tables,omitempty"`
+	Series        []Series      `json:"series,omitempty"`
+	Notes         []string      `json:"notes,omitempty"`
+	Metrics       *Snapshot     `json:"metrics,omitempty"`
+	Stripes       []StripeJSON  `json:"stripe_heatmap,omitempty"`
+	Trace         *TraceInfo    `json:"trace,omitempty"`
+	Profile       *ProfileInfo  `json:"profile,omitempty"`  // cycle-attribution summary (v2, PR 5)
+	Heap          *HeapInfo     `json:"heap,omitempty"`     // allocator-state telemetry summary (v2, PR 6)
+	Recovery      *RecoveryInfo `json:"recovery,omitempty"` // durable-memory verdict (v2, PR 7)
 }
 
 // NewRunRecord returns a record stamped with the current schema.

@@ -84,6 +84,26 @@ func fullRecord() *RunRecord {
 			Cadence:    1 << 20,
 			Allocators: []string{"glibc", "hoard"},
 		},
+		Recovery: &RecoveryInfo{
+			Verdict:     StatusDegraded,
+			Crashed:     true,
+			CrashCycle:  84213,
+			CrashPhase:  "apply",
+			Flushes:     512,
+			Fences:      256,
+			LogAppends:  1024,
+			MetaRecs:    96,
+			TornLogs:    2,
+			Replayed:    5,
+			LiveBlocks:  40,
+			FreeBlocks:  12,
+			TornMeta:    18,
+			MetaWords:   150,
+			LostWrites:  1,
+			Resurrected: 1,
+			ChainBreaks: 1,
+			ShadowBad:   1,
+		},
 	}
 }
 

@@ -1,0 +1,185 @@
+package pmem
+
+import (
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/vtime"
+)
+
+// Redo log. The STM populates one log per committing transaction —
+// after its read set validated, before any write-back touches memory —
+// then marks it committed (fence, marker, fence) and only then writes
+// back. Post-write-back it flushes the written lines, fences, and
+// truncates the log. Crash anywhere before the marker: the log is torn,
+// recovery discards it and the transaction never happened. Crash after
+// the marker but before the truncate: recovery replays the log (replay
+// is idempotent — the records are absolute values, not deltas). The
+// write-back loop itself carries no crash checkpoints, so a crash
+// cannot observe a half-applied transaction except through the durable
+// image, which replay repairs.
+//
+// The stm package drives these six methods through its DurableLog
+// interface, satisfied structurally so stm never imports pmem.
+
+type logOp uint8
+
+const (
+	opStore logOp = iota
+	opAlloc
+	opFree
+)
+
+type logRec struct {
+	op   logOp
+	addr mem.Addr
+	val  uint64 // store value, or alloc/free request size
+}
+
+// txLog is one transaction's redo log.
+type txLog struct {
+	tid  int
+	recs []logRec
+	seq  uint64 // commit order, assigned at LogCommit
+}
+
+// LogBegin opens a redo log for the calling thread's committing
+// transaction (one append for the header record).
+func (p *Pmem) LogBegin(th *vtime.Thread) {
+	if p.frozen() {
+		return
+	}
+	p.active[th.ID()] = &txLog{tid: th.ID()}
+	p.stats.LogAppends++
+	th.Tick(th.Cost().LogAppend)
+	p.crashPoint(th, "log")
+}
+
+// LogStore appends one write-set entry.
+func (p *Pmem) LogStore(th *vtime.Thread, a mem.Addr, v uint64) {
+	p.logRec(th, logRec{op: opStore, addr: a, val: v})
+}
+
+// LogAlloc appends one transactional-malloc record: the block at a
+// becomes durably live when this log commits.
+func (p *Pmem) LogAlloc(th *vtime.Thread, a mem.Addr, size uint64) {
+	p.logRec(th, logRec{op: opAlloc, addr: a, val: size})
+}
+
+// LogFree appends one transactional-free record: the block at a
+// becomes durably freed when this log commits, even if the crash
+// preempts the volatile quarantine hand-off.
+func (p *Pmem) LogFree(th *vtime.Thread, a mem.Addr, size uint64) {
+	p.logRec(th, logRec{op: opFree, addr: a, val: size})
+}
+
+func (p *Pmem) logRec(th *vtime.Thread, r logRec) {
+	if p.frozen() {
+		return
+	}
+	lg := p.active[th.ID()]
+	if lg == nil {
+		return
+	}
+	lg.recs = append(lg.recs, r)
+	p.stats.LogAppends++
+	th.Tick(th.Cost().LogAppend)
+	p.crashPoint(th, "log")
+}
+
+// LogCommit makes the log durable: fence the populated records, append
+// the commit marker, fence the marker. The "commit" crash checkpoint
+// sits between the first fence and the marker — a crash there leaves a
+// fully populated but unmarked log, the torn-log discard path. Once the
+// marker is durable the transaction's effects are applied to the
+// host-side ground truth (oracle and block journal).
+func (p *Pmem) LogCommit(th *vtime.Thread) {
+	if p.frozen() {
+		return
+	}
+	tid := th.ID()
+	lg := p.active[tid]
+	if lg == nil {
+		return
+	}
+	th.Tick(th.Cost().FenceBase)
+	p.stats.Fences++
+	p.crashPoint(th, "commit")
+	// Marker append + ordering fence; durable as a unit.
+	p.stats.LogAppends++
+	th.Tick(th.Cost().LogAppend + th.Cost().FenceBase)
+	p.stats.Fences++
+	lg.seq = p.seq
+	p.seq++
+	delete(p.active, tid)
+	p.committed = append(p.committed, lg)
+	p.applying[tid] = lg
+	for _, r := range lg.recs {
+		switch r.op {
+		case opStore:
+			p.oracle[r.addr] = r.val
+		case opAlloc:
+			if b := p.blocks[r.addr]; b != nil && b.state == blockPending {
+				b.state = blockLive
+			}
+		case opFree:
+			if b := p.blocks[r.addr]; b != nil {
+				b.state = blockFreed
+				p.dropOracleRange(r.addr, b.usable)
+			}
+		}
+	}
+}
+
+// LogApply persists the written-back values (flush every stored line,
+// fence) and truncates the log. The "apply" crash checkpoint sits after
+// the fence and before the truncate — a crash there leaves a committed,
+// untruncated log, the replay path (idempotent: the fence already made
+// the data durable).
+func (p *Pmem) LogApply(th *vtime.Thread) {
+	if p.frozen() {
+		return
+	}
+	tid := th.ID()
+	lg := p.applying[tid]
+	if lg == nil {
+		return
+	}
+	seen := map[mem.Addr]struct{}{}
+	lines := make([]mem.Addr, 0, len(lg.recs))
+	for _, r := range lg.recs {
+		if r.op != opStore {
+			continue
+		}
+		l := lineOf(r.addr)
+		if _, dup := seen[l]; !dup {
+			seen[l] = struct{}{}
+			lines = append(lines, l)
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, l := range lines {
+		p.Flush(th, l)
+	}
+	p.Fence(th)
+	p.crashPoint(th, "apply")
+	// Truncate record.
+	delete(p.applying, tid)
+	for i, c := range p.committed {
+		if c == lg {
+			p.committed = append(p.committed[:i], p.committed[i+1:]...)
+			break
+		}
+	}
+	p.stats.LogAppends++
+	th.Tick(th.Cost().LogAppend)
+}
+
+// LogAbort discards the thread's populated-but-unmarked log (a foreign
+// panic unwound the transaction between populate and marker).
+func (p *Pmem) LogAbort(th *vtime.Thread) {
+	if p.frozen() {
+		return
+	}
+	delete(p.active, th.ID())
+}

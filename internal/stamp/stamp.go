@@ -20,6 +20,7 @@ import (
 	"repro/internal/heapscope"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/pmem"
 	"repro/internal/prof"
 	"repro/internal/stm"
 	"repro/internal/vtime"
@@ -63,6 +64,13 @@ type Config struct {
 	RetryCap  uint64        // irrevocable-fallback threshold (0 = default)
 	Fault     string        // fault-plan spec (internal/fault grammar); "" disables
 	Deadline  uint64        // virtual-cycle watchdog bound per phase; 0 disables
+	Pmem      bool          // durable heap: redo-logged commits, priced flush/fence
+	Crash     string        // crash-injection clauses (fault grammar); implies Pmem
+	// Plan, when non-nil, is a pre-parsed (and freshly cloned) fault
+	// plan that replaces parsing Fault/Crash — harness cells parse the
+	// spec once and hand each run its own clone. Excluded from spec
+	// hashing: the strings above already identify the plan.
+	Plan *fault.Plan `json:"-"`
 	// Prof, when non-nil, attributes every virtual cycle of the run to
 	// (thread, region-stack, allocator) buckets. Excluded from spec
 	// hashing — profiling never changes what a cell computes.
@@ -86,6 +94,10 @@ type Result struct {
 	Profile    *Profile
 	Status     string // obs.StatusOK / StatusDegraded / StatusFailed
 	Failure    string // watchdog / validation / panic detail when not ok
+	// Recovery carries the durable-memory verdict: flush/fence/log
+	// traffic for every Pmem run, plus the crash point and invariant
+	// sweep when a crash clause fired. Nil when Pmem is off.
+	Recovery *obs.RecoveryInfo
 }
 
 // World is the environment an application runs in.
@@ -253,15 +265,24 @@ func Run(cfg Config) (res Result, err error) {
 	if err != nil {
 		return Result{}, err
 	}
-	var plan *fault.Plan
-	if cfg.Fault != "" {
-		plan, err = fault.Parse(cfg.Fault, cfg.Seed)
-		if err != nil {
-			return Result{}, err
+	plan := cfg.Plan
+	if plan == nil {
+		if spec := fault.Join(cfg.Fault, cfg.Crash); spec != "" {
+			plan, err = fault.Parse(spec, cfg.Seed)
+			if err != nil {
+				return Result{}, err
+			}
 		}
+	}
+	if plan != nil {
 		plan.SetObserver(cfg.Obs)
 		plan.ApplyQuota(space)
 		alloc.Inject(base, plan)
+	}
+	var durable *pmem.Pmem
+	if cfg.Pmem || cfg.Crash != "" || (plan != nil && plan.HasCrash()) {
+		durable = pmem.Attach(space, plan)
+		alloc.Journal(base, durable)
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -314,6 +335,10 @@ func Run(cfg Config) (res Result, err error) {
 	if plan != nil {
 		stmCfg.Fault = plan
 	}
+	if durable != nil {
+		durable.SetStopper(engine)
+		stmCfg.Durable = durable
+	}
 	w.STM = stm.New(space, stmCfg)
 	if w.prof != nil {
 		w.prof.stm = w.STM
@@ -329,6 +354,15 @@ func Run(cfg Config) (res Result, err error) {
 		}, nil
 	}
 
+	// Durable baseline: everything setup built persists before the
+	// timed phase, so a crash can only tear parallel-phase state.
+	if durable != nil && !durable.Crashed() {
+		func() {
+			defer swallowStop()
+			durable.Checkpoint(vtime.Solo(space, 0, nil))
+		}()
+	}
+
 	// Timed parallel phase.
 	if cfg.Heap != nil {
 		cfg.Heap.Phase("run", initCycles)
@@ -339,7 +373,9 @@ func Run(cfg Config) (res Result, err error) {
 	if w.prof != nil {
 		w.prof.parallel = true
 	}
-	engine.Run(func(th *vtime.Thread) { app.Parallel(w, th) })
+	if !engine.Stopped() {
+		engine.Run(func(th *vtime.Thread) { app.Parallel(w, th) })
+	}
 	if w.prof != nil {
 		w.prof.parallel = false
 	}
@@ -353,6 +389,9 @@ func Run(cfg Config) (res Result, err error) {
 	if engine.DeadlineExceeded() {
 		status = obs.StatusDegraded
 		failure = fmt.Sprintf("virtual-time deadline %d exceeded in the parallel phase", cfg.Deadline)
+	} else if engine.Stopped() {
+		// A crash clause halted the run: the application's final state is
+		// torn by design, so validation is recovery's job, not the app's.
 	} else if err := app.Validate(w); err != nil {
 		if plan == nil {
 			return Result{}, fmt.Errorf("stamp: %s validation failed: %w", cfg.App, err)
@@ -388,5 +427,29 @@ func Run(cfg Config) (res Result, err error) {
 	if w.prof != nil {
 		res.Profile = w.prof.profile()
 	}
+	if durable != nil {
+		if durable.Crashed() {
+			info := durable.Recover(vtime.Solo(space, 0, nil), base)
+			res.Recovery = info
+			res.Status = info.Verdict
+			if info.Verdict != obs.StatusOK {
+				res.Failure = fmt.Sprintf("crash recovery %s at cycle %d phase %s (lost=%d resurrected=%d chain_breaks=%d shadow_bad=%d)",
+					info.Verdict, info.CrashCycle, info.CrashPhase,
+					info.LostWrites, info.Resurrected, info.ChainBreaks, info.ShadowBad)
+			}
+		} else {
+			res.Recovery = durable.Info()
+		}
+	}
 	return res, nil
+}
+
+// swallowStop absorbs the simulated-crash panic on a solo (engineless)
+// thread, mirroring what the engine does for its workers.
+func swallowStop() {
+	if r := recover(); r != nil {
+		if _, ok := r.(vtime.StopSignal); !ok {
+			panic(r)
+		}
+	}
 }

@@ -107,6 +107,33 @@ type Config struct {
 	// injected stalls and abort storms (internal/fault.Plan implements
 	// it).
 	Fault FaultHook
+	// Durable, when non-nil, makes transactions durable: the commit path
+	// writes a redo log through it before any write-back touches memory
+	// (internal/pmem.Pmem implements it). Durable mode requires a
+	// write-back design — ETLWriteThrough stores uncommitted values
+	// directly, where a neighboring commit's line flush could persist
+	// them with no undo log to remove them — and is incompatible with
+	// CacheTxObjects, whose recycled blocks bypass the block journal.
+	// New panics on either combination.
+	Durable DurableLog
+}
+
+// DurableLog is the redo-log seam of a durable-memory layer. The commit
+// path calls it in a fixed order: LogBegin, one LogStore per buffered
+// write, one LogAlloc/LogFree per transactional allocation and deferred
+// free, LogCommit (the log becomes durable), then — after write-back
+// released the stripes — LogApply (the data becomes durable, the log is
+// truncated). LogAbort discards a populated log when a foreign panic
+// unwinds the transaction in between. internal/pmem satisfies it
+// structurally, so stm stays free of a pmem dependency.
+type DurableLog interface {
+	LogBegin(th *vtime.Thread)
+	LogStore(th *vtime.Thread, a mem.Addr, v uint64)
+	LogAlloc(th *vtime.Thread, a mem.Addr, size uint64)
+	LogFree(th *vtime.Thread, a mem.Addr, size uint64)
+	LogCommit(th *vtime.Thread)
+	LogApply(th *vtime.Thread)
+	LogAbort(th *vtime.Thread)
 }
 
 // AbortReason classifies why a transaction aborted.
@@ -216,6 +243,7 @@ type STM struct {
 	cm        CM
 	retryCap  uint64
 	fault     FaultHook
+	durable   DurableLog
 	fallback  vtime.Lock // serializes irrevocable fallback transactions
 
 	// lockAddrs[i] records which address acquired ORT entry i, for
@@ -254,6 +282,14 @@ type TxFreeNoter interface {
 
 // New builds an STM over space.
 func New(space *mem.Space, cfg Config) *STM {
+	if cfg.Durable != nil {
+		if cfg.Design == ETLWriteThrough {
+			panic("stm: durable mode requires a write-back design (etl-wt stores uncommitted values the redo log cannot undo)")
+		}
+		if cfg.CacheTxObjects {
+			panic("stm: durable mode is incompatible with the tx-object cache (recycled blocks bypass the block journal)")
+		}
+	}
 	bits := cfg.OrtBits
 	if bits == 0 {
 		bits = DefaultOrtBits
@@ -279,6 +315,7 @@ func New(space *mem.Space, cfg Config) *STM {
 		cm:        cfg.CM,
 		retryCap:  cfg.RetryCap,
 		fault:     cfg.Fault,
+		durable:   cfg.Durable,
 		lockAddrs: make([]mem.Addr, size),
 		txs:       make(map[int]*Tx),
 	}
@@ -462,6 +499,13 @@ type abortSignal struct{ reason AbortReason }
 func (tx *Tx) tryRun(fn func(tx *Tx)) (committed bool) {
 	defer func() {
 		if r := recover(); r != nil {
+			if _, isStop := r.(vtime.StopSignal); isStop {
+				// Simulated crash: the machine died at a durable-operation
+				// checkpoint. Leave every structure exactly as the crash
+				// found it — a rollback here would mutate state recovery
+				// must observe torn — and unwind to the engine.
+				panic(r)
+			}
 			if _, ok := r.(abortSignal); ok {
 				committed = false
 				return
@@ -605,6 +649,9 @@ func (tx *Tx) rollback(reason AbortReason) {
 	if p := tx.stm.prof; p != nil {
 		p.Begin(tx.th, "stm/abort")
 		defer p.End(tx.th)
+	}
+	if d := tx.stm.durable; d != nil {
+		d.LogAbort(tx.th) // drop a populated log if a foreign panic unwound commit
 	}
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		tx.th.Store(tx.undo[i].addr, tx.undo[i].value)
@@ -829,7 +876,13 @@ func (tx *Tx) commit() bool {
 		defer p.End(tx.th)
 	}
 	if len(tx.writeSet) == 0 && len(tx.locked) == 0 {
-		// Read-only: the snapshot is consistent by construction.
+		// Read-only: the snapshot is consistent by construction. With a
+		// durable log, transactional allocations still need their records
+		// committed (frees imply stores, so they cannot reach here).
+		if s.durable != nil && len(tx.allocs)+len(tx.frees) > 0 {
+			tx.logPopulate()
+			s.durable.LogApply(tx.th)
+		}
 		tx.finishCommit()
 		return true
 	}
@@ -861,6 +914,12 @@ func (tx *Tx) commit() bool {
 			return false
 		}
 	}
+	// Point of no return: nothing can abort the transaction past the
+	// validation above, so the redo log written now is torn only by a
+	// crash (populate → fence → commit marker → fence).
+	if s.durable != nil {
+		tx.logPopulate()
+	}
 	// Write back buffered values (write-through already wrote them),
 	// then release locks with the new version.
 	for _, w := range tx.writeSet {
@@ -870,8 +929,31 @@ func (tx *Tx) commit() bool {
 	for _, l := range tx.locked {
 		tx.th.Store(s.ortAddr(l.idx), release)
 	}
+	// Persist the written-back values and truncate the redo log (flush
+	// each stored line, fence, truncate) now that the stripes are free.
+	if s.durable != nil {
+		s.durable.LogApply(tx.th)
+	}
 	tx.finishCommit()
 	return true
+}
+
+// logPopulate writes the transaction's redo log through the durable
+// layer and makes it durable: one record per buffered write,
+// transactional allocation and deferred free, then the commit marker.
+func (tx *Tx) logPopulate() {
+	d := tx.stm.durable
+	d.LogBegin(tx.th)
+	for _, w := range tx.writeSet {
+		d.LogStore(tx.th, w.addr, w.value)
+	}
+	for _, rec := range tx.allocs {
+		d.LogAlloc(tx.th, rec.addr, rec.size)
+	}
+	for _, rec := range tx.frees {
+		d.LogFree(tx.th, rec.addr, rec.size)
+	}
+	d.LogCommit(tx.th)
 }
 
 // ctlAcquireAll locks every stripe the write set touches, in index

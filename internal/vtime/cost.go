@@ -19,6 +19,16 @@ type CostModel struct {
 	AllocOp   uint64 // fixed non-memory work in malloc/free
 	OSMap     uint64 // an mmap-style call into the simulated OS
 	Work      uint64 // one abstract unit of application compute
+
+	// Durable-memory pricing (internal/pmem). A cache-line writeback to
+	// the persistence domain (clwb) costs Flush; an ordering fence
+	// (sfence) costs FenceBase plus FenceLine per line still draining;
+	// one redo-log or metadata-journal record append costs LogAppend
+	// (a write-combining store into the log region).
+	Flush     uint64
+	FenceBase uint64
+	FenceLine uint64
+	LogAppend uint64
 }
 
 // Frequency is the modelled clock rate used to convert cycles to
@@ -39,6 +49,10 @@ var DefaultCost = CostModel{
 	AllocOp:   30,
 	OSMap:     4000,
 	Work:      1,
+	Flush:     120,
+	FenceBase: 30,
+	FenceLine: 60,
+	LogAppend: 40,
 }
 
 // accessCost prices a classified cache access.

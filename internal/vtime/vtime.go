@@ -49,6 +49,17 @@ type deadlineSignal struct{}
 
 func (deadlineSignal) String() string { return "vtime: virtual-time deadline exceeded" }
 
+// StopSignal unwinds the thread that requested an engine stop (a
+// simulated crash: Engine.Stop was called at a fault-plan crash point).
+// Like deadlineSignal it is swallowed by Run, but it is exported so
+// intermediate recover blocks (the STM's transaction wrapper) can
+// recognize it and re-raise immediately: a crash halts execution
+// mid-flight, so no rollback or cleanup work may run — that is the
+// point of crash injection.
+type StopSignal struct{}
+
+func (StopSignal) String() string { return "vtime: engine stopped (simulated crash)" }
+
 // Profiler receives the engine's cycle-attribution callbacks. It is
 // implemented by *prof.Profiler; the engine sees only this narrow
 // interface so the profiler package can build on vtime without an
@@ -101,6 +112,7 @@ type Engine struct {
 	threads     []*Thread
 	rng         uint64 // deterministic deadline jitter state
 	deadlineHit bool
+	stopped     bool
 }
 
 // Config carries optional Engine settings.
@@ -175,7 +187,7 @@ func (e *Engine) Run(fn func(t *Thread)) []uint64 {
 				ev := threadEvent{done: true}
 				if r := recover(); r != nil {
 					ev.panic = r
-					if _, isDeadline := r.(deadlineSignal); !isDeadline {
+					if !isEngineSignal(r) {
 						// The panic value is re-raised from Run's caller
 						// context, which loses this goroutine's stack;
 						// surface it here for debuggability.
@@ -214,14 +226,17 @@ func (e *Engine) Run(fn func(t *Thread)) []uint64 {
 		if e.Heap != nil {
 			e.Heap.Sample(cur.clock)
 		}
-		// Engine watchdog: the least-advanced runnable thread is past the
-		// deadline, so every thread is — wind the region down. Each
-		// remaining thread is resumed with the poison deadline and
-		// unwinds at its next scheduling point.
-		if e.Deadline != 0 && cur.clock > e.Deadline {
-			e.deadlineHit = true
-			if e.Obs != nil {
-				e.Obs.Watchdog("deadline", cur.id, cur.clock)
+		// Engine watchdog (the least-advanced runnable thread is past
+		// the deadline, so every thread is) or a requested stop (a crash
+		// point fired): wind the region down. Each remaining thread is
+		// resumed with the poison deadline and unwinds at its next
+		// scheduling point.
+		if e.stopped || (e.Deadline != 0 && cur.clock > e.Deadline) {
+			if !e.stopped {
+				e.deadlineHit = true
+				if e.Obs != nil {
+					e.Obs.Watchdog("deadline", cur.id, cur.clock)
+				}
 			}
 			for running > 0 {
 				var victim *Thread
@@ -235,10 +250,8 @@ func (e *Engine) Run(fn func(t *Thread)) []uint64 {
 				ev := <-victim.pause
 				victim.done = true
 				running--
-				if ev.panic != nil && firstPanic == nil {
-					if _, isDeadline := ev.panic.(deadlineSignal); !isDeadline {
-						firstPanic = ev.panic
-					}
+				if ev.panic != nil && firstPanic == nil && !isEngineSignal(ev.panic) {
+					firstPanic = ev.panic
 				}
 			}
 			break
@@ -271,7 +284,7 @@ func (e *Engine) Run(fn func(t *Thread)) []uint64 {
 		if ev.done {
 			cur.done = true
 			running--
-			if ev.panic != nil && firstPanic == nil {
+			if ev.panic != nil && firstPanic == nil && !isEngineSignal(ev.panic) {
 				firstPanic = ev.panic
 			}
 		}
@@ -294,6 +307,29 @@ func (e *Engine) Run(fn func(t *Thread)) []uint64 {
 // DeadlineExceeded reports whether the last Run was wound down by the
 // engine watchdog (Deadline passed before every thread finished).
 func (e *Engine) DeadlineExceeded() bool { return e.deadlineHit }
+
+// isEngineSignal reports whether a recovered panic value is one of the
+// engine's own unwind signals (watchdog deadline or requested stop),
+// which Run swallows rather than re-raising.
+func isEngineSignal(r any) bool {
+	switch r.(type) {
+	case deadlineSignal, StopSignal:
+		return true
+	}
+	return false
+}
+
+// Stop requests that the engine halt: the current Run (or the next one)
+// winds every thread down at its next scheduling point and returns
+// normally, and Stopped reports true from then on. It models a machine
+// crash — call it from a simulated thread and then panic(StopSignal{})
+// to stop that thread dead in its tracks. The flag is sticky: a stopped
+// engine never runs another region, so a crashed workload cannot
+// accidentally resume.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop was called (the simulation crashed).
+func (e *Engine) Stopped() bool { return e.stopped }
 
 // MaxClock returns the largest thread clock — the parallel region's
 // virtual execution time.

@@ -224,7 +224,7 @@ go run ./cmd/tmheap "$tmpdir/geo.json" >/dev/null || {
 
 echo "== benchmarks (advisory) =="
 # Proves the bench suite still runs end to end; the numbers are
-# advisory and never gate. The committed BENCH_PR6.json trajectory is
+# advisory and never gate. The committed BENCH_PR7.json trajectory is
 # regenerated manually with scripts/bench.sh.
 BENCHTIME=1x scripts/bench.sh "$tmpdir/bench.json" >/dev/null 2>&1 ||
     echo "WARNING: scripts/bench.sh failed (advisory, not gating)" >&2
@@ -245,6 +245,49 @@ grep -q 'use-after-free' "$tmpdir/uaf.txt" || {
 go run ./cmd/tmintset -kind linkedlist -alloc tcmalloc -threads 2 \
     -initial 64 -ops 50 -seed-uaf >/dev/null || {
     echo "seeded use-after-free failed without -sanitize (should pass silently)" >&2
+    exit 1
+}
+
+echo "== durability crash-matrix gate =="
+# The full crash→recover→verify matrix (4 allocators × 3 commit-phase
+# crash points) must come back with every recovery verdict ok — tmcrash
+# exits nonzero otherwise. Crash cells never cache, so the verdict is
+# re-earned on every run.
+go run ./cmd/tmcrash -jobs 1 >"$tmpdir/crash1.txt" || {
+    echo "tmcrash matrix failed its recovery gate" >&2
+    exit 1
+}
+grep -q 'tears worst' "$tmpdir/crash1.txt" || {
+    echo "tmcrash produced no tear ranking" >&2
+    exit 1
+}
+
+echo "== recovery determinism gate =="
+# Crash points derive from the serialized virtual clock and recovery
+# runs on a post-crash solo thread, so a recovery re-run must be
+# byte-identical at any pool width.
+go run ./cmd/tmcrash -jobs 4 >"$tmpdir/crash4.txt"
+go run ./cmd/tmcrash -jobs 8 >"$tmpdir/crash8.txt"
+cmp "$tmpdir/crash1.txt" "$tmpdir/crash4.txt" || {
+    echo "tmcrash output differs between -jobs 1 and -jobs 4" >&2
+    exit 1
+}
+cmp "$tmpdir/crash1.txt" "$tmpdir/crash8.txt" || {
+    echo "tmcrash output differs between -jobs 1 and -jobs 8" >&2
+    exit 1
+}
+
+echo "== recovery sanitize-composition gate =="
+# With -sanitize the recovery sweep additionally cross-checks the
+# shadow map against journaled truth (the ShadowBad invariant), and the
+# recovered heap must come back shadow-clean; being pure metadata, the
+# sanitizer must not move a single output byte either.
+go run ./cmd/tmcrash -jobs 8 -sanitize >"$tmpdir/crashsan.txt" || {
+    echo "tmcrash matrix failed under -sanitize (recovered heap not shadow-clean)" >&2
+    exit 1
+}
+cmp "$tmpdir/crash1.txt" "$tmpdir/crashsan.txt" || {
+    echo "tmcrash output differs with -sanitize" >&2
     exit 1
 }
 
