@@ -90,6 +90,23 @@ func (r *Robustness) Spec(full bool, reps int, seed uint64) *harness.Spec {
 	return s
 }
 
+// AddPool registers -pool on fs, validated while flags parse. The
+// returned value holds the selected tx-object pooling discipline
+// (PoolNone when the flag is absent); "cache" is the documented alias
+// for the paper's original §6.2 thread-local cache.
+func AddPool(fs *flag.FlagSet) *stm.Pooling {
+	p := new(stm.Pooling)
+	fs.Func("pool", "tx-object pooling discipline: "+strings.Join(stm.PoolingNames(), ", "), func(v string) error {
+		d, err := stm.ParsePooling(v)
+		if err != nil {
+			return fmt.Errorf("unknown pooling discipline %q (allowed: %s)", v, strings.Join(stm.PoolingNames(), ", "))
+		}
+		*p = d
+		return nil
+	})
+	return p
+}
+
 // Sweep is the parsed scheduler group.
 type Sweep struct {
 	Jobs    int

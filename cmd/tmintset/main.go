@@ -46,12 +46,13 @@ func main() {
 		ops     = flag.Int("ops", 0, "operations per thread (0 = default)")
 		shift   = flag.Uint("shift", 0, "ORT shift amount (0 = default 5)")
 		design  = flag.String("design", "etl-wb", "STM design: etl-wb, etl-wt, ctl")
-		cacheTx = flag.Bool("cachetx", false, "STM-level tx-object caching (paper §6.2)")
+		cacheTx = flag.Bool("cachetx", false, "deprecated alias for -pool cache (paper §6.2 tx-object caching)")
 		hytm    = flag.Bool("hytm", false, "run under the hybrid HTM (hashset only)")
 		seed    = flag.Uint64("seed", 0, "workload seed")
 		seedUAF = flag.Bool("seed-uaf", false, "plant a use-after-free in the measurement phase (sanitizer demo)")
 	)
 	rob := cliflags.AddRobustness(flag.CommandLine)
+	pool := cliflags.AddPool(flag.CommandLine)
 	sw := cliflags.AddSweep(flag.CommandLine)
 	outp := cliflags.AddOutput(flag.CommandLine)
 	cliflags.AddSanitize(flag.CommandLine)
@@ -83,6 +84,7 @@ func main() {
 		Shift:        *shift,
 		Design:       d,
 		CacheTx:      *cacheTx,
+		Pool:         *pool,
 		Seed:         *seed,
 		CM:           rob.CM,
 		RetryCap:     rob.RetryCap,
@@ -124,6 +126,9 @@ func main() {
 	}
 	key := fmt.Sprintf("cli/intset/%s/%s/%s/t%d/u%d/%s",
 		mode, *kind, *name, *threads, *updates, *design)
+	if *pool != stm.PoolNone {
+		key += "/p" + pool.String()
+	}
 	cells := []sweep.Cell{{
 		Key:  key,
 		Spec: spec,
@@ -181,6 +186,7 @@ func main() {
 			"design":  *design,
 			"mode":    mode,
 			"cm":      rob.CM.String(),
+			"pool":    pool.String(),
 		},
 	}
 	record.Sweep = &obs.SweepInfo{
@@ -253,6 +259,11 @@ func main() {
 					r.Flushes, r.Fences, r.LogAppends, r.MetaRecs)
 			}
 			record.Recovery = r
+		}
+		if p := res.Pool; p != nil {
+			fmt.Fprintf(tw, "pooling\t%s: %d hits, %d misses, %d returns (%d held at end)\n",
+				p.Discipline, p.Hits, p.Misses, p.Returns, p.Held)
+			record.Pool = p
 		}
 		fmt.Fprintf(tw, "throughput\t%.0f tx per modelled second\n", res.Throughput)
 		fmt.Fprintf(tw, "time\t%.4f ms for %d ops\n", res.Seconds*1e3, res.Ops)

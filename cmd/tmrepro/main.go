@@ -44,6 +44,7 @@ func main() {
 		md    = flag.Bool("md", false, "emit GitHub-flavoured markdown instead of plain tables")
 	)
 	rob := cliflags.AddRobustness(flag.CommandLine)
+	pool := cliflags.AddPool(flag.CommandLine)
 	sw := cliflags.AddSweep(flag.CommandLine)
 	outp := cliflags.AddOutput(flag.CommandLine)
 	cliflags.AddSanitize(flag.CommandLine)
@@ -76,6 +77,7 @@ func main() {
 	}
 
 	spec := rob.Spec(*full, *reps, *seed)
+	spec.Pool = *pool
 	spec.Obs = outp.NewRecorder()
 	spec.Profile = pr.Enabled()
 	spec.Heap = hp.Enabled()

@@ -55,11 +55,12 @@ func main() {
 		scale   = flag.String("scale", "quick", "workload scale: quick or ref")
 		variant = flag.String("variant", "high", "contention variant for kmeans/vacation: high or low")
 		shift   = flag.Uint("shift", 0, "ORT shift amount (0 = default 5)")
-		cacheTx = flag.Bool("cachetx", false, "enable the STM-level tx-object cache (paper §6.2)")
+		cacheTx = flag.Bool("cachetx", false, "deprecated alias for -pool cache (paper §6.2 tx-object caching)")
 		profile = flag.Bool("alloc-profile", false, "print the Table 5 allocation profile")
 		seed    = flag.Uint64("seed", 0, "workload seed (0 = default)")
 	)
 	rob := cliflags.AddRobustness(flag.CommandLine)
+	pool := cliflags.AddPool(flag.CommandLine)
 	sw := cliflags.AddSweep(flag.CommandLine)
 	outp := cliflags.AddOutput(flag.CommandLine)
 	cliflags.AddSanitize(flag.CommandLine)
@@ -88,6 +89,7 @@ func main() {
 		Variant:   va,
 		Shift:     *shift,
 		CacheTx:   *cacheTx,
+		Pool:      *pool,
 		Profile:   *profile,
 		Seed:      *seed,
 		CM:        rob.CM,
@@ -125,6 +127,9 @@ func main() {
 	}
 	key := fmt.Sprintf("cli/stamp/%s/%s/t%d/sc%d/v%d/sh%d/c%v/p%v",
 		*app, *alloc, *threads, sc, va, *shift, *cacheTx, *profile)
+	if *pool != stm.PoolNone {
+		key += "/p" + pool.String()
+	}
 	cells := []sweep.Cell{{
 		Key:  key,
 		Spec: spec,
@@ -206,6 +211,10 @@ func main() {
 		res.Tx.MaxReadSet, res.Tx.MaxWriteSet, res.Tx.MaxRetries)
 	fmt.Fprintf(tw, "tx memory\t%d mallocs, %d frees inside transactions\n",
 		res.Tx.AllocsInTx, res.Tx.FreesInTx)
+	if p := res.Pool; p != nil {
+		fmt.Fprintf(tw, "pooling\t%s: %d hits, %d misses, %d returns (%d held at end)\n",
+			p.Discipline, p.Hits, p.Misses, p.Returns, p.Held)
+	}
 	if res.Tx.Irrevocables > 0 || res.Tx.BackoffCycles > 0 || res.Alloc.FailedMallocs > 0 {
 		fmt.Fprintf(tw, "robustness\t%d irrevocable fallbacks, %d backoff cycles, worst streak %d aborts, %d failed mallocs\n",
 			res.Tx.Irrevocables, res.Tx.BackoffCycles, res.Tx.MaxConsecAborts, res.Alloc.FailedMallocs)
@@ -254,6 +263,7 @@ func main() {
 				"scale":    *scale,
 				"variant":  *variant,
 				"cachetx":  fmt.Sprintf("%v", *cacheTx),
+				"pool":     pool.String(),
 				"cm":       rob.CM.String(),
 				"retrycap": fmt.Sprintf("%d", rob.RetryCap),
 				"fault":    rob.Fault,
@@ -275,6 +285,9 @@ func main() {
 		}
 		if res.Recovery != nil {
 			record.Recovery = res.Recovery
+		}
+		if res.Pool != nil {
+			record.Pool = res.Pool
 		}
 		record.Tables = []obs.Table{{
 			Title:   "Summary",

@@ -14,6 +14,10 @@ func roundTrip() RunRecord {
 			Torn:    4,
 			Untag:   true,
 		},
+		Pool: &Pool{
+			Discipline: "batch",
+			Hits:       5,
+		},
 	}
 	return rec
 }

@@ -10,6 +10,7 @@ type RunRecord struct {
 	Sweep    *Sweep    `json:"sweep,omitempty"`
 	Rows     []Row     `json:"rows,omitempty"`
 	Recovery *Recovery `json:"recovery,omitempty"`
+	Pool     *Pool     `json:"pool,omitempty"`
 	NoTag    int       // want "schema field RunRecord.NoTag has no json tag"
 	//tmvet:allow recordhygiene: fixture demonstrates a deliberately untested field
 	Exempt int `json:"exempt"`
@@ -42,6 +43,15 @@ type Recovery struct {
 	Torn    int    `json:"torn"`
 	Missed  int    `json:"missed"` // want "schema field Recovery.Missed is not mentioned in any _test.go file"
 	Untag   bool   // want "schema field Recovery.Untag has no json tag"
+}
+
+// Pool mimics the tx-pooling traffic block: like Recovery, a late
+// optional-pointer schema addition whose fields must not drift in
+// untested.
+type Pool struct {
+	Discipline string `json:"discipline"`
+	Hits       uint64 `json:"hits"`
+	Stale      uint64 `json:"stale"` // want "schema field Pool.Stale is not mentioned in any _test.go file"
 }
 
 // Unrelated is not reachable from RunRecord, so its bare field is out

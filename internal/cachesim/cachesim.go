@@ -69,31 +69,36 @@ type way struct {
 	lru uint64
 }
 
-type setArray struct {
-	ways []way
-}
-
+// cache stores all sets in one flat way array (set s occupies
+// ways[s*nways : (s+1)*nways]) so building a hierarchy costs a handful
+// of allocations instead of one slice per set.
 type cache struct {
-	sets    []setArray
+	ways    []way
+	nways   int
 	setMask uint64
 	tick    uint64
 }
 
 func newCache(nsets, nways int) *cache {
-	c := &cache{sets: make([]setArray, nsets), setMask: uint64(nsets - 1)}
-	for i := range c.sets {
-		c.sets[i].ways = make([]way, nways)
+	return &cache{
+		ways:    make([]way, nsets*nways),
+		nways:   nways,
+		setMask: uint64(nsets - 1),
 	}
-	return c
+}
+
+func (c *cache) set(line uint64) []way {
+	base := int(line&c.setMask) * c.nways
+	return c.ways[base : base+c.nways]
 }
 
 // lookup probes for line; on hit it refreshes LRU.
 func (c *cache) lookup(line uint64) bool {
 	c.tick++
-	s := &c.sets[line&c.setMask]
-	for i := range s.ways {
-		if s.ways[i].tag == line {
-			s.ways[i].lru = c.tick
+	s := c.set(line)
+	for i := range s {
+		if s[i].tag == line {
+			s[i].lru = c.tick
 			return true
 		}
 	}
@@ -104,28 +109,28 @@ func (c *cache) lookup(line uint64) bool {
 // if the way was empty).
 func (c *cache) insert(line uint64) uint64 {
 	c.tick++
-	s := &c.sets[line&c.setMask]
+	s := c.set(line)
 	victim := 0
-	for i := range s.ways {
-		if s.ways[i].tag == 0 {
+	for i := range s {
+		if s[i].tag == 0 {
 			victim = i
 			break
 		}
-		if s.ways[i].lru < s.ways[victim].lru {
+		if s[i].lru < s[victim].lru {
 			victim = i
 		}
 	}
-	old := s.ways[victim].tag
-	s.ways[victim] = way{tag: line, lru: c.tick}
+	old := s[victim].tag
+	s[victim] = way{tag: line, lru: c.tick}
 	return old
 }
 
 // invalidate removes line if present, reporting whether it was.
 func (c *cache) invalidate(line uint64) bool {
-	s := &c.sets[line&c.setMask]
-	for i := range s.ways {
-		if s.ways[i].tag == line {
-			s.ways[i].tag = 0
+	s := c.set(line)
+	for i := range s {
+		if s[i].tag == line {
+			s[i].tag = 0
 			return true
 		}
 	}
@@ -141,13 +146,16 @@ type lineState struct {
 	lastWordOff int8 // word offset (0..7) of the most recent write
 }
 
-// Hierarchy is the full multicore cache model.
+// Hierarchy is the full multicore cache model. Coherence metadata lives
+// in a growable lineState arena indexed through lineIdx, so steady-state
+// accesses never allocate per line.
 type Hierarchy struct {
-	cores int
-	l1    []*cache
-	l2    []*cache // one per socket
-	lines map[uint64]*lineState
-	stats []CoreStats
+	cores     int
+	l1        []cache
+	l2        []cache // one per socket
+	lineIdx   map[uint64]int32
+	lineArena []lineState
+	stats     []CoreStats
 }
 
 // New builds a hierarchy for the given core count (sockets of
@@ -158,19 +166,43 @@ func New(cores int) *Hierarchy {
 	}
 	sockets := (cores + CoresPerL2 - 1) / CoresPerL2
 	h := &Hierarchy{
-		cores: cores,
-		l1:    make([]*cache, cores),
-		l2:    make([]*cache, sockets),
-		lines: make(map[uint64]*lineState, 1<<16),
-		stats: make([]CoreStats, cores),
+		cores:     cores,
+		l1:        make([]cache, cores),
+		l2:        make([]cache, sockets),
+		lineIdx:   make(map[uint64]int32, 1<<16),
+		lineArena: make([]lineState, 0, 1<<16),
+		stats:     make([]CoreStats, cores),
 	}
 	for i := range h.l1 {
-		h.l1[i] = newCache(l1Sets, l1Ways)
+		h.l1[i] = *newCache(l1Sets, l1Ways)
 	}
 	for i := range h.l2 {
-		h.l2[i] = newCache(l2Sets, l2Ways)
+		h.l2[i] = *newCache(l2Sets, l2Ways)
 	}
 	return h
+}
+
+// lineOf returns the coherence record for line, creating it on first
+// touch. The returned pointer is valid until the next lineOf call (the
+// arena may grow), which the single-threaded access discipline makes
+// safe: each simulated access resolves its line exactly once.
+func (h *Hierarchy) lineOf(line uint64) *lineState {
+	if i, ok := h.lineIdx[line]; ok {
+		return &h.lineArena[i]
+	}
+	h.lineArena = append(h.lineArena, lineState{lastWriter: -1})
+	i := int32(len(h.lineArena) - 1)
+	h.lineIdx[line] = i
+	return &h.lineArena[i]
+}
+
+// peekLine returns the coherence record for line, or nil if the line
+// was never touched.
+func (h *Hierarchy) peekLine(line uint64) *lineState {
+	if i, ok := h.lineIdx[line]; ok {
+		return &h.lineArena[i]
+	}
+	return nil
 }
 
 func socketOf(core int) int { return core / CoresPerL2 }
@@ -188,11 +220,7 @@ func (h *Hierarchy) Access(core int, addr mem.Addr, write bool) Result {
 	st := &h.stats[core]
 	st.Accesses++
 
-	ls := h.lines[line]
-	if ls == nil {
-		ls = &lineState{lastWriter: -1}
-		h.lines[line] = ls
-	}
+	ls := h.lineOf(line)
 
 	var res Result
 	bit := uint32(1) << uint(core)
@@ -236,7 +264,7 @@ func (h *Hierarchy) Access(core int, addr mem.Addr, write bool) Result {
 	}
 
 	if evicted := h.l1[core].insert(line); evicted != 0 {
-		if els := h.lines[evicted]; els != nil {
+		if els := h.peekLine(evicted); els != nil {
 			els.holders &^= bit
 		}
 	}
@@ -277,7 +305,7 @@ func (h *Hierarchy) invalidateOthers(core int, ls *lineState, line uint64, addr 
 }
 
 func (h *Hierarchy) dropFromSocketL1s(sock int, line uint64) {
-	ls := h.lines[line]
+	ls := h.peekLine(line)
 	if ls == nil {
 		return
 	}

@@ -132,13 +132,25 @@ type IntsetCell struct {
 	L1Miss      float64           `json:"l1_miss"`
 	FalseAborts uint64            `json:"false_aborts"`
 	Recovery    *obs.RecoveryInfo `json:"recovery,omitempty"` // durable-memory verdict; nil when pmem is off
+	Pool        *obs.PoolInfo     `json:"pool,omitempty"`     // tx-pool traffic; nil when the run was unpooled
 	CellHealth
 }
 
+// poolTag names a non-default pooling discipline in a cell key. The
+// PoolNone baseline contributes nothing, so legacy keys — and the seeds
+// DeriveSeed mints from them — are byte-identical to pre-pooling runs.
+func poolTag(p stm.Pooling) string {
+	if p == stm.PoolNone {
+		return ""
+	}
+	return "/p" + p.String()
+}
+
 func intsetKey(prefix string, cfg intset.Config, rep int) string {
-	return fmt.Sprintf("%s/%s/%s/t%d/u%d/i%d/k%d/o%d/s%d/d%d/h%d/c%v/r%d",
+	return fmt.Sprintf("%s/%s/%s/t%d/u%d/i%d/k%d/o%d/s%d/d%d/h%d/c%v%s/r%d",
 		prefix, cfg.Kind, cfg.Allocator, cfg.Threads, cfg.UpdatePct, cfg.InitialSize,
-		cfg.KeyRange, cfg.OpsPerThread, cfg.Shift, cfg.Design, cfg.HashBuckets, cfg.CacheTx, rep)
+		cfg.KeyRange, cfg.OpsPerThread, cfg.Shift, cfg.Design, cfg.HashBuckets, cfg.CacheTx,
+		poolTag(cfg.Pool), rep)
 }
 
 // applyRobustness threads the spec's policy knobs into a workload
@@ -152,6 +164,9 @@ func (b *Builder) applyIntset(cfg intset.Config) intset.Config {
 	cfg.Deadline = b.spec.deadline()
 	cfg.Pmem = b.spec.Pmem
 	cfg.Crash = b.spec.Crash
+	if b.spec.Pool != stm.PoolNone {
+		cfg.Pool = b.spec.Pool
+	}
 	return cfg
 }
 
@@ -177,6 +192,7 @@ func (b *Builder) Intset(cfg intset.Config, rep int) Handle[IntsetCell] {
 			L1Miss:      res.L1Miss,
 			FalseAborts: res.Tx.FalseAborts,
 			Recovery:    res.Recovery,
+			Pool:        res.Pool,
 			CellHealth:  CellHealth{Status: res.Status, Failure: res.Failure},
 		}, nil
 	})
@@ -236,6 +252,7 @@ func (s IntsetSweep) L1() sim.Summary {
 type StampCell struct {
 	Ms       float64           `json:"ms"`                 // parallel-phase time in modelled milliseconds
 	Recovery *obs.RecoveryInfo `json:"recovery,omitempty"` // durable-memory verdict; nil when pmem is off
+	Pool     *obs.PoolInfo     `json:"pool,omitempty"`     // tx-pool traffic; nil when the run was unpooled
 	CellHealth
 }
 
@@ -249,9 +266,9 @@ type StampProbe struct {
 }
 
 func stampKey(cfg stamp.Config, rep int) string {
-	return fmt.Sprintf("stamp/%s/%s/t%d/sc%d/v%d/s%d/c%v/p%v/r%d",
+	return fmt.Sprintf("stamp/%s/%s/t%d/sc%d/v%d/s%d/c%v%s/p%v/r%d",
 		cfg.App, cfg.Allocator, cfg.Threads, cfg.Scale, cfg.Variant, cfg.Shift,
-		cfg.CacheTx, cfg.Profile, rep)
+		cfg.CacheTx, poolTag(cfg.Pool), cfg.Profile, rep)
 }
 
 func (b *Builder) applyStamp(cfg stamp.Config) stamp.Config {
@@ -262,6 +279,9 @@ func (b *Builder) applyStamp(cfg stamp.Config) stamp.Config {
 	cfg.Deadline = b.spec.deadline()
 	cfg.Pmem = b.spec.Pmem
 	cfg.Crash = b.spec.Crash
+	if b.spec.Pool != stm.PoolNone {
+		cfg.Pool = b.spec.Pool
+	}
 	return cfg
 }
 
@@ -289,6 +309,7 @@ func (b *Builder) Stamp(cfg stamp.Config, rep int) Handle[StampCell] {
 		return StampCell{
 			Ms:         res.Seconds * 1e3,
 			Recovery:   res.Recovery,
+			Pool:       res.Pool,
 			CellHealth: CellHealth{Status: res.Status, Failure: res.Failure},
 		}, nil
 	})

@@ -123,7 +123,7 @@ func IDs() []string {
 	order := []string{
 		"tab1", "tab2", "fig1", "fig2", "fig3",
 		"fig4", "tab3", "tab4", "fig5", "fig6",
-		"fig4rates", "tab5", "appchar", "fig7", "tab6", "fig8", "tab7", "hytm",
+		"fig4rates", "tab5", "appchar", "fig7", "tab6", "fig8", "tab7", "hytm", "pooling",
 	}
 	var out []string
 	for _, id := range order {

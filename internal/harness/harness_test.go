@@ -6,11 +6,13 @@ import (
 	"testing"
 )
 
+func intPtr(v int) *int { return &v }
+
 func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{
 		"tab1", "tab2", "fig1", "fig2", "fig3",
 		"fig4", "tab3", "tab4", "fig5", "fig6",
-		"fig4rates", "tab5", "appchar", "fig7", "tab6", "fig8", "tab7", "hytm",
+		"fig4rates", "tab5", "appchar", "fig7", "tab6", "fig8", "tab7", "hytm", "pooling",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {
@@ -35,7 +37,7 @@ func TestIDsOrderedForPresentation(t *testing.T) {
 func TestStaticExperiments(t *testing.T) {
 	for _, id := range []string{"tab1", "tab2", "fig2", "fig5"} {
 		e, _ := Get(id)
-		res, err := e.Run(Options{})
+		res, err := RunExperiment(e, &Spec{})
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -54,7 +56,7 @@ func TestStaticExperiments(t *testing.T) {
 
 func TestTab1MatchesPaperValues(t *testing.T) {
 	e, _ := Get("tab1")
-	res, err := e.Run(Options{})
+	res, err := RunExperiment(e, &Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +74,7 @@ func TestTab1MatchesPaperValues(t *testing.T) {
 
 func TestFig2TraceShowsAdjacency(t *testing.T) {
 	e, _ := Get("fig2")
-	res, err := e.Run(Options{})
+	res, err := RunExperiment(e, &Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +174,7 @@ func TestDynamicExperimentsSmoke(t *testing.T) {
 		if !ok {
 			t.Fatalf("%s missing", id)
 		}
-		res, err := e.Run(Options{Reps: 1})
+		res, err := RunExperiment(e, &Spec{Reps: intPtr(1)})
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -199,7 +201,7 @@ func TestHeavyExperimentsSmoke(t *testing.T) {
 	}
 	for _, id := range []string{"fig4rates", "tab5"} {
 		e, _ := Get(id)
-		res, err := e.Run(Options{Reps: 1})
+		res, err := RunExperiment(e, &Spec{Reps: intPtr(1)})
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}

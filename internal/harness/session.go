@@ -39,6 +39,7 @@ type ExperimentRun struct {
 	Profile    *prof.Profile     // merged cycle attribution; nil when unprofiled
 	Heap       *heapscope.Set    // per-cell telemetry series; nil when unwatched
 	Recovery   *obs.RecoveryInfo // worst durable-memory verdict across cells; nil when pmem is off
+	Pool       *obs.PoolInfo     // summed tx-pool traffic across cells; nil when every cell ran unpooled
 }
 
 // jobs returns the normalized pool width.
@@ -162,6 +163,30 @@ func (s *Session) Run(ids []string) ([]*ExperimentRun, sweep.Stats) {
 					p.run.Recovery = rc.Recovery
 				}
 			}
+			var pc struct {
+				Pool *obs.PoolInfo `json:"pool"`
+			}
+			if json.Unmarshal(o.Payload, &pc) == nil && pc.Pool != nil {
+				// Sum traffic across pooled cells; a sweep mixing
+				// disciplines reports "mixed" rather than pretending one
+				// policy produced the totals.
+				cur := p.run.Pool
+				if cur == nil {
+					cp := *pc.Pool
+					p.run.Pool = &cp
+				} else {
+					if cur.Discipline != pc.Pool.Discipline {
+						cur.Discipline = "mixed"
+					}
+					cur.Hits += pc.Pool.Hits
+					cur.Misses += pc.Pool.Misses
+					cur.Returns += pc.Pool.Returns
+					cur.Refills += pc.Pool.Refills
+					cur.Slabs += pc.Pool.Slabs
+					cur.SlabBytes += pc.Pool.SlabBytes
+					cur.Held += pc.Pool.Held
+				}
+			}
 		}
 		if len(profiles) > 0 {
 			// Deduplicated cells share one Outcome (and Profile pointer):
@@ -239,6 +264,9 @@ func (s *Session) Record(run *ExperimentRun) *obs.RunRecord {
 	if s.Spec.Crash != "" {
 		extra["crash"] = s.Spec.Crash
 	}
+	if s.Spec.Pool != stm.PoolNone {
+		extra["pool"] = s.Spec.Pool.String()
+	}
 	if len(extra) > 0 {
 		cfg.Extra = extra
 	}
@@ -268,6 +296,10 @@ func (s *Session) Record(run *ExperimentRun) *obs.RunRecord {
 		r := *run.Recovery
 		rec.Recovery = &r
 	}
+	if run.Pool != nil {
+		p := *run.Pool
+		rec.Pool = &p
+	}
 	rec.Attach(s.Spec.Obs)
 	return rec
 }
@@ -277,15 +309,4 @@ func (s *Session) Record(run *ExperimentRun) *obs.RunRecord {
 func RunExperiment(e *Experiment, spec *Spec) (*Result, error) {
 	runs, _ := (&Session{Spec: spec}).Run([]string{e.ID})
 	return runs[0].Result, runs[0].Err
-}
-
-// Run executes the experiment under the legacy Options.
-//
-// Deprecated: build a Spec and use Session or RunExperiment.
-func (e *Experiment) Run(opts Options) (*Result, error) {
-	spec, err := opts.Spec()
-	if err != nil {
-		return nil, err
-	}
-	return RunExperiment(e, spec)
 }

@@ -183,30 +183,6 @@ func TestSpecValidate(t *testing.T) {
 	}
 }
 
-func TestOptionsAdapter(t *testing.T) {
-	spec, err := Options{Full: true, Reps: 3, Seed: 7, CM: "karma"}.Spec()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !spec.Full || spec.Reps == nil || *spec.Reps != 3 || spec.Seed == nil || *spec.Seed != 7 {
-		t.Errorf("adapter lost fields: %+v", spec)
-	}
-	if spec.CM.String() != "karma" {
-		t.Errorf("adapter CM = %v, want karma", spec.CM)
-	}
-	if _, err := (Options{CM: "bogus"}).Spec(); err == nil {
-		t.Error("adapter must reject an unknown CM name")
-	}
-	// Zero values mean "default", not an explicit zero override.
-	spec, err = Options{}.Spec()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if spec.Reps != nil || spec.Seed != nil || spec.RetryCap != nil || spec.Deadline != nil {
-		t.Errorf("zero options must map to nil overrides: %+v", spec)
-	}
-}
-
 func TestSessionUnknownExperiment(t *testing.T) {
 	s := &Session{Spec: &Spec{}}
 	runs, _ := s.Run([]string{"no-such-experiment"})

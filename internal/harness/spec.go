@@ -31,6 +31,12 @@ type Spec struct {
 	Pmem  bool   // durable heap on every workload cell: redo-logged commits, priced flush/fence
 	Crash string // crash-injection clauses (fault crash grammar); "" disables; implies Pmem
 
+	// Pool forces a tx-object pooling discipline onto every workload
+	// cell. PoolNone (the default) leaves each experiment's own choice
+	// in place — it is "no override", not "strip pooling", so cells are
+	// byte-identical to a spec that predates the field.
+	Pool stm.Pooling
+
 	// plan is the Fault+Crash spec parsed once by Validate; cells take
 	// per-seed clones (fault.Plan.CloneSeeded) instead of re-parsing.
 	plan *fault.Plan
@@ -125,60 +131,4 @@ func (s *Spec) child() *Spec {
 		c.Health = &Health{}
 	}
 	return &c
-}
-
-// Options is the deprecated stringly-typed predecessor of Spec, kept
-// for one release as an adapter so external callers migrate at their
-// own pace.
-//
-// Deprecated: build a Spec (directly or via cmd/internal/cliflags) and
-// use Session or RunExperiment instead.
-type Options struct {
-	Full bool          // paper-scale parameters instead of quick ones
-	Reps int           // repetitions for mean/CI (0 = per-experiment default)
-	Seed uint64        // base seed (0 = default)
-	Obs  *obs.Recorder // observability sink threaded into every workload; nil disables
-
-	CM       string  // contention manager name (stm.ParseCM); "" = suicide
-	RetryCap uint64  // irrevocable-fallback threshold (0 = STM default)
-	Fault    string  // fault-plan spec (internal/fault grammar); "" disables
-	Deadline uint64  // virtual-cycle watchdog bound per workload phase; 0 disables
-	Health   *Health // aggregated run status across the experiment; nil disables
-}
-
-// Spec converts the legacy options to a validated Spec. The old
-// zero-means-default conventions are preserved: 0 reps/seed/retry-cap/
-// deadline map to nil overrides.
-func (o Options) Spec() (*Spec, error) {
-	cm, err := stm.ParseCM(o.CM)
-	if err != nil {
-		return nil, err
-	}
-	s := &Spec{
-		Full:   o.Full,
-		CM:     cm,
-		Fault:  o.Fault,
-		Obs:    o.Obs,
-		Health: o.Health,
-	}
-	if o.Reps > 0 {
-		reps := o.Reps
-		s.Reps = &reps
-	}
-	if o.Seed != 0 {
-		seed := o.Seed
-		s.Seed = &seed
-	}
-	if o.RetryCap != 0 {
-		cap := o.RetryCap
-		s.RetryCap = &cap
-	}
-	if o.Deadline != 0 {
-		dl := o.Deadline
-		s.Deadline = &dl
-	}
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	return s, nil
 }

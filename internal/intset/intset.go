@@ -69,16 +69,19 @@ type Config struct {
 	OpsPerThread int        // operations each thread performs
 	Shift        uint       // ORT shift amount (paper default 5)
 	Design       stm.Design // STM algorithm variant (ablations)
-	CacheTx      bool       // §6.2 STM-level object caching
-	Seed         uint64
-	HashBuckets  uint64        // hash set only; paper: 128K
-	Obs          *obs.Recorder // event/metric sink; nil disables
-	CM           stm.CM        // contention manager (default CMSuicide)
-	RetryCap     uint64        // irrevocable-fallback threshold (0 = default)
-	Fault        string        // fault-plan spec (internal/fault grammar); "" disables
-	Deadline     uint64        // virtual-cycle watchdog bound per phase; 0 disables
-	Pmem         bool          // durable heap: redo-logged commits, priced flush/fence
-	Crash        string        // crash-injection clauses (fault grammar); implies Pmem
+	// CacheTx is the deprecated boolean spelling of Pool == PoolCache;
+	// it is kept for old callers and conflicts with a non-none Pool.
+	CacheTx     bool
+	Pool        stm.Pooling // tx-object recycling discipline (none/cache/pool/batch)
+	Seed        uint64
+	HashBuckets uint64        // hash set only; paper: 128K
+	Obs         *obs.Recorder // event/metric sink; nil disables
+	CM          stm.CM        // contention manager (default CMSuicide)
+	RetryCap    uint64        // irrevocable-fallback threshold (0 = default)
+	Fault       string        // fault-plan spec (internal/fault grammar); "" disables
+	Deadline    uint64        // virtual-cycle watchdog bound per phase; 0 disables
+	Pmem        bool          // durable heap: redo-logged commits, priced flush/fence
+	Crash       string        // crash-injection clauses (fault grammar); implies Pmem
 	// Plan, when non-nil, is a pre-parsed (and freshly cloned) fault
 	// plan that replaces parsing Fault/Crash — harness cells parse the
 	// spec once and hand each run its own clone. Excluded from spec
@@ -145,6 +148,9 @@ type Result struct {
 	// traffic for every Pmem run, plus the crash point and invariant
 	// sweep when a crash clause fired. Nil when Pmem is off.
 	Recovery *obs.RecoveryInfo
+	// Pool carries the tx-pooling discipline and its traffic counters.
+	// Nil when the run used the PoolNone baseline.
+	Pool *obs.PoolInfo
 }
 
 // Run executes the benchmark described by cfg and returns its result.
@@ -204,6 +210,7 @@ func Run(cfg Config) (res Result, err error) {
 		Design:         cfg.Design,
 		Allocator:      allocator,
 		CacheTxObjects: cfg.CacheTx,
+		Pooling:        cfg.Pool,
 		Obs:            cfg.Obs,
 		CM:             cfg.CM,
 		RetryCap:       cfg.RetryCap,
@@ -352,6 +359,15 @@ func Run(cfg Config) (res Result, err error) {
 		CacheTotal: phase,
 		AllocStats: allocator.Stats(),
 		Status:     obs.StatusOK,
+	}
+	if d := st.Pooling(); d != stm.PoolNone {
+		ps := st.PoolStats()
+		res.Pool = &obs.PoolInfo{
+			Discipline: d.String(),
+			Hits:       ps.Hits, Misses: ps.Misses, Returns: ps.Returns,
+			Refills: ps.Refills, Slabs: ps.Slabs, SlabBytes: ps.SlabBytes,
+			Held: ps.Held,
+		}
 	}
 	if engine.DeadlineExceeded() {
 		res.Status = obs.StatusDegraded

@@ -1,0 +1,71 @@
+package obs_test
+
+import (
+	"testing"
+
+	"repro/internal/intset"
+	"repro/internal/obs"
+)
+
+// TestEmitAllocBudget pins the steady-state host allocations of the hot
+// emit paths at zero: once a label has appeared (its instrument name
+// interned on first use) and the per-thread event ring exists, emitting
+// commits, aborts, allocator traffic, transfers and faults must not
+// allocate. These emitters run inside every priced simulator step, so
+// one alloc here is millions per sweep.
+func TestEmitAllocBudget(t *testing.T) {
+	r := obs.New(obs.Config{RingSize: 64})
+
+	warm := func() {
+		r.TxCommit(0, 10, 20, 3, 2)
+		r.TxAbort(0, 10, 20, "locked-by-other", 7, true, 1, 2)
+		r.Alloc("tbb", 0, 10, 30, 48, 4096)
+		r.Free("tbb", 0, 30, 40, 4096)
+		r.LockWait(0, 10, 15)
+		r.Transfer("stripe", 0, 20, 1)
+		r.Fault("oom", 0, 25, 4096)
+		r.Quantum(0, 0, 100)
+	}
+	for i := 0; i < 8; i++ {
+		warm()
+	}
+	if avg := testing.AllocsPerRun(100, warm); avg > 0 {
+		t.Errorf("steady-state emit path allocates %.2f objects per event batch, want 0", avg)
+	}
+}
+
+// TestEmitNilAllocBudget pins the disabled-recorder fast path: with a
+// nil recorder every emitter must reduce to a nil check, no allocation.
+func TestEmitNilAllocBudget(t *testing.T) {
+	var r *obs.Recorder
+	if avg := testing.AllocsPerRun(100, func() {
+		r.TxCommit(0, 10, 20, 3, 2)
+		r.TxAbort(0, 10, 20, "locked-by-other", 7, false, 0, 0)
+		r.Alloc("tbb", 0, 10, 30, 48, 4096)
+	}); avg > 0 {
+		t.Errorf("nil-recorder emit path allocates %.2f objects, want 0", avg)
+	}
+}
+
+// TestWorkloadAllocBudget is the PR 8 acceptance gate in test form: the
+// flagship benchmark workload (BenchmarkWorkloadObsDisabled's config)
+// must stay at or under 1,000 host allocations per run — down from the
+// 9,271 the PR started at. testing.AllocsPerRun warms once, so slice
+// growth inside the first run is excluded, matching the benchmark's
+// steady state.
+func TestWorkloadAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload run is ~10ms each; skip under -short")
+	}
+	cfg := benchCfg(nil)
+	avg := testing.AllocsPerRun(3, func() {
+		if _, err := intset.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 1000
+	if avg > budget {
+		t.Errorf("flagship workload allocates %.0f objects/run, budget %d", avg, budget)
+	}
+	t.Logf("flagship workload: %.0f host allocs/run (budget %d)", avg, budget)
+}

@@ -183,6 +183,23 @@ type Recorder struct {
 	lockWaits  *Counter
 	lockCycles *Histogram
 	quanta     *Counter
+
+	// Label interning for the labeled emitters: the full instrument name
+	// (`alloc_ops_total{alloc="glibc",op="malloc"}`) is concatenated only
+	// on a label's first appearance; steady-state emits are a map lookup
+	// on the bare label, so the hot emit paths stay allocation-free.
+	abortReasons  map[string]*Counter
+	allocMallocs  map[string]*Counter
+	allocFrees    map[string]*Counter
+	allocLatency  map[latKey]*Histogram
+	transferKinds map[string]*Counter
+	faultKinds    map[string]*Counter
+}
+
+// latKey keys the per-allocator, per-size-class latency histograms.
+type latKey struct {
+	alloc string
+	class string
 }
 
 // New builds an enabled Recorder.
@@ -204,6 +221,13 @@ func New(cfg Config) *Recorder {
 		lockWaits:  reg.Counter("alloc_lock_waits_total"),
 		lockCycles: reg.Histogram("alloc_lock_wait_cycles"),
 		quanta:     reg.Counter("sched_quanta_total"),
+
+		abortReasons:  make(map[string]*Counter),
+		allocMallocs:  make(map[string]*Counter),
+		allocFrees:    make(map[string]*Counter),
+		allocLatency:  make(map[latKey]*Histogram),
+		transferKinds: make(map[string]*Counter),
+		faultKinds:    make(map[string]*Counter),
 	}
 	return r
 }
@@ -291,7 +315,12 @@ func (r *Recorder) TxAbort(tid int, start, end uint64, reason string, stripe uin
 	if r == nil {
 		return
 	}
-	r.reg.Counter(`stm_tx_aborts_total{reason="` + reason + `"}`).Inc()
+	c, ok := r.abortReasons[reason]
+	if !ok {
+		c = r.reg.Counter(`stm_tx_aborts_total{reason="` + reason + `"}`)
+		r.abortReasons[reason] = c
+	}
+	c.Inc()
 	var fa uint64
 	if falseAbort {
 		fa = 1
@@ -331,8 +360,19 @@ func (r *Recorder) Alloc(allocator string, tid int, start, end uint64, size, add
 	if r == nil {
 		return
 	}
-	r.reg.Counter(`alloc_ops_total{alloc="` + allocator + `",op="malloc"}`).Inc()
-	r.reg.Histogram(`alloc_latency_cycles{alloc="` + allocator + `",class="` + sizeClass(size) + `"}`).Observe(end - start)
+	c, ok := r.allocMallocs[allocator]
+	if !ok {
+		c = r.reg.Counter(`alloc_ops_total{alloc="` + allocator + `",op="malloc"}`)
+		r.allocMallocs[allocator] = c
+	}
+	c.Inc()
+	lk := latKey{alloc: allocator, class: sizeClass(size)}
+	h, ok := r.allocLatency[lk]
+	if !ok {
+		h = r.reg.Histogram(`alloc_latency_cycles{alloc="` + lk.alloc + `",class="` + lk.class + `"}`)
+		r.allocLatency[lk] = h
+	}
+	h.Observe(end - start)
 	r.push(tid, Event{Kind: KindAlloc, TS: start, Dur: end - start,
 		A: size, B: addr, Label: allocator})
 }
@@ -342,7 +382,12 @@ func (r *Recorder) Free(allocator string, tid int, start, end uint64, addr uint6
 	if r == nil {
 		return
 	}
-	r.reg.Counter(`alloc_ops_total{alloc="` + allocator + `",op="free"}`).Inc()
+	c, ok := r.allocFrees[allocator]
+	if !ok {
+		c = r.reg.Counter(`alloc_ops_total{alloc="` + allocator + `",op="free"}`)
+		r.allocFrees[allocator] = c
+	}
+	c.Inc()
 	r.push(tid, Event{Kind: KindFree, TS: start, Dur: end - start,
 		B: addr, Label: allocator})
 }
@@ -365,7 +410,12 @@ func (r *Recorder) Transfer(kind string, tid int, clock uint64, n uint64) {
 	if r == nil {
 		return
 	}
-	r.reg.Counter(`alloc_transfers_total{kind="` + kind + `"}`).Inc()
+	c, ok := r.transferKinds[kind]
+	if !ok {
+		c = r.reg.Counter(`alloc_transfers_total{kind="` + kind + `"}`)
+		r.transferKinds[kind] = c
+	}
+	c.Inc()
 	r.push(tid, Event{Kind: KindTransfer, TS: clock, A: n, Label: kind})
 }
 
@@ -386,7 +436,12 @@ func (r *Recorder) Fault(kind string, tid int, clock uint64, a uint64) {
 	if r == nil {
 		return
 	}
-	r.reg.Counter(`fault_injected_total{kind="` + kind + `"}`).Inc()
+	c, ok := r.faultKinds[kind]
+	if !ok {
+		c = r.reg.Counter(`fault_injected_total{kind="` + kind + `"}`)
+		r.faultKinds[kind] = c
+	}
+	c.Inc()
 	r.push(tid, Event{Kind: KindFault, TS: clock, A: a, Label: kind})
 }
 

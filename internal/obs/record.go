@@ -135,6 +135,25 @@ type RecoveryInfo struct {
 	ShadowBad   int `json:"shadow_bad,omitempty"`   // shadow-map states disagreeing post-resync
 }
 
+// PoolInfo summarizes the transaction-pooling discipline a run used and
+// the pool traffic it generated: how many simulated allocations were
+// served from reuse lists versus falling through to the allocator, and
+// what the pool retained. It lives here rather than in internal/stm
+// because stm builds on obs; the workloads fill it in from
+// stm.PoolStats. Kept flat (scalars and one string, no nested objects)
+// so byte-identity tooling can strip the whole block with a line-range
+// filter.
+type PoolInfo struct {
+	Discipline string `json:"discipline"`           // none / cache / pool / batch
+	Hits       uint64 `json:"hits"`                 // Gets served from a reuse list
+	Misses     uint64 `json:"misses"`               // Gets that fell through to the allocator
+	Returns    uint64 `json:"returns"`              // Puts the pool kept
+	Refills    uint64 `json:"refills,omitempty"`    // bulk refill / slab-carve operations
+	Slabs      uint64 `json:"slabs,omitempty"`      // slabs carved (batch discipline)
+	SlabBytes  uint64 `json:"slab_bytes,omitempty"` // bytes reserved in slabs
+	Held       uint64 `json:"held"`                 // blocks parked in reuse lists at run end
+}
+
 // RunRecord is the machine-readable artifact of one experiment run —
 // what BENCH_<exp>.json files hold. Everything in it derives from
 // virtual time and fixed seeds, so records are reproducible
@@ -157,6 +176,7 @@ type RunRecord struct {
 	Profile       *ProfileInfo  `json:"profile,omitempty"`  // cycle-attribution summary (v2, PR 5)
 	Heap          *HeapInfo     `json:"heap,omitempty"`     // allocator-state telemetry summary (v2, PR 6)
 	Recovery      *RecoveryInfo `json:"recovery,omitempty"` // durable-memory verdict (v2, PR 7)
+	Pool          *PoolInfo     `json:"pool,omitempty"`     // tx-pooling discipline and traffic (v2, PR 8)
 }
 
 // NewRunRecord returns a record stamped with the current schema.

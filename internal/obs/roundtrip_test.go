@@ -104,6 +104,16 @@ func fullRecord() *RunRecord {
 			ChainBreaks: 1,
 			ShadowBad:   1,
 		},
+		Pool: &PoolInfo{
+			Discipline: "batch",
+			Hits:       320,
+			Misses:     64,
+			Returns:    300,
+			Refills:    8,
+			Slabs:      6,
+			SlabBytes:  12288,
+			Held:       84,
+		},
 	}
 }
 

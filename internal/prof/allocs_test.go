@@ -1,0 +1,51 @@
+package prof_test
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/prof"
+	"repro/internal/vtime"
+)
+
+// TestBeginEndAllocBudget pins the steady-state host allocations of the
+// region open/close pair at zero: once a region name has its call-tree
+// node and the per-thread frame stack has reached depth capacity,
+// Begin/End must not allocate. These hooks bracket every priced
+// simulator operation, so one alloc here scales with total virtual
+// work.
+func TestBeginEndAllocBudget(t *testing.T) {
+	p := prof.New()
+	eng := vtime.NewEngine(mem.NewSpace(), 1, vtime.Config{Prof: p})
+	eng.Run(func(th *vtime.Thread) {
+		for i := 0; i < 8; i++ {
+			p.Begin(th, "outer")
+			p.Begin(th, "inner")
+			p.End(th)
+			p.End(th)
+		}
+		if avg := testing.AllocsPerRun(100, func() {
+			p.Begin(th, "outer")
+			p.Begin(th, "inner")
+			p.End(th)
+			p.End(th)
+		}); avg > 0 {
+			t.Errorf("steady-state Begin/End allocates %.2f objects per nested pair, want 0", avg)
+		}
+	})
+}
+
+// TestBeginEndNilAllocBudget pins the disabled-profiler fast path: a
+// nil profiler's Begin/End must reduce to a nil check, no allocation.
+func TestBeginEndNilAllocBudget(t *testing.T) {
+	var p *prof.Profiler
+	eng := vtime.NewEngine(mem.NewSpace(), 1, vtime.Config{})
+	eng.Run(func(th *vtime.Thread) {
+		if avg := testing.AllocsPerRun(100, func() {
+			p.Begin(th, "bench")
+			p.End(th)
+		}); avg > 0 {
+			t.Errorf("nil-profiler Begin/End allocates %.2f objects, want 0", avg)
+		}
+	})
+}

@@ -56,16 +56,19 @@ type Config struct {
 	Scale     Scale
 	Variant   Variant
 	Shift     uint
-	CacheTx   bool
-	Seed      uint64
-	Profile   bool          // collect the Table 5 allocation profile
-	Obs       *obs.Recorder // event/metric sink; nil disables
-	CM        stm.CM        // contention manager (default CMSuicide)
-	RetryCap  uint64        // irrevocable-fallback threshold (0 = default)
-	Fault     string        // fault-plan spec (internal/fault grammar); "" disables
-	Deadline  uint64        // virtual-cycle watchdog bound per phase; 0 disables
-	Pmem      bool          // durable heap: redo-logged commits, priced flush/fence
-	Crash     string        // crash-injection clauses (fault grammar); implies Pmem
+	// CacheTx is the deprecated boolean spelling of Pool == PoolCache;
+	// it is kept for old callers and conflicts with a non-none Pool.
+	CacheTx  bool
+	Pool     stm.Pooling // tx-object recycling discipline (none/cache/pool/batch)
+	Seed     uint64
+	Profile  bool          // collect the Table 5 allocation profile
+	Obs      *obs.Recorder // event/metric sink; nil disables
+	CM       stm.CM        // contention manager (default CMSuicide)
+	RetryCap uint64        // irrevocable-fallback threshold (0 = default)
+	Fault    string        // fault-plan spec (internal/fault grammar); "" disables
+	Deadline uint64        // virtual-cycle watchdog bound per phase; 0 disables
+	Pmem     bool          // durable heap: redo-logged commits, priced flush/fence
+	Crash    string        // crash-injection clauses (fault grammar); implies Pmem
 	// Plan, when non-nil, is a pre-parsed (and freshly cloned) fault
 	// plan that replaces parsing Fault/Crash — harness cells parse the
 	// spec once and hand each run its own clone. Excluded from spec
@@ -98,6 +101,9 @@ type Result struct {
 	// traffic for every Pmem run, plus the crash point and invariant
 	// sweep when a crash clause fired. Nil when Pmem is off.
 	Recovery *obs.RecoveryInfo
+	// Pool carries the tx-pooling discipline and its traffic counters.
+	// Nil when the run used the PoolNone baseline.
+	Pool *obs.PoolInfo
 }
 
 // World is the environment an application runs in.
@@ -327,6 +333,7 @@ func Run(cfg Config) (res Result, err error) {
 		Shift:          cfg.Shift,
 		Allocator:      w.Allocator,
 		CacheTxObjects: cfg.CacheTx,
+		Pooling:        cfg.Pool,
 		Obs:            cfg.Obs,
 		CM:             cfg.CM,
 		RetryCap:       cfg.RetryCap,
@@ -426,6 +433,15 @@ func Run(cfg Config) (res Result, err error) {
 	}
 	if w.prof != nil {
 		res.Profile = w.prof.profile()
+	}
+	if d := w.STM.Pooling(); d != stm.PoolNone {
+		ps := w.STM.PoolStats()
+		res.Pool = &obs.PoolInfo{
+			Discipline: d.String(),
+			Hits:       ps.Hits, Misses: ps.Misses, Returns: ps.Returns,
+			Refills: ps.Refills, Slabs: ps.Slabs, SlabBytes: ps.SlabBytes,
+			Held: ps.Held,
+		}
 	}
 	if durable != nil {
 		if durable.Crashed() {

@@ -1,0 +1,360 @@
+// Transaction-object pooling: the first-class API grown out of the
+// paper's §6.2 thread-local cache. The paper observed that objects
+// allocated by aborted transactions and freed by committed ones can be
+// recycled thread-locally instead of round-tripping through the system
+// allocator; this file generalizes that seam into selectable
+// disciplines modelled on the multiversioning reproduction's
+// ActionMemoryPool (pool-and-reuse) and BatchActionAllocator (bulk
+// allocation), so the design space — per-tx malloc vs. cache vs.
+// eager pool vs. slab batching — can be swept like any other axis.
+package stm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Pooling selects the transactional-allocation recycling discipline.
+type Pooling int
+
+// Pooling disciplines.
+const (
+	// PoolNone: every transactional allocation and free goes to the
+	// system allocator (frees via the epoch quarantine) — the paper's
+	// baseline. Runs with PoolNone are byte-identical to runs that
+	// predate the pooling API.
+	PoolNone Pooling = iota
+	// PoolCache: the paper's §6.2 thread-local transaction-object
+	// cache — only blocks recycled out of transactional churn (aborted
+	// allocations, committed frees) are reused; a cold cache falls
+	// through to the system allocator one object at a time. "cache" is
+	// the documented alias for the paper's original behavior.
+	PoolCache
+	// PoolReuse ("pool"): ActionMemoryPool-style pool-and-reuse. Like
+	// the cache, but a miss refills the pool with a contiguous run of
+	// blocks in one step, so steady-state allocations always hit the
+	// pool and reused neighbours stay cache-line-adjacent.
+	PoolReuse
+	// PoolBatch ("batch"): BatchActionAllocator-style bulk allocation.
+	// A miss carves the block out of a slab obtained with a single
+	// large system allocation; individual frees never reach the system
+	// allocator (freed blocks recycle through the pool, slabs are only
+	// released by Flush).
+	PoolBatch
+)
+
+func (p Pooling) String() string {
+	switch p {
+	case PoolNone:
+		return "none"
+	case PoolCache:
+		return "cache"
+	case PoolReuse:
+		return "pool"
+	case PoolBatch:
+		return "batch"
+	}
+	return fmt.Sprintf("pooling(%d)", int(p))
+}
+
+// PoolingNames lists the accepted ParsePooling spellings.
+func PoolingNames() []string { return []string{"none", "cache", "pool", "batch"} }
+
+// ParsePooling maps a CLI spelling to a discipline. The empty string is
+// PoolNone; "cache" selects the paper's original §6.2 behavior.
+func ParsePooling(s string) (Pooling, error) {
+	switch s {
+	case "", "none":
+		return PoolNone, nil
+	case "cache":
+		return PoolCache, nil
+	case "pool":
+		return PoolReuse, nil
+	case "batch":
+		return PoolBatch, nil
+	}
+	return PoolNone, fmt.Errorf("stm: unknown pooling discipline %q (known: %v)", s, PoolingNames())
+}
+
+// PoolStats counts one pool's traffic.
+type PoolStats struct {
+	Hits      uint64 // allocations served from the pool
+	Misses    uint64 // requests that found the pool empty for the size
+	Returns   uint64 // blocks parked in the pool by commit/abort paths
+	Refills   uint64 // blocks obtained from the system allocator to restock
+	Slabs     uint64 // slabs carved (PoolBatch)
+	SlabBytes uint64 // bytes reserved in slabs (PoolBatch)
+	Held      uint64 // blocks currently parked
+}
+
+// Add accumulates o into s (for summing per-thread pools).
+func (s *PoolStats) Add(o PoolStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Returns += o.Returns
+	s.Refills += o.Refills
+	s.Slabs += o.Slabs
+	s.SlabBytes += o.SlabBytes
+	s.Held += o.Held
+}
+
+// TxPool is the per-thread recycling seam consulted by the
+// transactional allocation paths. Get serves Tx.Malloc before the
+// system allocator is asked; Put is offered every block leaving a
+// transaction — allocated by an aborted one, or freed by a committed
+// one — and a Put that returns false routes the block down the default
+// path instead (system free on abort, epoch quarantine on commit).
+// Implementations run on the owning simulated thread only (the engine
+// serializes execution) and must price the work they model through the
+// thread's cost model, as the in-tree disciplines do.
+type TxPool interface {
+	// Discipline reports which policy the pool implements.
+	Discipline() Pooling
+	// Get serves a transactional allocation of the given request size,
+	// returning 0 on a miss.
+	Get(tx *Tx, size uint64) mem.Addr
+	// Put offers the pool a block leaving the transaction, reporting
+	// whether the pool kept it.
+	Put(tx *Tx, addr mem.Addr, size uint64) bool
+	// Flush hands every parked block (and slab) back to the system
+	// allocator. Workloads do not call it mid-run — a flush changes
+	// heap state; it exists for end-of-phase teardown and tests.
+	Flush(tx *Tx)
+	// Stats returns the pool's cumulative traffic counters.
+	Stats() PoolStats
+}
+
+// NewTxPool builds the in-tree pool for a discipline (nil for
+// PoolNone: the baseline discipline is the absence of a pool).
+func NewTxPool(d Pooling) TxPool {
+	switch d {
+	case PoolCache:
+		return &cachePool{blocks: map[uint64][]mem.Addr{}}
+	case PoolReuse:
+		return &reusePool{recycled: map[uint64][]mem.Addr{}, fresh: map[uint64][]mem.Addr{}}
+	case PoolBatch:
+		return &batchPool{recycled: map[uint64][]mem.Addr{}, cursors: map[uint64]*slabCursor{}}
+	}
+	return nil
+}
+
+// ---- cache: the paper's §6.2 thread-local transaction-object cache ----
+
+type cachePool struct {
+	blocks map[uint64][]mem.Addr // request size -> parked blocks (LIFO)
+	stats  PoolStats
+}
+
+func (p *cachePool) Discipline() Pooling { return PoolCache }
+
+func (p *cachePool) Get(tx *Tx, size uint64) mem.Addr {
+	lst := p.blocks[size]
+	if len(lst) == 0 {
+		p.stats.Misses++
+		return 0
+	}
+	a := lst[len(lst)-1]
+	p.blocks[size] = lst[:len(lst)-1]
+	p.stats.Hits++
+	p.stats.Held--
+	tx.stats.CacheHits++
+	tx.th.Tick(tx.th.Cost().AllocOp)
+	tx.sanMarkReused(a)
+	return a
+}
+
+func (p *cachePool) Put(tx *Tx, addr mem.Addr, size uint64) bool {
+	tx.sanMarkFreed(addr)
+	p.blocks[size] = append(p.blocks[size], addr)
+	p.stats.Returns++
+	p.stats.Held++
+	tx.stats.CacheReturns++
+	tx.th.Tick(tx.th.Cost().AllocOp)
+	return true
+}
+
+func (p *cachePool) Flush(tx *Tx) {
+	for size, lst := range p.blocks {
+		for _, a := range lst {
+			tx.stm.allocator.Free(tx.th, a)
+		}
+		delete(p.blocks, size)
+	}
+	p.stats.Held = 0
+}
+
+func (p *cachePool) Stats() PoolStats { return p.stats }
+
+// ---- pool: ActionMemoryPool-style eager pool-and-reuse ----
+
+// poolRefillRun is how many blocks a reuse-pool miss allocates at once.
+// A run of back-to-back allocations lands the blocks contiguously, so
+// later pool hits walk adjacent lines instead of whatever placement the
+// demand-paced cache accreted.
+const poolRefillRun = 8
+
+type reusePool struct {
+	recycled map[uint64][]mem.Addr // blocks returned by commit/abort (need reuse re-arm)
+	fresh    map[uint64][]mem.Addr // refill blocks never handed out yet
+	stats    PoolStats
+}
+
+func (p *reusePool) Discipline() Pooling { return PoolReuse }
+
+func (p *reusePool) Get(tx *Tx, size uint64) mem.Addr {
+	if lst := p.recycled[size]; len(lst) > 0 {
+		a := lst[len(lst)-1]
+		p.recycled[size] = lst[:len(lst)-1]
+		p.stats.Hits++
+		p.stats.Held--
+		tx.stats.CacheHits++
+		tx.th.Tick(tx.th.Cost().AllocOp)
+		tx.sanMarkReused(a)
+		return a
+	}
+	lst := p.fresh[size]
+	if len(lst) == 0 {
+		p.stats.Misses++
+		for i := 0; i < poolRefillRun; i++ {
+			a := tx.stm.allocator.Malloc(tx.th, size)
+			if a == 0 {
+				break // OOM: serve what the run got; an empty run falls through
+			}
+			lst = append(lst, a)
+			p.stats.Refills++
+			p.stats.Held++
+		}
+		if len(lst) == 0 {
+			return 0
+		}
+		// Reverse so pops hand the run out in allocation order.
+		for i, j := 0, len(lst)-1; i < j; i, j = i+1, j-1 {
+			lst[i], lst[j] = lst[j], lst[i]
+		}
+	}
+	a := lst[len(lst)-1]
+	p.fresh[size] = lst[:len(lst)-1]
+	p.stats.Hits++
+	p.stats.Held--
+	tx.stats.CacheHits++
+	tx.th.Tick(tx.th.Cost().AllocOp)
+	return a
+}
+
+func (p *reusePool) Put(tx *Tx, addr mem.Addr, size uint64) bool {
+	tx.sanMarkFreed(addr)
+	p.recycled[size] = append(p.recycled[size], addr)
+	p.stats.Returns++
+	p.stats.Held++
+	tx.stats.CacheReturns++
+	tx.th.Tick(tx.th.Cost().AllocOp)
+	return true
+}
+
+func (p *reusePool) Flush(tx *Tx) {
+	for size, lst := range p.recycled {
+		for _, a := range lst {
+			tx.stm.allocator.Free(tx.th, a)
+		}
+		delete(p.recycled, size)
+	}
+	for size, lst := range p.fresh {
+		for _, a := range lst {
+			tx.stm.allocator.Free(tx.th, a)
+		}
+		delete(p.fresh, size)
+	}
+	p.stats.Held = 0
+}
+
+func (p *reusePool) Stats() PoolStats { return p.stats }
+
+// ---- batch: BatchActionAllocator-style slab carving ----
+
+// batchSlabObjs is how many objects one slab allocation reserves.
+const batchSlabObjs = 64
+
+// slabCursor tracks the carve position inside the current slab for one
+// request size.
+type slabCursor struct {
+	next mem.Addr // next sub-block to hand out
+	end  mem.Addr // one past the slab's last sub-block
+}
+
+type batchPool struct {
+	recycled map[uint64][]mem.Addr  // freed sub-blocks recycled for reuse
+	cursors  map[uint64]*slabCursor // request size -> current slab
+	slabs    []mem.Addr             // slab bases, released only by Flush
+	stats    PoolStats
+}
+
+func (p *batchPool) Discipline() Pooling { return PoolBatch }
+
+// stride is the carve step: the request size rounded to whole words so
+// sub-blocks never share a word.
+func batchStride(size uint64) uint64 { return (size + 7) &^ 7 }
+
+func (p *batchPool) Get(tx *Tx, size uint64) mem.Addr {
+	if lst := p.recycled[size]; len(lst) > 0 {
+		a := lst[len(lst)-1]
+		p.recycled[size] = lst[:len(lst)-1]
+		p.stats.Hits++
+		p.stats.Held--
+		tx.stats.CacheHits++
+		tx.th.Tick(tx.th.Cost().AllocOp)
+		return a
+	}
+	cur := p.cursors[size]
+	if cur == nil || cur.next >= cur.end {
+		stride := batchStride(size)
+		base := tx.stm.allocator.Malloc(tx.th, stride*batchSlabObjs)
+		if base == 0 {
+			p.stats.Misses++
+			return 0
+		}
+		if cur == nil {
+			cur = &slabCursor{}
+			p.cursors[size] = cur
+		}
+		cur.next = base
+		cur.end = base + mem.Addr(stride*batchSlabObjs)
+		p.slabs = append(p.slabs, base)
+		p.stats.Slabs++
+		p.stats.SlabBytes += stride * batchSlabObjs
+	}
+	a := cur.next
+	cur.next += mem.Addr(batchStride(size))
+	p.stats.Hits++
+	tx.stats.CacheHits++
+	tx.th.Tick(tx.th.Cost().AllocOp)
+	return a
+}
+
+func (p *batchPool) Put(tx *Tx, addr mem.Addr, size uint64) bool {
+	// Sub-blocks must never reach the system allocator (it never handed
+	// them out), so the pool keeps every return. They are also invisible
+	// to the block-granularity observers (shadow map, heap watcher):
+	// marking one sub-block freed would poison the whole owning slab —
+	// the first carved sub-block even shares its base address — and
+	// every live neighbor would misread as use-after-free. The slab
+	// stays "allocated" from the sanitizer's view until Flush.
+	p.recycled[size] = append(p.recycled[size], addr)
+	p.stats.Returns++
+	p.stats.Held++
+	tx.stats.CacheReturns++
+	tx.th.Tick(tx.th.Cost().AllocOp)
+	return true
+}
+
+func (p *batchPool) Flush(tx *Tx) {
+	for _, base := range p.slabs {
+		tx.stm.allocator.Free(tx.th, base)
+	}
+	p.slabs = p.slabs[:0]
+	clear(p.recycled)
+	clear(p.cursors)
+	p.stats.Held = 0
+}
+
+func (p *batchPool) Stats() PoolStats { return p.stats }

@@ -190,3 +190,48 @@ func TestSanitizerCacheTxReuse(t *testing.T) {
 		t.Fatalf("cache reuse raised a diagnostic: %v", d)
 	}
 }
+
+// TestSanitizerPooledDisciplines is the regression for slab-granularity
+// poisoning: under every pooling discipline, a workload that mallocs,
+// frees and re-mallocs same-size objects across transactions must stay
+// sanitizer-clean. The batch discipline once marked a parked sub-block
+// freed, which poisoned the whole owning slab (the first carved
+// sub-block shares the slab's base address) and made every live
+// neighbor misread as use-after-free.
+func TestSanitizerPooledDisciplines(t *testing.T) {
+	for _, d := range []Pooling{PoolCache, PoolReuse, PoolBatch} {
+		t.Run(d.String(), func(t *testing.T) {
+			old := mem.SanitizeDefault()
+			mem.SetSanitizeDefault(true)
+			defer mem.SetSanitizeDefault(old)
+			space := mem.NewSpace()
+			e := vtime.NewEngine(space, 1, vtime.Config{})
+			a, err := alloc.New("glibc", space, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := New(space, Config{Allocator: a, Pooling: d})
+			e.Run(func(th *vtime.Thread) {
+				var live []mem.Addr
+				for i := 0; i < 40; i++ {
+					s.Atomic(th, func(tx *Tx) {
+						p := tx.Malloc(16)
+						tx.Store(p, uint64(i))
+						live = append(live, p)
+					})
+					if len(live) > 8 {
+						// Free the oldest, then read every survivor — a
+						// poisoned slab would trip on the neighbors.
+						s.Atomic(th, func(tx *Tx) {
+							tx.Free(live[0], 16)
+							live = live[1:]
+							for _, q := range live {
+								tx.Load(q)
+							}
+						})
+					}
+				}
+			})
+		})
+	}
+}

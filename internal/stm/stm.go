@@ -26,7 +26,7 @@ package stm
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/alloc"
 	"repro/internal/mem"
@@ -86,7 +86,29 @@ type Config struct {
 	// are kept in a thread-local cache and reused by later
 	// transactional allocations, instead of going back to the system
 	// allocator.
+	//
+	// Deprecated alias: CacheTxObjects is Pooling = PoolCache. Setting
+	// both to conflicting disciplines panics in New.
 	CacheTxObjects bool
+	// Pooling selects the transaction-object recycling discipline
+	// served by each thread's TxPool (default PoolNone: per-tx system
+	// malloc/free, the paper's baseline). See the Pooling constants.
+	Pooling Pooling
+	// ClockShards splits the global version clock over this many
+	// cache-line-separated words in simulated memory. A committer
+	// CASes only its own shard (thread id modulo the shard count) with
+	// 1 + the maximum over all shards, and snapshots read the maximum,
+	// so the commit-time ping-pong on one clock line spreads across
+	// shards. 0 or 1 keeps the paper's single clock word — and the
+	// exact access sequence of the unsharded implementation, so
+	// default-configured runs stay byte-identical.
+	ClockShards uint
+	// BatchRelease sorts commit-time ORT lock releases by table index,
+	// so the release stores walk the ORT in address order (eight
+	// entries share a cache line) instead of acquisition order. Opt-in
+	// because it changes the priced access order, and so the
+	// virtual-time artifacts, relative to the paper's configuration.
+	BatchRelease bool
 	// Obs, when non-nil, receives per-transaction events (commit/abort
 	// with cause and aliasing ORT stripe) and metrics. The disabled
 	// path costs one nil-check per transaction boundary.
@@ -113,8 +135,8 @@ type Config struct {
 	// write-back design — ETLWriteThrough stores uncommitted values
 	// directly, where a neighboring commit's line flush could persist
 	// them with no undo log to remove them — and is incompatible with
-	// CacheTxObjects, whose recycled blocks bypass the block journal.
-	// New panics on either combination.
+	// transaction-object pooling, whose recycled blocks bypass the
+	// block journal. New panics on either combination.
 	Durable DurableLog
 }
 
@@ -233,18 +255,20 @@ type STM struct {
 	ortBase mem.Addr
 	ortSize uint64
 	shift   uint
-	clockA  mem.Addr // global version clock, in simulated memory
+	clockA  mem.Addr // global version clock (shard 0), in simulated memory
+	shards  int      // clock shard count (1 = the paper's single word)
 
-	allocator alloc.Allocator
-	cacheTx   bool
-	design    Design
-	rec       *obs.Recorder
-	prof      *prof.Profiler
-	cm        CM
-	retryCap  uint64
-	fault     FaultHook
-	durable   DurableLog
-	fallback  vtime.Lock // serializes irrevocable fallback transactions
+	allocator    alloc.Allocator
+	pooling      Pooling
+	batchRelease bool
+	design       Design
+	rec          *obs.Recorder
+	prof         *prof.Profiler
+	cm           CM
+	retryCap     uint64
+	fault        FaultHook
+	durable      DurableLog
+	fallback     vtime.Lock // serializes irrevocable fallback transactions
 
 	// lockAddrs[i] records which address acquired ORT entry i, for
 	// false-conflict classification (diagnostic only).
@@ -261,7 +285,8 @@ type STM struct {
 	// epoch GC). Blocks are released once every active transaction's
 	// snapshot has reached the freeing commit.
 	quarantine []quarRec
-	reclaiming bool // reclaim in progress; bars reentry across yields
+	reclaiming bool      // reclaim in progress; bars reentry across yields
+	relScratch []quarRec // reclaim's releasable-block scratch, reused across calls
 }
 
 // quarRec is one block awaiting safe reclamation.
@@ -282,12 +307,19 @@ type TxFreeNoter interface {
 
 // New builds an STM over space.
 func New(space *mem.Space, cfg Config) *STM {
+	pooling := cfg.Pooling
+	if cfg.CacheTxObjects {
+		if pooling != PoolNone && pooling != PoolCache {
+			panic(fmt.Sprintf("stm: CacheTxObjects (the %v alias) conflicts with Pooling %v", PoolCache, pooling))
+		}
+		pooling = PoolCache
+	}
 	if cfg.Durable != nil {
 		if cfg.Design == ETLWriteThrough {
 			panic("stm: durable mode requires a write-back design (etl-wt stores uncommitted values the redo log cannot undo)")
 		}
-		if cfg.CacheTxObjects {
-			panic("stm: durable mode is incompatible with the tx-object cache (recycled blocks bypass the block journal)")
+		if pooling != PoolNone {
+			panic("stm: durable mode is incompatible with transaction-object pooling (recycled blocks bypass the block journal)")
 		}
 	}
 	bits := cfg.OrtBits
@@ -298,26 +330,36 @@ func New(space *mem.Space, cfg Config) *STM {
 	if shift == 0 {
 		shift = DefaultShift
 	}
+	shards := int(cfg.ClockShards)
+	if shards <= 0 {
+		shards = 1
+	}
+	if shards*64 > mem.PageSize {
+		panic(fmt.Sprintf("stm: ClockShards %d exceeds the clock page (max %d)", shards, mem.PageSize/64))
+	}
 	size := uint64(1) << bits
-	// One region holds the clock word (its own cache line) and the ORT.
+	// One region holds the clock page (one shard per cache line) and
+	// the ORT.
 	base := space.MustMap(mem.PageSize+size*8, mem.PageSize)
 	s := &STM{
-		space:     space,
-		ortBase:   base + mem.PageSize,
-		ortSize:   size,
-		shift:     shift,
-		clockA:    base,
-		allocator: cfg.Allocator,
-		cacheTx:   cfg.CacheTxObjects,
-		design:    cfg.Design,
-		rec:       cfg.Obs,
-		prof:      cfg.Prof,
-		cm:        cfg.CM,
-		retryCap:  cfg.RetryCap,
-		fault:     cfg.Fault,
-		durable:   cfg.Durable,
-		lockAddrs: make([]mem.Addr, size),
-		txs:       make(map[int]*Tx),
+		space:        space,
+		ortBase:      base + mem.PageSize,
+		ortSize:      size,
+		shift:        shift,
+		clockA:       base,
+		shards:       shards,
+		allocator:    cfg.Allocator,
+		pooling:      pooling,
+		batchRelease: cfg.BatchRelease,
+		design:       cfg.Design,
+		rec:          cfg.Obs,
+		prof:         cfg.Prof,
+		cm:           cfg.CM,
+		retryCap:     cfg.RetryCap,
+		fault:        cfg.Fault,
+		durable:      cfg.Durable,
+		lockAddrs:    make([]mem.Addr, size),
+		txs:          make(map[int]*Tx),
 	}
 	if s.retryCap == 0 {
 		s.retryCap = DefaultRetryCap
@@ -350,6 +392,66 @@ func (s *STM) Allocator() alloc.Allocator { return s.allocator }
 // Design returns the configured STM variant.
 func (s *STM) Design() Design { return s.design }
 
+// Pooling returns the transaction-object recycling discipline.
+func (s *STM) Pooling() Pooling { return s.pooling }
+
+// ClockShards returns the version-clock shard count (1 = unsharded).
+func (s *STM) ClockShards() int { return s.shards }
+
+// PoolStats sums pool traffic across all threads' TxPools.
+func (s *STM) PoolStats() PoolStats {
+	var out PoolStats
+	for _, tx := range s.txs {
+		if tx.pool != nil {
+			out.Add(tx.pool.Stats())
+		}
+	}
+	return out
+}
+
+// clockShardAddr returns the simulated address of clock shard i (each
+// shard sits on its own cache line).
+func (s *STM) clockShardAddr(i int) mem.Addr { return s.clockA + mem.Addr(i*64) }
+
+// clockRead returns the current global version: the maximum across
+// shards. With one shard this is a single load — the exact access the
+// unsharded clock performed.
+func (s *STM) clockRead(th *vtime.Thread) int64 {
+	v := versionOf(th.Load(s.clockA))
+	for i := 1; i < s.shards; i++ {
+		if w := versionOf(th.Load(s.clockShardAddr(i))); w > v {
+			v = w
+		}
+	}
+	return v
+}
+
+// clockBump allocates a commit version: 1 + the maximum over all
+// shards, CASed into the committer's own shard (so shards only grow,
+// and any stripe released after a snapshot read carries a version the
+// snapshot already covers or exceeds). With one shard this degenerates
+// to the unsharded load/CAS loop, same access sequence.
+func (s *STM) clockBump(th *vtime.Thread) int64 {
+	mineA := s.clockShardAddr(th.ID() % s.shards)
+	for {
+		cur := versionOf(th.Load(mineA))
+		max := cur
+		for i := 0; i < s.shards; i++ {
+			a := s.clockShardAddr(i)
+			if a == mineA {
+				continue
+			}
+			if w := versionOf(th.Load(a)); w > max {
+				max = w
+			}
+		}
+		next := max + 1
+		if th.CAS(mineA, versionWord(cur), versionWord(next)) {
+			return next
+		}
+	}
+}
+
 const lockBit = uint64(1)
 
 func isLocked(word uint64) bool   { return word&lockBit != 0 }
@@ -368,12 +470,10 @@ func (s *STM) TxFor(th *vtime.Thread) *Tx {
 		return tx
 	}
 	tx := &Tx{
-		stm:       s,
-		th:        th,
-		writeIdx:  make(map[mem.Addr]int, 64),
-		lockedSet: make(map[uint64]int, 32),
-		cache:     make(map[uint64][]mem.Addr),
-		rng:       uint64(th.ID())*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+		stm:  s,
+		th:   th,
+		pool: NewTxPool(s.pooling),
+		rng:  uint64(th.ID())*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
 	}
 	s.txs[th.ID()] = tx
 	return tx
@@ -556,6 +656,13 @@ type lockRec struct {
 	prev uint64 // pre-lock ORT word, restored on abort
 }
 
+// ctlReq is one stripe a CTL commit must acquire (with the first write
+// address that mapped to it, for conflict attribution).
+type ctlReq struct {
+	idx  uint64
+	addr mem.Addr
+}
+
 // Tx is a per-thread transaction descriptor, reused across transactions
 // (as TinySTM reuses its descriptor).
 type Tx struct {
@@ -566,9 +673,9 @@ type Tx struct {
 	snapshot  int64
 	readSet   []readEntry
 	writeSet  []writeEntry
-	writeIdx  map[mem.Addr]int
-	locked    []lockRec      // stripes this tx holds, in acquisition order
-	lockedSet map[uint64]int // ORT idx -> index into locked
+	writeIdx  u64Table  // addr -> index into writeSet (write-through: undo)
+	locked    []lockRec // stripes this tx holds, in acquisition order
+	lockedSet u64Table  // membership set of held ORT indices
 
 	undo []writeEntry // write-through: first-write old values
 
@@ -577,7 +684,11 @@ type Tx struct {
 	allocs []allocRec // blocks malloc'd by this tx (undone on abort)
 	frees  []allocRec // frees deferred to commit
 
-	cache map[uint64][]mem.Addr // request size -> cached blocks (§6.2)
+	pool TxPool // transaction-object recycler (nil for PoolNone)
+
+	// CTL commit scratch, reused across commits.
+	ctlReqs []ctlReq
+	ctlSeen u64Table
 
 	// Contention-management state.
 	karma       uint64 // accumulated work (loads+stores), CMKarma priority
@@ -598,12 +709,12 @@ func (tx *Tx) begin() {
 	tx.killed = false
 	tx.waitBudget = conflictWaitBudget
 	tx.beginClock = tx.th.Clock()
-	tx.snapshot = versionOf(tx.th.Load(tx.stm.clockA))
+	tx.snapshot = tx.stm.clockRead(tx.th)
 	tx.readSet = tx.readSet[:0]
 	tx.writeSet = tx.writeSet[:0]
-	clear(tx.writeIdx)
+	tx.writeIdx.reset()
 	tx.locked = tx.locked[:0]
-	clear(tx.lockedSet)
+	tx.lockedSet.reset()
 	tx.undo = tx.undo[:0]
 	tx.allocs = tx.allocs[:0]
 	tx.frees = tx.frees[:0]
@@ -659,15 +770,10 @@ func (tx *Tx) rollback(reason AbortReason) {
 	for _, l := range tx.locked {
 		tx.th.Store(tx.stm.ortAddr(l.idx), l.prev)
 	}
-	// Undo transactional allocations: the §6.2 optimization parks them
-	// in the thread-local cache instead of calling the system free.
+	// Undo transactional allocations: a pooling discipline parks them
+	// in the thread-local pool instead of calling the system free.
 	for _, rec := range tx.allocs {
-		if tx.stm.cacheTx {
-			tx.sanMarkFreed(rec.addr)
-			tx.cache[rec.size] = append(tx.cache[rec.size], rec.addr)
-			tx.stats.CacheReturns++
-			tx.th.Tick(tx.th.Cost().AllocOp)
-		} else {
+		if tx.pool == nil || !tx.pool.Put(tx, rec.addr, rec.size) {
 			tx.stm.allocator.Free(tx.th, rec.addr)
 		}
 	}
@@ -706,7 +812,7 @@ func (tx *Tx) validate() bool {
 // extend tries to advance the snapshot to the current clock after
 // validating the read set (TinySTM's timestamp extension).
 func (tx *Tx) extend() bool {
-	now := versionOf(tx.th.Load(tx.stm.clockA))
+	now := tx.stm.clockRead(tx.th)
 	if !tx.validate() {
 		return false
 	}
@@ -753,7 +859,7 @@ func (tx *Tx) LoadGuard(a mem.Addr) uint64 {
 // loadWord is the protocol core shared by Load and LoadGuard.
 func (tx *Tx) loadWord(a mem.Addr) uint64 {
 	if tx.stm.design != ETLWriteThrough {
-		if i, ok := tx.writeIdx[a]; ok {
+		if i, ok := tx.writeIdx.get(uint64(a)); ok {
 			return tx.writeSet[i].value
 		}
 	}
@@ -806,34 +912,34 @@ func (tx *Tx) Store(a mem.Addr, v uint64) {
 	switch tx.stm.design {
 	case ETLWriteThrough:
 		idx := tx.stm.OrtIndex(a)
-		if _, mine := tx.lockedSet[idx]; !mine {
+		if _, mine := tx.lockedSet.get(idx); !mine {
 			tx.acquire(idx, a)
 		}
-		if _, logged := tx.writeIdx[a]; !logged {
-			tx.writeIdx[a] = len(tx.undo)
+		if _, logged := tx.writeIdx.get(uint64(a)); !logged {
+			tx.writeIdx.put(uint64(a), int32(len(tx.undo)))
 			tx.undo = append(tx.undo, writeEntry{addr: a, value: tx.th.Load(a)})
 		}
 		tx.th.Store(a, v)
 		return
 	case CTL:
-		if i, ok := tx.writeIdx[a]; ok {
+		if i, ok := tx.writeIdx.get(uint64(a)); ok {
 			tx.writeSet[i].value = v
 			return
 		}
-		tx.writeIdx[a] = len(tx.writeSet)
+		tx.writeIdx.put(uint64(a), int32(len(tx.writeSet)))
 		tx.writeSet = append(tx.writeSet, writeEntry{addr: a, value: v})
 		return
 	}
 	// ETL write-back (the paper's configuration).
-	if i, ok := tx.writeIdx[a]; ok {
+	if i, ok := tx.writeIdx.get(uint64(a)); ok {
 		tx.writeSet[i].value = v
 		return
 	}
 	idx := tx.stm.OrtIndex(a)
-	if _, mine := tx.lockedSet[idx]; !mine {
+	if _, mine := tx.lockedSet.get(idx); !mine {
 		tx.acquire(idx, a)
 	}
-	tx.writeIdx[a] = len(tx.writeSet)
+	tx.writeIdx.put(uint64(a), int32(len(tx.writeSet)))
 	tx.writeSet = append(tx.writeSet, writeEntry{addr: a, value: v})
 }
 
@@ -859,7 +965,7 @@ func (tx *Tx) acquire(idx uint64, a mem.Addr) {
 			}
 		}
 		if tx.th.CAS(ortA, w, lockWord(tx.th.ID())) {
-			tx.lockedSet[idx] = len(tx.locked)
+			tx.lockedSet.put(idx, int32(len(tx.locked)))
 			tx.locked = append(tx.locked, lockRec{idx: idx, prev: w})
 			s.lockAddrs[idx] = a
 			break
@@ -894,16 +1000,10 @@ func (tx *Tx) commit() bool {
 			return false
 		}
 	}
-	// Fetch-and-increment the global clock (CAS loop: another thread
-	// may slip in between the load and the swap across a yield).
-	var next int64
-	for {
-		cur := versionOf(tx.th.Load(s.clockA))
-		next = cur + 1
-		if tx.th.CAS(s.clockA, versionWord(cur), versionWord(next)) {
-			break
-		}
-	}
+	// Fetch-and-increment the global clock (CAS loop inside clockBump:
+	// another thread may slip in between the load and the swap across
+	// a yield).
+	next := s.clockBump(tx.th)
 	if next > tx.snapshot+1 {
 		if !tx.validate() {
 			tx.rollback(AbortValidation)
@@ -926,6 +1026,20 @@ func (tx *Tx) commit() bool {
 		tx.th.Store(w.addr, w.value)
 	}
 	release := versionWord(next)
+	if s.batchRelease && len(tx.locked) > 1 {
+		// Release in ORT-index order: eight entries share a cache line,
+		// so sorted stores batch line transitions instead of revisiting
+		// lines in acquisition order.
+		slices.SortFunc(tx.locked, func(a, b lockRec) int {
+			switch {
+			case a.idx < b.idx:
+				return -1
+			case a.idx > b.idx:
+				return 1
+			}
+			return 0
+		})
+	}
 	for _, l := range tx.locked {
 		tx.th.Store(s.ortAddr(l.idx), release)
 	}
@@ -968,20 +1082,26 @@ func (tx *Tx) ctlAcquireAll() (ok bool) {
 			panic(r)
 		}
 	}()
-	idxs := make([]uint64, 0, len(tx.writeSet))
-	seen := make(map[uint64]struct{}, len(tx.writeSet))
-	addrFor := make(map[uint64]mem.Addr, len(tx.writeSet))
+	tx.ctlReqs = tx.ctlReqs[:0]
+	tx.ctlSeen.reset()
 	for _, w := range tx.writeSet {
 		idx := tx.stm.OrtIndex(w.addr)
-		if _, dup := seen[idx]; !dup {
-			seen[idx] = struct{}{}
-			idxs = append(idxs, idx)
-			addrFor[idx] = w.addr
+		if _, dup := tx.ctlSeen.get(idx); !dup {
+			tx.ctlSeen.put(idx, int32(len(tx.ctlReqs)))
+			tx.ctlReqs = append(tx.ctlReqs, ctlReq{idx: idx, addr: w.addr})
 		}
 	}
-	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
-	for _, idx := range idxs {
-		tx.acquire(idx, addrFor[idx])
+	slices.SortFunc(tx.ctlReqs, func(a, b ctlReq) int {
+		switch {
+		case a.idx < b.idx:
+			return -1
+		case a.idx > b.idx:
+			return 1
+		}
+		return 0
+	})
+	for _, r := range tx.ctlReqs {
+		tx.acquire(r.idx, r.addr)
 	}
 	return true
 }
@@ -998,23 +1118,20 @@ func (tx *Tx) finishCommit() {
 		tx.stats.MaxWriteSet = ws
 	}
 	// Deferred frees land in quarantine now (reclaimed by the next
-	// Atomic once no straggler transaction can still reach them); the
-	// §6.2 optimization parks them in the thread-local cache instead.
+	// Atomic once no straggler transaction can still reach them); a
+	// pooling discipline parks them in the thread-local pool instead.
 	if len(tx.frees) > 0 {
-		ver := versionOf(tx.th.Load(tx.stm.clockA))
+		ver := tx.stm.clockRead(tx.th)
 		for _, rec := range tx.frees {
-			tx.sanMarkFreed(rec.addr)
-			if tx.stm.cacheTx {
-				tx.cache[rec.size] = append(tx.cache[rec.size], rec.addr)
-				tx.stats.CacheReturns++
-				tx.th.Tick(tx.th.Cost().AllocOp)
-			} else {
-				if n, ok := tx.stm.allocator.(TxFreeNoter); ok {
-					n.NoteTxFree(rec.addr)
-				}
-				tx.stm.quarantine = append(tx.stm.quarantine,
-					quarRec{addr: rec.addr, size: rec.size, ver: ver})
+			if tx.pool != nil && tx.pool.Put(tx, rec.addr, rec.size) {
+				continue
 			}
+			tx.sanMarkFreed(rec.addr)
+			if n, ok := tx.stm.allocator.(TxFreeNoter); ok {
+				n.NoteTxFree(rec.addr)
+			}
+			tx.stm.quarantine = append(tx.stm.quarantine,
+				quarRec{addr: rec.addr, size: rec.size, ver: ver})
 		}
 	}
 	tx.active = false
@@ -1055,7 +1172,7 @@ func (s *STM) reclaim(th *vtime.Thread) {
 				minSnap = d.snapshot
 			}
 		}
-		var release []quarRec
+		release := s.relScratch[:0]
 		keep := s.quarantine[:0]
 		for _, q := range s.quarantine {
 			if q.ver <= minSnap {
@@ -1065,6 +1182,7 @@ func (s *STM) reclaim(th *vtime.Thread) {
 			}
 		}
 		s.quarantine = keep
+		s.relScratch = release
 		if len(release) == 0 {
 			return
 		}
@@ -1075,22 +1193,16 @@ func (s *STM) reclaim(th *vtime.Thread) {
 }
 
 // Malloc allocates inside the transaction; the block is reclaimed if
-// the transaction aborts. With CacheTxObjects the request is first
-// served from the thread-local object cache. A failed allocation
+// the transaction aborts. With a pooling discipline the request is
+// first served from the thread-local TxPool. A failed allocation
 // (simulated OOM) aborts the transaction cleanly — stripes released,
 // earlier allocations undone — so the retry, or ultimately the
 // irrevocable fallback, sees a consistent heap; it never returns 0.
 func (tx *Tx) Malloc(size uint64) mem.Addr {
 	tx.stats.AllocsInTx++
 	var a mem.Addr
-	if tx.stm.cacheTx {
-		if lst := tx.cache[size]; len(lst) > 0 {
-			a = lst[len(lst)-1]
-			tx.cache[size] = lst[:len(lst)-1]
-			tx.stats.CacheHits++
-			tx.th.Tick(tx.th.Cost().AllocOp)
-			tx.sanMarkReused(a)
-		}
+	if tx.pool != nil {
+		a = tx.pool.Get(tx, size)
 	}
 	if a == 0 {
 		a = tx.stm.allocator.Malloc(tx.th, size)
@@ -1117,5 +1229,5 @@ func (tx *Tx) Free(a mem.Addr, size uint64) {
 
 // ClockValue returns the current global version clock (diagnostics).
 func (s *STM) ClockValue(th *vtime.Thread) int64 {
-	return versionOf(th.Load(s.clockA))
+	return s.clockRead(th)
 }

@@ -6,18 +6,21 @@
 # the flush/fence-on-vs-off overhead pair; BenchmarkCrashRecover a full
 # crash→recover→verify cycle).
 #
-#   scripts/bench.sh [out.json]        default out: BENCH_PR7.json
+#   scripts/bench.sh [out.json]        default out: BENCH_PR8.json
 #   BENCHTIME=10x scripts/bench.sh     shorter smoke run (CI advisory)
 #
 # Runs `go test -bench . -benchmem` and renders the result as
 # machine-readable JSON: one entry per benchmark (name, ns/op,
-# allocs/op) plus host provenance. Numbers are advisory — they vary
-# across hosts and are never a CI gate; the committed BENCH_PR7.json
-# is a trajectory point, regenerated by rerunning this script.
+# allocs/op) plus host provenance, and — since PR 8's zero-alloc work —
+# an alloc_regression block pairing each flagship workload benchmark's
+# current allocs/op against the committed BENCH_PR7.json trajectory
+# point. ns/op numbers are advisory — they vary across hosts and are
+# never a CI gate — but allocs/op is deterministic, and scripts/ci.sh
+# gates the flagship budget separately via TestWorkloadAllocBudget.
 set -eu
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR7.json}
+out=${1:-BENCH_PR8.json}
 benchtime=${BENCHTIME:-}
 
 raw=$(mktemp)
@@ -54,7 +57,27 @@ ncpu=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
         }
         END { if (n) printf "\n" }
     ' "$raw"
-    printf '  ]\n'
+    printf '  ],\n'
+    # Before/after allocs-per-op pairs for the flagship workload
+    # benchmarks: "before" comes from the committed PR 7 trajectory
+    # (the state this PR's pooling work started from), "after" from the
+    # run above. Missing baselines degrade to -1, not to a failure.
+    printf '  "alloc_regression": [\n'
+    first=1
+    for name in BenchmarkWorkloadObsDisabled BenchmarkWorkloadObsEnabled; do
+        after=$(awk -v n="$name" '
+            $1 ~ "^"n"(-[0-9]+)?$" {
+                for (i = 4; i <= NF; i++)
+                    if ($i == "allocs/op") print $(i - 1)
+            }' "$raw" | head -n1)
+        before=$(grep -o "{\"name\": \"$name\"[^}]*}" BENCH_PR7.json 2>/dev/null |
+            sed -n 's/.*"allocs_per_op": \([0-9]*\).*/\1/p' | head -n1)
+        [ "$first" -eq 1 ] || printf ',\n'
+        first=0
+        printf '    {"name": "%s", "before_allocs_per_op": %s, "after_allocs_per_op": %s}' \
+            "$name" "${before:--1}" "${after:--1}"
+    done
+    printf '\n  ]\n'
     printf '}\n'
 } >"$out"
 
