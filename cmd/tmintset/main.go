@@ -37,19 +37,21 @@ import (
 
 func main() {
 	var (
-		kind    = flag.String("kind", "linkedlist", "structure: linkedlist, hashset, rbtree")
-		name    = flag.String("alloc", "glibc", "allocator: glibc hoard tbb tcmalloc")
-		threads = flag.Int("threads", 8, "logical threads (1..8)")
-		updates = flag.Int("updates", 60, "update percentage (0, 20, 60)")
-		initial = flag.Int("initial", 0, "initial set size (0 = paper default 4096)")
-		keys    = flag.Int("range", 0, "key range (0 = 2x initial)")
-		ops     = flag.Int("ops", 0, "operations per thread (0 = default)")
-		shift   = flag.Uint("shift", 0, "ORT shift amount (0 = default 5)")
-		design  = flag.String("design", "etl-wb", "STM design: etl-wb, etl-wt, ctl")
-		cacheTx = flag.Bool("cachetx", false, "deprecated alias for -pool cache (paper §6.2 tx-object caching)")
-		hytm    = flag.Bool("hytm", false, "run under the hybrid HTM (hashset only)")
-		seed    = flag.Uint64("seed", 0, "workload seed")
-		seedUAF = flag.Bool("seed-uaf", false, "plant a use-after-free in the measurement phase (sanitizer demo)")
+		kind     = flag.String("kind", "linkedlist", "structure: linkedlist, hashset, rbtree")
+		name     = flag.String("alloc", "glibc", "allocator: glibc hoard tbb tcmalloc")
+		threads  = flag.Int("threads", 8, "logical threads (1..8)")
+		updates  = flag.Int("updates", 60, "update percentage (0, 20, 60)")
+		initial  = flag.Int("initial", 0, "initial set size (0 = paper default 4096)")
+		keys     = flag.Int("range", 0, "key range (0 = 2x initial)")
+		ops      = flag.Int("ops", 0, "operations per thread (0 = default)")
+		shift    = flag.Uint("shift", 0, "ORT shift amount (0 = default 5)")
+		design   = flag.String("design", "etl-wb", "STM design: etl-wb, etl-wt, ctl")
+		cacheTx  = flag.Bool("cachetx", false, "deprecated alias for -pool cache (paper §6.2 tx-object caching)")
+		hytm     = flag.Bool("hytm", false, "run under the hybrid HTM (hashset only)")
+		seed     = flag.Uint64("seed", 0, "workload seed")
+		seedUAF  = flag.Bool("seed-uaf", false, "plant a use-after-free in the measurement phase (sanitizer demo)")
+		raceSim  = flag.Bool("race-sim", false, "attach the happens-before race checker to the run")
+		seedRace = flag.Bool("seed-race", false, "plant an allocator-metadata race in the measurement phase (race-checker demo; needs -threads >= 2)")
 	)
 	rob := cliflags.AddRobustness(flag.CommandLine)
 	pool := cliflags.AddPool(flag.CommandLine)
@@ -93,6 +95,8 @@ func main() {
 		Pmem:         rob.Pmem,
 		Crash:        rob.Crash,
 		SeedUAF:      *seedUAF,
+		SeedRace:     *seedRace,
+		Race:         *raceSim,
 	}
 
 	cache, err := sw.Open()
@@ -105,6 +109,9 @@ func main() {
 	}
 	if rob.Crash != "" {
 		cache = nil // a crash cell's verdict must come from recovery actually running
+	}
+	if *raceSim {
+		cache = nil // a race verdict must come from the checker observing the execution
 	}
 	var pp *prof.Profiler
 	if pr.Enabled() {
@@ -264,6 +271,16 @@ func main() {
 			fmt.Fprintf(tw, "pooling\t%s: %d hits, %d misses, %d returns (%d held at end)\n",
 				p.Discipline, p.Hits, p.Misses, p.Returns, p.Held)
 			record.Pool = p
+		}
+		if r := res.Race; r != nil {
+			if r.Findings > 0 {
+				fmt.Fprintf(tw, "race\t%d finding(s) over %d blocks / %d words; first: %s\n",
+					r.Findings, r.Blocks, r.Words, r.First)
+			} else {
+				fmt.Fprintf(tw, "race\tclean: %d events over %d blocks / %d words\n",
+					r.Events, r.Blocks, r.Words)
+			}
+			record.Race = r
 		}
 		fmt.Fprintf(tw, "throughput\t%.0f tx per modelled second\n", res.Throughput)
 		fmt.Fprintf(tw, "time\t%.4f ms for %d ops\n", res.Seconds*1e3, res.Ops)

@@ -42,6 +42,7 @@ func main() {
 		out   = flag.String("out", "", "directory to also write per-experiment .txt and BENCH_<id>.json files into")
 		chart = flag.Bool("chart", true, "render figures' series as ASCII charts")
 		md    = flag.Bool("md", false, "emit GitHub-flavoured markdown instead of plain tables")
+		race  = flag.Bool("race-sim", false, "attach the happens-before race checker to every cell (bypasses the cache)")
 	)
 	rob := cliflags.AddRobustness(flag.CommandLine)
 	pool := cliflags.AddPool(flag.CommandLine)
@@ -82,6 +83,7 @@ func main() {
 	spec.Profile = pr.Enabled()
 	spec.Heap = hp.Enabled()
 	spec.HeapCadence = hp.Cadence
+	spec.Race = *race
 	cache, err := sw.Open()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -58,6 +58,7 @@ func main() {
 		cacheTx = flag.Bool("cachetx", false, "deprecated alias for -pool cache (paper §6.2 tx-object caching)")
 		profile = flag.Bool("alloc-profile", false, "print the Table 5 allocation profile")
 		seed    = flag.Uint64("seed", 0, "workload seed (0 = default)")
+		raceSim = flag.Bool("race-sim", false, "attach the happens-before race checker to the run")
 	)
 	rob := cliflags.AddRobustness(flag.CommandLine)
 	pool := cliflags.AddPool(flag.CommandLine)
@@ -98,6 +99,7 @@ func main() {
 		Deadline:  rob.Deadline,
 		Pmem:      rob.Pmem,
 		Crash:     rob.Crash,
+		Race:      *raceSim,
 	}
 
 	cache, err := sw.Open()
@@ -110,6 +112,9 @@ func main() {
 	}
 	if rob.Crash != "" {
 		cache = nil // a crash cell's verdict must come from recovery actually running
+	}
+	if *raceSim {
+		cache = nil // a race verdict must come from the checker observing the execution
 	}
 	var pp *prof.Profiler
 	if pr.Enabled() {
@@ -233,6 +238,15 @@ func main() {
 				r.Flushes, r.Fences, r.LogAppends, r.MetaRecs)
 		}
 	}
+	if r := res.Race; r != nil {
+		if r.Findings > 0 {
+			fmt.Fprintf(tw, "race\t%d finding(s) over %d blocks / %d words; first: %s\n",
+				r.Findings, r.Blocks, r.Words, r.First)
+		} else {
+			fmt.Fprintf(tw, "race\tclean: %d events over %d blocks / %d words\n",
+				r.Events, r.Blocks, r.Words)
+		}
+	}
 	tw.Flush()
 
 	if res.Profile != nil {
@@ -288,6 +302,9 @@ func main() {
 		}
 		if res.Pool != nil {
 			record.Pool = res.Pool
+		}
+		if res.Race != nil {
+			record.Race = res.Race
 		}
 		record.Tables = []obs.Table{{
 			Title:   "Summary",

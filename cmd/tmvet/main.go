@@ -7,20 +7,31 @@
 //	stmaccess      inside tx closures, heap access goes through the Tx
 //	addrhygiene    simulated mem.Addr never mixes with host integers
 //	recordhygiene  run-record schema fields carry json tags and coverage
+//	txescape       simulated addresses born in a tx closure don't leak
+//	               into raw (non-transactional) operations
+//	poolhygiene    pooled tx objects return to their pool, and a pool
+//	               keeps one recycling discipline for life
 //
 // Usage:
 //
 //	tmvet ./...
 //	tmvet -run nodeterm,stmaccess ./internal/...
+//	tmvet -json ./...
 //
 // Findings are suppressed per line by the annotation
 //
 //	//tmvet:allow <analyzer>[,<analyzer>...]: <reason>
 //
-// with a mandatory reason; scripts/ci.sh gates on zero findings.
+// with a mandatory reason; an annotation whose analyzer no longer
+// fires on that line is itself reported as a stale suppression.
+// scripts/ci.sh gates on zero findings. With -json every finding —
+// including suppressed ones — is emitted as one JSON object per line
+// with its allow status; suppressed findings never affect the exit
+// code.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,19 +40,24 @@ import (
 	"repro/internal/analysis/addrhygiene"
 	"repro/internal/analysis/framework"
 	"repro/internal/analysis/nodeterm"
+	"repro/internal/analysis/poolhygiene"
 	"repro/internal/analysis/recordhygiene"
 	"repro/internal/analysis/stmaccess"
+	"repro/internal/analysis/txescape"
 )
 
 var all = []*framework.Analyzer{
 	addrhygiene.Analyzer,
 	nodeterm.Analyzer,
+	poolhygiene.Analyzer,
 	recordhygiene.Analyzer,
 	stmaccess.Analyzer,
+	txescape.Analyzer,
 }
 
 func main() {
 	runList := flag.String("run", "", "comma-separated analyzer names to run (default all)")
+	asJSON := flag.Bool("json", false, "emit one JSON object per finding (including suppressed ones) instead of text")
 	flag.Parse()
 
 	analyzers := all
@@ -85,11 +101,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tmvet:", err)
 		os.Exit(2)
 	}
+	active := 0
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
-		fmt.Println(d)
+		if !d.Allowed {
+			active++
+		}
+		switch {
+		case *asJSON:
+			if err := enc.Encode(finding{
+				Analyzer: d.Analyzer,
+				Pos:      fmt.Sprintf("%s:%d:%d", d.Pos.Filename, d.Pos.Line, d.Pos.Column),
+				Message:  d.Message,
+				Allowed:  d.Allowed,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "tmvet:", err)
+				os.Exit(2)
+			}
+		case !d.Allowed:
+			fmt.Println(d)
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "tmvet: %d finding(s)\n", len(diags))
+	if active > 0 {
+		fmt.Fprintf(os.Stderr, "tmvet: %d finding(s)\n", active)
 		os.Exit(1)
 	}
+}
+
+// finding is the -json output schema: one object per line.
+type finding struct {
+	Analyzer string `json:"analyzer"`
+	Pos      string `json:"pos"`
+	Message  string `json:"message"`
+	Allowed  bool   `json:"allowed"`
 }

@@ -49,11 +49,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Diagnostic is one finding.
+// Diagnostic is one finding. Allowed findings — suppressed by a
+// //tmvet:allow annotation — stay in the result so callers can report
+// suppression status (tmvet -json); they never gate.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Allowed  bool
 }
 
 func (d Diagnostic) String() string {
@@ -64,8 +67,16 @@ func (d Diagnostic) String() string {
 // non-empty after trimming.
 var allowRe = regexp.MustCompile(`^//tmvet:allow\s+([a-z][a-z0-9_,\s]*):\s*(.*)$`)
 
+// allowEntry is one analyzer name in one annotation; used tracks
+// whether any diagnostic was suppressed by it, so unused entries can be
+// reported as stale.
+type allowEntry struct {
+	pos  token.Position
+	used bool
+}
+
 // allowSet maps file -> line -> analyzer names allowed on that line.
-type allowSet map[string]map[int]map[string]bool
+type allowSet map[string]map[int]map[string]*allowEntry
 
 // collectAllows scans a package's comments for allow annotations,
 // returning the suppression set plus diagnostics for malformed
@@ -91,16 +102,16 @@ func collectAllows(pkg *Package) (allowSet, []Diagnostic) {
 				}
 				file := allows[pos.Filename]
 				if file == nil {
-					file = map[int]map[string]bool{}
+					file = map[int]map[string]*allowEntry{}
 					allows[pos.Filename] = file
 				}
 				names := file[pos.Line]
 				if names == nil {
-					names = map[string]bool{}
+					names = map[string]*allowEntry{}
 					file[pos.Line] = names
 				}
 				for _, name := range strings.Split(m[1], ",") {
-					names[strings.TrimSpace(name)] = true
+					names[strings.TrimSpace(name)] = &allowEntry{pos: pos}
 				}
 			}
 		}
@@ -109,26 +120,60 @@ func collectAllows(pkg *Package) (allowSet, []Diagnostic) {
 }
 
 // allowed reports whether a diagnostic is suppressed: an annotation for
-// its analyzer sits on the same line or the line directly above.
+// its analyzer sits on the same line or the line directly above. A
+// match marks the entry used, which is what keeps it off the stale
+// list.
 func (a allowSet) allowed(d Diagnostic) bool {
 	file := a[d.Pos.Filename]
 	if file == nil {
 		return false
 	}
 	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
-		if names := file[line]; names != nil && names[d.Analyzer] {
+		if names := file[line]; names != nil && names[d.Analyzer] != nil {
+			names[d.Analyzer].used = true
 			return true
 		}
 	}
 	return false
 }
 
-// RunAnalyzers applies every analyzer to every package, filters the
-// findings through the allow annotations, and returns them sorted by
-// position. Packages that failed to type-check contribute a finding
-// instead of being analyzed: an unparsable repository must fail the
-// gate loudly, not pass it silently.
+// stale reports annotation entries for analyzers in ran that suppressed
+// no finding: the hazard they once marked is gone (or moved), so the
+// annotation now hides nothing and would mask a future regression.
+// Entries naming analyzers outside ran are skipped — a partial -run
+// cannot tell whether the missing analyzer would still fire.
+func (a allowSet) stale(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, lines := range a {
+		for _, names := range lines {
+			for name, e := range names {
+				if ran[name] && !e.used {
+					out = append(out, Diagnostic{
+						Pos:      e.pos,
+						Analyzer: "tmvet",
+						Message:  fmt.Sprintf("stale suppression: %s reports no finding here; delete the //tmvet:allow annotation", name),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// findings sorted by position. Findings matched by an allow annotation
+// come back with Allowed set instead of being dropped, so callers can
+// surface suppression status; annotations that suppressed nothing for
+// an analyzer that ran are themselves findings (stale suppression, not
+// Allowed — tmvet's own diagnostics are never suppressible). Packages
+// that failed to type-check contribute a finding instead of being
+// analyzed: an unparsable repository must fail the gate loudly, not
+// pass it silently.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		if pkg.IllTyped != nil {
@@ -147,11 +192,11 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
 			}
 			for _, d := range pass.diags {
-				if !allows.allowed(d) {
-					out = append(out, d)
-				}
+				d.Allowed = allows.allowed(d)
+				out = append(out, d)
 			}
 		}
+		out = append(out, allows.stale(ran)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

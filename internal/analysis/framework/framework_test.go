@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"strings"
 	"testing"
 )
 
@@ -74,5 +75,52 @@ func TestDiagnosticString(t *testing.T) {
 	}
 	if got, want := d.String(), "p/f.go:7:3: nodeterm: msg"; got != want {
 		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+const suppressions = `package x
+
+//tmvet:allow nodeterm: this one will be consumed
+var a int
+
+//tmvet:allow stmaccess: this one suppresses nothing
+var b int
+
+//tmvet:allow addrhygiene: names an analyzer that did not run
+var c int
+`
+
+func TestStaleSuppression(t *testing.T) {
+	pkg := parseOne(t, suppressions)
+	allows, bad := collectAllows(pkg)
+	if len(bad) != 0 {
+		t.Fatalf("malformed annotations: %v", bad)
+	}
+
+	// Consume the nodeterm entry the way RunAnalyzers would.
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "x.go", Line: 4},
+		Analyzer: "nodeterm",
+	}
+	if !allows.allowed(d) {
+		t.Fatal("nodeterm diagnostic on line 4 must be suppressed")
+	}
+
+	// Only nodeterm and stmaccess ran: the unused stmaccess entry is
+	// stale, the consumed nodeterm entry is not, and the addrhygiene
+	// entry cannot be judged.
+	got := allows.stale(map[string]bool{"nodeterm": true, "stmaccess": true})
+	if len(got) != 1 {
+		t.Fatalf("stale = %v, want exactly the stmaccess entry", got)
+	}
+	s := got[0]
+	if s.Analyzer != "tmvet" {
+		t.Errorf("stale finding attributed to %q, want tmvet (not suppressible)", s.Analyzer)
+	}
+	if s.Pos.Line != 6 {
+		t.Errorf("stale finding at line %d, want 6", s.Pos.Line)
+	}
+	if want := "stale suppression: stmaccess reports no finding here"; !strings.Contains(s.Message, want) {
+		t.Errorf("stale message %q does not contain %q", s.Message, want)
 	}
 }

@@ -1,0 +1,13 @@
+package poolhygiene_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/poolhygiene"
+)
+
+func TestPoolHygiene(t *testing.T) {
+	framework.RunFixture(t, poolhygiene.Analyzer, filepath.Join("testdata", "pools"))
+}

@@ -31,7 +31,7 @@ var Analyzer = &framework.Analyzer{
 // forbidden maps (defining package suffix, type name) to the method
 // names that bypass the transaction.
 var forbidden = map[[2]string]map[string]bool{
-	{"internal/vtime", "Thread"}: {"Load": true, "Store": true, "CAS": true},
+	{"internal/vtime", "Thread"}: {"Load": true, "LoadRelaxed": true, "Store": true, "CAS": true},
 	{"internal/mem", "Space"}:    {"Load": true, "Store": true, "CompareAndSwap": true},
 	{"internal/alloc", "Allocator"}: {
 		"Malloc": true, "Free": true,

@@ -17,13 +17,14 @@ func bad(th *vtime.Thread, space *mem.Space, a alloc.Allocator, p mem.Addr) func
 	ch := make(chan *stm.Tx, 1)
 	return func(tx *stm.Tx) {
 		tx.Store(p, tx.Load(p)+1)
-		_ = th.Load(p)       // want "raw Thread.Load inside a transaction"
-		th.Store(p, 1)       // want "raw Thread.Store inside a transaction"
-		_ = space.Load(p)    // want "raw Space.Load inside a transaction"
-		_ = a.Malloc(th, 64) // want "raw Allocator.Malloc inside a transaction"
-		a.Free(th, p)        // want "raw Allocator.Free inside a transaction"
-		leaked = tx          // want "Tx assigned to \"leaked\", declared outside the closure"
-		ch <- tx             // want "Tx sent on a channel"
+		_ = th.Load(p)        // want "raw Thread.Load inside a transaction"
+		_ = th.LoadRelaxed(p) // want "raw Thread.LoadRelaxed inside a transaction"
+		th.Store(p, 1)        // want "raw Thread.Store inside a transaction"
+		_ = space.Load(p)     // want "raw Space.Load inside a transaction"
+		_ = a.Malloc(th, 64)  // want "raw Allocator.Malloc inside a transaction"
+		a.Free(th, p)         // want "raw Allocator.Free inside a transaction"
+		leaked = tx           // want "Tx assigned to \"leaked\", declared outside the closure"
+		ch <- tx              // want "Tx sent on a channel"
 	}
 }
 

@@ -1,0 +1,72 @@
+// Package app is the txescape fixture: an address born inside a tx
+// closure and stored to an outer variable must not reach a raw
+// operation afterwards, unless an Engine.Run barrier intervenes.
+package app
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/mem"
+	"repro/internal/stm"
+	"repro/internal/vtime"
+)
+
+func rawFreeAfterEscape(th *vtime.Thread, st *stm.STM, a alloc.Allocator) {
+	var p mem.Addr
+	st.Atomic(th, func(tx *stm.Tx) {
+		p = tx.Malloc(64)
+		tx.Store(p, 1)
+	})
+	a.Free(th, p) // want "escaped a tx closure and reaches raw Allocator.Free"
+}
+
+func rawLoadAfterEscape(th *vtime.Thread, space *mem.Space, st *stm.STM) uint64 {
+	var p mem.Addr
+	st.Atomic(th, func(tx *stm.Tx) { p = tx.Malloc(8) })
+	x := th.Load(p)          // want "escaped a tx closure and reaches raw Thread.Load"
+	return x + space.Load(p) // want "escaped a tx closure and reaches raw Space.Load"
+}
+
+func barrierClearsTaint(e *vtime.Engine, a alloc.Allocator, st *stm.STM) {
+	var p mem.Addr
+	var last *vtime.Thread
+	e.Run(func(t *vtime.Thread) {
+		last = t
+		st.Atomic(t, func(tx *stm.Tx) { p = tx.Malloc(64) })
+	})
+	// Run returned: every commit is globally ordered before this point,
+	// so the raw teardown free is safe.
+	a.Free(last, p)
+}
+
+func useBeforeEscapeIsFine(th *vtime.Thread, st *stm.STM, a alloc.Allocator, q mem.Addr) {
+	p := q
+	a.Free(th, p) // before the closure: nothing has escaped yet
+	st.Atomic(th, func(tx *stm.Tx) { p = tx.Malloc(64) })
+	_ = p
+}
+
+func insideTxIsStmaccessTurf(th *vtime.Thread, st *stm.STM, a alloc.Allocator) {
+	var p mem.Addr
+	st.Atomic(th, func(tx *stm.Tx) {
+		p = tx.Malloc(64)
+	})
+	st.Atomic(th, func(tx *stm.Tx) {
+		// Transactional use of the escaped address is the published
+		// path working as intended.
+		tx.Store(p, 2)
+	})
+}
+
+func localAddrNeverEscapes(th *vtime.Thread, st *stm.STM) {
+	st.Atomic(th, func(tx *stm.Tx) {
+		p := tx.Malloc(64)
+		tx.Store(p, 3)
+	})
+}
+
+func annotated(th *vtime.Thread, st *stm.STM, a alloc.Allocator) {
+	var p mem.Addr
+	st.Atomic(th, func(tx *stm.Tx) { p = tx.Malloc(64) })
+	//tmvet:allow txescape: fixture models a deliberately planted publication race
+	a.Free(th, p)
+}

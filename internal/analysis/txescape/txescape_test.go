@@ -1,0 +1,13 @@
+package txescape_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/txescape"
+)
+
+func TestTxEscape(t *testing.T) {
+	framework.RunFixture(t, txescape.Analyzer, filepath.Join("testdata", "escape"))
+}

@@ -133,6 +133,7 @@ type IntsetCell struct {
 	FalseAborts uint64            `json:"false_aborts"`
 	Recovery    *obs.RecoveryInfo `json:"recovery,omitempty"` // durable-memory verdict; nil when pmem is off
 	Pool        *obs.PoolInfo     `json:"pool,omitempty"`     // tx-pool traffic; nil when the run was unpooled
+	Race        *obs.RaceInfo     `json:"race,omitempty"`     // race-checker verdict; nil when unchecked
 	CellHealth
 }
 
@@ -164,6 +165,7 @@ func (b *Builder) applyIntset(cfg intset.Config) intset.Config {
 	cfg.Deadline = b.spec.deadline()
 	cfg.Pmem = b.spec.Pmem
 	cfg.Crash = b.spec.Crash
+	cfg.Race = b.spec.Race
 	if b.spec.Pool != stm.PoolNone {
 		cfg.Pool = b.spec.Pool
 	}
@@ -193,6 +195,7 @@ func (b *Builder) Intset(cfg intset.Config, rep int) Handle[IntsetCell] {
 			FalseAborts: res.Tx.FalseAborts,
 			Recovery:    res.Recovery,
 			Pool:        res.Pool,
+			Race:        res.Race,
 			CellHealth:  CellHealth{Status: res.Status, Failure: res.Failure},
 		}, nil
 	})
@@ -253,6 +256,7 @@ type StampCell struct {
 	Ms       float64           `json:"ms"`                 // parallel-phase time in modelled milliseconds
 	Recovery *obs.RecoveryInfo `json:"recovery,omitempty"` // durable-memory verdict; nil when pmem is off
 	Pool     *obs.PoolInfo     `json:"pool,omitempty"`     // tx-pool traffic; nil when the run was unpooled
+	Race     *obs.RaceInfo     `json:"race,omitempty"`     // race-checker verdict; nil when unchecked
 	CellHealth
 }
 
@@ -262,6 +266,7 @@ type StampProbe struct {
 	Tx      stm.TxStats    `json:"tx"`
 	L1Miss  float64        `json:"l1_miss"`
 	Profile *stamp.Profile `json:"profile,omitempty"`
+	Race    *obs.RaceInfo  `json:"race,omitempty"` // race-checker verdict; nil when unchecked
 	CellHealth
 }
 
@@ -279,6 +284,7 @@ func (b *Builder) applyStamp(cfg stamp.Config) stamp.Config {
 	cfg.Deadline = b.spec.deadline()
 	cfg.Pmem = b.spec.Pmem
 	cfg.Crash = b.spec.Crash
+	cfg.Race = b.spec.Race
 	if b.spec.Pool != stm.PoolNone {
 		cfg.Pool = b.spec.Pool
 	}
@@ -310,6 +316,7 @@ func (b *Builder) Stamp(cfg stamp.Config, rep int) Handle[StampCell] {
 			Ms:         res.Seconds * 1e3,
 			Recovery:   res.Recovery,
 			Pool:       res.Pool,
+			Race:       res.Race,
 			CellHealth: CellHealth{Status: res.Status, Failure: res.Failure},
 		}, nil
 	})
@@ -348,6 +355,7 @@ func (b *Builder) StampProbeCell(cfg stamp.Config) Handle[StampProbe] {
 			Tx:         res.Tx,
 			L1Miss:     res.L1Miss,
 			Profile:    res.Profile,
+			Race:       res.Race,
 			CellHealth: CellHealth{Status: res.Status, Failure: res.Failure},
 		}, nil
 	})

@@ -40,6 +40,7 @@ type ExperimentRun struct {
 	Heap       *heapscope.Set    // per-cell telemetry series; nil when unwatched
 	Recovery   *obs.RecoveryInfo // worst durable-memory verdict across cells; nil when pmem is off
 	Pool       *obs.PoolInfo     // summed tx-pool traffic across cells; nil when every cell ran unpooled
+	Race       *obs.RaceInfo     // summed race-checker verdict across cells; nil when unchecked
 }
 
 // jobs returns the normalized pool width.
@@ -100,6 +101,12 @@ func (s *Session) Run(ids []string) ([]*ExperimentRun, sweep.Stats) {
 		// Crash cells bypass the cache: the acceptance gate is that
 		// recovery actually runs and re-verifies its invariants, so a
 		// cached verdict would be an unverified claim.
+		cache = nil
+	}
+	if s.Spec.Race {
+		// Race cells bypass the cache for the same reason: a clean
+		// verdict must come from the checker observing the execution,
+		// not from a record of some earlier run.
 		cache = nil
 	}
 	sched := sweep.Scheduler{Jobs: s.jobs(), Cache: cache}
@@ -185,6 +192,32 @@ func (s *Session) Run(ids []string) ([]*ExperimentRun, sweep.Stats) {
 					cur.Slabs += pc.Pool.Slabs
 					cur.SlabBytes += pc.Pool.SlabBytes
 					cur.Held += pc.Pool.Held
+				}
+			}
+			var rcc struct {
+				Race *obs.RaceInfo `json:"race"`
+			}
+			if json.Unmarshal(o.Payload, &rcc) == nil && rcc.Race != nil {
+				// Sum verdicts and coverage across checked cells; the
+				// first cell with findings supplies the headline First.
+				cur := p.run.Race
+				if cur == nil {
+					cp := *rcc.Race
+					p.run.Race = &cp
+				} else {
+					cur.Findings += rcc.Race.Findings
+					cur.Publication += rcc.Race.Publication
+					cur.Privatization += rcc.Race.Privatization
+					cur.Mixed += rcc.Race.Mixed
+					cur.Metadata += rcc.Race.Metadata
+					cur.QuarantineBypass += rcc.Race.QuarantineBypass
+					cur.DurableOrdering += rcc.Race.DurableOrdering
+					cur.Words += rcc.Race.Words
+					cur.Blocks += rcc.Race.Blocks
+					cur.Events += rcc.Race.Events
+					if cur.First == "" {
+						cur.First = rcc.Race.First
+					}
 				}
 			}
 		}
@@ -299,6 +332,10 @@ func (s *Session) Record(run *ExperimentRun) *obs.RunRecord {
 	if run.Pool != nil {
 		p := *run.Pool
 		rec.Pool = &p
+	}
+	if run.Race != nil {
+		r := *run.Race
+		rec.Race = &r
 	}
 	rec.Attach(s.Spec.Obs)
 	return rec

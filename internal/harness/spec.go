@@ -47,6 +47,12 @@ type Spec struct {
 
 	Heap        bool   // per-cell allocator-state telemetry (heapscope)
 	HeapCadence uint64 // snapshot interval in virtual cycles; 0 = heapscope.DefaultCadence
+
+	// Race attaches the happens-before race checker (internal/race) to
+	// every workload cell. A pure observer — checked cells compute
+	// byte-identical results — but race cells bypass the result cache so
+	// the verdict always comes from a fresh execution.
+	Race bool
 }
 
 // DefaultSeed is the suite's base seed when Spec.Seed is nil.

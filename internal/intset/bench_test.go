@@ -1,0 +1,41 @@
+package intset_test
+
+import (
+	"testing"
+
+	"repro/internal/intset"
+)
+
+// benchConfig is the overhead-pair workload: large enough that the
+// steady-state cost dominates engine setup, small enough for -benchtime
+// defaults. Race is the only axis the pair varies.
+func benchConfig(race bool) intset.Config {
+	return intset.Config{
+		Kind:         intset.LinkedList,
+		Allocator:    "glibc",
+		Threads:      4,
+		InitialSize:  128,
+		OpsPerThread: 200,
+		Race:         race,
+	}
+}
+
+func benchRun(b *testing.B, race bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := intset.Run(benchConfig(race))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failure != "" {
+			b.Fatal(res.Failure)
+		}
+	}
+}
+
+// BenchmarkIntsetPlain / BenchmarkIntsetRaceSim are the race-checker
+// overhead pair: identical runs except for the attached happens-before
+// checker. scripts/bench.sh pairs their ns/op into the race_overhead
+// block of BENCH_PR9.json.
+func BenchmarkIntsetPlain(b *testing.B)   { benchRun(b, false) }
+func BenchmarkIntsetRaceSim(b *testing.B) { benchRun(b, true) }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/prof"
+	"repro/internal/race"
 	"repro/internal/sim"
 	"repro/internal/stm"
 	"repro/internal/txstruct"
@@ -94,6 +95,23 @@ type Config struct {
 	// memory. The field is part of the spec, so seeded and clean runs
 	// hash to different cells.
 	SeedUAF bool
+	// SeedRace plants the paper's in-band-metadata race at the start of
+	// the measurement phase: thread 0 publishes a block through a
+	// committed transaction and then frees it raw — straight to the
+	// allocator, bypassing the STM's quarantine — while thread 1 reads
+	// it in a transaction whose snapshot predates the free. Under
+	// -race-sim the run fails with a metadata finding; without it the
+	// read silently returns whatever the allocator's free-list left
+	// behind. Needs Threads >= 2 (same-thread frees are always
+	// ordered). The field is part of the spec, so seeded and clean runs
+	// hash to different cells.
+	SeedRace bool
+	// Race attaches the happens-before checker (internal/race) to the
+	// run: scheduler, STM and allocator events feed a vector-clock
+	// analysis whose verdict lands in Result.Race, and any finding
+	// fails the run. Excluded from spec hashing — the checker is a pure
+	// observer and never changes what a cell computes.
+	Race bool `json:"-"`
 	// Prof, when non-nil, attributes every virtual cycle of the run to
 	// (thread, region-stack, allocator) buckets. Excluded from spec
 	// hashing — profiling never changes what a cell computes.
@@ -151,6 +169,9 @@ type Result struct {
 	// Pool carries the tx-pooling discipline and its traffic counters.
 	// Nil when the run used the PoolNone baseline.
 	Pool *obs.PoolInfo
+	// Race carries the happens-before checker's verdict. Nil when the
+	// checker was not attached.
+	Race *obs.RaceInfo
 }
 
 // Run executes the benchmark described by cfg and returns its result.
@@ -204,6 +225,12 @@ func Run(cfg Config) (res Result, err error) {
 		cfg.Heap.SetRecorder(cfg.Obs)
 		engineCfg.Heap = cfg.Heap
 	}
+	var checker *race.Checker
+	if cfg.Race {
+		checker = race.New(cfg.Threads)
+		engineCfg.Race = checker
+		space.SetRaceWatcher(checker)
+	}
 	engine := vtime.NewEngine(space, cfg.Threads, engineCfg)
 	stmCfg := stm.Config{
 		Shift:          cfg.Shift,
@@ -218,6 +245,9 @@ func Run(cfg Config) (res Result, err error) {
 	}
 	if plan != nil {
 		stmCfg.Fault = plan
+	}
+	if checker != nil {
+		stmCfg.Race = checker
 	}
 	if durable != nil {
 		durable.SetStopper(engine)
@@ -293,6 +323,9 @@ func Run(cfg Config) (res Result, err error) {
 	missBase := cache.TotalStats()
 	txBase := st.Stats()
 
+	// racePlant is the SeedRace demo's published-then-raw-freed block,
+	// shared across the demo threads (the engine serializes access).
+	var racePlant mem.Addr
 	measure := func(th *vtime.Thread) {
 		if p := cfg.Prof; p != nil {
 			p.Begin(th, "intset/run")
@@ -303,6 +336,35 @@ func Run(cfg Config) (res Result, err error) {
 			st.Atomic(th, func(tx *stm.Tx) { p = tx.Malloc(64); tx.Store(p, 0xdead) })
 			st.Atomic(th, func(tx *stm.Tx) { tx.Free(p, 64) })
 			st.Atomic(th, func(tx *stm.Tx) { tx.Load(p) })
+		}
+		if cfg.SeedRace && cfg.Threads >= 2 {
+			// The spacers choreograph the hazard window under min-clock
+			// scheduling: thread 0's plant commits first, thread 1 opens a
+			// transaction whose snapshot sees the plant but not the free,
+			// and holds it open (Work inside the tx) until well after the
+			// raw free lands. Thread 0 must not commit anything between
+			// the plant and the free, or the later release would order the
+			// free for every later snapshot and close the window.
+			switch th.ID() {
+			case 0:
+				// Publish a block through a committed transaction, then
+				// free it raw — straight to the allocator, bypassing the
+				// STM's free/quarantine path. The allocator may reuse the
+				// words for in-band metadata while thread 1's snapshot
+				// still reaches the block: the paper's glibc hazard.
+				st.Atomic(th, func(tx *stm.Tx) { racePlant = tx.Malloc(64); tx.Store(racePlant, 0xdead) })
+				th.Work(1 << 17)
+				//tmvet:allow txescape: the escape *is* the planted bug under study
+				allocator.Free(th, racePlant)
+			case 1:
+				// Past the plant commit (a few thousand cycles), but well
+				// before thread 0's free at ~1<<17.
+				th.Work(1 << 16)
+				st.Atomic(th, func(tx *stm.Tx) {
+					tx.Load(racePlant)
+					th.Work(1 << 18) // stay open across the raw free
+				})
+			}
 		}
 		r := sim.NewRand(cfg.Seed*1000003 + uint64(th.ID()) + 1)
 		lastInserted := int64(-1)
@@ -388,6 +450,13 @@ func Run(cfg Config) (res Result, err error) {
 			}
 		} else {
 			res.Recovery = durable.Info()
+		}
+	}
+	if checker != nil {
+		res.Race = checker.Info()
+		if res.Race.Findings > 0 && res.Status == obs.StatusOK {
+			res.Status = obs.StatusFailed
+			res.Failure = "race: " + res.Race.First
 		}
 	}
 	return res, nil

@@ -132,6 +132,13 @@ type Space struct {
 	// is attached (see persist.go). Set via SetPersistTracker before the
 	// space is shared across sim threads.
 	ptrack PersistTracker
+
+	// race is the happens-before checker's view of the block
+	// lifecycle, nil unless a checker is attached (see watch.go). Set
+	// via SetRaceWatcher before the space is shared across sim
+	// threads. Held separately from watcher so a run can carry both
+	// heap telemetry and the race checker.
+	race HeapWatcher
 }
 
 // NewSpace returns an empty address space. When the process-wide

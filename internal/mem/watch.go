@@ -40,12 +40,19 @@ func (s *Space) SetHeapWatcher(w HeapWatcher) { s.watcher = w }
 // HeapWatcherAttached returns the attached watcher, or nil.
 func (s *Space) HeapWatcherAttached() HeapWatcher { return s.watcher }
 
+// SetRaceWatcher attaches the race checker's block-lifecycle view (nil
+// detaches). A separate slot from SetHeapWatcher so the checker can
+// ride alongside heap telemetry. Set before the space is shared across
+// simulated threads.
+func (s *Space) SetRaceWatcher(w HeapWatcher) { s.race = w }
+
 // Observed reports whether any block-lifecycle observer (sanitizer
-// shadow map, heap watcher or persist tracker) is attached. Allocators
-// consult it before computing notification arguments (e.g. a raw
-// boundary-tag read) so the unobserved path stays one branch.
+// shadow map, heap watcher, persist tracker or race checker) is
+// attached. Allocators consult it before computing notification
+// arguments (e.g. a raw boundary-tag read) so the unobserved path
+// stays one branch.
 func (s *Space) Observed() bool {
-	return s.shadow != nil || s.watcher != nil || s.ptrack != nil
+	return s.shadow != nil || s.watcher != nil || s.ptrack != nil || s.race != nil
 }
 
 // NoteAlloc fans a successful malloc out to the attached observers.
@@ -58,6 +65,9 @@ func (s *Space) NoteAlloc(allocator string, base Addr, req, usable uint64, tid i
 	}
 	if s.ptrack != nil {
 		s.ptrack.OnHeapAlloc(allocator, base, req, usable, tid, clock)
+	}
+	if s.race != nil {
+		s.race.OnHeapAlloc(allocator, base, req, usable, tid, clock)
 	}
 }
 
@@ -72,6 +82,9 @@ func (s *Space) NoteFree(base Addr, tid int, clock uint64) {
 	if s.ptrack != nil {
 		s.ptrack.OnHeapFree(base, tid, clock)
 	}
+	if s.race != nil {
+		s.race.OnHeapFree(base, tid, clock)
+	}
 }
 
 // NoteReuse fans a transaction-cache block revival out to the attached
@@ -85,5 +98,8 @@ func (s *Space) NoteReuse(base Addr, tid int, clock uint64) {
 	}
 	if s.ptrack != nil {
 		s.ptrack.OnHeapReuse(base, tid, clock)
+	}
+	if s.race != nil {
+		s.race.OnHeapReuse(base, tid, clock)
 	}
 }

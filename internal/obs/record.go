@@ -154,6 +154,32 @@ type PoolInfo struct {
 	Held       uint64 `json:"held"`                 // blocks parked in reuse lists at run end
 }
 
+// RaceInfo is the verdict of the happens-before race checker for a run:
+// how much of the execution it observed (events, tracked words and
+// blocks) and what it found, split by violation class (see
+// internal/race for the taxonomy). It lives here rather than in
+// internal/race because race builds on obs; the race package fills it
+// in. Kept flat (scalars and one string, no nested objects) so
+// byte-identity tooling can strip the whole block with a line-range
+// filter.
+type RaceInfo struct {
+	Checked  bool `json:"checked"`  // a checker was attached for the run
+	Findings int  `json:"findings"` // total violations, all classes
+	// Per-class counters (each counts every occurrence, not just the
+	// retained exemplars).
+	Publication      int `json:"publication,omitempty"`       // raw write vs unordered tx read
+	Privatization    int `json:"privatization,omitempty"`     // tx write vs unordered raw access
+	Mixed            int `json:"mixed,omitempty"`             // unordered tx/raw write-write
+	Metadata         int `json:"metadata,omitempty"`          // tx access to a block the allocator reclaimed
+	QuarantineBypass int `json:"quarantine_bypass,omitempty"` // block reissued while still quarantined
+	DurableOrdering  int `json:"durable_ordering,omitempty"`  // durable store before its redo-log commit fence
+	// Coverage counters.
+	Words  uint64 `json:"words"`           // simulated words tracked (live allocator-block extents)
+	Blocks uint64 `json:"blocks"`          // allocator blocks tracked over the run
+	Events uint64 `json:"events"`          // scheduler/STM/heap events consumed
+	First  string `json:"first,omitempty"` // first finding, rendered (empty on a clean run)
+}
+
 // RunRecord is the machine-readable artifact of one experiment run —
 // what BENCH_<exp>.json files hold. Everything in it derives from
 // virtual time and fixed seeds, so records are reproducible
@@ -177,6 +203,7 @@ type RunRecord struct {
 	Heap          *HeapInfo     `json:"heap,omitempty"`     // allocator-state telemetry summary (v2, PR 6)
 	Recovery      *RecoveryInfo `json:"recovery,omitempty"` // durable-memory verdict (v2, PR 7)
 	Pool          *PoolInfo     `json:"pool,omitempty"`     // tx-pooling discipline and traffic (v2, PR 8)
+	Race          *RaceInfo     `json:"race,omitempty"`     // happens-before checker verdict (v2, PR 9)
 }
 
 // NewRunRecord returns a record stamped with the current schema.

@@ -114,6 +114,20 @@ func fullRecord() *RunRecord {
 			SlabBytes:  12288,
 			Held:       84,
 		},
+		Race: &RaceInfo{
+			Checked:          true,
+			Findings:         6,
+			Publication:      1,
+			Privatization:    1,
+			Mixed:            1,
+			Metadata:         1,
+			QuarantineBypass: 1,
+			DurableOrdering:  1,
+			Words:            4096,
+			Blocks:           512,
+			Events:           1 << 16,
+			First:            "metadata: 0x10000040: raw free of block still visible to t1",
+		},
 	}
 }
 

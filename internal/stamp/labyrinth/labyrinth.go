@@ -136,10 +136,13 @@ func (a *Labyrinth) Parallel(w *stamp.World, th *vtime.Thread) {
 
 		for attempt := 0; ; attempt++ {
 			// Private grid copy: a large parallel-region allocation,
-			// freed in the parallel region too.
+			// freed in the parallel region too. The snapshot reads are
+			// deliberately racy — STAMP's documented benign race: a
+			// stale cell only sends the wave through a spot the claim
+			// transaction below revalidates before storing.
 			private := w.Malloc(th, uint64(nCells*8))
 			for i := 0; i < nCells; i++ {
-				th.Store(private+mem.Addr(i*8), th.Load(a.cellAddr(i)))
+				th.Store(private+mem.Addr(i*8), th.LoadRelaxed(a.cellAddr(i)))
 			}
 			path := a.expand(th, private, src, dst)
 			w.Allocator.Free(th, private)

@@ -22,6 +22,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/prof"
+	"repro/internal/race"
 	"repro/internal/stm"
 	"repro/internal/vtime"
 )
@@ -82,6 +83,10 @@ type Config struct {
 	// virtual-cycle cadence. Excluded from spec hashing — snapshots are
 	// pure observers and never change what a cell computes.
 	Heap *heapscope.Collector `json:"-"`
+	// Race attaches the happens-before race checker (internal/race) to
+	// the run. Excluded from spec hashing — the checker is a pure
+	// observer; a checked run is byte-identical to an unchecked one.
+	Race bool `json:"-"`
 }
 
 // Result reports one run.
@@ -104,6 +109,9 @@ type Result struct {
 	// Pool carries the tx-pooling discipline and its traffic counters.
 	// Nil when the run used the PoolNone baseline.
 	Pool *obs.PoolInfo
+	// Race carries the happens-before checker's verdict and coverage
+	// counters. Nil when the checker was not attached.
+	Race *obs.RaceInfo
 }
 
 // World is the environment an application runs in.
@@ -310,6 +318,12 @@ func Run(cfg Config) (res Result, err error) {
 		cfg.Heap.SetRecorder(cfg.Obs)
 		engineCfg.Heap = cfg.Heap
 	}
+	var checker *race.Checker
+	if cfg.Race {
+		checker = race.New(cfg.Threads)
+		engineCfg.Race = checker
+		space.SetRaceWatcher(checker)
+	}
 	engine := vtime.NewEngine(space, cfg.Threads, engineCfg)
 	alloc.Observe(base, cfg.Obs)
 	alloc.Profile(base, cfg.Prof)
@@ -345,6 +359,9 @@ func Run(cfg Config) (res Result, err error) {
 	if durable != nil {
 		durable.SetStopper(engine)
 		stmCfg.Durable = durable
+	}
+	if checker != nil {
+		stmCfg.Race = checker
 	}
 	w.STM = stm.New(space, stmCfg)
 	if w.prof != nil {
@@ -455,6 +472,13 @@ func Run(cfg Config) (res Result, err error) {
 			}
 		} else {
 			res.Recovery = durable.Info()
+		}
+	}
+	if checker != nil {
+		res.Race = checker.Info()
+		if res.Race.Findings > 0 && res.Status == obs.StatusOK {
+			res.Status = obs.StatusFailed
+			res.Failure = "race: " + res.Race.First
 		}
 	}
 	return res, nil

@@ -47,6 +47,7 @@ func ExampleTx_Malloc() {
 		node = tx.Malloc(16)
 		tx.Store(node, 42)
 	})
+	//tmvet:allow txescape: single-threaded example; no concurrent committer to race
 	fmt.Println("node value:", space.Load(node))
 
 	s.Atomic(th, func(tx *stm.Tx) {

@@ -1,0 +1,101 @@
+package stm
+
+import "repro/internal/mem"
+
+// Race-checker glue: when a RaceHook is configured, the transaction
+// lifecycle feeds the happens-before checker. Like the sanitizer glue
+// (sanitize.go) the hooks are pure observation — they never tick
+// virtual time, never touch simulated memory, and never change
+// protocol decisions — so a checked run is byte-identical to an
+// unchecked one. Every helper is nil-checked so the disabled path
+// costs one branch.
+
+// RaceHook receives happens-before events from the transaction
+// lifecycle. It is implemented by *race.Checker; stm sees only this
+// narrow interface so the race package can build on stm's events
+// without an import cycle.
+//
+// Event semantics: TxAccess reports speculative accesses that must not
+// reach the analysis unless the transaction commits (TxCommit flushes
+// them; TxAbort discards them). TxCommit's ver is the commit's
+// published version — the happens-before release point a later
+// transaction with snapshot >= ver acquires at TxBegin/TxExtend — or 0
+// for a read-only commit, which publishes nothing. TxFreeCommitted
+// marks a block entering quarantine, with its allocator-level free
+// notification still to come; QuarantineRelease precedes the reclaim
+// frees and carries the epoch guarantee that every active snapshot has
+// passed the freeing commits. The Dur* trio brackets the durable
+// commit: DurStore between DurLogCommitted and DurApply is ordered,
+// anywhere else it is a store made visible before its redo log.
+type RaceHook interface {
+	TxBegin(tid int, snapshot uint64)
+	TxExtend(tid int, snapshot uint64)
+	TxAccess(tid int, a mem.Addr, write bool)
+	TxCommit(tid int, ver uint64)
+	TxAbort(tid int)
+	TxFreeCommitted(tid int, base mem.Addr)
+	QuarantineRelease(tid int)
+	DurLogCommitted(tid int)
+	DurStore(tid int, a mem.Addr)
+	DurApply(tid int)
+}
+
+func (tx *Tx) raceBegin() {
+	if r := tx.stm.race; r != nil {
+		r.TxBegin(tx.th.ID(), uint64(tx.snapshot))
+	}
+}
+
+func (tx *Tx) raceExtend() {
+	if r := tx.stm.race; r != nil {
+		r.TxExtend(tx.th.ID(), uint64(tx.snapshot))
+	}
+}
+
+func (tx *Tx) raceAccess(a mem.Addr, write bool) {
+	if r := tx.stm.race; r != nil {
+		r.TxAccess(tx.th.ID(), a, write)
+	}
+}
+
+func (tx *Tx) raceCommit(ver uint64) {
+	if r := tx.stm.race; r != nil {
+		r.TxCommit(tx.th.ID(), ver)
+	}
+}
+
+func (tx *Tx) raceAbort() {
+	if r := tx.stm.race; r != nil {
+		r.TxAbort(tx.th.ID())
+	}
+}
+
+func (tx *Tx) raceTxFreeCommitted(base mem.Addr) {
+	if r := tx.stm.race; r != nil {
+		r.TxFreeCommitted(tx.th.ID(), base)
+	}
+}
+
+func (s *STM) raceQuarantineRelease(tid int) {
+	if r := s.race; r != nil {
+		r.QuarantineRelease(tid)
+	}
+}
+
+func (tx *Tx) raceDurLogCommitted() {
+	if r := tx.stm.race; r != nil {
+		r.DurLogCommitted(tx.th.ID())
+	}
+}
+
+func (tx *Tx) raceDurStore(a mem.Addr) {
+	if r := tx.stm.race; r != nil {
+		r.DurStore(tx.th.ID(), a)
+	}
+}
+
+func (tx *Tx) raceDurApply() {
+	if r := tx.stm.race; r != nil {
+		r.DurApply(tx.th.ID())
+	}
+}

@@ -138,6 +138,11 @@ type Config struct {
 	// transaction-object pooling, whose recycled blocks bypass the
 	// block journal. New panics on either combination.
 	Durable DurableLog
+	// Race, when non-nil, feeds the happens-before checker from the
+	// transaction lifecycle (internal/race.Checker implements it; see
+	// race.go). Pure observation: the enabled path is byte-identical
+	// to the disabled one.
+	Race RaceHook
 }
 
 // DurableLog is the redo-log seam of a durable-memory layer. The commit
@@ -268,6 +273,7 @@ type STM struct {
 	retryCap     uint64
 	fault        FaultHook
 	durable      DurableLog
+	race         RaceHook   // happens-before event sink; nil disables
 	fallback     vtime.Lock // serializes irrevocable fallback transactions
 
 	// lockAddrs[i] records which address acquired ORT entry i, for
@@ -358,6 +364,7 @@ func New(space *mem.Space, cfg Config) *STM {
 		retryCap:     cfg.RetryCap,
 		fault:        cfg.Fault,
 		durable:      cfg.Durable,
+		race:         cfg.Race,
 		lockAddrs:    make([]mem.Addr, size),
 		txs:          make(map[int]*Tx),
 	}
@@ -720,6 +727,7 @@ func (tx *Tx) begin() {
 	tx.frees = tx.frees[:0]
 	tx.stats.Starts++
 	tx.th.Tick(tx.th.Cost().TxBase)
+	tx.raceBegin()
 }
 
 // abort rolls the transaction back and unwinds fn via panic. idx is
@@ -777,6 +785,7 @@ func (tx *Tx) rollback(reason AbortReason) {
 			tx.stm.allocator.Free(tx.th, rec.addr)
 		}
 	}
+	tx.raceAbort()
 	tx.active = false
 	tx.stats.Aborts++
 	tx.stats.ByReason[reason]++
@@ -817,6 +826,7 @@ func (tx *Tx) extend() bool {
 		return false
 	}
 	tx.snapshot = now
+	tx.raceExtend()
 	return true
 }
 
@@ -832,7 +842,9 @@ func (tx *Tx) Load(a mem.Addr) uint64 {
 	}
 	tx.th.Tick(tx.th.Cost().TxAccess)
 	tx.sanCheck(a, false)
-	return tx.loadWord(a)
+	v := tx.loadWord(a)
+	tx.raceAccess(a, false)
+	return v
 }
 
 // LoadGuard performs a transactional read of a guard word in a
@@ -909,6 +921,7 @@ func (tx *Tx) Store(a mem.Addr, v uint64) {
 	}
 	tx.th.Tick(tx.th.Cost().TxAccess)
 	tx.sanCheck(a, true)
+	tx.raceAccess(a, true)
 	switch tx.stm.design {
 	case ETLWriteThrough:
 		idx := tx.stm.OrtIndex(a)
@@ -988,7 +1001,9 @@ func (tx *Tx) commit() bool {
 		if s.durable != nil && len(tx.allocs)+len(tx.frees) > 0 {
 			tx.logPopulate()
 			s.durable.LogApply(tx.th)
+			tx.raceDurApply()
 		}
+		tx.raceCommit(0) // read-only: no version published
 		tx.finishCommit()
 		return true
 	}
@@ -1023,6 +1038,9 @@ func (tx *Tx) commit() bool {
 	// Write back buffered values (write-through already wrote them),
 	// then release locks with the new version.
 	for _, w := range tx.writeSet {
+		if s.durable != nil {
+			tx.raceDurStore(w.addr)
+		}
 		tx.th.Store(w.addr, w.value)
 	}
 	release := versionWord(next)
@@ -1047,7 +1065,9 @@ func (tx *Tx) commit() bool {
 	// each stored line, fence, truncate) now that the stripes are free.
 	if s.durable != nil {
 		s.durable.LogApply(tx.th)
+		tx.raceDurApply()
 	}
+	tx.raceCommit(uint64(next))
 	tx.finishCommit()
 	return true
 }
@@ -1068,6 +1088,7 @@ func (tx *Tx) logPopulate() {
 		d.LogFree(tx.th, rec.addr, rec.size)
 	}
 	d.LogCommit(tx.th)
+	tx.raceDurLogCommitted()
 }
 
 // ctlAcquireAll locks every stripe the write set touches, in index
@@ -1126,6 +1147,7 @@ func (tx *Tx) finishCommit() {
 			if tx.pool != nil && tx.pool.Put(tx, rec.addr, rec.size) {
 				continue
 			}
+			tx.raceTxFreeCommitted(rec.addr)
 			tx.sanMarkFreed(rec.addr)
 			if n, ok := tx.stm.allocator.(TxFreeNoter); ok {
 				n.NoteTxFree(rec.addr)
@@ -1186,6 +1208,9 @@ func (s *STM) reclaim(th *vtime.Thread) {
 		if len(release) == 0 {
 			return
 		}
+		// The epoch guarantee just established (every active snapshot
+		// has passed the freeing commits) is a happens-before edge.
+		s.raceQuarantineRelease(th.ID())
 		for _, q := range release {
 			s.allocator.Free(th, q.addr)
 		}

@@ -72,15 +72,28 @@ type Barrier struct {
 func NewBarrier(n int) *Barrier { return &Barrier{n: n} }
 
 // Wait blocks (in virtual time) until all n threads have called Wait.
+// Arrival releases the thread's happens-before clock into the barrier
+// and departure acquires every arrival's, so the race checker sees the
+// all-to-all ordering the barrier provides (pure observation: the
+// callbacks never advance virtual time).
 func (b *Barrier) Wait(t *Thread) {
 	gen := b.gen
+	if t.race != nil {
+		t.race.SyncRelease(t.id, b)
+	}
 	b.arrived++
 	if b.arrived == b.n {
 		b.arrived = 0
 		b.gen++
+		if t.race != nil {
+			t.race.SyncAcquire(t.id, b)
+		}
 		return
 	}
 	for b.gen == gen {
 		t.Tick(t.cost.SpinRetry)
+	}
+	if t.race != nil {
+		t.race.SyncAcquire(t.id, b)
 	}
 }

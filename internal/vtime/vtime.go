@@ -91,6 +91,29 @@ type HeapSampler interface {
 	Sample(now uint64)
 }
 
+// RaceObserver receives the engine's raw-access and quiesce-point
+// callbacks. It is implemented by *race.Checker; the engine sees only
+// this narrow interface so the race package can build on vtime without
+// an import cycle. Callbacks never advance virtual time — a checked
+// run is cycle-identical to an unchecked one.
+type RaceObserver interface {
+	// OnAccess reports one priced word access by a simulated thread
+	// (write=false for Load, true for Store/CAS), with the thread
+	// clock after the access was charged.
+	OnAccess(tid int, a mem.Addr, write bool, clock uint64)
+	// Barrier reports a full quiesce point: Run raises it once before
+	// any thread starts and once after every thread has finished, so
+	// the observer can order the phases around a parallel region.
+	Barrier(clock uint64)
+	// SyncRelease and SyncAcquire report ordering through an in-region
+	// synchronization object (a *Barrier): an acquire is ordered after
+	// every earlier release on the same object. Barrier.Wait releases
+	// on arrival and acquires on departure, giving the all-to-all join
+	// a phase barrier actually provides.
+	SyncRelease(tid int, obj any)
+	SyncAcquire(tid int, obj any)
+}
+
 // Engine coordinates a set of logical threads over one address space
 // and one cache hierarchy.
 type Engine struct {
@@ -101,6 +124,7 @@ type Engine struct {
 	Obs     *obs.Recorder // scheduler-quantum tracing; nil disables
 	Prof    Profiler      // cycle attribution; nil disables
 	Heap    HeapSampler   // heap-state telemetry; nil disables
+	Race    RaceObserver  // happens-before checking; nil disables
 	// Deadline, when non-zero, is the engine watchdog: a Run whose
 	// least-advanced thread passes this virtual-cycle bound is wound
 	// down (every thread is unwound at its next scheduling point) and
@@ -121,9 +145,10 @@ type Config struct {
 	Cost     *CostModel
 	Quantum  uint64
 	Obs      *obs.Recorder
-	Prof     Profiler    // cycle attribution; nil disables
-	Heap     HeapSampler // heap-state telemetry; nil disables
-	Deadline uint64      // virtual-cycle watchdog bound; 0 disables
+	Prof     Profiler     // cycle attribution; nil disables
+	Heap     HeapSampler  // heap-state telemetry; nil disables
+	Race     RaceObserver // happens-before checking; nil disables
+	Deadline uint64       // virtual-cycle watchdog bound; 0 disables
 }
 
 // NewEngine builds an engine over space for n logical threads.
@@ -137,6 +162,7 @@ func NewEngine(space *mem.Space, n int, cfg Config) *Engine {
 		Obs:      cfg.Obs,
 		Prof:     cfg.Prof,
 		Heap:     cfg.Heap,
+		Race:     cfg.Race,
 		Deadline: cfg.Deadline,
 	}
 	if e.Cost == nil {
@@ -155,6 +181,7 @@ func NewEngine(space *mem.Space, n int, cfg Config) *Engine {
 			cache:  e.Cache,
 			cost:   e.Cost,
 			prof:   cfg.Prof,
+			race:   cfg.Race,
 			resume: make(chan uint64),
 			pause:  make(chan threadEvent),
 		}
@@ -180,6 +207,12 @@ type threadEvent struct {
 func (e *Engine) Run(fn func(t *Thread)) []uint64 {
 	n := len(e.threads)
 	e.deadlineHit = false
+	if e.Race != nil {
+		// Every thread is quiesced here: whatever ran before this
+		// region (setup writes, a previous region) is ordered before
+		// everything inside it.
+		e.Race.Barrier(e.minClock())
+	}
 	for _, t := range e.threads {
 		t.done = false
 		go func(t *Thread) {
@@ -292,6 +325,11 @@ func (e *Engine) Run(fn func(t *Thread)) []uint64 {
 	if firstPanic != nil {
 		panic(firstPanic)
 	}
+	if e.Race != nil {
+		// All threads finished: the region is ordered before whatever
+		// follows (harvest and validation reads).
+		e.Race.Barrier(e.MaxClock())
+	}
 	out := make([]uint64, n)
 	for i, t := range e.threads {
 		if t.prof != nil {
@@ -331,6 +369,17 @@ func (e *Engine) Stop() { e.stopped = true }
 // Stopped reports whether Stop was called (the simulation crashed).
 func (e *Engine) Stopped() bool { return e.stopped }
 
+// minClock returns the smallest thread clock.
+func (e *Engine) minClock() uint64 {
+	m := uint64(farFuture)
+	for _, t := range e.threads {
+		if t.clock < m {
+			m = t.clock
+		}
+	}
+	return m
+}
+
 // MaxClock returns the largest thread clock — the parallel region's
 // virtual execution time.
 func (e *Engine) MaxClock() uint64 {
@@ -363,7 +412,8 @@ type Thread struct {
 	space  *mem.Space
 	cache  *cachesim.Hierarchy
 	cost   *CostModel
-	prof   Profiler // nil disables cycle attribution
+	prof   Profiler     // nil disables cycle attribution
+	race   RaceObserver // nil disables happens-before checking
 
 	clock    uint64
 	deadline uint64
@@ -438,12 +488,30 @@ func (t *Thread) access(a mem.Addr, write bool) {
 // Load reads the word at a, charging its latency.
 func (t *Thread) Load(a mem.Addr) uint64 {
 	t.access(a, false)
+	if t.race != nil {
+		t.race.OnAccess(t.id, a, false, t.clock)
+	}
+	return t.space.Load(a)
+}
+
+// LoadRelaxed reads the word at a, charging exactly Load's latency,
+// but declares the read racy: the caller tolerates a stale value and
+// revalidates transactionally before acting on it, so the race checker
+// does not treat it as a privatization hazard. The runtime analogue of
+// a //tmvet:allow annotation — labyrinth's grid-snapshot copy is the
+// canonical user (STAMP's documented benign race). Use Load everywhere
+// a stale read would be acted on unvalidated.
+func (t *Thread) LoadRelaxed(a mem.Addr) uint64 {
+	t.access(a, false)
 	return t.space.Load(a)
 }
 
 // Store writes the word at a, charging its latency.
 func (t *Thread) Store(a mem.Addr, v uint64) {
 	t.access(a, true)
+	if t.race != nil {
+		t.race.OnAccess(t.id, a, true, t.clock)
+	}
 	t.space.Store(a, v)
 }
 
@@ -451,6 +519,9 @@ func (t *Thread) Store(a mem.Addr, v uint64) {
 func (t *Thread) CAS(a mem.Addr, old, new uint64) bool {
 	t.access(a, true)
 	t.Tick(t.cost.LockOp)
+	if t.race != nil {
+		t.race.OnAccess(t.id, a, true, t.clock)
+	}
 	return t.space.CompareAndSwap(a, old, new)
 }
 

@@ -1,26 +1,29 @@
 #!/bin/sh
 # bench.sh — seeded benchmark trajectory over the observability
 # stack: obs, the sweep scheduler, prof, the heapscope telemetry
-# collector (plain-vs-watched runs measure snapshot overhead), and the
+# collector (plain-vs-watched runs measure snapshot overhead), the
 # pmem durability layer (BenchmarkTxVolatile vs BenchmarkTxDurable is
 # the flush/fence-on-vs-off overhead pair; BenchmarkCrashRecover a full
-# crash→recover→verify cycle).
+# crash→recover→verify cycle), and — since PR 9 — the race checker
+# (BenchmarkIntsetPlain vs BenchmarkIntsetRaceSim is the
+# happens-before-checker-on-vs-off overhead pair).
 #
-#   scripts/bench.sh [out.json]        default out: BENCH_PR8.json
+#   scripts/bench.sh [out.json]        default out: BENCH_PR9.json
 #   BENCHTIME=10x scripts/bench.sh     shorter smoke run (CI advisory)
 #
 # Runs `go test -bench . -benchmem` and renders the result as
 # machine-readable JSON: one entry per benchmark (name, ns/op,
-# allocs/op) plus host provenance, and — since PR 8's zero-alloc work —
-# an alloc_regression block pairing each flagship workload benchmark's
-# current allocs/op against the committed BENCH_PR7.json trajectory
-# point. ns/op numbers are advisory — they vary across hosts and are
-# never a CI gate — but allocs/op is deterministic, and scripts/ci.sh
-# gates the flagship budget separately via TestWorkloadAllocBudget.
+# allocs/op) plus host provenance, an alloc_regression block pairing
+# each flagship workload benchmark's current allocs/op against the
+# committed BENCH_PR8.json trajectory point, and a race_overhead block
+# pairing each plain benchmark's ns/op against its -race-sim twin.
+# ns/op numbers are advisory — they vary across hosts and are never a
+# CI gate — but allocs/op is deterministic, and scripts/ci.sh gates
+# the flagship budget separately via TestWorkloadAllocBudget.
 set -eu
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR8.json}
+out=${1:-BENCH_PR9.json}
 benchtime=${BENCHTIME:-}
 
 raw=$(mktemp)
@@ -28,7 +31,8 @@ trap 'rm -f "$raw"' EXIT
 
 # shellcheck disable=SC2086  # $benchtime is deliberately word-split
 go test -bench . -benchmem ${benchtime:+-benchtime "$benchtime"} \
-    ./internal/obs ./internal/sweep ./internal/prof ./internal/heapscope ./internal/pmem >"$raw"
+    ./internal/obs ./internal/sweep ./internal/prof ./internal/heapscope ./internal/pmem \
+    ./internal/intset >"$raw"
 
 cpu=$(awk -F': ' '/^cpu:/ { print $2; exit }' "$raw")
 ncpu=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
@@ -59,9 +63,9 @@ ncpu=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
     ' "$raw"
     printf '  ],\n'
     # Before/after allocs-per-op pairs for the flagship workload
-    # benchmarks: "before" comes from the committed PR 7 trajectory
-    # (the state this PR's pooling work started from), "after" from the
-    # run above. Missing baselines degrade to -1, not to a failure.
+    # benchmarks: "before" comes from the committed PR 8 trajectory
+    # (the state this PR started from), "after" from the run above.
+    # Missing baselines degrade to -1, not to a failure.
     printf '  "alloc_regression": [\n'
     first=1
     for name in BenchmarkWorkloadObsDisabled BenchmarkWorkloadObsEnabled; do
@@ -70,12 +74,28 @@ ncpu=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
                 for (i = 4; i <= NF; i++)
                     if ($i == "allocs/op") print $(i - 1)
             }' "$raw" | head -n1)
-        before=$(grep -o "{\"name\": \"$name\"[^}]*}" BENCH_PR7.json 2>/dev/null |
+        before=$(grep -o "{\"name\": \"$name\"[^}]*}" BENCH_PR8.json 2>/dev/null |
             sed -n 's/.*"allocs_per_op": \([0-9]*\).*/\1/p' | head -n1)
         [ "$first" -eq 1 ] || printf ',\n'
         first=0
         printf '    {"name": "%s", "before_allocs_per_op": %s, "after_allocs_per_op": %s}' \
             "$name" "${before:--1}" "${after:--1}"
+    done
+    printf '\n  ],\n'
+    # Plain-vs-race-sim ns/op pairs: identical workloads except for the
+    # attached happens-before checker; the ratio is the checker's
+    # overhead on this host (advisory, never gated).
+    printf '  "race_overhead": [\n'
+    first=1
+    for name in BenchmarkIntset; do
+        plain=$(awk -v n="${name}Plain" '
+            $1 ~ "^"n"(-[0-9]+)?$" { print $3 }' "$raw" | head -n1)
+        race=$(awk -v n="${name}RaceSim" '
+            $1 ~ "^"n"(-[0-9]+)?$" { print $3 }' "$raw" | head -n1)
+        [ "$first" -eq 1 ] || printf ',\n'
+        first=0
+        printf '    {"name": "%s", "plain_ns_per_op": %s, "race_sim_ns_per_op": %s}' \
+            "$name" "${plain:--1}" "${race:--1}"
     done
     printf '\n  ]\n'
     printf '}\n'

@@ -253,7 +253,7 @@ go run ./cmd/tmheap "$tmpdir/geo.json" >/dev/null || {
 
 echo "== benchmarks (advisory) =="
 # Proves the bench suite still runs end to end; the numbers are
-# advisory and never gate. The committed BENCH_PR8.json trajectory is
+# advisory and never gate. The committed BENCH_PR9.json trajectory is
 # regenerated manually with scripts/bench.sh.
 BENCHTIME=1x scripts/bench.sh "$tmpdir/bench.json" >/dev/null 2>&1 ||
     echo "WARNING: scripts/bench.sh failed (advisory, not gating)" >&2
@@ -274,6 +274,63 @@ grep -q 'use-after-free' "$tmpdir/uaf.txt" || {
 go run ./cmd/tmintset -kind linkedlist -alloc tcmalloc -threads 2 \
     -initial 64 -ops 50 -seed-uaf >/dev/null || {
     echo "seeded use-after-free failed without -sanitize (should pass silently)" >&2
+    exit 1
+}
+
+echo "== race-checker byte-identity gate =="
+# The happens-before checker is a pure observer: -race-sim must leave
+# stdout and every run-record field except the flat "race" summary
+# block untouched, at every pool width. strip_race mirrors strip_heap:
+# the race block is the record's last field, so the preceding line's
+# trailing comma normalizes away on both sides.
+strip_race() {
+    sed -e 's/"jobs": *[0-9]*/"jobs": 0/' \
+        -e '/^  "race": {/,/^  }[,]\{0,1\}$/d' \
+        -e 's/,$//' "$1"
+}
+go run ./cmd/tmrepro -run fig1 -jobs 1 -race-sim -out "$tmpdir/race1" >"$tmpdir/racej1.txt"
+go run ./cmd/tmrepro -run fig1 -jobs 8 -race-sim -out "$tmpdir/race8" >"$tmpdir/racej8.txt"
+cmp "$tmpdir/j1.txt" "$tmpdir/racej1.txt" || {
+    echo "tmrepro stdout differs with -race-sim" >&2
+    exit 1
+}
+sed 's/"jobs": *[0-9]*/"jobs": 0/' "$tmpdir/race1/BENCH_fig1.json" >"$tmpdir/race1.norm"
+sed 's/"jobs": *[0-9]*/"jobs": 0/' "$tmpdir/race8/BENCH_fig1.json" >"$tmpdir/race8.norm"
+cmp "$tmpdir/race1.norm" "$tmpdir/race8.norm" || {
+    echo "-race-sim run records differ between -jobs 1 and -jobs 8 (race verdict nondeterministic)" >&2
+    exit 1
+}
+strip_race "$tmpdir/j1/BENCH_fig1.json" >"$tmpdir/racebase.norm"
+strip_race "$tmpdir/race1/BENCH_fig1.json" >"$tmpdir/race1.stripped"
+cmp "$tmpdir/racebase.norm" "$tmpdir/race1.stripped" || {
+    echo "run records differ with -race-sim beyond the race summary block" >&2
+    exit 1
+}
+grep -q '"race": {' "$tmpdir/race1/BENCH_fig1.json" || {
+    echo "-race-sim run record carries no race summary" >&2
+    exit 1
+}
+grep -q '"findings": 0' "$tmpdir/race1/BENCH_fig1.json" || {
+    echo "clean -race-sim run reported findings" >&2
+    exit 1
+}
+
+echo "== race-checker detection gate =="
+# A seeded allocator-metadata race must fail loudly under -race-sim and
+# pass silently without it — the contrast that proves the checker is
+# both armed and byte-transparent.
+if go run ./cmd/tmintset -kind linkedlist -alloc glibc -threads 2 \
+    -initial 64 -ops 50 -seed-race -race-sim >"$tmpdir/race.txt" 2>&1; then
+    echo "seeded metadata race passed under -race-sim" >&2
+    exit 1
+fi
+grep -q 'metadata' "$tmpdir/race.txt" || {
+    echo "checked seed-race run failed without a metadata-race finding" >&2
+    exit 1
+}
+go run ./cmd/tmintset -kind linkedlist -alloc glibc -threads 2 \
+    -initial 64 -ops 50 -seed-race >/dev/null || {
+    echo "seeded metadata race failed without -race-sim (should pass silently)" >&2
     exit 1
 }
 
