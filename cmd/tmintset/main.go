@@ -37,21 +37,24 @@ import (
 
 func main() {
 	var (
-		kind     = flag.String("kind", "linkedlist", "structure: linkedlist, hashset, rbtree")
-		name     = flag.String("alloc", "glibc", "allocator: glibc hoard tbb tcmalloc")
-		threads  = flag.Int("threads", 8, "logical threads (1..8)")
-		updates  = flag.Int("updates", 60, "update percentage (0, 20, 60)")
-		initial  = flag.Int("initial", 0, "initial set size (0 = paper default 4096)")
-		keys     = flag.Int("range", 0, "key range (0 = 2x initial)")
-		ops      = flag.Int("ops", 0, "operations per thread (0 = default)")
-		shift    = flag.Uint("shift", 0, "ORT shift amount (0 = default 5)")
-		design   = flag.String("design", "etl-wb", "STM design: etl-wb, etl-wt, ctl")
-		cacheTx  = flag.Bool("cachetx", false, "deprecated alias for -pool cache (paper §6.2 tx-object caching)")
-		hytm     = flag.Bool("hytm", false, "run under the hybrid HTM (hashset only)")
-		seed     = flag.Uint64("seed", 0, "workload seed")
-		seedUAF  = flag.Bool("seed-uaf", false, "plant a use-after-free in the measurement phase (sanitizer demo)")
-		raceSim  = flag.Bool("race-sim", false, "attach the happens-before race checker to the run")
-		seedRace = flag.Bool("seed-race", false, "plant an allocator-metadata race in the measurement phase (race-checker demo; needs -threads >= 2)")
+		kind      = flag.String("kind", "linkedlist", "structure: linkedlist, hashset, rbtree")
+		name      = flag.String("alloc", "glibc", "allocator: glibc hoard tbb tcmalloc")
+		threads   = flag.Int("threads", 8, "logical threads (1..8)")
+		updates   = flag.Int("updates", 60, "update percentage (0, 20, 60)")
+		initial   = flag.Int("initial", 0, "initial set size (0 = paper default 4096)")
+		keys      = flag.Int("range", 0, "key range (0 = 2x initial)")
+		ops       = flag.Int("ops", 0, "operations per thread (0 = default)")
+		shift     = flag.Uint("shift", 0, "ORT shift amount (0 = default 5)")
+		design    = flag.String("design", "etl-wb", "STM design: etl-wb, etl-wt, ctl")
+		cacheTx   = flag.Bool("cachetx", false, "deprecated alias for -pool cache (paper §6.2 tx-object caching)")
+		hytm      = flag.Bool("hytm", false, "run under the hybrid HTM (hashset only)")
+		seed      = flag.Uint64("seed", 0, "workload seed")
+		seedUAF   = flag.Bool("seed-uaf", false, "plant a use-after-free in the measurement phase (sanitizer demo)")
+		raceSim   = flag.Bool("race-sim", false, "attach the happens-before race checker to the run")
+		seedRace  = flag.Bool("seed-race", false, "plant an allocator-metadata race in the measurement phase (race-checker demo; needs -threads >= 2)")
+		conf      = flag.Bool("conflict", false, "attach the abort-forensics observatory to the run")
+		seedAlias = flag.Bool("seed-alias", false, "plant a choreographed ORT stripe-aliasing pair in the measurement phase (forensics demo; needs -threads >= 2)")
+		ortBits   = flag.Uint("ort-bits", 0, "log2 of the ORT entry count (0 = default; -seed-alias defaults it to 12)")
 	)
 	rob := cliflags.AddRobustness(flag.CommandLine)
 	pool := cliflags.AddPool(flag.CommandLine)
@@ -97,6 +100,9 @@ func main() {
 		SeedUAF:      *seedUAF,
 		SeedRace:     *seedRace,
 		Race:         *raceSim,
+		SeedAlias:    *seedAlias,
+		OrtBits:      *ortBits,
+		Conflict:     *conf,
 	}
 
 	cache, err := sw.Open()
@@ -112,6 +118,9 @@ func main() {
 	}
 	if *raceSim {
 		cache = nil // a race verdict must come from the checker observing the execution
+	}
+	if *conf {
+		cache = nil // forensics describe an actual execution, never a replayed record
 	}
 	var pp *prof.Profiler
 	if pr.Enabled() {
@@ -135,6 +144,9 @@ func main() {
 		mode, *kind, *name, *threads, *updates, *design)
 	if *pool != stm.PoolNone {
 		key += "/p" + pool.String()
+	}
+	if *seedAlias || *ortBits != 0 {
+		key += fmt.Sprintf("/sa%v-ob%d", *seedAlias, *ortBits)
 	}
 	cells := []sweep.Cell{{
 		Key:  key,
@@ -281,6 +293,20 @@ func main() {
 					r.Events, r.Blocks, r.Words)
 			}
 			record.Race = r
+		}
+		if c := res.Conflict; c != nil {
+			fmt.Fprintf(tw, "conflicts\t%d aborts dissected: %d true, %d false (%d same-line, %d cross-block), %d alias, %d metadata, %d other\n",
+				c.Events, c.TrueSharing, c.FalseSharing, c.SameLine, c.CrossBlock, c.StripeAlias, c.Metadata, c.Other)
+			fmt.Fprintf(tw, "wasted\t%d cycles (true %d, false %d, alias %d, metadata %d, other %d); longest kill chain %d\n",
+				c.WastedCycles, c.WastedTrue, c.WastedFalse, c.WastedAlias, c.WastedMeta, c.WastedOther, c.LongestChain)
+			if c.TopSite != "" {
+				fmt.Fprintf(tw, "blame\ttop site %s (%d wasted cycles); top offender %s (%d hits)\n",
+					c.TopSite, c.TopSiteWasted, c.TopOffender, c.TopOffenderHits)
+			}
+			if c.First != "" {
+				fmt.Fprintf(tw, "first\t%s\n", c.First)
+			}
+			record.Conflict = c
 		}
 		fmt.Fprintf(tw, "throughput\t%.0f tx per modelled second\n", res.Throughput)
 		fmt.Fprintf(tw, "time\t%.4f ms for %d ops\n", res.Seconds*1e3, res.Ops)

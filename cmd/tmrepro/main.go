@@ -43,6 +43,7 @@ func main() {
 		chart = flag.Bool("chart", true, "render figures' series as ASCII charts")
 		md    = flag.Bool("md", false, "emit GitHub-flavoured markdown instead of plain tables")
 		race  = flag.Bool("race-sim", false, "attach the happens-before race checker to every cell (bypasses the cache)")
+		conf  = flag.Bool("conflict", false, "attach the abort-forensics observatory to every cell (bypasses the cache)")
 	)
 	rob := cliflags.AddRobustness(flag.CommandLine)
 	pool := cliflags.AddPool(flag.CommandLine)
@@ -84,6 +85,7 @@ func main() {
 	spec.Heap = hp.Enabled()
 	spec.HeapCadence = hp.Cadence
 	spec.Race = *race
+	spec.Conflict = *conf
 	cache, err := sw.Open()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

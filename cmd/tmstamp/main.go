@@ -59,6 +59,7 @@ func main() {
 		profile = flag.Bool("alloc-profile", false, "print the Table 5 allocation profile")
 		seed    = flag.Uint64("seed", 0, "workload seed (0 = default)")
 		raceSim = flag.Bool("race-sim", false, "attach the happens-before race checker to the run")
+		conf    = flag.Bool("conflict", false, "attach the abort-forensics observatory to the run")
 	)
 	rob := cliflags.AddRobustness(flag.CommandLine)
 	pool := cliflags.AddPool(flag.CommandLine)
@@ -100,6 +101,7 @@ func main() {
 		Pmem:      rob.Pmem,
 		Crash:     rob.Crash,
 		Race:      *raceSim,
+		Conflict:  *conf,
 	}
 
 	cache, err := sw.Open()
@@ -115,6 +117,9 @@ func main() {
 	}
 	if *raceSim {
 		cache = nil // a race verdict must come from the checker observing the execution
+	}
+	if *conf {
+		cache = nil // forensics describe an actual execution, never a replayed record
 	}
 	var pp *prof.Profiler
 	if pr.Enabled() {
@@ -247,6 +252,13 @@ func main() {
 				r.Events, r.Blocks, r.Words)
 		}
 	}
+	if c := res.Conflict; c != nil {
+		fmt.Fprintf(tw, "conflicts\t%d aborts dissected: %d true, %d false, %d alias, %d metadata, %d other; %d wasted cycles\n",
+			c.Events, c.TrueSharing, c.FalseSharing, c.StripeAlias, c.Metadata, c.Other, c.WastedCycles)
+		if c.First != "" {
+			fmt.Fprintf(tw, "first\t%s\n", c.First)
+		}
+	}
 	tw.Flush()
 
 	if res.Profile != nil {
@@ -305,6 +317,9 @@ func main() {
 		}
 		if res.Race != nil {
 			record.Race = res.Race
+		}
+		if res.Conflict != nil {
+			record.Conflict = res.Conflict
 		}
 		record.Tables = []obs.Table{{
 			Title:   "Summary",

@@ -18,6 +18,11 @@ func roundTrip() RunRecord {
 			Discipline: "batch",
 			Hits:       5,
 		},
+		Conflict: &Conflict{
+			Observed: true,
+			Events:   6,
+			Wasted:   7,
+		},
 	}
 	return rec
 }

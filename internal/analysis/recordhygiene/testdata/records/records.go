@@ -11,6 +11,7 @@ type RunRecord struct {
 	Rows     []Row     `json:"rows,omitempty"`
 	Recovery *Recovery `json:"recovery,omitempty"`
 	Pool     *Pool     `json:"pool,omitempty"`
+	Conflict *Conflict `json:"conflict,omitempty"`
 	NoTag    int       // want "schema field RunRecord.NoTag has no json tag"
 	//tmvet:allow recordhygiene: fixture demonstrates a deliberately untested field
 	Exempt int `json:"exempt"`
@@ -52,6 +53,16 @@ type Pool struct {
 	Discipline string `json:"discipline"`
 	Hits       uint64 `json:"hits"`
 	Stale      uint64 `json:"stale"` // want "schema field Pool.Stale is not mentioned in any _test.go file"
+}
+
+// Conflict mimics the abort-forensics summary block: the newest
+// optional-pointer schema addition; its per-class counters must not
+// drift in untested either.
+type Conflict struct {
+	Observed bool   `json:"observed"`
+	Events   int    `json:"events"`
+	Wasted   uint64 `json:"wasted"`
+	Orphan   int    `json:"orphan"` // want "schema field Conflict.Orphan is not mentioned in any _test.go file"
 }
 
 // Unrelated is not reachable from RunRecord, so its bare field is out

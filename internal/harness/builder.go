@@ -134,6 +134,7 @@ type IntsetCell struct {
 	Recovery    *obs.RecoveryInfo `json:"recovery,omitempty"` // durable-memory verdict; nil when pmem is off
 	Pool        *obs.PoolInfo     `json:"pool,omitempty"`     // tx-pool traffic; nil when the run was unpooled
 	Race        *obs.RaceInfo     `json:"race,omitempty"`     // race-checker verdict; nil when unchecked
+	Conflict    *obs.ConflictInfo `json:"conflict,omitempty"` // abort forensics; nil when unobserved
 	CellHealth
 }
 
@@ -147,11 +148,21 @@ func poolTag(p stm.Pooling) string {
 	return "/p" + p.String()
 }
 
+// aliasTag names the stripe-alias demo knobs in a cell key. The
+// defaults contribute nothing, so legacy keys — and the seeds
+// DeriveSeed mints from them — are byte-identical to pre-demo runs.
+func aliasTag(cfg intset.Config) string {
+	if !cfg.SeedAlias && cfg.OrtBits == 0 {
+		return ""
+	}
+	return fmt.Sprintf("/sa%v-ob%d", cfg.SeedAlias, cfg.OrtBits)
+}
+
 func intsetKey(prefix string, cfg intset.Config, rep int) string {
-	return fmt.Sprintf("%s/%s/%s/t%d/u%d/i%d/k%d/o%d/s%d/d%d/h%d/c%v%s/r%d",
+	return fmt.Sprintf("%s/%s/%s/t%d/u%d/i%d/k%d/o%d/s%d/d%d/h%d/c%v%s%s/r%d",
 		prefix, cfg.Kind, cfg.Allocator, cfg.Threads, cfg.UpdatePct, cfg.InitialSize,
 		cfg.KeyRange, cfg.OpsPerThread, cfg.Shift, cfg.Design, cfg.HashBuckets, cfg.CacheTx,
-		poolTag(cfg.Pool), rep)
+		poolTag(cfg.Pool), aliasTag(cfg), rep)
 }
 
 // applyRobustness threads the spec's policy knobs into a workload
@@ -166,6 +177,7 @@ func (b *Builder) applyIntset(cfg intset.Config) intset.Config {
 	cfg.Pmem = b.spec.Pmem
 	cfg.Crash = b.spec.Crash
 	cfg.Race = b.spec.Race
+	cfg.Conflict = b.spec.Conflict
 	if b.spec.Pool != stm.PoolNone {
 		cfg.Pool = b.spec.Pool
 	}
@@ -196,6 +208,7 @@ func (b *Builder) Intset(cfg intset.Config, rep int) Handle[IntsetCell] {
 			Recovery:    res.Recovery,
 			Pool:        res.Pool,
 			Race:        res.Race,
+			Conflict:    res.Conflict,
 			CellHealth:  CellHealth{Status: res.Status, Failure: res.Failure},
 		}, nil
 	})
@@ -257,16 +270,18 @@ type StampCell struct {
 	Recovery *obs.RecoveryInfo `json:"recovery,omitempty"` // durable-memory verdict; nil when pmem is off
 	Pool     *obs.PoolInfo     `json:"pool,omitempty"`     // tx-pool traffic; nil when the run was unpooled
 	Race     *obs.RaceInfo     `json:"race,omitempty"`     // race-checker verdict; nil when unchecked
+	Conflict *obs.ConflictInfo `json:"conflict,omitempty"` // abort forensics; nil when unobserved
 	CellHealth
 }
 
 // StampProbe is the payload of one instrumented STAMP run (application
 // characterization and allocation profile).
 type StampProbe struct {
-	Tx      stm.TxStats    `json:"tx"`
-	L1Miss  float64        `json:"l1_miss"`
-	Profile *stamp.Profile `json:"profile,omitempty"`
-	Race    *obs.RaceInfo  `json:"race,omitempty"` // race-checker verdict; nil when unchecked
+	Tx       stm.TxStats       `json:"tx"`
+	L1Miss   float64           `json:"l1_miss"`
+	Profile  *stamp.Profile    `json:"profile,omitempty"`
+	Race     *obs.RaceInfo     `json:"race,omitempty"`     // race-checker verdict; nil when unchecked
+	Conflict *obs.ConflictInfo `json:"conflict,omitempty"` // abort forensics; nil when unobserved
 	CellHealth
 }
 
@@ -285,6 +300,7 @@ func (b *Builder) applyStamp(cfg stamp.Config) stamp.Config {
 	cfg.Pmem = b.spec.Pmem
 	cfg.Crash = b.spec.Crash
 	cfg.Race = b.spec.Race
+	cfg.Conflict = b.spec.Conflict
 	if b.spec.Pool != stm.PoolNone {
 		cfg.Pool = b.spec.Pool
 	}
@@ -317,6 +333,7 @@ func (b *Builder) Stamp(cfg stamp.Config, rep int) Handle[StampCell] {
 			Recovery:   res.Recovery,
 			Pool:       res.Pool,
 			Race:       res.Race,
+			Conflict:   res.Conflict,
 			CellHealth: CellHealth{Status: res.Status, Failure: res.Failure},
 		}, nil
 	})
@@ -356,6 +373,7 @@ func (b *Builder) StampProbeCell(cfg stamp.Config) Handle[StampProbe] {
 			L1Miss:     res.L1Miss,
 			Profile:    res.Profile,
 			Race:       res.Race,
+			Conflict:   res.Conflict,
 			CellHealth: CellHealth{Status: res.Status, Failure: res.Failure},
 		}, nil
 	})

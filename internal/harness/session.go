@@ -41,6 +41,7 @@ type ExperimentRun struct {
 	Recovery   *obs.RecoveryInfo // worst durable-memory verdict across cells; nil when pmem is off
 	Pool       *obs.PoolInfo     // summed tx-pool traffic across cells; nil when every cell ran unpooled
 	Race       *obs.RaceInfo     // summed race-checker verdict across cells; nil when unchecked
+	Conflict   *obs.ConflictInfo // summed abort forensics across cells; nil when unobserved
 }
 
 // jobs returns the normalized pool width.
@@ -107,6 +108,11 @@ func (s *Session) Run(ids []string) ([]*ExperimentRun, sweep.Stats) {
 		// Race cells bypass the cache for the same reason: a clean
 		// verdict must come from the checker observing the execution,
 		// not from a record of some earlier run.
+		cache = nil
+	}
+	if s.Spec.Conflict {
+		// Conflict cells bypass the cache too: forensics describe the
+		// aborts of an actual execution, never a replayed record.
 		cache = nil
 	}
 	sched := sweep.Scheduler{Jobs: s.jobs(), Cache: cache}
@@ -217,6 +223,49 @@ func (s *Session) Run(ids []string) ([]*ExperimentRun, sweep.Stats) {
 					cur.Events += rcc.Race.Events
 					if cur.First == "" {
 						cur.First = rcc.Race.First
+					}
+				}
+			}
+			var cc struct {
+				Conflict *obs.ConflictInfo `json:"conflict"`
+			}
+			if json.Unmarshal(o.Payload, &cc) == nil && cc.Conflict != nil {
+				// Sum counters across observed cells; the first cell with
+				// an exemplar supplies the headline First, and the chain
+				// aggregate keeps the longest cascade of any cell.
+				cur := p.run.Conflict
+				if cur == nil {
+					cp := *cc.Conflict
+					p.run.Conflict = &cp
+				} else {
+					cur.Events += cc.Conflict.Events
+					cur.TrueSharing += cc.Conflict.TrueSharing
+					cur.FalseSharing += cc.Conflict.FalseSharing
+					cur.StripeAlias += cc.Conflict.StripeAlias
+					cur.Metadata += cc.Conflict.Metadata
+					cur.Other += cc.Conflict.Other
+					cur.WastedCycles += cc.Conflict.WastedCycles
+					cur.WastedTrue += cc.Conflict.WastedTrue
+					cur.WastedFalse += cc.Conflict.WastedFalse
+					cur.WastedAlias += cc.Conflict.WastedAlias
+					cur.WastedMeta += cc.Conflict.WastedMeta
+					cur.WastedOther += cc.Conflict.WastedOther
+					cur.SameLine += cc.Conflict.SameLine
+					cur.CrossBlock += cc.Conflict.CrossBlock
+					cur.Edges += cc.Conflict.Edges
+					if cc.Conflict.LongestChain > cur.LongestChain {
+						cur.LongestChain = cc.Conflict.LongestChain
+					}
+					if cc.Conflict.TopSiteWasted > cur.TopSiteWasted {
+						cur.TopSite = cc.Conflict.TopSite
+						cur.TopSiteWasted = cc.Conflict.TopSiteWasted
+					}
+					if cc.Conflict.TopOffenderHits > cur.TopOffenderHits {
+						cur.TopOffender = cc.Conflict.TopOffender
+						cur.TopOffenderHits = cc.Conflict.TopOffenderHits
+					}
+					if cur.First == "" {
+						cur.First = cc.Conflict.First
 					}
 				}
 			}
@@ -336,6 +385,10 @@ func (s *Session) Record(run *ExperimentRun) *obs.RunRecord {
 	if run.Race != nil {
 		r := *run.Race
 		rec.Race = &r
+	}
+	if run.Conflict != nil {
+		c := *run.Conflict
+		rec.Conflict = &c
 	}
 	rec.Attach(s.Spec.Obs)
 	return rec

@@ -53,6 +53,13 @@ type Spec struct {
 	// byte-identical results — but race cells bypass the result cache so
 	// the verdict always comes from a fresh execution.
 	Race bool
+
+	// Conflict attaches the abort-forensics observatory
+	// (internal/conflict) to every workload cell. A pure observer —
+	// observed cells compute byte-identical results — but conflict cells
+	// bypass the result cache so the forensics always come from a fresh
+	// execution.
+	Conflict bool
 }
 
 // DefaultSeed is the suite's base seed when Spec.Seed is nil.

@@ -8,8 +8,8 @@ import (
 
 // benchConfig is the overhead-pair workload: large enough that the
 // steady-state cost dominates engine setup, small enough for -benchtime
-// defaults. Race is the only axis the pair varies.
-func benchConfig(race bool) intset.Config {
+// defaults. The observers are the only axes the pairs vary.
+func benchConfig(race, conflict bool) intset.Config {
 	return intset.Config{
 		Kind:         intset.LinkedList,
 		Allocator:    "glibc",
@@ -17,13 +17,14 @@ func benchConfig(race bool) intset.Config {
 		InitialSize:  128,
 		OpsPerThread: 200,
 		Race:         race,
+		Conflict:     conflict,
 	}
 }
 
-func benchRun(b *testing.B, race bool) {
+func benchRun(b *testing.B, race, conflict bool) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		res, err := intset.Run(benchConfig(race))
+		res, err := intset.Run(benchConfig(race, conflict))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -37,5 +38,10 @@ func benchRun(b *testing.B, race bool) {
 // overhead pair: identical runs except for the attached happens-before
 // checker. scripts/bench.sh pairs their ns/op into the race_overhead
 // block of BENCH_PR9.json.
-func BenchmarkIntsetPlain(b *testing.B)   { benchRun(b, false) }
-func BenchmarkIntsetRaceSim(b *testing.B) { benchRun(b, true) }
+//
+// BenchmarkIntsetConflict completes the forensics pair: the same run
+// with the abort-forensics observatory attached. scripts/bench.sh pairs
+// it with Plain into the conflict_overhead block of BENCH_PR10.json.
+func BenchmarkIntsetPlain(b *testing.B)    { benchRun(b, false, false) }
+func BenchmarkIntsetRaceSim(b *testing.B)  { benchRun(b, true, false) }
+func BenchmarkIntsetConflict(b *testing.B) { benchRun(b, false, true) }

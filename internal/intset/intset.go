@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/cachesim"
+	"repro/internal/conflict"
 	"repro/internal/fault"
 	"repro/internal/heapscope"
 	"repro/internal/mem"
@@ -106,12 +107,38 @@ type Config struct {
 	// ordered). The field is part of the spec, so seeded and clean runs
 	// hash to different cells.
 	SeedRace bool
+	// SeedAlias plants a deterministic ORT stripe-aliasing conflict at
+	// the start of the measurement phase: thread 0 allocates a probe
+	// block, walks the heap until a second block maps to the same ORT
+	// entry from a *different* memory stripe (the table-wrap aliasing of
+	// the paper's 64 MiB glibc effect), then repeatedly stores to the
+	// first block while holding the stripe open; thread 1 hammers the
+	// second. Every resulting abort is a false conflict between
+	// addresses that share nothing but the ORT entry. Under -conflict
+	// the run fails with a stripe-alias diagnosis; without it the aborts
+	// just count as FalseAborts. Needs Threads >= 2. Part of the spec,
+	// so seeded and clean runs hash to different cells. Unless OrtBits
+	// is set explicitly, the demo shrinks the table to 12 bits so the
+	// aliasing pair exists within a 128 KiB heap walk.
+	SeedAlias bool
+	// OrtBits overrides the ORT size (log2 of the entry count; 0 keeps
+	// the stm default of 20). Small tables make the modulo wrap — and
+	// therefore stripe aliasing — reachable for small heaps. Part of
+	// the spec.
+	OrtBits uint
 	// Race attaches the happens-before checker (internal/race) to the
 	// run: scheduler, STM and allocator events feed a vector-clock
 	// analysis whose verdict lands in Result.Race, and any finding
 	// fails the run. Excluded from spec hashing — the checker is a pure
 	// observer and never changes what a cell computes.
 	Race bool `json:"-"`
+	// Conflict attaches the abort-forensics observatory
+	// (internal/conflict) to the run: every abort is classified against
+	// allocator provenance and the verdict lands in Result.Conflict
+	// (headline) and Result.ConflictReport (full graph/blame tables).
+	// Excluded from spec hashing — the observatory is a pure observer
+	// and never changes what a cell computes.
+	Conflict bool `json:"-"`
 	// Prof, when non-nil, attributes every virtual cycle of the run to
 	// (thread, region-stack, allocator) buckets. Excluded from spec
 	// hashing — profiling never changes what a cell computes.
@@ -172,6 +199,11 @@ type Result struct {
 	// Race carries the happens-before checker's verdict. Nil when the
 	// checker was not attached.
 	Race *obs.RaceInfo
+	// Conflict carries the abort-forensics headline; ConflictReport the
+	// full conflict graph, blame table and exemplar reservoir. Both nil
+	// when the observatory was not attached.
+	Conflict       *obs.ConflictInfo
+	ConflictReport *conflict.Report `json:"conflict_report,omitempty"`
 }
 
 // Run executes the benchmark described by cfg and returns its result.
@@ -231,8 +263,20 @@ func Run(cfg Config) (res Result, err error) {
 		engineCfg.Race = checker
 		space.SetRaceWatcher(checker)
 	}
+	// The SeedAlias demo needs the modulo to wrap within a small heap:
+	// shrink the table unless the caller pinned a size.
+	ortBits := cfg.OrtBits
+	if cfg.SeedAlias && ortBits == 0 {
+		ortBits = 12
+	}
+	var observatory *conflict.Observatory
+	if cfg.Conflict {
+		observatory = conflict.New(cfg.Threads, cfg.Shift)
+		space.SetConflictWatcher(observatory)
+	}
 	engine := vtime.NewEngine(space, cfg.Threads, engineCfg)
 	stmCfg := stm.Config{
+		OrtBits:        ortBits,
 		Shift:          cfg.Shift,
 		Design:         cfg.Design,
 		Allocator:      allocator,
@@ -248,6 +292,9 @@ func Run(cfg Config) (res Result, err error) {
 	}
 	if checker != nil {
 		stmCfg.Race = checker
+	}
+	if observatory != nil {
+		stmCfg.Conflict = observatory
 	}
 	if durable != nil {
 		durable.SetStopper(engine)
@@ -273,6 +320,7 @@ func Run(cfg Config) (res Result, err error) {
 			return
 		}
 		st.Atomic(th, func(tx *stm.Tx) {
+			tx.SetKind("init")
 			switch cfg.Kind {
 			case LinkedList:
 				set = txstruct.NewList(tx)
@@ -287,7 +335,7 @@ func Run(cfg Config) (res Result, err error) {
 		for inserted := 0; inserted < cfg.InitialSize; {
 			k := int64(rng.Intn(cfg.KeyRange))
 			ok := false
-			st.Atomic(th, func(tx *stm.Tx) { ok = set.Insert(tx, k) })
+			st.Atomic(th, func(tx *stm.Tx) { tx.SetKind("init"); ok = set.Insert(tx, k) })
 			if ok {
 				inserted++
 			}
@@ -326,6 +374,9 @@ func Run(cfg Config) (res Result, err error) {
 	// racePlant is the SeedRace demo's published-then-raw-freed block,
 	// shared across the demo threads (the engine serializes access).
 	var racePlant mem.Addr
+	// aliasA/aliasB are the SeedAlias demo's aliasing pair: different
+	// memory stripes, one ORT entry (same sharing discipline).
+	var aliasA, aliasB mem.Addr
 	measure := func(th *vtime.Thread) {
 		if p := cfg.Prof; p != nil {
 			p.Begin(th, "intset/run")
@@ -366,6 +417,58 @@ func Run(cfg Config) (res Result, err error) {
 				})
 			}
 		}
+		if cfg.SeedAlias && cfg.Threads >= 2 {
+			switch th.ID() {
+			case 0:
+				// Discover an aliasing pair: allocate a probe block, then
+				// keep allocating until a block in a *different* stripe
+				// folds onto the probe's ORT entry through the shrunken
+				// table's modulo. The sizes are mixed on purpose: a single
+				// size class places blocks a fixed number of stripes apart,
+				// and a power-of-two stride can only ever reach a subset of
+				// the table's residues; mixing half-stripe offsets makes
+				// every residue reachable.
+				st.Atomic(th, func(tx *stm.Tx) {
+					tx.SetKind("alias-seed")
+					probe := tx.Malloc(64)
+					tx.Store(probe, 1)
+					target := st.OrtIndex(probe)
+					for i := 0; i < 1<<16; i++ {
+						b := tx.Malloc(64 + 16*uint64(i%4))
+						if st.OrtIndex(b) == target &&
+							uint64(b)>>cfg.Shift != uint64(probe)>>cfg.Shift {
+							aliasA, aliasB = probe, b
+							return
+						}
+					}
+					panic("intset: SeedAlias found no aliasing block within 1<<16 allocations")
+				})
+				// Hammer the probe in long transactions so thread 1's
+				// stores to the *other* block keep hitting the locked
+				// shared entry.
+				for r := 0; r < 8; r++ {
+					st.Atomic(th, func(tx *stm.Tx) {
+						tx.SetKind("alias-a")
+						tx.Store(aliasA, uint64(r))
+						th.Work(1 << 14) // hold the entry's lock open
+					})
+				}
+			case 1:
+				// The engine schedules by minimum clock, so spinning in
+				// small Work quanta deterministically parks this thread
+				// until thread 0's discovery commit publishes the pair.
+				for aliasB == 0 {
+					th.Work(4096)
+				}
+				for r := 0; r < 8; r++ {
+					st.Atomic(th, func(tx *stm.Tx) {
+						tx.SetKind("alias-b")
+						tx.Store(aliasB, uint64(r))
+					})
+					th.Work(512)
+				}
+			}
+		}
 		r := sim.NewRand(cfg.Seed*1000003 + uint64(th.ID()) + 1)
 		lastInserted := int64(-1)
 		for i := 0; i < cfg.OpsPerThread; i++ {
@@ -373,13 +476,13 @@ func Run(cfg Config) (res Result, err error) {
 			update := r.Intn(100) < cfg.UpdatePct
 			switch {
 			case !update:
-				st.Atomic(th, func(tx *stm.Tx) { set.Contains(tx, k) })
+				st.Atomic(th, func(tx *stm.Tx) { tx.SetKind("contains"); set.Contains(tx, k) })
 			case lastInserted < 0:
-				st.Atomic(th, func(tx *stm.Tx) { set.Insert(tx, k) })
+				st.Atomic(th, func(tx *stm.Tx) { tx.SetKind("insert"); set.Insert(tx, k) })
 				lastInserted = k
 			default:
 				k := lastInserted
-				st.Atomic(th, func(tx *stm.Tx) { set.Remove(tx, k) })
+				st.Atomic(th, func(tx *stm.Tx) { tx.SetKind("remove"); set.Remove(tx, k) })
 				lastInserted = -1
 			}
 		}
@@ -457,6 +560,16 @@ func Run(cfg Config) (res Result, err error) {
 		if res.Race.Findings > 0 && res.Status == obs.StatusOK {
 			res.Status = obs.StatusFailed
 			res.Failure = "race: " + res.Race.First
+		}
+	}
+	if observatory != nil {
+		res.Conflict = observatory.Info()
+		res.ConflictReport = observatory.Report()
+		if cfg.SeedAlias && res.Conflict.StripeAlias > 0 && res.Status == obs.StatusOK {
+			// The seeded demo is choreographed to alias; classifying it is
+			// the detection the CI gate asserts on.
+			res.Status = obs.StatusFailed
+			res.Failure = fmt.Sprintf("conflict: seeded stripe aliasing detected: %d stripe-alias aborts", res.Conflict.StripeAlias)
 		}
 	}
 	return res, nil

@@ -139,6 +139,13 @@ type Space struct {
 	// threads. Held separately from watcher so a run can carry both
 	// heap telemetry and the race checker.
 	race HeapWatcher
+
+	// conflict is the abort-forensics observatory's view of the block
+	// lifecycle, nil unless an observatory is attached (see watch.go).
+	// Set via SetConflictWatcher before the space is shared across sim
+	// threads. A separate slot for the same reason as race: telemetry,
+	// race checking and conflict forensics compose in one run.
+	conflict HeapWatcher
 }
 
 // NewSpace returns an empty address space. When the process-wide

@@ -46,13 +46,19 @@ func (s *Space) HeapWatcherAttached() HeapWatcher { return s.watcher }
 // simulated threads.
 func (s *Space) SetRaceWatcher(w HeapWatcher) { s.race = w }
 
+// SetConflictWatcher attaches the conflict observatory's
+// block-lifecycle view (nil detaches). A separate slot for the same
+// reason as SetRaceWatcher. Set before the space is shared across
+// simulated threads.
+func (s *Space) SetConflictWatcher(w HeapWatcher) { s.conflict = w }
+
 // Observed reports whether any block-lifecycle observer (sanitizer
-// shadow map, heap watcher, persist tracker or race checker) is
-// attached. Allocators consult it before computing notification
-// arguments (e.g. a raw boundary-tag read) so the unobserved path
-// stays one branch.
+// shadow map, heap watcher, persist tracker, race checker or conflict
+// observatory) is attached. Allocators consult it before computing
+// notification arguments (e.g. a raw boundary-tag read) so the
+// unobserved path stays one branch.
 func (s *Space) Observed() bool {
-	return s.shadow != nil || s.watcher != nil || s.ptrack != nil || s.race != nil
+	return s.shadow != nil || s.watcher != nil || s.ptrack != nil || s.race != nil || s.conflict != nil
 }
 
 // NoteAlloc fans a successful malloc out to the attached observers.
@@ -68,6 +74,9 @@ func (s *Space) NoteAlloc(allocator string, base Addr, req, usable uint64, tid i
 	}
 	if s.race != nil {
 		s.race.OnHeapAlloc(allocator, base, req, usable, tid, clock)
+	}
+	if s.conflict != nil {
+		s.conflict.OnHeapAlloc(allocator, base, req, usable, tid, clock)
 	}
 }
 
@@ -85,6 +94,9 @@ func (s *Space) NoteFree(base Addr, tid int, clock uint64) {
 	if s.race != nil {
 		s.race.OnHeapFree(base, tid, clock)
 	}
+	if s.conflict != nil {
+		s.conflict.OnHeapFree(base, tid, clock)
+	}
 }
 
 // NoteReuse fans a transaction-cache block revival out to the attached
@@ -101,5 +113,8 @@ func (s *Space) NoteReuse(base Addr, tid int, clock uint64) {
 	}
 	if s.race != nil {
 		s.race.OnHeapReuse(base, tid, clock)
+	}
+	if s.conflict != nil {
+		s.conflict.OnHeapReuse(base, tid, clock)
 	}
 }

@@ -1,0 +1,88 @@
+package obs
+
+import "testing"
+
+// TestHeatmapPlacementCap exercises the placement-key bookkeeping at
+// the maxPlacements bound directly: the first maxPlacements distinct
+// keys get named counters, every further distinct key folds into
+// OtherPlacements, and a key already named keeps counting normally
+// even once the cap is reached.
+func TestHeatmapPlacementCap(t *testing.T) {
+	h := NewHeatmap()
+	const entry = 7
+	// maxPlacements distinct owner keys (reqKey == ownerKey so each
+	// Record notes exactly one key).
+	for k := uint64(0); k < maxPlacements; k++ {
+		h.Record(entry, false, 100+k, 100+k)
+	}
+	cells := h.Top(0)
+	if len(cells) != 1 {
+		t.Fatalf("Top returned %d cells, want 1", len(cells))
+	}
+	if got := len(cells[0].Placements); got != maxPlacements {
+		t.Fatalf("%d named placements, want %d", got, maxPlacements)
+	}
+	if cells[0].OtherPlacements != 0 {
+		t.Fatalf("OtherPlacements = %d before the cap was exceeded, want 0", cells[0].OtherPlacements)
+	}
+	if cells[0].Aliased != true {
+		t.Error("cell with multiple distinct placements not marked aliased")
+	}
+
+	// The cap is full: two new distinct keys fold into OtherPlacements…
+	h.Record(entry, true, 900, 901)
+	// …while a key named before the cap still counts by name.
+	h.Record(entry, true, 100, 100)
+
+	cells = h.Top(0)
+	c := cells[0]
+	if got := len(c.Placements); got != maxPlacements {
+		t.Errorf("%d named placements after overflow, want still %d", got, maxPlacements)
+	}
+	if c.OtherPlacements != 2 {
+		t.Errorf("OtherPlacements = %d, want 2 (keys 900 and 901 past the cap)", c.OtherPlacements)
+	}
+	for _, p := range c.Placements {
+		if p.Key == 100 && p.Count != 2 {
+			t.Errorf("named key 100 counted %d, want 2 (once at fill + once past the cap)", p.Count)
+		}
+		if p.Key == 900 || p.Key == 901 {
+			t.Errorf("key %d named despite arriving past the cap", p.Key)
+		}
+	}
+	if c.Conflicts != maxPlacements+2 {
+		t.Errorf("Conflicts = %d, want %d", c.Conflicts, maxPlacements+2)
+	}
+	if c.FalseAborts != 2 {
+		t.Errorf("FalseAborts = %d, want 2", c.FalseAborts)
+	}
+}
+
+// TestHeatmapTotalFalseAborts pins TotalFalseAborts (and Len) on the
+// empty and single-cell maps.
+func TestHeatmapTotalFalseAborts(t *testing.T) {
+	h := NewHeatmap()
+	if h.Len() != 0 {
+		t.Errorf("empty heatmap Len = %d, want 0", h.Len())
+	}
+	if got := h.TotalFalseAborts(); got != 0 {
+		t.Errorf("empty heatmap TotalFalseAborts = %d, want 0", got)
+	}
+
+	// One cell: a true conflict then two false aborts.
+	h.Record(3, false, 10, 10)
+	h.Record(3, true, 10, 11)
+	h.Record(3, true, 10, 12)
+	if h.Len() != 1 {
+		t.Errorf("Len = %d, want 1", h.Len())
+	}
+	if got := h.TotalFalseAborts(); got != 2 {
+		t.Errorf("single-cell TotalFalseAborts = %d, want 2", got)
+	}
+
+	// A second cell's false aborts sum in.
+	h.Record(9, true, 20, 21)
+	if got := h.TotalFalseAborts(); got != 3 {
+		t.Errorf("two-cell TotalFalseAborts = %d, want 3", got)
+	}
+}

@@ -180,6 +180,48 @@ type RaceInfo struct {
 	First  string `json:"first,omitempty"` // first finding, rendered (empty on a clean run)
 }
 
+// ConflictInfo is the verdict of the conflict observatory for a run:
+// how many abort events it consumed and how their wasted virtual cycles
+// distribute over the four placement classes (see internal/conflict for
+// the taxonomy), plus the headline aggregates of the killer/victim
+// graph, the allocation-site blame table and the abort-chain detector.
+// It lives here rather than in internal/conflict because conflict
+// builds on obs; the conflict package fills it in. Kept flat (scalars
+// and strings, no nested objects) so byte-identity tooling can strip
+// the whole block with a line-range filter.
+type ConflictInfo struct {
+	Observed bool `json:"observed"` // an observatory was attached for the run
+	Events   int  `json:"events"`   // abort events consumed
+	// Per-class abort counts (true-sharing: same word; false-sharing:
+	// different addresses in one 2^shift-byte stripe; stripe-alias:
+	// different stripes folded onto one ORT entry by the modulo;
+	// metadata: a conflicting address inside allocator metadata or a
+	// reclaimed block; other: aborts with no attributable stripe).
+	TrueSharing  int `json:"true_sharing,omitempty"`
+	FalseSharing int `json:"false_sharing,omitempty"`
+	StripeAlias  int `json:"stripe_alias,omitempty"`
+	Metadata     int `json:"metadata,omitempty"`
+	Other        int `json:"other,omitempty"`
+	// Wasted virtual cycles (begin-to-abort) total and per class.
+	WastedCycles uint64 `json:"wasted_cycles"`
+	WastedTrue   uint64 `json:"wasted_true,omitempty"`
+	WastedFalse  uint64 `json:"wasted_false,omitempty"`
+	WastedAlias  uint64 `json:"wasted_alias,omitempty"`
+	WastedMeta   uint64 `json:"wasted_meta,omitempty"`
+	WastedOther  uint64 `json:"wasted_other,omitempty"`
+	// Enrichment counters over the false-sharing class.
+	SameLine   int `json:"same_line,omitempty"`   // conflicting pair shares a 64-byte cache line
+	CrossBlock int `json:"cross_block,omitempty"` // conflicting pair spans two allocator blocks
+	// Killer/victim graph, blame table and cascade aggregates.
+	Edges           int    `json:"edges,omitempty"`         // distinct killer-kind -> victim-kind edges
+	LongestChain    int    `json:"longest_chain,omitempty"` // longest abort cascade observed
+	TopSite         string `json:"top_site,omitempty"`      // allocation site blamed for the most placement-caused wasted cycles
+	TopSiteWasted   uint64 `json:"top_site_wasted,omitempty"`
+	TopOffender     string `json:"top_offender,omitempty"` // address involved in the most placement-caused aborts
+	TopOffenderHits int    `json:"top_offender_hits,omitempty"`
+	First           string `json:"first,omitempty"` // first exemplar event, rendered
+}
+
 // RunRecord is the machine-readable artifact of one experiment run —
 // what BENCH_<exp>.json files hold. Everything in it derives from
 // virtual time and fixed seeds, so records are reproducible
@@ -204,6 +246,7 @@ type RunRecord struct {
 	Recovery      *RecoveryInfo `json:"recovery,omitempty"` // durable-memory verdict (v2, PR 7)
 	Pool          *PoolInfo     `json:"pool,omitempty"`     // tx-pooling discipline and traffic (v2, PR 8)
 	Race          *RaceInfo     `json:"race,omitempty"`     // happens-before checker verdict (v2, PR 9)
+	Conflict      *ConflictInfo `json:"conflict,omitempty"` // abort-forensics summary (v2, PR 10)
 }
 
 // NewRunRecord returns a record stamped with the current schema.

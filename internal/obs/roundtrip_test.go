@@ -128,6 +128,30 @@ func fullRecord() *RunRecord {
 			Events:           1 << 16,
 			First:            "metadata: 0x10000040: raw free of block still visible to t1",
 		},
+		Conflict: &ConflictInfo{
+			Observed:        true,
+			Events:          24,
+			TrueSharing:     6,
+			FalseSharing:    9,
+			StripeAlias:     3,
+			Metadata:        4,
+			Other:           2,
+			WastedCycles:    90000,
+			WastedTrue:      20000,
+			WastedFalse:     40000,
+			WastedAlias:     10000,
+			WastedMeta:      15000,
+			WastedOther:     5000,
+			SameLine:        7,
+			CrossBlock:      5,
+			Edges:           4,
+			LongestChain:    3,
+			TopSite:         "insert@glibc",
+			TopSiteWasted:   40000,
+			TopOffender:     "0x10000140",
+			TopOffenderHits: 5,
+			First:           "false-sharing: t1 insert #2 killed by t0 remove at stripe 0x80000a, 0x10000140 vs 0x10000148, wasted 1200",
+		},
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/cachesim"
+	"repro/internal/conflict"
 	"repro/internal/fault"
 	"repro/internal/heapscope"
 	"repro/internal/mem"
@@ -87,6 +88,11 @@ type Config struct {
 	// the run. Excluded from spec hashing — the checker is a pure
 	// observer; a checked run is byte-identical to an unchecked one.
 	Race bool `json:"-"`
+	// Conflict attaches the abort-forensics observatory
+	// (internal/conflict) to the run. Excluded from spec hashing — the
+	// observatory is a pure observer; an observed run is byte-identical
+	// to a plain one.
+	Conflict bool `json:"-"`
 }
 
 // Result reports one run.
@@ -112,6 +118,9 @@ type Result struct {
 	// Race carries the happens-before checker's verdict and coverage
 	// counters. Nil when the checker was not attached.
 	Race *obs.RaceInfo
+	// Conflict carries the abort-forensics summary. Nil when the
+	// observatory was not attached.
+	Conflict *obs.ConflictInfo
 }
 
 // World is the environment an application runs in.
@@ -324,6 +333,11 @@ func Run(cfg Config) (res Result, err error) {
 		engineCfg.Race = checker
 		space.SetRaceWatcher(checker)
 	}
+	var observatory *conflict.Observatory
+	if cfg.Conflict {
+		observatory = conflict.New(cfg.Threads, cfg.Shift)
+		space.SetConflictWatcher(observatory)
+	}
 	engine := vtime.NewEngine(space, cfg.Threads, engineCfg)
 	alloc.Observe(base, cfg.Obs)
 	alloc.Profile(base, cfg.Prof)
@@ -362,6 +376,9 @@ func Run(cfg Config) (res Result, err error) {
 	}
 	if checker != nil {
 		stmCfg.Race = checker
+	}
+	if observatory != nil {
+		stmCfg.Conflict = observatory
 	}
 	w.STM = stm.New(space, stmCfg)
 	if w.prof != nil {
@@ -480,6 +497,9 @@ func Run(cfg Config) (res Result, err error) {
 			res.Status = obs.StatusFailed
 			res.Failure = "race: " + res.Race.First
 		}
+	}
+	if observatory != nil {
+		res.Conflict = observatory.Info()
 	}
 	return res, nil
 }

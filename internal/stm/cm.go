@@ -128,6 +128,7 @@ func (tx *Tx) cmWait(owner int) bool {
 	case CMAggressive:
 		if other, ok := s.txs[owner]; ok && other.active && !other.irrevocable {
 			other.killed = true
+			other.killedBy = int32(tx.th.ID())
 		}
 	default:
 		return false

@@ -1,0 +1,45 @@
+package stm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestAbortReasonStringsExhaustive pins the AbortReason enum to its
+// String table: a reason added without a name (the switch falls
+// through to the "reason(n)" placeholder) or a name duplicated across
+// reasons fails here, before it produces unreadable records.
+func TestAbortReasonStringsExhaustive(t *testing.T) {
+	seen := make(map[string]AbortReason, AbortReasonCount)
+	for i := 0; i < AbortReasonCount; i++ {
+		r := AbortReason(i)
+		s := r.String()
+		if s == "" {
+			t.Errorf("AbortReason(%d).String() is empty", i)
+			continue
+		}
+		if strings.HasPrefix(s, "reason(") {
+			t.Errorf("AbortReason(%d) has no name: String() fell through to %q", i, s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("AbortReason(%d) and AbortReason(%d) share the name %q", int(prev), i, s)
+		}
+		seen[s] = r
+	}
+}
+
+// TestAbortReasonStringOutOfRange pins the fallback for values outside
+// the enum — the other direction of the exhaustiveness guard: a name
+// removed from the switch without shrinking the enum would surface as
+// a "reason(n)" string inside the valid range above, and values past
+// the count must render diagnosably rather than panic or alias a real
+// reason.
+func TestAbortReasonStringOutOfRange(t *testing.T) {
+	for _, n := range []int{AbortReasonCount, AbortReasonCount + 3, -1} {
+		want := fmt.Sprintf("reason(%d)", n)
+		if got := AbortReason(n).String(); got != want {
+			t.Errorf("AbortReason(%d).String() = %q, want %q", n, got, want)
+		}
+	}
+}

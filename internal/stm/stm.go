@@ -143,6 +143,11 @@ type Config struct {
 	// race.go). Pure observation: the enabled path is byte-identical
 	// to the disabled one.
 	Race RaceHook
+	// Conflict, when non-nil, receives per-abort forensics — victim and
+	// killer identity, conflicting stripe and addresses, wasted cycles
+	// (internal/conflict.Observatory implements it; see conflict.go).
+	// Pure observation, same byte-identity contract as Race.
+	Conflict ConflictHook
 }
 
 // DurableLog is the redo-log seam of a durable-memory layer. The commit
@@ -273,12 +278,17 @@ type STM struct {
 	retryCap     uint64
 	fault        FaultHook
 	durable      DurableLog
-	race         RaceHook   // happens-before event sink; nil disables
-	fallback     vtime.Lock // serializes irrevocable fallback transactions
+	race         RaceHook     // happens-before event sink; nil disables
+	conflict     ConflictHook // abort-forensics sink; nil disables
+	fallback     vtime.Lock   // serializes irrevocable fallback transactions
 
 	// lockAddrs[i] records which address acquired ORT entry i, for
 	// false-conflict classification (diagnostic only).
 	lockAddrs []mem.Addr
+	// lockTids[i] records which thread acquired ORT entry i (-1: none
+	// yet), for killer attribution. Allocated only when a ConflictHook
+	// is attached; nil otherwise (diagnostic only).
+	lockTids []int32
 
 	txs map[int]*Tx
 
@@ -365,8 +375,15 @@ func New(space *mem.Space, cfg Config) *STM {
 		fault:        cfg.Fault,
 		durable:      cfg.Durable,
 		race:         cfg.Race,
+		conflict:     cfg.Conflict,
 		lockAddrs:    make([]mem.Addr, size),
 		txs:          make(map[int]*Tx),
+	}
+	if cfg.Conflict != nil {
+		s.lockTids = make([]int32, size)
+		for i := range s.lockTids {
+			s.lockTids[i] = -1
+		}
 	}
 	if s.retryCap == 0 {
 		s.retryCap = DefaultRetryCap
@@ -575,6 +592,7 @@ func (s *STM) Atomic(th *vtime.Thread, fn func(tx *Tx)) {
 					s.rec.TxAbort(th.ID(), tx.beginClock, th.Clock(),
 						AbortKilled.String(), obs.NoStripe, false, 0, 0)
 				}
+				tx.conflictNoStripe(AbortKilled)
 			}
 		}
 		if tx.active && tx.tryRun(fn) {
@@ -631,6 +649,7 @@ func (tx *Tx) tryRun(fn func(tx *Tx)) (committed bool) {
 					s.rec.TxAbort(tx.th.ID(), tx.beginClock, tx.th.Clock(),
 						AbortValidation.String(), obs.NoStripe, false, 0, 0)
 				}
+				tx.conflictNoStripe(AbortValidation)
 				committed = false
 				return
 			}
@@ -697,9 +716,17 @@ type Tx struct {
 	ctlReqs []ctlReq
 	ctlSeen u64Table
 
+	// Conflict-forensics state (see conflict.go): the workload label
+	// and the 1-based attempt number of the current Atomic (reset on
+	// commit). Maintained unconditionally — two scalar updates — so the
+	// observed and unobserved paths run the same code.
+	kind    string
+	attempt uint64
+
 	// Contention-management state.
 	karma       uint64 // accumulated work (loads+stores), CMKarma priority
 	killed      bool   // an aggressive rival demands this tx abort
+	killedBy    int32  // thread that set killed (conflict attribution)
 	waitBudget  uint64 // remaining conflict-wait polls this attempt
 	irrevocable bool   // running alone under the fallback lock
 	rng         uint64 // deterministic backoff jitter state
@@ -714,6 +741,8 @@ func (tx *Tx) Thread() *vtime.Thread { return tx.th }
 func (tx *Tx) begin() {
 	tx.active = true
 	tx.killed = false
+	tx.killedBy = -1
+	tx.attempt++
 	tx.waitBudget = conflictWaitBudget
 	tx.beginClock = tx.th.Clock()
 	tx.snapshot = tx.stm.clockRead(tx.th)
@@ -747,6 +776,7 @@ func (tx *Tx) abort(reason AbortReason, idx uint64, a mem.Addr) {
 		s.rec.TxAbort(tx.th.ID(), tx.beginClock, tx.th.Clock(), reason.String(),
 			idx, falseConflict, uint64(owner)>>s.shift, uint64(a)>>s.shift)
 	}
+	tx.conflictStripe(reason, idx, a, owner)
 	panic(abortSignal{reason})
 }
 
@@ -758,6 +788,7 @@ func (tx *Tx) abortNoStripe(reason AbortReason) {
 		s.rec.TxAbort(tx.th.ID(), tx.beginClock, tx.th.Clock(), reason.String(),
 			obs.NoStripe, false, 0, 0)
 	}
+	tx.conflictNoStripe(reason)
 	panic(abortSignal{reason})
 }
 
@@ -981,6 +1012,9 @@ func (tx *Tx) acquire(idx uint64, a mem.Addr) {
 			tx.lockedSet.put(idx, int32(len(tx.locked)))
 			tx.locked = append(tx.locked, lockRec{idx: idx, prev: w})
 			s.lockAddrs[idx] = a
+			if s.lockTids != nil {
+				s.lockTids[idx] = int32(tx.th.ID())
+			}
 			break
 		}
 	}
@@ -1026,6 +1060,7 @@ func (tx *Tx) commit() bool {
 				s.rec.TxAbort(tx.th.ID(), tx.beginClock, tx.th.Clock(),
 					AbortValidation.String(), obs.NoStripe, false, 0, 0)
 			}
+			tx.conflictNoStripe(AbortValidation)
 			return false
 		}
 	}
@@ -1158,11 +1193,13 @@ func (tx *Tx) finishCommit() {
 	}
 	tx.active = false
 	tx.karma = 0 // priority is spent on commit (karma CM)
+	tx.attempt = 0
 	tx.stats.Commits++
 	tx.th.Tick(tx.th.Cost().TxBase)
 	if s := tx.stm; s.rec != nil {
 		s.rec.TxCommit(tx.th.ID(), tx.beginClock, tx.th.Clock(), len(tx.readSet), int(ws))
 	}
+	tx.conflictCommitted()
 }
 
 // reclaim hands quarantined blocks back to the allocator once they are

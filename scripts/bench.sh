@@ -4,11 +4,13 @@
 # collector (plain-vs-watched runs measure snapshot overhead), the
 # pmem durability layer (BenchmarkTxVolatile vs BenchmarkTxDurable is
 # the flush/fence-on-vs-off overhead pair; BenchmarkCrashRecover a full
-# crash→recover→verify cycle), and — since PR 9 — the race checker
+# crash→recover→verify cycle), the race checker
 # (BenchmarkIntsetPlain vs BenchmarkIntsetRaceSim is the
-# happens-before-checker-on-vs-off overhead pair).
+# happens-before-checker-on-vs-off overhead pair), and — since PR 10 —
+# the abort-forensics observatory (BenchmarkIntsetPlain vs
+# BenchmarkIntsetConflict is the forensics-on-vs-off overhead pair).
 #
-#   scripts/bench.sh [out.json]        default out: BENCH_PR9.json
+#   scripts/bench.sh [out.json]        default out: BENCH_PR10.json
 #   BENCHTIME=10x scripts/bench.sh     shorter smoke run (CI advisory)
 #
 # Runs `go test -bench . -benchmem` and renders the result as
@@ -23,7 +25,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR9.json}
+out=${1:-BENCH_PR10.json}
 benchtime=${BENCHTIME:-}
 
 raw=$(mktemp)
@@ -96,6 +98,22 @@ ncpu=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
         first=0
         printf '    {"name": "%s", "plain_ns_per_op": %s, "race_sim_ns_per_op": %s}' \
             "$name" "${plain:--1}" "${race:--1}"
+    done
+    printf '\n  ],\n'
+    # Plain-vs-conflict ns/op pairs: identical workloads except for the
+    # attached abort-forensics observatory; the ratio is the
+    # observatory's overhead on this host (advisory, never gated).
+    printf '  "conflict_overhead": [\n'
+    first=1
+    for name in BenchmarkIntset; do
+        plain=$(awk -v n="${name}Plain" '
+            $1 ~ "^"n"(-[0-9]+)?$" { print $3 }' "$raw" | head -n1)
+        conflict=$(awk -v n="${name}Conflict" '
+            $1 ~ "^"n"(-[0-9]+)?$" { print $3 }' "$raw" | head -n1)
+        [ "$first" -eq 1 ] || printf ',\n'
+        first=0
+        printf '    {"name": "%s", "plain_ns_per_op": %s, "conflict_ns_per_op": %s}' \
+            "$name" "${plain:--1}" "${conflict:--1}"
     done
     printf '\n  ]\n'
     printf '}\n'

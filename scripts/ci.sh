@@ -334,6 +334,64 @@ go run ./cmd/tmintset -kind linkedlist -alloc glibc -threads 2 \
     exit 1
 }
 
+echo "== conflict-observatory byte-identity gate =="
+# The abort-forensics observatory is a pure observer: -conflict must
+# leave stdout and every run-record field except the flat "conflict"
+# summary block untouched, at every pool width. The conflict block is
+# the record's last field, so the preceding line's trailing comma
+# normalizes away on both sides.
+strip_conflict() {
+    sed -e 's/"jobs": *[0-9]*/"jobs": 0/' \
+        -e '/^  "conflict": {/,/^  }[,]\{0,1\}$/d' \
+        -e 's/,$//' "$1"
+}
+go run ./cmd/tmrepro -run fig1 -jobs 1 -conflict -out "$tmpdir/conf1" >"$tmpdir/confj1.txt"
+go run ./cmd/tmrepro -run fig1 -jobs 8 -conflict -out "$tmpdir/conf8" >"$tmpdir/confj8.txt"
+cmp "$tmpdir/j1.txt" "$tmpdir/confj1.txt" || {
+    echo "tmrepro stdout differs with -conflict" >&2
+    exit 1
+}
+sed 's/"jobs": *[0-9]*/"jobs": 0/' "$tmpdir/conf1/BENCH_fig1.json" >"$tmpdir/conf1.norm"
+sed 's/"jobs": *[0-9]*/"jobs": 0/' "$tmpdir/conf8/BENCH_fig1.json" >"$tmpdir/conf8.norm"
+cmp "$tmpdir/conf1.norm" "$tmpdir/conf8.norm" || {
+    echo "-conflict run records differ between -jobs 1 and -jobs 8 (forensics nondeterministic)" >&2
+    exit 1
+}
+strip_conflict "$tmpdir/j1/BENCH_fig1.json" >"$tmpdir/confbase.norm"
+strip_conflict "$tmpdir/conf1/BENCH_fig1.json" >"$tmpdir/conf1.stripped"
+cmp "$tmpdir/confbase.norm" "$tmpdir/conf1.stripped" || {
+    echo "run records differ with -conflict beyond the conflict summary block" >&2
+    exit 1
+}
+grep -q '"conflict": {' "$tmpdir/conf1/BENCH_fig1.json" || {
+    echo "-conflict run record carries no conflict summary" >&2
+    exit 1
+}
+grep -q '"observed": true' "$tmpdir/conf1/BENCH_fig1.json" || {
+    echo "-conflict run record not marked observed" >&2
+    exit 1
+}
+
+echo "== conflict-observatory detection gate =="
+# A choreographed ORT stripe-aliasing pair must fail loudly under
+# -conflict (classified as stripe aliasing) and pass silently without
+# it — the contrast that proves the observatory is both armed and
+# byte-transparent.
+if go run ./cmd/tmintset -kind linkedlist -alloc glibc -threads 2 \
+    -initial 64 -ops 50 -seed-alias -conflict >"$tmpdir/alias.txt" 2>&1; then
+    echo "seeded stripe aliasing passed under -conflict" >&2
+    exit 1
+fi
+grep -q 'stripe' "$tmpdir/alias.txt" || {
+    echo "observed seed-alias run failed without a stripe-aliasing diagnosis" >&2
+    exit 1
+}
+go run ./cmd/tmintset -kind linkedlist -alloc glibc -threads 2 \
+    -initial 64 -ops 50 -seed-alias >/dev/null || {
+    echo "seeded stripe aliasing failed without -conflict (should pass silently)" >&2
+    exit 1
+}
+
 echo "== durability crash-matrix gate =="
 # The full crash→recover→verify matrix (4 allocators × 3 commit-phase
 # crash points) must come back with every recovery verdict ok — tmcrash
